@@ -1,0 +1,107 @@
+// Experiment E11 — macro-benchmark on the XMark-style auction site (the
+// era's standard XML benchmark shape): a live-auction serving mix of
+// ordered reads ("show the bid history", "latest bid") and ordered writes
+// ("place a bid" = append before <current/>).
+//
+// Expected shape: this workload is append-dominated and positional, so all
+// three encodings serve it well; Global pays its interval-maintenance tax
+// on every bid, Dewey its longer keys, Local its positional counting —
+// the gaps are small, matching the paper's observation that tail-insert
+// workloads do not separate the encodings much.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/xml/xml_parser.h"
+
+#include "bench/bench_util.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+constexpr int kAuctions = 40;
+constexpr int kOpsPerIteration = 60;
+
+void BM_AuctionServing(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  AuctionGeneratorOptions gen;
+  gen.seed = 42;
+  gen.items_per_region = 15;
+  gen.open_auctions = kAuctions;
+  gen.bids_per_auction = 6;
+  gen.people = 20;
+  auto doc = GenerateAuctionXml(gen);
+
+  auto bid = ParseXml(
+      "<bidder><date>2002-06-30</date><personref person=\"person1\"/>"
+      "<increase>501</increase></bidder>");
+  OXML_BENCH_OK(bid);
+
+  int64_t renumbered = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    StoreFixture f = MakeLoadedStore(enc, *doc, /*gap=*/8);
+    Random rng(17);
+    state.ResumeTiming();
+
+    for (int op = 0; op < kOpsPerIteration; ++op) {
+      std::string auction =
+          "auction" + std::to_string(rng.Uniform(0, kAuctions - 1));
+      switch (rng.Uniform(0, 3)) {
+        case 0: {  // show the full bid history, in order
+          auto r = EvaluateXPath(f.store.get(),
+                                 "//open_auction[@id = '" + auction +
+                                     "']/bidder/increase");
+          OXML_BENCH_OK(r);
+          benchmark::DoNotOptimize(r->size());
+          break;
+        }
+        case 1: {  // latest bid
+          auto r = EvaluateXPath(f.store.get(),
+                                 "//open_auction[@id = '" + auction +
+                                     "']/bidder[last()]/increase");
+          OXML_BENCH_OK(r);
+          break;
+        }
+        case 2: {  // browse an item's ordered description
+          auto r = EvaluateXPath(
+              f.store.get(),
+              "/site/regions/asia/item[" +
+                  std::to_string(rng.Uniform(1, 15)) +
+                  "]/description/parlist/listitem");
+          OXML_BENCH_OK(r);
+          break;
+        }
+        default: {  // place a bid: insert before <current/>
+          auto current = EvaluateXPath(f.store.get(),
+                                       "//open_auction[@id = '" + auction +
+                                           "']/current");
+          OXML_BENCH_OK(current);
+          OXML_BENCH_CHECK(current->size() == 1);
+          auto stats = f.store->InsertSubtree((*current)[0],
+                                              InsertPosition::kBefore,
+                                              *(*bid)->root_element());
+          OXML_BENCH_OK(stats);
+          renumbered += stats->rows_renumbered;
+          break;
+        }
+      }
+    }
+  }
+  state.counters["rows_renumbered_total"] = static_cast<double>(renumbered);
+  state.SetLabel(OrderEncodingToString(enc));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_AuctionServing)
+    ->Args({0})
+    ->Args({1})
+    ->Args({2})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Experiment E9 — document shape ablation: Dewey key length vs depth.
+//
+// The Dewey path grows with nesting depth, so deep documents inflate index
+// storage and key-comparison cost; Global/Local keys are fixed-width.
+// Loads chain documents of increasing depth and wide flat documents, then
+// reports index bytes and descendant-query time per encoding.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+void BM_DeepDocument(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  size_t depth = static_cast<size_t>(state.range(1));
+  auto doc = GenerateDeepXml(depth);
+  StoreFixture f = MakeLoadedStore(enc, *doc);
+
+  auto root = f.store->Root();
+  OXML_BENCH_OK(root);
+  size_t results = 0;
+  for (auto _ : state) {
+    auto r = f.store->Descendants(*root, NodeTest::AnyElement());
+    OXML_BENCH_OK(r);
+    results = r->size();
+    benchmark::DoNotOptimize(results);
+  }
+  OXML_BENCH_CHECK(results == depth - 1);
+  StorageStats s = f.db->GetStorageStats();
+  state.counters["index_bytes_per_row"] =
+      static_cast<double>(s.index_bytes) /
+      static_cast<double>(s.index_entries);
+  state.SetLabel(std::string(OrderEncodingToString(enc)) + "/depth=" +
+                 std::to_string(depth));
+}
+
+void BM_WideDocument(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  size_t width = static_cast<size_t>(state.range(1));
+  auto doc = GenerateWideXml(width);
+  StoreFixture f = MakeLoadedStore(enc, *doc);
+
+  auto root = f.store->Root();
+  OXML_BENCH_OK(root);
+  size_t results = 0;
+  for (auto _ : state) {
+    auto r = f.store->Children(*root, NodeTest::Tag("item"));
+    OXML_BENCH_OK(r);
+    results = r->size();
+    benchmark::DoNotOptimize(results);
+  }
+  OXML_BENCH_CHECK(results == width);
+  StorageStats s = f.db->GetStorageStats();
+  state.counters["index_bytes_per_row"] =
+      static_cast<double>(s.index_bytes) /
+      static_cast<double>(s.index_entries);
+  state.SetLabel(std::string(OrderEncodingToString(enc)) + "/width=" +
+                 std::to_string(width));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_DeepDocument)
+    ->ArgsProduct({{0, 1, 2}, {5, 20, 60}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(oxml::bench::BM_WideDocument)
+    ->ArgsProduct({{0, 1, 2}, {1000, 10000}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Experiment E7 — effect of sparse numbering (paper: gap-size figure).
+//
+// Loads the same document with gap g in {1, 2, 8, 32, 128} and performs a
+// fixed random-insert workload. gap = 1 is dense numbering: every insert
+// renumbers. Larger gaps amortize renumbering at the cost of storage
+// (larger ordinals / longer Dewey components). Expected shape: renumbering
+// frequency drops sharply with g for all encodings, with Global showing
+// the largest absolute rows-renumbered at small g.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/xml/xml_parser.h"
+
+#include "bench/bench_util.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+void BM_GapSensitivity(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  int64_t gap = state.range(1);
+  constexpr int kSections = 60;
+  constexpr int kParagraphs = 15;
+  constexpr int kOpsPerIteration = 100;
+
+  auto doc = NewsDoc(kSections, kParagraphs);
+  auto para = ParseXml("<para>gap probe paragraph</para>");
+  OXML_BENCH_OK(para);
+  const XmlNode& subtree = *(*para)->root_element();
+
+  int64_t renumbered = 0;
+  int64_t renumber_events = 0;
+  int64_t ops = 0;
+  uint64_t index_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    StoreFixture f = MakeLoadedStore(enc, *doc, gap);
+    auto body = EvaluateXPath(f.store.get(), "/nitf/body");
+    OXML_BENCH_OK(body);
+    Random rng(3);
+    state.ResumeTiming();
+
+    for (int op = 0; op < kOpsPerIteration; ++op) {
+      auto section = f.store->ChildAt(
+          (*body)[0], NodeTest::Tag("section"),
+          static_cast<size_t>(rng.Uniform(0, kSections - 1)));
+      OXML_BENCH_OK(section);
+      auto target = f.store->ChildAt(
+          *section, NodeTest::Tag("para"),
+          static_cast<size_t>(rng.Uniform(0, kParagraphs - 1)));
+      OXML_BENCH_OK(target);
+      auto stats =
+          f.store->InsertSubtree(*target, InsertPosition::kBefore, subtree);
+      OXML_BENCH_OK(stats);
+      renumbered += stats->rows_renumbered;
+      renumber_events += stats->renumbering_triggered ? 1 : 0;
+      ++ops;
+    }
+    state.PauseTiming();
+    index_bytes = f.db->GetStorageStats().index_bytes;
+    state.ResumeTiming();
+  }
+  state.counters["gap"] = static_cast<double>(gap);
+  state.counters["rows_renumbered_per_op"] =
+      static_cast<double>(renumbered) / static_cast<double>(ops);
+  state.counters["renumber_event_pct"] =
+      100.0 * static_cast<double>(renumber_events) /
+      static_cast<double>(ops);
+  state.counters["index_KB"] = static_cast<double>(index_bytes) / 1024.0;
+  state.SetLabel(std::string(OrderEncodingToString(enc)) + "/gap=" +
+                 std::to_string(gap));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_GapSensitivity)
+    ->ArgsProduct({{0, 1, 2}, {1, 2, 8, 32, 128}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

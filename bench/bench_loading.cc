@@ -1,0 +1,59 @@
+// Experiment E1 — dataset + storage profile (paper: dataset/loading table).
+//
+// Shreds synthetic documents of increasing size under each order encoding
+// and reports load time plus the resulting storage footprint: node rows,
+// heap pages/bytes, and index entries/bytes. The Dewey encoding pays for
+// its variable-length keys in index bytes; Global pays one extra integer
+// column (eord); Local is the leanest per row but needs more indexes to
+// navigate.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+const XmlDocument& DocOfSize(int64_t nodes) {
+  static auto* cache =
+      new std::map<int64_t, std::unique_ptr<XmlDocument>>();
+  auto it = cache->find(nodes);
+  if (it == cache->end()) {
+    XmlGeneratorOptions opts;
+    opts.target_nodes = static_cast<size_t>(nodes);
+    opts.seed = 42;
+    it = cache->emplace(nodes, GenerateXml(opts)).first;
+  }
+  return *it->second;
+}
+
+void BM_Load(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  const XmlDocument& doc = DocOfSize(state.range(1));
+
+  StorageStats last{};
+  for (auto _ : state) {
+    StoreFixture f = MakeLoadedStore(enc, doc);
+    last = f.db->GetStorageStats();
+    benchmark::DoNotOptimize(last.heap_rows);
+  }
+  state.counters["rows"] = static_cast<double>(last.heap_rows);
+  state.counters["heap_pages"] = static_cast<double>(last.heap_pages);
+  state.counters["heap_KB"] = static_cast<double>(last.heap_bytes) / 1024.0;
+  state.counters["index_entries"] =
+      static_cast<double>(last.index_entries);
+  state.counters["index_KB"] = static_cast<double>(last.index_bytes) / 1024.0;
+  state.SetLabel(OrderEncodingToString(enc));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_Load)
+    ->ArgsProduct({{0, 1, 2}, {2000, 10000, 30000}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Experiment E6 — mixed query/update workload (paper: the crossover figure
+// locating each encoding's sweet spot).
+//
+// Runs a fixed operation mix, varying the update fraction from 0% to 100%.
+// Expected shape: Global wins (or ties Dewey) at 0% updates, Local wins at
+// 100% updates, and Dewey tracks the best of both across the middle — the
+// paper's headline argument for Dewey order.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/xml/xml_parser.h"
+
+#include "bench/bench_util.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+constexpr int kSections = 100;
+constexpr int kParagraphs = 15;
+constexpr int kOpsPerIteration = 60;
+
+const char* const kQueryMix[] = {
+    "//para[@class = 'lead']",
+    "/nitf/body/section[7]/para[3]",
+    "//section[@id = 's40']/following-sibling::section[1]",
+    "/nitf/body/section[last()]/para[last()]",
+};
+
+void BM_MixedWorkload(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  int update_pct = static_cast<int>(state.range(1));
+
+  auto doc = NewsDoc(kSections, kParagraphs);
+  auto para = ParseXml("<para>mixed workload paragraph</para>");
+  OXML_BENCH_OK(para);
+  const XmlNode& subtree = *(*para)->root_element();
+
+  int64_t ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    StoreFixture f = MakeLoadedStore(enc, *doc, /*gap=*/8);
+    auto body = EvaluateXPath(f.store.get(), "/nitf/body");
+    OXML_BENCH_OK(body);
+    Random rng(23);
+    state.ResumeTiming();
+
+    for (int op = 0; op < kOpsPerIteration; ++op) {
+      bool is_update = rng.Uniform(1, 100) <= update_pct;
+      if (is_update) {
+        auto section = f.store->ChildAt(
+            (*body)[0], NodeTest::Tag("section"),
+            static_cast<size_t>(rng.Uniform(0, kSections - 1)));
+        OXML_BENCH_OK(section);
+        auto target = f.store->ChildAt(
+            *section, NodeTest::Tag("para"),
+            static_cast<size_t>(rng.Uniform(0, kParagraphs - 1)));
+        OXML_BENCH_OK(target);
+        OXML_BENCH_OK(f.store->InsertSubtree(*target,
+                                             InsertPosition::kBefore,
+                                             subtree));
+      } else {
+        const char* q = kQueryMix[rng.Uniform(0, 3)];
+        auto r = EvaluateXPath(f.store.get(), q);
+        OXML_BENCH_OK(r);
+        benchmark::DoNotOptimize(r->size());
+      }
+      ++ops;
+    }
+  }
+  state.counters["ops_per_s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.SetLabel(std::string(OrderEncodingToString(enc)) + "/updates=" +
+                 std::to_string(update_pct) + "%");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_MixedWorkload)
+    ->ArgsProduct({{0, 1, 2}, {0, 25, 50, 75, 100}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Experiment E2 — ordered query performance (paper: query performance
+// figure). Runs the QR1..QR8 ordered-query workload (DESIGN.md §4) against
+// the same news document stored under each encoding.
+//
+// Expected shape: Global and Dewey answer every class with one or two index
+// range scans; Local loses on descendant steps (iterated child joins) and
+// on document-order output (ancestor-path reconstruction).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+constexpr int kSections = 150;
+constexpr int kParagraphs = 20;
+
+StoreFixture& FixtureFor(OrderEncoding enc) {
+  static auto* fixtures = new std::map<OrderEncoding, StoreFixture>();
+  auto it = fixtures->find(enc);
+  if (it == fixtures->end()) {
+    auto doc = NewsDoc(kSections, kParagraphs);
+    it = fixtures->emplace(enc, MakeLoadedStore(enc, *doc)).first;
+  }
+  return it->second;
+}
+
+struct Query {
+  const char* id;
+  const char* xpath;
+  size_t expected_min;  // sanity floor on result size
+};
+
+const Query kQueries[] = {
+    {"QR1_tag_scan", "//para", 1000},
+    {"QR2_nth_child", "/nitf/body/section[5]/title", 1},
+    {"QR3_last_child", "/nitf/body/section[last()]/para[last()]", 1},
+    {"QR4_following_sibling",
+     "//section[@id = 's10']/following-sibling::section", 100},
+    {"QR5_descendant_ordered", "/nitf/body//para", 1000},
+    {"QR6_value_filter_doc_order", "//para[@class = 'lead']", 100},
+    {"QR7_position_range",
+     "/nitf/body/section[position() >= 50]/title", 100},
+};
+
+void BM_Query(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  const Query& q = kQueries[state.range(1)];
+  StoreFixture& f = FixtureFor(enc);
+
+  size_t results = 0;
+  for (auto _ : state) {
+    auto r = EvaluateXPath(f.store.get(), q.xpath);
+    OXML_BENCH_OK(r);
+    results = r->size();
+    benchmark::DoNotOptimize(results);
+  }
+  OXML_BENCH_CHECK(results >= q.expected_min);
+  state.counters["results"] = static_cast<double>(results);
+  state.SetLabel(std::string(OrderEncodingToString(enc)) + "/" + q.id);
+}
+
+// QR8: subtree reconstruction of one selected section.
+void BM_QuerySubtreeReconstruct(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  StoreFixture& f = FixtureFor(enc);
+  auto section = EvaluateXPath(f.store.get(), "/nitf/body/section[75]");
+  OXML_BENCH_OK(section);
+  OXML_BENCH_CHECK(section->size() == 1);
+
+  for (auto _ : state) {
+    auto subtree = f.store->ReconstructSubtree((*section)[0]);
+    OXML_BENCH_OK(subtree);
+    benchmark::DoNotOptimize(*subtree);
+  }
+  state.SetLabel(std::string(OrderEncodingToString(enc)) +
+                 "/QR8_subtree_reconstruct");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_Query)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3, 4, 5, 6}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(oxml::bench::BM_QuerySubtreeReconstruct)
+    ->Args({0})
+    ->Args({1})
+    ->Args({2})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Experiment E8 — full document reconstruction (paper: publishing the
+// stored document back as XML).
+//
+// Expected shape: Global and Dewey reconstruct with a single ordered scan
+// (one index-ordered pass + a depth stack); Local must group rows by parent
+// and reassemble via parent-child joins.
+
+#include <benchmark/benchmark.h>
+
+#include "src/xml/xml_writer.h"
+
+#include "bench/bench_util.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+const XmlDocument& DocOfSize(int64_t nodes) {
+  static auto* cache =
+      new std::map<int64_t, std::unique_ptr<XmlDocument>>();
+  auto it = cache->find(nodes);
+  if (it == cache->end()) {
+    XmlGeneratorOptions opts;
+    opts.target_nodes = static_cast<size_t>(nodes);
+    opts.seed = 42;
+    it = cache->emplace(nodes, GenerateXml(opts)).first;
+  }
+  return *it->second;
+}
+
+void BM_Reconstruct(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  const XmlDocument& doc = DocOfSize(state.range(1));
+  StoreFixture f = MakeLoadedStore(enc, doc);
+
+  for (auto _ : state) {
+    auto rebuilt = f.store->ReconstructDocument();
+    OXML_BENCH_OK(rebuilt);
+    benchmark::DoNotOptimize(*rebuilt);
+  }
+  // Verify fidelity once (outside timing).
+  auto rebuilt = f.store->ReconstructDocument();
+  OXML_BENCH_OK(rebuilt);
+  OXML_BENCH_CHECK((*rebuilt)->StructurallyEqual(doc));
+  state.SetLabel(OrderEncodingToString(enc));
+}
+
+void BM_SerializeToText(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  const XmlDocument& doc = DocOfSize(10000);
+  StoreFixture f = MakeLoadedStore(enc, doc);
+
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto rebuilt = f.store->ReconstructDocument();
+    OXML_BENCH_OK(rebuilt);
+    std::string xml = WriteXml(**rebuilt);
+    bytes = xml.size();
+    benchmark::DoNotOptimize(xml);
+  }
+  state.counters["xml_KB"] = static_cast<double>(bytes) / 1024.0;
+  state.SetLabel(OrderEncodingToString(enc));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_Reconstruct)
+    ->ArgsProduct({{0, 1, 2}, {2000, 10000, 30000}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(oxml::bench::BM_SerializeToText)
+    ->Args({0})
+    ->Args({1})
+    ->Args({2})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

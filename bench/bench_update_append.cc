@@ -1,0 +1,64 @@
+// Experiment E4 — append workload (paper: the news-feed pattern, new
+// content is always added at the document tail).
+//
+// Expected shape: appends almost never renumber under any encoding (the
+// tail always has free ordinals), so all three are cheap; Global pays a
+// small extra cost to extend ancestor intervals.
+
+#include <benchmark/benchmark.h>
+
+#include "src/xml/xml_parser.h"
+
+#include "bench/bench_util.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+void BM_Append(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  constexpr int kOpsPerIteration = 200;
+
+  auto doc = NewsDoc(50, 20);
+  auto para = ParseXml("<para>breaking news paragraph</para>");
+  OXML_BENCH_OK(para);
+  const XmlNode& subtree = *(*para)->root_element();
+
+  int64_t renumbered = 0;
+  int64_t ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    StoreFixture f = MakeLoadedStore(enc, *doc, /*gap=*/8);
+    auto body = EvaluateXPath(f.store.get(), "/nitf/body");
+    OXML_BENCH_OK(body);
+    state.ResumeTiming();
+
+    for (int op = 0; op < kOpsPerIteration; ++op) {
+      // Re-fetch the target: StoredNode handles are snapshots and appends
+      // extend the parent's interval under the Global encoding.
+      auto sections = f.store->Children((*body)[0], NodeTest::Tag("section"));
+      OXML_BENCH_OK(sections);
+      auto stats = f.store->InsertSubtree(
+          sections->back(), InsertPosition::kLastChild, subtree);
+      OXML_BENCH_OK(stats);
+      renumbered += stats->rows_renumbered;
+      ++ops;
+    }
+  }
+  state.counters["rows_renumbered_per_op"] =
+      static_cast<double>(renumbered) / static_cast<double>(ops);
+  state.SetLabel(OrderEncodingToString(enc));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_Append)
+    ->Args({0})
+    ->Args({1})
+    ->Args({2})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

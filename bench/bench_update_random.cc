@@ -1,0 +1,76 @@
+// Experiment E3 — random-position single-node inserts (paper: update
+// performance under uniformly random inserts).
+//
+// Inserts one <para> at a uniformly random (section, position) and reports
+// time plus rows renumbered. Expected shape: Global renumbers roughly half
+// the *document* when a gap fills; Dewey renumbers the following siblings'
+// subtrees; Local renumbers at most the siblings.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/xml/xml_parser.h"
+
+#include "bench/bench_util.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+void BM_RandomInsert(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  int sections = static_cast<int>(state.range(1));
+  constexpr int kParagraphs = 20;
+  constexpr int kOpsPerIteration = 100;
+
+  auto doc = NewsDoc(sections, kParagraphs);
+  auto para = ParseXml("<para>freshly inserted paragraph text</para>");
+  OXML_BENCH_OK(para);
+  const XmlNode& subtree = *(*para)->root_element();
+
+  int64_t renumbered = 0;
+  int64_t renumber_events = 0;
+  int64_t ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    StoreFixture f = MakeLoadedStore(enc, *doc, /*gap=*/8);
+    auto body = EvaluateXPath(f.store.get(), "/nitf/body");
+    OXML_BENCH_OK(body);
+    Random rng(7);
+    state.ResumeTiming();
+
+    for (int op = 0; op < kOpsPerIteration; ++op) {
+      auto section = f.store->ChildAt(
+          (*body)[0], NodeTest::Tag("section"),
+          static_cast<size_t>(rng.Uniform(0, sections - 1)));
+      OXML_BENCH_OK(section);
+      auto target = f.store->ChildAt(
+          *section, NodeTest::Tag("para"),
+          static_cast<size_t>(rng.Uniform(0, kParagraphs - 1)));
+      OXML_BENCH_OK(target);
+      auto stats =
+          f.store->InsertSubtree(*target, InsertPosition::kBefore, subtree);
+      OXML_BENCH_OK(stats);
+      renumbered += stats->rows_renumbered;
+      renumber_events += stats->renumbering_triggered ? 1 : 0;
+      ++ops;
+    }
+  }
+  state.counters["rows_renumbered_per_op"] =
+      static_cast<double>(renumbered) / static_cast<double>(ops);
+  state.counters["renumber_event_pct"] =
+      100.0 * static_cast<double>(renumber_events) /
+      static_cast<double>(ops);
+  state.SetLabel(OrderEncodingToString(enc));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_RandomInsert)
+    ->ArgsProduct({{0, 1, 2}, {50, 150, 400}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

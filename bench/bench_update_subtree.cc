@@ -1,0 +1,85 @@
+// Experiment E5 — bulk subtree inserts (paper: inserting whole fragments,
+// e.g. a complete section, at random positions).
+//
+// Expected shape: Global must find (or create) a contiguous ordinal range
+// for the whole fragment, so its renumbering probability grows with the
+// fragment size; Dewey and Local need only one sibling slot regardless of
+// fragment size.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/random.h"
+#include "src/xml/xml_writer.h"
+
+#include "bench/bench_util.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+std::unique_ptr<XmlNode> MakeFragment(int paragraphs) {
+  auto section = XmlNode::Element("section");
+  section->SetAttribute("id", "bulk");
+  XmlNode* title = section->AppendChild(XmlNode::Element("title"));
+  title->AppendChild(XmlNode::Text("inserted section"));
+  for (int p = 0; p < paragraphs; ++p) {
+    XmlNode* para = section->AppendChild(XmlNode::Element("para"));
+    para->AppendChild(
+        XmlNode::Text("bulk paragraph number " + std::to_string(p)));
+  }
+  return section;
+}
+
+void BM_SubtreeInsert(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  int fragment_paras = static_cast<int>(state.range(1));
+  constexpr int kSections = 100;
+  constexpr int kOpsPerIteration = 25;
+
+  auto doc = NewsDoc(kSections, 15);
+  auto fragment = MakeFragment(fragment_paras);
+
+  int64_t renumbered = 0;
+  int64_t renumber_events = 0;
+  int64_t ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    StoreFixture f = MakeLoadedStore(enc, *doc, /*gap=*/8);
+    auto body = EvaluateXPath(f.store.get(), "/nitf/body");
+    OXML_BENCH_OK(body);
+    Random rng(11);
+    state.ResumeTiming();
+
+    for (int op = 0; op < kOpsPerIteration; ++op) {
+      auto target = f.store->ChildAt(
+          (*body)[0], NodeTest::Tag("section"),
+          static_cast<size_t>(rng.Uniform(0, kSections - 1)));
+      OXML_BENCH_OK(target);
+      auto stats =
+          f.store->InsertSubtree(*target, InsertPosition::kBefore, *fragment);
+      OXML_BENCH_OK(stats);
+      renumbered += stats->rows_renumbered;
+      renumber_events += stats->renumbering_triggered ? 1 : 0;
+      ++ops;
+    }
+  }
+  state.counters["fragment_nodes"] =
+      static_cast<double>(fragment->SubtreeSize());
+  state.counters["rows_renumbered_per_op"] =
+      static_cast<double>(renumbered) / static_cast<double>(ops);
+  state.counters["renumber_event_pct"] =
+      100.0 * static_cast<double>(renumber_events) /
+      static_cast<double>(ops);
+  state.SetLabel(OrderEncodingToString(enc));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_SubtreeInsert)
+    ->ArgsProduct({{0, 1, 2}, {5, 25, 100}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+#ifndef OXML_BENCH_BENCH_UTIL_H_
+#define OXML_BENCH_BENCH_UTIL_H_
+
+// Shared setup helpers for the experiment-reproduction benchmarks.
+// Each bench binary regenerates one table/figure of the paper's evaluation
+// (see DESIGN.md section 4 for the experiment index).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "src/core/ordered_store.h"
+#include "src/core/xpath_eval.h"
+#include "src/xml/xml_generator.h"
+
+namespace oxml {
+namespace bench {
+
+/// Aborts the benchmark binary on an unexpected error (benchmarks must not
+/// silently measure failure paths).
+#define OXML_BENCH_CHECK(expr)                                       \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::fprintf(stderr, "bench check failed: %s (%s:%d)\n", #expr, \
+                   __FILE__, __LINE__);                              \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)
+
+#define OXML_BENCH_OK(result_expr)                                    \
+  do {                                                                \
+    auto&& _r = (result_expr);                                        \
+    if (!_r.ok()) {                                                   \
+      std::fprintf(stderr, "bench status not OK: %s (%s:%d)\n",       \
+                   _r.status().ToString().c_str(), __FILE__, __LINE__); \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+inline OrderEncoding EncodingFromIndex(int64_t idx) {
+  switch (idx) {
+    case 0:
+      return OrderEncoding::kGlobal;
+    case 1:
+      return OrderEncoding::kLocal;
+    default:
+      return OrderEncoding::kDewey;
+  }
+}
+
+/// A database plus one loaded store (the unit of benchmark state).
+struct StoreFixture {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<OrderedXmlStore> store;
+};
+
+inline StoreFixture MakeStore(OrderEncoding encoding, int64_t gap = 32) {
+  StoreFixture f;
+  auto dbr = Database::Open();
+  OXML_BENCH_CHECK(dbr.ok());
+  f.db = std::move(dbr).value();
+  StoreOptions opts;
+  opts.gap = gap;
+  auto sr = OrderedXmlStore::Create(f.db.get(), encoding, opts);
+  OXML_BENCH_CHECK(sr.ok());
+  f.store = std::move(sr).value();
+  return f;
+}
+
+inline StoreFixture MakeLoadedStore(OrderEncoding encoding,
+                                    const XmlDocument& doc,
+                                    int64_t gap = 32) {
+  StoreFixture f = MakeStore(encoding, gap);
+  auto st = f.store->LoadDocument(doc);
+  OXML_BENCH_CHECK(st.ok());
+  return f;
+}
+
+/// The news-style document used across the experiments (sections of
+/// paragraphs — the paper's motivating ordered workload).
+inline std::unique_ptr<XmlDocument> NewsDoc(int sections, int paragraphs,
+                                            uint64_t seed = 42) {
+  NewsGeneratorOptions opts;
+  opts.sections = sections;
+  opts.paragraphs_per_section = paragraphs;
+  opts.seed = seed;
+  return GenerateNewsXml(opts);
+}
+
+}  // namespace bench
+}  // namespace oxml
+
+#endif  // OXML_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,152 @@
+// Interactive XPath shell: load an XML file (or a bundled sample) into any
+// of the three encodings and query it interactively.
+//
+//   ./build/examples/example_xpath_shell [file.xml] [global|local|dewey]
+//
+// Commands:
+//   <xpath>          evaluate and print matches (e.g. //section/title)
+//   .sql <xpath>     show the single-statement SQL translation (when the
+//                    query is translatable) and run it
+//   .stats           database statement/row counters
+//   .dump            reconstruct and print the whole document
+//   .quit            exit
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/common/strings.h"
+#include "src/core/ordered_store.h"
+#include "src/core/sql_translator.h"
+#include "src/core/xpath_eval.h"
+#include "src/xml/xml_parser.h"
+#include "src/xml/xml_writer.h"
+
+using namespace oxml;
+
+namespace {
+
+constexpr const char* kSample = R"(<library>
+  <shelf label="databases">
+    <book year="1994"><title>Transaction Processing</title></book>
+    <book year="2002"><title>Storing Ordered XML</title></book>
+  </shelf>
+  <shelf label="systems">
+    <book year="1999"><title>The Practice of Programming</title></book>
+  </shelf>
+</library>)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OrderEncoding enc = OrderEncoding::kDewey;
+  std::unique_ptr<XmlDocument> doc;
+
+  if (argc >= 2) {
+    auto parsed = ParseXmlFile(argv[1]);
+    if (!parsed.ok()) {
+      std::cerr << "cannot load " << argv[1] << ": " << parsed.status()
+                << "\n";
+      return 1;
+    }
+    doc = std::move(parsed).value();
+  } else {
+    auto parsed = ParseXml(kSample);
+    if (!parsed.ok()) return 1;
+    doc = std::move(parsed).value();
+  }
+  if (argc >= 3) {
+    std::string which = ToLower(argv[2]);
+    if (which == "global") {
+      enc = OrderEncoding::kGlobal;
+    } else if (which == "local") {
+      enc = OrderEncoding::kLocal;
+    } else if (which == "dewey") {
+      enc = OrderEncoding::kDewey;
+    } else {
+      std::cerr << "unknown encoding: " << argv[2] << "\n";
+      return 1;
+    }
+  }
+
+  auto dbr = Database::Open();
+  if (!dbr.ok()) return 1;
+  std::unique_ptr<Database> db = std::move(dbr).value();
+  auto sr = OrderedXmlStore::Create(db.get(), enc);
+  if (!sr.ok()) return 1;
+  std::unique_ptr<OrderedXmlStore> store = std::move(sr).value();
+  if (auto st = store->LoadDocument(*doc); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+
+  std::cout << "loaded " << doc->TotalNodes() << " nodes under the "
+            << OrderEncodingToString(enc)
+            << " encoding; type an XPath, or .quit\n";
+
+  std::string line;
+  while (std::cout << "xpath> " << std::flush, std::getline(std::cin, line)) {
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".exit") break;
+    if (line == ".stats") {
+      const ExecStats* s = db->stats();
+      std::cout << "statements=" << s->statements
+                << " rows_scanned=" << s->rows_scanned
+                << " index_probes=" << s->index_probes
+                << " rows_inserted=" << s->rows_inserted << "\n";
+      continue;
+    }
+    if (StartsWith(line, ".sql ")) {
+      std::string xpath = Trim(line.substr(5));
+      auto sql = TranslateXPathToSql(*store, xpath);
+      if (!sql.ok()) {
+        std::cout << sql.status() << "\n";
+        continue;
+      }
+      std::cout << *sql << "\n";
+      auto rows = EvaluateXPathViaSql(store.get(), xpath);
+      if (!rows.ok()) {
+        std::cout << rows.status() << "\n";
+        continue;
+      }
+      std::cout << rows->size() << " row(s)\n";
+      continue;
+    }
+    if (line == ".dump") {
+      auto rebuilt = store->ReconstructDocument();
+      if (!rebuilt.ok()) {
+        std::cout << rebuilt.status() << "\n";
+        continue;
+      }
+      std::cout << WriteXml(**rebuilt, {.indent = 2}) << "\n";
+      continue;
+    }
+
+    auto results = EvaluateXPath(store.get(), line);
+    if (!results.ok()) {
+      std::cout << results.status() << "\n";
+      continue;
+    }
+    std::cout << results->size() << " match(es)\n";
+    size_t shown = 0;
+    for (const StoredNode& n : *results) {
+      if (++shown > 10) {
+        std::cout << "  ... (" << results->size() - 10 << " more)\n";
+        break;
+      }
+      if (n.kind == XmlNodeKind::kElement) {
+        auto subtree = store->ReconstructSubtree(n);
+        if (subtree.ok()) {
+          std::string xml = WriteXml(**subtree);
+          if (xml.size() > 120) xml = xml.substr(0, 117) + "...";
+          std::cout << "  " << xml << "\n";
+        }
+      } else {
+        std::cout << "  " << XmlNodeKindToString(n.kind) << " \"" << n.value
+                  << "\"\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+#ifndef OXML_COMMON_RANDOM_H_
+#define OXML_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace oxml {
+
+/// Deterministic PRNG wrapper used by the generator, workloads and property
+/// tests so every run is reproducible from a seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Random lower-case ASCII word of length in [min_len, max_len].
+  std::string Word(int min_len, int max_len) {
+    int len = static_cast<int>(Uniform(min_len, max_len));
+    std::string out;
+    out.reserve(len);
+    for (int i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>('a' + Uniform(0, 25)));
+    }
+    return out;
+  }
+
+  /// Zipf-ish skewed pick in [0, n): element 0 most likely.
+  int64_t Skewed(int64_t n) {
+    // Square the uniform draw to bias toward small indices.
+    double u = NextDouble();
+    return static_cast<int64_t>(u * u * n);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace oxml
+
+#endif  // OXML_COMMON_RANDOM_H_

@@ -1,0 +1,76 @@
+#ifndef OXML_COMMON_RESULT_H_
+#define OXML_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace oxml {
+
+/// `Result<T>` is either a value of type `T` or a non-OK `Status`.
+/// Modeled on arrow::Result. Use `OXML_ASSIGN_OR_RETURN` to unwrap.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Evaluates `expr` (a Result<T>); on error returns the status, otherwise
+/// assigns the unwrapped value to `lhs`.
+#define OXML_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define OXML_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define OXML_ASSIGN_OR_RETURN_NAME(a, b) OXML_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define OXML_ASSIGN_OR_RETURN(lhs, expr) \
+  OXML_ASSIGN_OR_RETURN_IMPL(            \
+      OXML_ASSIGN_OR_RETURN_NAME(_res_, __LINE__), lhs, expr)
+
+}  // namespace oxml
+
+#endif  // OXML_COMMON_RESULT_H_

@@ -1,0 +1,111 @@
+#ifndef OXML_COMMON_STATUS_H_
+#define OXML_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace oxml {
+
+/// Error categories used across the library. Mirrors the coarse-grained
+/// status codes found in Arrow/RocksDB-style C++ database code.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,  ///< caller passed something malformed
+  kNotFound = 2,         ///< a named entity (table, index, node) is missing
+  kAlreadyExists = 3,    ///< attempt to create a duplicate entity
+  kParseError = 4,       ///< XML / SQL / XPath text failed to parse
+  kOutOfRange = 5,       ///< position or key outside the valid domain
+  kInternal = 6,         ///< invariant violation inside the library
+  kNotImplemented = 7,   ///< feature intentionally outside the subset
+  kIOError = 8,          ///< file-backed pager I/O failure
+  kAborted = 9,          ///< operation gave up (e.g. constraint violation)
+};
+
+/// Returns a short human-readable name ("OK", "ParseError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Cheap, exception-free error propagation. Functions that can fail return
+/// `Status` (or `Result<T>`, see result.h). The success path carries no
+/// allocation: message storage is only used on error.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller. Standard Arrow/RocksDB idiom.
+#define OXML_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::oxml::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+}  // namespace oxml
+
+#endif  // OXML_COMMON_STATUS_H_

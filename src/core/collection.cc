@@ -1,0 +1,116 @@
+#include "src/core/collection.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/core/xpath_eval.h"
+
+namespace oxml {
+
+Result<std::unique_ptr<DocumentCollection>> DocumentCollection::Create(
+    Database* db, OrderEncoding encoding, const StoreOptions& base_options,
+    std::string prefix) {
+  auto coll = std::unique_ptr<DocumentCollection>(
+      new DocumentCollection(db, encoding, base_options, std::move(prefix)));
+  OXML_RETURN_NOT_OK(
+      db->Execute("CREATE TABLE " + coll->catalog_table() +
+                  " (doc_id INT, name TEXT, table_name TEXT, nodes INT)")
+          .status());
+  OXML_RETURN_NOT_OK(db->Execute("CREATE UNIQUE INDEX " +
+                                 coll->catalog_table() + "_name ON " +
+                                 coll->catalog_table() + " (name)")
+                         .status());
+  return coll;
+}
+
+Result<std::unique_ptr<DocumentCollection>> DocumentCollection::Attach(
+    Database* db, OrderEncoding encoding, const StoreOptions& base_options,
+    std::string prefix) {
+  auto coll = std::unique_ptr<DocumentCollection>(
+      new DocumentCollection(db, encoding, base_options, std::move(prefix)));
+  if (db->GetTable(coll->catalog_table()) == nullptr) {
+    return Status::NotFound("no collection catalog '" +
+                            coll->catalog_table() + "' in this database");
+  }
+  OXML_ASSIGN_OR_RETURN(
+      ResultSet rs,
+      db->Query("SELECT doc_id, name, table_name FROM " +
+                coll->catalog_table() + " ORDER BY doc_id"));
+  for (const Row& row : rs.rows) {
+    int64_t doc_id = row[0].AsInt();
+    const std::string& name = row[1].AsString();
+    StoreOptions options = base_options;
+    options.table_name = row[2].AsString();
+    OXML_ASSIGN_OR_RETURN(std::unique_ptr<OrderedXmlStore> store,
+                          OrderedXmlStore::Attach(db, encoding, options));
+    coll->stores_[name] = std::move(store);
+    coll->next_doc_id_ = std::max(coll->next_doc_id_, doc_id + 1);
+  }
+  return coll;
+}
+
+Result<OrderedXmlStore*> DocumentCollection::AddDocument(
+    const std::string& name, const XmlDocument& doc) {
+  if (stores_.count(name) > 0) {
+    return Status::AlreadyExists("document '" + name + "'");
+  }
+  int64_t doc_id = next_doc_id_++;
+  StoreOptions options = base_options_;
+  options.table_name = prefix_ + "_" + std::to_string(doc_id);
+  OXML_ASSIGN_OR_RETURN(std::unique_ptr<OrderedXmlStore> store,
+                        OrderedXmlStore::Create(db_, encoding_, options));
+  OXML_RETURN_NOT_OK(store->LoadDocument(doc));
+  OXML_ASSIGN_OR_RETURN(int64_t nodes, store->NodeCount());
+  OXML_RETURN_NOT_OK(
+      db_->Execute("INSERT INTO " + catalog_table() + " VALUES (" +
+                   std::to_string(doc_id) + ", " + SqlQuote(name) + ", " +
+                   SqlQuote(options.table_name) + ", " +
+                   std::to_string(nodes) + ")")
+          .status());
+  OrderedXmlStore* raw = store.get();
+  stores_[name] = std::move(store);
+  return raw;
+}
+
+Result<OrderedXmlStore*> DocumentCollection::GetDocument(
+    const std::string& name) const {
+  auto it = stores_.find(name);
+  if (it == stores_.end()) {
+    return Status::NotFound("no document named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status DocumentCollection::RemoveDocument(const std::string& name) {
+  auto it = stores_.find(name);
+  if (it == stores_.end()) {
+    return Status::NotFound("no document named '" + name + "'");
+  }
+  OXML_RETURN_NOT_OK(db_->DropTable(it->second->table_name()));
+  OXML_RETURN_NOT_OK(db_->Execute("DELETE FROM " + catalog_table() +
+                                  " WHERE name = " + SqlQuote(name))
+                         .status());
+  stores_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> DocumentCollection::DocumentNames() const {
+  std::vector<std::string> names;
+  names.reserve(stores_.size());
+  for (const auto& [name, store] : stores_) names.push_back(name);
+  return names;
+}
+
+Result<std::vector<DocumentCollection::Match>> DocumentCollection::QueryAll(
+    std::string_view xpath) const {
+  OXML_ASSIGN_OR_RETURN(XPathQuery query, ParseXPath(xpath));
+  std::vector<Match> out;
+  for (const auto& [name, store] : stores_) {
+    OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes,
+                          EvaluateXPath(store.get(), query));
+    for (StoredNode& n : nodes) out.push_back({name, std::move(n)});
+  }
+  return out;
+}
+
+}  // namespace oxml

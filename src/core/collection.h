@@ -1,0 +1,83 @@
+#ifndef OXML_CORE_COLLECTION_H_
+#define OXML_CORE_COLLECTION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/ordered_store.h"
+#include "src/core/xpath.h"
+
+namespace oxml {
+
+/// A named collection of XML documents inside one relational database —
+/// the multi-document setting of the paper. Each document gets its own
+/// node table (named `<prefix>_<docid>`) under the collection's encoding,
+/// plus a catalog relation mapping names to tables:
+///
+///   <prefix>_catalog(doc_id INT, name TEXT, table_name TEXT, nodes INT)
+class DocumentCollection {
+ public:
+  /// Creates the catalog table. `prefix` namespaces this collection's
+  /// relations within the database.
+  static Result<std::unique_ptr<DocumentCollection>> Create(
+      Database* db, OrderEncoding encoding, const StoreOptions& base_options,
+      std::string prefix = "coll");
+
+  /// Re-attaches to a collection previously created in `db` (typically
+  /// after reopening a file-backed database): reads the catalog relation
+  /// and attaches a store to every listed document table.
+  static Result<std::unique_ptr<DocumentCollection>> Attach(
+      Database* db, OrderEncoding encoding, const StoreOptions& base_options,
+      std::string prefix = "coll");
+
+  /// Shreds `doc` under `name`; AlreadyExists if the name is taken.
+  Result<OrderedXmlStore*> AddDocument(const std::string& name,
+                                       const XmlDocument& doc);
+
+  /// The store of one document, or NotFound.
+  Result<OrderedXmlStore*> GetDocument(const std::string& name) const;
+
+  /// Drops the document's node table and catalog entry.
+  Status RemoveDocument(const std::string& name);
+
+  /// Document names, alphabetically.
+  std::vector<std::string> DocumentNames() const;
+  size_t size() const { return stores_.size(); }
+
+  /// One result of a collection-wide query.
+  struct Match {
+    std::string document;
+    StoredNode node;
+  };
+
+  /// Evaluates `xpath` against every document (documents in name order,
+  /// nodes in document order within each).
+  Result<std::vector<Match>> QueryAll(std::string_view xpath) const;
+
+  OrderEncoding encoding() const { return encoding_; }
+
+ private:
+  DocumentCollection(Database* db, OrderEncoding encoding,
+                     StoreOptions base_options, std::string prefix)
+      : db_(db),
+        encoding_(encoding),
+        base_options_(std::move(base_options)),
+        prefix_(std::move(prefix)) {}
+
+  std::string catalog_table() const { return prefix_ + "_catalog"; }
+
+  Database* db_;
+  OrderEncoding encoding_;
+  StoreOptions base_options_;
+  std::string prefix_;
+  int64_t next_doc_id_ = 1;
+  std::map<std::string, std::unique_ptr<OrderedXmlStore>> stores_;
+};
+
+}  // namespace oxml
+
+#endif  // OXML_CORE_COLLECTION_H_

@@ -1,0 +1,94 @@
+#include "src/core/dewey.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace oxml {
+
+DeweyKey DeweyKey::Parent() const {
+  assert(!components_.empty());
+  std::vector<int64_t> parent(components_.begin(), components_.end() - 1);
+  return DeweyKey(std::move(parent));
+}
+
+DeweyKey DeweyKey::Child(int64_t ordinal) const {
+  std::vector<int64_t> child = components_;
+  child.push_back(ordinal);
+  return DeweyKey(std::move(child));
+}
+
+DeweyKey DeweyKey::WithLast(int64_t ordinal) const {
+  assert(!components_.empty());
+  std::vector<int64_t> out = components_;
+  out.back() = ordinal;
+  return DeweyKey(std::move(out));
+}
+
+bool DeweyKey::IsAncestorOf(const DeweyKey& other) const {
+  if (components_.size() >= other.components_.size()) return false;
+  return std::equal(components_.begin(), components_.end(),
+                    other.components_.begin());
+}
+
+int DeweyKey::Compare(const DeweyKey& other) const {
+  size_t n = std::min(components_.size(), other.components_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (components_[i] < other.components_[i]) return -1;
+    if (components_[i] > other.components_[i]) return 1;
+  }
+  if (components_.size() < other.components_.size()) return -1;
+  if (components_.size() > other.components_.size()) return 1;
+  return 0;
+}
+
+std::string DeweyKey::Encode() const {
+  std::string out;
+  out.reserve(components_.size() * 3);
+  for (int64_t c : components_) {
+    assert(c >= 1 && "Dewey ordinals are positive");
+    uint64_t v = static_cast<uint64_t>(c);
+    int nbytes = 1;
+    while ((v >> (nbytes * 8)) != 0) ++nbytes;
+    out.push_back(static_cast<char>(nbytes));
+    for (int shift = (nbytes - 1) * 8; shift >= 0; shift -= 8) {
+      out.push_back(static_cast<char>((v >> shift) & 0xFF));
+    }
+  }
+  return out;
+}
+
+Result<DeweyKey> DeweyKey::Decode(std::string_view bytes) {
+  std::vector<int64_t> components;
+  size_t i = 0;
+  while (i < bytes.size()) {
+    int nbytes = static_cast<unsigned char>(bytes[i]);
+    if (nbytes < 1 || nbytes > 8 || i + 1 + nbytes > bytes.size()) {
+      return Status::InvalidArgument("malformed Dewey key encoding");
+    }
+    ++i;
+    uint64_t v = 0;
+    for (int b = 0; b < nbytes; ++b) {
+      v = (v << 8) | static_cast<unsigned char>(bytes[i + b]);
+    }
+    i += nbytes;
+    components.push_back(static_cast<int64_t>(v));
+  }
+  return DeweyKey(std::move(components));
+}
+
+std::string DeweyKey::SubtreeUpperBound() const {
+  std::string out = Encode();
+  out.push_back('\xFF');
+  return out;
+}
+
+std::string DeweyKey::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+}  // namespace oxml

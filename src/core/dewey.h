@@ -1,0 +1,79 @@
+#ifndef OXML_CORE_DEWEY_H_
+#define OXML_CORE_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace oxml {
+
+/// A Dewey order key: the vector of sibling ordinals on the path from the
+/// document root to a node (e.g. 1.5.3). Its binary encoding is the paper's
+/// central trick for the Dewey scheme:
+///
+///  * byte-wise (memcmp) comparison of encodings == document order,
+///  * `a` is an ancestor of `b` iff `Encode(a)` is a proper prefix of
+///    `Encode(b)` (at a component boundary, which the length-tagged codec
+///    guarantees), and
+///  * all descendants of `p` fall in the key range
+///    [Encode(p), Encode(p) + 0xFF) — a single B+tree range scan.
+///
+/// Component codec: each ordinal (>= 1) is stored as a length byte
+/// 0x01..0x08 followed by that many big-endian bytes without leading
+/// zeros. Values with more bytes are numerically larger, so memcmp order
+/// equals numeric order per component; the length byte is always < 0xFF,
+/// which makes `encoded + 0xFF` an exclusive upper bound for the subtree.
+class DeweyKey {
+ public:
+  DeweyKey() = default;
+  explicit DeweyKey(std::vector<int64_t> components)
+      : components_(std::move(components)) {}
+
+  /// The root element's key (a single component).
+  static DeweyKey Root(int64_t ordinal) { return DeweyKey({ordinal}); }
+
+  const std::vector<int64_t>& components() const { return components_; }
+  size_t depth() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+  int64_t last() const { return components_.back(); }
+
+  /// Key of the parent (one component shorter). Undefined on the root.
+  DeweyKey Parent() const;
+
+  /// Key of the child with the given sibling ordinal.
+  DeweyKey Child(int64_t ordinal) const;
+
+  /// Sibling key: same parent, different last ordinal.
+  DeweyKey WithLast(int64_t ordinal) const;
+
+  /// True if this key is a proper ancestor of `other`.
+  bool IsAncestorOf(const DeweyKey& other) const;
+
+  /// Document-order three-way comparison (ancestors precede descendants).
+  int Compare(const DeweyKey& other) const;
+
+  bool operator==(const DeweyKey& other) const {
+    return components_ == other.components_;
+  }
+
+  /// Order-preserving binary encoding (see class comment).
+  std::string Encode() const;
+
+  /// Inverse of Encode.
+  static Result<DeweyKey> Decode(std::string_view bytes);
+
+  /// Exclusive upper bound of this key's subtree range: Encode() + 0xFF.
+  std::string SubtreeUpperBound() const;
+
+  /// Dotted display form, e.g. "1.5.3".
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> components_;
+};
+
+}  // namespace oxml
+
+#endif  // OXML_CORE_DEWEY_H_

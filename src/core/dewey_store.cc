@@ -1,0 +1,433 @@
+#include <algorithm>
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/core/stores.h"
+
+namespace oxml {
+
+namespace {
+
+constexpr const char* kCols = "path, depth, kind, tag, val";
+
+StoredNode FromDeweyRow(const Row& row) {
+  StoredNode n;
+  n.path = row[0].AsString();
+  n.depth = row[1].AsInt();
+  n.kind = static_cast<XmlNodeKind>(row[2].AsInt());
+  n.tag = row[3].AsString();
+  n.value = row[4].is_null() ? "" : row[4].AsString();
+  return n;
+}
+
+/// Last ordinal component of a stored node's path.
+Result<int64_t> LastComponent(const StoredNode& node) {
+  OXML_ASSIGN_OR_RETURN(DeweyKey key, DeweyKey::Decode(node.path));
+  return key.last();
+}
+
+}  // namespace
+
+const char* DeweyStore::NodeColumns() const { return kCols; }
+
+StoredNode DeweyStore::NodeFromRow(const Row& row) const {
+  return FromDeweyRow(row);
+}
+
+Status DeweyStore::CreateTableAndIndexes() {
+  const std::string& t = table_name();
+  OXML_RETURN_NOT_OK(db_->Execute("CREATE TABLE " + t +
+                                  " (path BLOB, depth INT, kind INT,"
+                                  " tag TEXT, val TEXT)")
+                         .status());
+  OXML_RETURN_NOT_OK(
+      db_->Execute("CREATE INDEX " + t + "_path ON " + t + " (path)")
+          .status());
+  OXML_RETURN_NOT_OK(
+      db_->Execute("CREATE INDEX " + t + "_tag ON " + t + " (tag, path)")
+          .status());
+  return Status::OK();
+}
+
+void DeweyStore::ShredInto(const XmlNode& node, const DeweyKey& key,
+                           std::vector<Row>* rows) {
+  rows->push_back(Row{Value::Blob(key.Encode()),
+                      Value::Int(static_cast<int64_t>(key.depth())),
+                      Value::Int(static_cast<int64_t>(node.kind())),
+                      Value::Text(node.name()), Value::Text(node.value())});
+  int64_t comp = 0;
+  for (const XmlAttribute& attr : node.attributes()) {
+    comp += options_.gap;
+    DeweyKey akey = key.Child(comp);
+    rows->push_back(
+        Row{Value::Blob(akey.Encode()),
+            Value::Int(static_cast<int64_t>(akey.depth())),
+            Value::Int(static_cast<int64_t>(XmlNodeKind::kAttribute)),
+            Value::Text(attr.name), Value::Text(attr.value)});
+  }
+  for (const auto& child : node.children()) {
+    comp += options_.gap;
+    ShredInto(*child, key.Child(comp), rows);
+  }
+}
+
+Status DeweyStore::BulkInsert(const std::vector<Row>& rows,
+                              UpdateStats* stats) {
+  for (const Row& row : rows) {
+    OXML_RETURN_NOT_OK(db_->Insert(table_name(), row).status());
+  }
+  if (stats != nullptr) {
+    ++stats->statements;
+    stats->nodes_inserted += static_cast<int64_t>(rows.size());
+  }
+  return Status::OK();
+}
+
+Status DeweyStore::LoadDocument(const XmlDocument& doc) {
+  std::vector<Row> rows;
+  int64_t comp = 0;
+  for (const auto& top : doc.root()->children()) {
+    comp += options_.gap;
+    ShredInto(*top, DeweyKey::Root(comp), &rows);
+  }
+  return BulkInsert(rows, nullptr);
+}
+
+Result<std::vector<StoredNode>> DeweyStore::Select(const std::string& where,
+                                                   const std::string& order) {
+  std::string sql = std::string("SELECT ") + kCols + " FROM " + table_name();
+  if (!where.empty()) sql += " WHERE " + where;
+  if (!order.empty()) sql += " ORDER BY " + order;
+  OXML_ASSIGN_OR_RETURN(ResultSet rs, Sql(sql));
+  std::vector<StoredNode> out;
+  out.reserve(rs.rows.size());
+  for (const Row& row : rs.rows) out.push_back(FromDeweyRow(row));
+  return out;
+}
+
+Result<StoredNode> DeweyStore::SelectOne(const std::string& where) {
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes, Select(where, "path"));
+  if (nodes.empty()) return Status::NotFound("no node matches: " + where);
+  return nodes.front();
+}
+
+Result<StoredNode> DeweyStore::Root() {
+  return SelectOne("depth = 1 AND kind = " +
+                   IntLit(static_cast<int>(XmlNodeKind::kElement)));
+}
+
+Result<std::vector<StoredNode>> DeweyStore::Children(const StoredNode& node,
+                                                     const NodeTest& test) {
+  return Select("path > " + BlobLit(node.path) + " AND path < " +
+                    BlobLit(BlobPrefixUpperBound(node.path)) +
+                    " AND depth = " + IntLit(node.depth + 1) + " AND " +
+                    test.SqlCondition(),
+                "path");
+}
+
+Result<std::vector<StoredNode>> DeweyStore::Descendants(
+    const StoredNode& node, const NodeTest& test) {
+  return Select("path > " + BlobLit(node.path) + " AND path < " +
+                    BlobLit(BlobPrefixUpperBound(node.path)) + " AND " +
+                    test.SqlCondition(),
+                "path");
+}
+
+Result<std::vector<StoredNode>> DeweyStore::FollowingSiblings(
+    const StoredNode& node, const NodeTest& test) {
+  OXML_ASSIGN_OR_RETURN(DeweyKey key, DeweyKey::Decode(node.path));
+  std::string where = "path >= " +
+                      BlobLit(BlobPrefixUpperBound(node.path)) +
+                      " AND depth = " + IntLit(node.depth) + " AND " +
+                      test.SqlCondition();
+  if (key.depth() > 1) {
+    where += " AND path < " +
+             BlobLit(key.Parent().SubtreeUpperBound());
+  }
+  return Select(where, "path");
+}
+
+Result<std::vector<StoredNode>> DeweyStore::PrecedingSiblings(
+    const StoredNode& node, const NodeTest& test) {
+  OXML_ASSIGN_OR_RETURN(DeweyKey key, DeweyKey::Decode(node.path));
+  std::string where = "path < " + BlobLit(node.path) + " AND depth = " +
+                      IntLit(node.depth) + " AND " + test.SqlCondition();
+  if (key.depth() > 1) {
+    where += " AND path > " + BlobLit(key.Parent().Encode());
+  }
+  return Select(where, "path");
+}
+
+Result<std::vector<StoredNode>> DeweyStore::Attributes(
+    const StoredNode& node, std::string_view name) {
+  std::string where = "path > " + BlobLit(node.path) + " AND path < " +
+                      BlobLit(BlobPrefixUpperBound(node.path)) +
+                      " AND depth = " + IntLit(node.depth + 1) +
+                      " AND kind = " +
+                      IntLit(static_cast<int>(XmlNodeKind::kAttribute));
+  if (!name.empty()) where += " AND tag = " + SqlQuote(name);
+  return Select(where, "path");
+}
+
+Result<StoredNode> DeweyStore::Parent(const StoredNode& node) {
+  OXML_ASSIGN_OR_RETURN(DeweyKey key, DeweyKey::Decode(node.path));
+  if (key.depth() <= 1) return Status::NotFound("root has no parent");
+  return SelectOne("path = " + BlobLit(key.Parent().Encode()));
+}
+
+Status DeweyStore::SortDocumentOrder(std::vector<StoredNode>* nodes) {
+  std::sort(nodes->begin(), nodes->end(),
+            [](const StoredNode& a, const StoredNode& b) {
+              return a.path < b.path;
+            });
+  return Status::OK();
+}
+
+Result<std::string> DeweyStore::StringValue(const StoredNode& node) {
+  if (node.kind == XmlNodeKind::kText ||
+      node.kind == XmlNodeKind::kAttribute ||
+      node.kind == XmlNodeKind::kComment) {
+    return node.value;
+  }
+  OXML_ASSIGN_OR_RETURN(
+      ResultSet rs,
+      Sql("SELECT val FROM " + table_name() + " WHERE path >= " +
+          BlobLit(node.path) + " AND path < " +
+          BlobLit(BlobPrefixUpperBound(node.path)) + " AND kind = " +
+          IntLit(static_cast<int>(XmlNodeKind::kText)) + " ORDER BY path"));
+  std::string out;
+  for (const Row& row : rs.rows) out += row[0].AsString();
+  return out;
+}
+
+Result<std::unique_ptr<XmlDocument>> DeweyStore::ReconstructDocument() {
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes, Select("", "path"));
+  auto doc = std::make_unique<XmlDocument>();
+  OXML_RETURN_NOT_OK(AssembleByDepth(nodes, 1, doc->root()));
+  return doc;
+}
+
+Result<std::unique_ptr<XmlNode>> DeweyStore::ReconstructSubtree(
+    const StoredNode& node) {
+  OXML_ASSIGN_OR_RETURN(
+      std::vector<StoredNode> nodes,
+      Select("path >= " + BlobLit(node.path) + " AND path < " +
+                 BlobLit(BlobPrefixUpperBound(node.path)),
+             "path"));
+  auto holder = std::make_unique<XmlNode>(XmlNodeKind::kDocument, "#holder");
+  OXML_RETURN_NOT_OK(AssembleByDepth(nodes, node.depth, holder.get()));
+  if (holder->child_count() != 1) {
+    return Status::Internal("subtree reconstruction produced " +
+                            std::to_string(holder->child_count()) + " roots");
+  }
+  return holder->RemoveChild(0);
+}
+
+Result<bool> DeweyStore::IsDescendantOf(const StoredNode& node,
+                                        const StoredNode& ancestor) {
+  return node.path.size() > ancestor.path.size() &&
+         node.path.compare(0, ancestor.path.size(), ancestor.path) == 0;
+}
+
+std::string DeweyStore::KeyCondition(const StoredNode& node) const {
+  return "path = " + BlobLit(node.path);
+}
+
+Status DeweyStore::Validate() {
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> rows, Select("", "path"));
+  std::set<std::string> paths;
+  int roots = 0;
+  std::string prev;
+  bool first = true;
+  for (const StoredNode& n : rows) {
+    if (!first && n.path <= prev) {
+      return Status::Internal("duplicate or unordered path");
+    }
+    first = false;
+    prev = n.path;
+    OXML_ASSIGN_OR_RETURN(DeweyKey key, DeweyKey::Decode(n.path));
+    if (static_cast<int64_t>(key.depth()) != n.depth) {
+      return Status::Internal("depth column disagrees with path " +
+                              key.ToString());
+    }
+    paths.insert(n.path);
+    if (key.depth() == 1) {
+      if (n.kind == XmlNodeKind::kElement) ++roots;
+    } else if (paths.count(key.Parent().Encode()) == 0) {
+      return Status::Internal("missing parent for path " + key.ToString());
+    }
+  }
+  if (roots != 1) {
+    return Status::Internal("expected exactly 1 root element, found " +
+                            std::to_string(roots));
+  }
+  return Status::OK();
+}
+
+Result<UpdateStats> DeweyStore::InsertSubtree(const StoredNode& ref,
+                                              InsertPosition pos,
+                                              const XmlNode& subtree) {
+  if (ref.kind == XmlNodeKind::kAttribute) {
+    return Status::InvalidArgument("cannot insert relative to an attribute");
+  }
+  UpdateStats stats;
+  const std::string& t = table_name();
+  OXML_ASSIGN_OR_RETURN(DeweyKey refk, DeweyKey::Decode(ref.path));
+
+  DeweyKey parent_key;
+  int64_t c_left = 0;
+  bool have_right = false;
+  StoredNode right;
+
+  switch (pos) {
+    case InsertPosition::kBefore:
+    case InsertPosition::kAfter: {
+      if (refk.depth() <= 1) {
+        return Status::InvalidArgument(
+            "cannot insert a sibling of the document root");
+      }
+      parent_key = refk.Parent();
+      std::string parent_ub = parent_key.SubtreeUpperBound();
+      if (pos == InsertPosition::kBefore) {
+        right = ref;
+        have_right = true;
+        OXML_ASSIGN_OR_RETURN(
+            std::vector<StoredNode> prev,
+            Select("path > " + BlobLit(parent_key.Encode()) + " AND path < " +
+                       BlobLit(ref.path) + " AND depth = " +
+                       IntLit(ref.depth),
+                   "path DESC LIMIT 1"));
+        if (!prev.empty()) {
+          OXML_ASSIGN_OR_RETURN(c_left, LastComponent(prev.front()));
+        }
+      } else {
+        c_left = refk.last();
+        OXML_ASSIGN_OR_RETURN(
+            std::vector<StoredNode> next,
+            Select("path >= " + BlobLit(BlobPrefixUpperBound(ref.path)) +
+                       " AND path < " + BlobLit(parent_ub) +
+                       " AND depth = " + IntLit(ref.depth),
+                   "path LIMIT 1"));
+        if (!next.empty()) {
+          right = next.front();
+          have_right = true;
+        }
+      }
+      break;
+    }
+    case InsertPosition::kFirstChild: {
+      parent_key = refk;
+      OXML_ASSIGN_OR_RETURN(
+          std::vector<StoredNode> attrs,
+          Select("path > " + BlobLit(ref.path) + " AND path < " +
+                     BlobLit(BlobPrefixUpperBound(ref.path)) +
+                     " AND depth = " + IntLit(ref.depth + 1) +
+                     " AND kind = " +
+                     IntLit(static_cast<int>(XmlNodeKind::kAttribute)),
+                 "path DESC LIMIT 1"));
+      if (!attrs.empty()) {
+        OXML_ASSIGN_OR_RETURN(c_left, LastComponent(attrs.front()));
+      }
+      OXML_ASSIGN_OR_RETURN(
+          std::vector<StoredNode> kids,
+          Select("path > " + BlobLit(ref.path) + " AND path < " +
+                     BlobLit(BlobPrefixUpperBound(ref.path)) +
+                     " AND depth = " + IntLit(ref.depth + 1) +
+                     " AND kind <> " +
+                     IntLit(static_cast<int>(XmlNodeKind::kAttribute)),
+                 "path LIMIT 1"));
+      if (!kids.empty()) {
+        right = kids.front();
+        have_right = true;
+      }
+      break;
+    }
+    case InsertPosition::kLastChild: {
+      parent_key = refk;
+      OXML_ASSIGN_OR_RETURN(
+          std::vector<StoredNode> last,
+          Select("path > " + BlobLit(ref.path) + " AND path < " +
+                     BlobLit(BlobPrefixUpperBound(ref.path)) +
+                     " AND depth = " + IntLit(ref.depth + 1),
+                 "path DESC LIMIT 1"));
+      if (!last.empty()) {
+        OXML_ASSIGN_OR_RETURN(c_left, LastComponent(last.front()));
+      }
+      break;
+    }
+  }
+  stats.statements += 2;  // neighbor resolution
+
+  int64_t slot;
+  if (!have_right) {
+    slot = c_left + options_.gap;
+  } else {
+    OXML_ASSIGN_OR_RETURN(int64_t c_right, LastComponent(right));
+    if (c_right - c_left > 1) {
+      slot = c_left + (c_right - c_left) / 2;
+    } else {
+      // Renumber: shift the ordinal of the right neighbor and of every
+      // following sibling up by one gap. Every row in those siblings'
+      // subtrees gets a new path — the Dewey insertion cost the paper
+      // reports. Processing from the last sibling down keeps intermediate
+      // states collision-free (each key moves strictly upward into
+      // vacated space).
+      std::string parent_ub_sql =
+          parent_key.empty()
+              ? std::string()
+              : " AND path < " + BlobLit(parent_key.SubtreeUpperBound());
+      OXML_ASSIGN_OR_RETURN(
+          std::vector<StoredNode> to_shift,
+          Select("path >= " + BlobLit(right.path) + " AND depth = " +
+                     IntLit(right.depth) + parent_ub_sql,
+                 "path DESC"));
+      ++stats.statements;
+      for (const StoredNode& sib : to_shift) {
+        OXML_ASSIGN_OR_RETURN(DeweyKey old_key, DeweyKey::Decode(sib.path));
+        DeweyKey new_key = old_key.WithLast(old_key.last() + options_.gap);
+        std::string old_prefix = old_key.Encode();
+        std::string new_prefix = new_key.Encode();
+        // Rewrite the sibling's whole subtree, prefix-substituting keys.
+        OXML_ASSIGN_OR_RETURN(
+            ResultSet subtree_rows,
+            Sql("SELECT path FROM " + t + " WHERE path >= " +
+                    BlobLit(old_prefix) + " AND path < " +
+                    BlobLit(BlobPrefixUpperBound(old_prefix)) +
+                    " ORDER BY path",
+                &stats));
+        for (const Row& row : subtree_rows.rows) {
+          const std::string& old_path = row[0].AsString();
+          std::string new_path =
+              new_prefix + old_path.substr(old_prefix.size());
+          OXML_ASSIGN_OR_RETURN(
+              int64_t changed,
+              Dml("UPDATE " + t + " SET path = " + BlobLit(new_path) +
+                      " WHERE path = " + BlobLit(old_path),
+                  &stats));
+          stats.rows_renumbered += changed;
+        }
+      }
+      stats.renumbering_triggered = true;
+      slot = c_left + (c_right + options_.gap - c_left) / 2;
+    }
+  }
+
+  std::vector<Row> rows;
+  ShredInto(subtree, parent_key.Child(slot), &rows);
+  OXML_RETURN_NOT_OK(BulkInsert(rows, &stats));
+  return stats;
+}
+
+Result<UpdateStats> DeweyStore::DeleteSubtree(const StoredNode& node) {
+  UpdateStats stats;
+  OXML_ASSIGN_OR_RETURN(
+      int64_t deleted,
+      Dml("DELETE FROM " + table_name() + " WHERE path >= " +
+              BlobLit(node.path) + " AND path < " +
+              BlobLit(BlobPrefixUpperBound(node.path)),
+          &stats));
+  stats.nodes_deleted = deleted;
+  return stats;
+}
+
+}  // namespace oxml

@@ -1,0 +1,443 @@
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/core/stores.h"
+
+namespace oxml {
+
+namespace {
+
+constexpr const char* kCols = "ord, eord, pord, depth, kind, tag, val";
+
+StoredNode FromGlobalRow(const Row& row) {
+  StoredNode n;
+  n.ord = row[0].AsInt();
+  n.eord = row[1].AsInt();
+  n.pord = row[2].AsInt();
+  n.depth = row[3].AsInt();
+  n.kind = static_cast<XmlNodeKind>(row[4].AsInt());
+  n.tag = row[5].AsString();
+  n.value = row[6].is_null() ? "" : row[6].AsString();
+  return n;
+}
+
+}  // namespace
+
+const char* GlobalStore::NodeColumns() const { return kCols; }
+
+StoredNode GlobalStore::NodeFromRow(const Row& row) const {
+  return FromGlobalRow(row);
+}
+
+Status GlobalStore::CreateTableAndIndexes() {
+  const std::string& t = table_name();
+  OXML_RETURN_NOT_OK(db_->Execute("CREATE TABLE " + t +
+                                  " (ord INT, eord INT, pord INT, depth INT,"
+                                  " kind INT, tag TEXT, val TEXT)")
+                         .status());
+  OXML_RETURN_NOT_OK(
+      db_->Execute("CREATE INDEX " + t + "_ord ON " + t + " (ord)").status());
+  OXML_RETURN_NOT_OK(
+      db_->Execute("CREATE INDEX " + t + "_eord ON " + t + " (eord)")
+          .status());
+  OXML_RETURN_NOT_OK(
+      db_->Execute("CREATE INDEX " + t + "_pord ON " + t + " (pord, ord)")
+          .status());
+  OXML_RETURN_NOT_OK(
+      db_->Execute("CREATE INDEX " + t + "_tag ON " + t + " (tag, ord)")
+          .status());
+  return Status::OK();
+}
+
+void GlobalStore::ShredInto(const XmlNode& node, int64_t pord, int64_t depth,
+                            int64_t step, int64_t* counter,
+                            std::vector<Row>* rows, int64_t* subtree_max) {
+  *counter += step;
+  int64_t ord = *counter;
+  size_t row_index = rows->size();
+  rows->push_back(Row{Value::Int(ord), Value::Int(0), Value::Int(pord),
+                      Value::Int(depth),
+                      Value::Int(static_cast<int64_t>(node.kind())),
+                      Value::Text(node.name()), Value::Text(node.value())});
+  for (const XmlAttribute& attr : node.attributes()) {
+    *counter += step;
+    rows->push_back(
+        Row{Value::Int(*counter), Value::Int(*counter), Value::Int(ord),
+            Value::Int(depth + 1),
+            Value::Int(static_cast<int64_t>(XmlNodeKind::kAttribute)),
+            Value::Text(attr.name), Value::Text(attr.value)});
+  }
+  for (const auto& child : node.children()) {
+    int64_t child_max = 0;
+    ShredInto(*child, ord, depth + 1, step, counter, rows, &child_max);
+  }
+  (*rows)[row_index][1] = Value::Int(*counter);  // eord = max ord in subtree
+  if (subtree_max != nullptr) *subtree_max = *counter;
+}
+
+Status GlobalStore::BulkInsert(const std::vector<Row>& rows,
+                               UpdateStats* stats) {
+  for (const Row& row : rows) {
+    OXML_RETURN_NOT_OK(db_->Insert(table_name(), row).status());
+  }
+  if (stats != nullptr) {
+    ++stats->statements;  // modeled as one multi-row INSERT
+    stats->nodes_inserted += static_cast<int64_t>(rows.size());
+  }
+  return Status::OK();
+}
+
+Status GlobalStore::LoadDocument(const XmlDocument& doc) {
+  std::vector<Row> rows;
+  int64_t counter = 0;
+  for (const auto& top : doc.root()->children()) {
+    ShredInto(*top, 0, 1, options_.gap, &counter, &rows, nullptr);
+  }
+  return BulkInsert(rows, nullptr);
+}
+
+Result<std::vector<StoredNode>> GlobalStore::Select(const std::string& where,
+                                                    const std::string& order) {
+  std::string sql = std::string("SELECT ") + kCols + " FROM " + table_name();
+  if (!where.empty()) sql += " WHERE " + where;
+  if (!order.empty()) sql += " ORDER BY " + order;
+  OXML_ASSIGN_OR_RETURN(ResultSet rs, Sql(sql));
+  std::vector<StoredNode> out;
+  out.reserve(rs.rows.size());
+  for (const Row& row : rs.rows) out.push_back(FromGlobalRow(row));
+  return out;
+}
+
+Result<StoredNode> GlobalStore::SelectOne(const std::string& where) {
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes, Select(where, "ord"));
+  if (nodes.empty()) return Status::NotFound("no node matches: " + where);
+  return nodes.front();
+}
+
+Result<StoredNode> GlobalStore::Root() {
+  return SelectOne("pord = 0 AND kind = " +
+                   IntLit(static_cast<int>(XmlNodeKind::kElement)));
+}
+
+Result<std::vector<StoredNode>> GlobalStore::Children(const StoredNode& node,
+                                                      const NodeTest& test) {
+  return Select("pord = " + IntLit(node.ord) + " AND " + test.SqlCondition(),
+                "ord");
+}
+
+Result<std::vector<StoredNode>> GlobalStore::Descendants(
+    const StoredNode& node, const NodeTest& test) {
+  return Select("ord > " + IntLit(node.ord) + " AND ord <= " +
+                    IntLit(node.eord) + " AND " + test.SqlCondition(),
+                "ord");
+}
+
+Result<std::vector<StoredNode>> GlobalStore::FollowingSiblings(
+    const StoredNode& node, const NodeTest& test) {
+  return Select("pord = " + IntLit(node.pord) + " AND ord > " +
+                    IntLit(node.ord) + " AND " + test.SqlCondition(),
+                "ord");
+}
+
+Result<std::vector<StoredNode>> GlobalStore::PrecedingSiblings(
+    const StoredNode& node, const NodeTest& test) {
+  return Select("pord = " + IntLit(node.pord) + " AND ord < " +
+                    IntLit(node.ord) + " AND " + test.SqlCondition(),
+                "ord");
+}
+
+Result<std::vector<StoredNode>> GlobalStore::Attributes(
+    const StoredNode& node, std::string_view name) {
+  std::string where = "pord = " + IntLit(node.ord) + " AND kind = " +
+                      IntLit(static_cast<int>(XmlNodeKind::kAttribute));
+  if (!name.empty()) where += " AND tag = " + SqlQuote(name);
+  return Select(where, "ord");
+}
+
+Result<StoredNode> GlobalStore::Parent(const StoredNode& node) {
+  if (node.pord == 0) return Status::NotFound("root has no parent");
+  return SelectOne("ord = " + IntLit(node.pord));
+}
+
+Status GlobalStore::SortDocumentOrder(std::vector<StoredNode>* nodes) {
+  std::sort(nodes->begin(), nodes->end(),
+            [](const StoredNode& a, const StoredNode& b) {
+              return a.ord < b.ord;
+            });
+  return Status::OK();
+}
+
+Result<std::string> GlobalStore::StringValue(const StoredNode& node) {
+  if (node.kind == XmlNodeKind::kText ||
+      node.kind == XmlNodeKind::kAttribute ||
+      node.kind == XmlNodeKind::kComment) {
+    return node.value;
+  }
+  OXML_ASSIGN_OR_RETURN(
+      ResultSet rs,
+      Sql("SELECT val FROM " + table_name() + " WHERE ord >= " +
+          IntLit(node.ord) + " AND ord <= " + IntLit(node.eord) +
+          " AND kind = " + IntLit(static_cast<int>(XmlNodeKind::kText)) +
+          " ORDER BY ord"));
+  std::string out;
+  for (const Row& row : rs.rows) out += row[0].AsString();
+  return out;
+}
+
+Result<std::unique_ptr<XmlDocument>> GlobalStore::ReconstructDocument() {
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes, Select("", "ord"));
+  auto doc = std::make_unique<XmlDocument>();
+  OXML_RETURN_NOT_OK(AssembleByDepth(nodes, 1, doc->root()));
+  return doc;
+}
+
+Result<std::unique_ptr<XmlNode>> GlobalStore::ReconstructSubtree(
+    const StoredNode& node) {
+  OXML_ASSIGN_OR_RETURN(
+      std::vector<StoredNode> nodes,
+      Select("ord >= " + IntLit(node.ord) + " AND ord <= " +
+                 IntLit(node.eord),
+             "ord"));
+  auto holder = std::make_unique<XmlNode>(XmlNodeKind::kDocument, "#holder");
+  OXML_RETURN_NOT_OK(AssembleByDepth(nodes, node.depth, holder.get()));
+  if (holder->child_count() != 1) {
+    return Status::Internal("subtree reconstruction produced " +
+                            std::to_string(holder->child_count()) +
+                            " roots");
+  }
+  return holder->RemoveChild(0);
+}
+
+Result<bool> GlobalStore::IsDescendantOf(const StoredNode& node,
+                                         const StoredNode& ancestor) {
+  return node.ord > ancestor.ord && node.ord <= ancestor.eord;
+}
+
+std::string GlobalStore::KeyCondition(const StoredNode& node) const {
+  return "ord = " + IntLit(node.ord);
+}
+
+Status GlobalStore::Validate() {
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> rows, Select("", "ord"));
+  std::vector<const StoredNode*> stack;  // open ancestor intervals
+  int roots = 0;
+  int64_t prev_ord = -1;
+  for (const StoredNode& n : rows) {
+    if (n.ord <= prev_ord) {
+      return Status::Internal("duplicate or unordered ord " +
+                              std::to_string(n.ord));
+    }
+    prev_ord = n.ord;
+    if (n.eord < n.ord) {
+      return Status::Internal("eord < ord at " + std::to_string(n.ord));
+    }
+    while (!stack.empty() && stack.back()->eord < n.ord) stack.pop_back();
+    if (stack.empty()) {
+      if (n.pord != 0) {
+        return Status::Internal("top-level node with pord != 0 at " +
+                                std::to_string(n.ord));
+      }
+      if (n.depth != 1) {
+        return Status::Internal("top-level node with depth != 1");
+      }
+      if (n.kind == XmlNodeKind::kElement) ++roots;
+    } else {
+      const StoredNode* parent = stack.back();
+      if (n.pord != parent->ord) {
+        return Status::Internal(
+            "pord mismatch at ord " + std::to_string(n.ord) + ": pord=" +
+            std::to_string(n.pord) + " enclosing=" +
+            std::to_string(parent->ord));
+      }
+      if (n.depth != parent->depth + 1) {
+        return Status::Internal("depth mismatch at ord " +
+                                std::to_string(n.ord));
+      }
+      if (n.eord > parent->eord) {
+        return Status::Internal("interval escapes parent at ord " +
+                                std::to_string(n.ord));
+      }
+    }
+    if (n.kind != XmlNodeKind::kElement && n.eord != n.ord) {
+      return Status::Internal("leaf with eord != ord at " +
+                              std::to_string(n.ord));
+    }
+    if (n.kind == XmlNodeKind::kElement) stack.push_back(&n);
+  }
+  if (roots != 1) {
+    return Status::Internal("expected exactly 1 root element, found " +
+                            std::to_string(roots));
+  }
+  return Status::OK();
+}
+
+Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
+                                               InsertPosition pos,
+                                               const XmlNode& subtree) {
+  if (ref.kind == XmlNodeKind::kAttribute) {
+    return Status::InvalidArgument("cannot insert relative to an attribute");
+  }
+  UpdateStats stats;
+  const std::string& t = table_name();
+
+  // Resolve (parent P, left neighbor L, right neighbor R).
+  StoredNode parent;
+  bool have_left = false, have_right = false;
+  StoredNode left, right;
+
+  auto last_attr_or_none = [&](const StoredNode& p) -> Result<bool> {
+    OXML_ASSIGN_OR_RETURN(
+        std::vector<StoredNode> attrs,
+        Select("pord = " + IntLit(p.ord) + " AND kind = " +
+                   IntLit(static_cast<int>(XmlNodeKind::kAttribute)),
+               "ord DESC LIMIT 1"));
+    if (attrs.empty()) return false;
+    left = attrs.front();
+    return true;
+  };
+
+  switch (pos) {
+    case InsertPosition::kBefore: {
+      OXML_ASSIGN_OR_RETURN(parent, Parent(ref));
+      right = ref;
+      have_right = true;
+      OXML_ASSIGN_OR_RETURN(
+          std::vector<StoredNode> prev,
+          Select("pord = " + IntLit(parent.ord) + " AND ord < " +
+                     IntLit(ref.ord),
+                 "ord DESC LIMIT 1"));
+      if (!prev.empty()) {
+        left = prev.front();
+        have_left = true;
+      } else {
+        OXML_ASSIGN_OR_RETURN(have_left, last_attr_or_none(parent));
+      }
+      break;
+    }
+    case InsertPosition::kAfter: {
+      OXML_ASSIGN_OR_RETURN(parent, Parent(ref));
+      left = ref;
+      have_left = true;
+      OXML_ASSIGN_OR_RETURN(
+          std::vector<StoredNode> next,
+          Select("pord = " + IntLit(parent.ord) + " AND ord > " +
+                     IntLit(ref.ord),
+                 "ord LIMIT 1"));
+      if (!next.empty()) {
+        right = next.front();
+        have_right = true;
+      }
+      break;
+    }
+    case InsertPosition::kFirstChild: {
+      parent = ref;
+      OXML_ASSIGN_OR_RETURN(
+          std::vector<StoredNode> kids,
+          Select("pord = " + IntLit(parent.ord) + " AND kind <> " +
+                     IntLit(static_cast<int>(XmlNodeKind::kAttribute)),
+                 "ord LIMIT 1"));
+      if (!kids.empty()) {
+        right = kids.front();
+        have_right = true;
+      }
+      OXML_ASSIGN_OR_RETURN(have_left, last_attr_or_none(parent));
+      break;
+    }
+    case InsertPosition::kLastChild: {
+      parent = ref;
+      OXML_ASSIGN_OR_RETURN(
+          std::vector<StoredNode> kids,
+          Select("pord = " + IntLit(parent.ord), "ord DESC LIMIT 1"));
+      if (!kids.empty()) {
+        left = kids.front();
+        have_left = true;
+      }
+      break;
+    }
+  }
+  stats.statements += 2;  // neighbor resolution queries (amortized)
+
+  int64_t lo = have_left ? left.eord : parent.ord;
+  int64_t hi = 0;
+  bool hi_finite = true;
+  if (have_right) {
+    hi = right.ord;
+  } else {
+    // Appending at the subtree tail: the ceiling is the first node after
+    // the parent's interval.
+    OXML_ASSIGN_OR_RETURN(
+        ResultSet rs,
+        Sql("SELECT ord FROM " + t + " WHERE ord > " + IntLit(parent.eord) +
+                " ORDER BY ord LIMIT 1",
+            &stats));
+    if (rs.rows.empty()) {
+      hi_finite = false;
+    } else {
+      hi = rs.rows[0][0].AsInt();
+    }
+  }
+
+  int64_t m = static_cast<int64_t>(subtree.SubtreeSize());
+
+  if (hi_finite && hi - lo - 1 < m) {
+    // Renumber: shift every order value at or beyond `hi` to make room.
+    // All three order-bearing columns must shift consistently.
+    int64_t delta = (m + 1) * options_.gap;
+    OXML_ASSIGN_OR_RETURN(
+        int64_t shifted,
+        Dml("UPDATE " + t + " SET ord = ord + " + IntLit(delta) +
+                " WHERE ord >= " + IntLit(hi),
+            &stats));
+    OXML_RETURN_NOT_OK(Dml("UPDATE " + t + " SET eord = eord + " +
+                               IntLit(delta) + " WHERE eord >= " + IntLit(hi),
+                           &stats)
+                           .status());
+    OXML_RETURN_NOT_OK(Dml("UPDATE " + t + " SET pord = pord + " +
+                               IntLit(delta) + " WHERE pord >= " + IntLit(hi),
+                           &stats)
+                           .status());
+    stats.rows_renumbered += shifted;
+    stats.renumbering_triggered = true;
+    hi += delta;
+  }
+
+  int64_t step =
+      hi_finite ? std::max<int64_t>(1, (hi - lo) / (m + 1)) : options_.gap;
+  step = std::min(step, options_.gap);
+
+  std::vector<Row> rows;
+  int64_t counter = lo;
+  ShredInto(subtree, parent.ord, parent.depth + 1, step, &counter, &rows,
+            nullptr);
+  int64_t new_max = counter;
+  OXML_RETURN_NOT_OK(BulkInsert(rows, &stats));
+
+  if (!have_right) {
+    // Extend the interval of the parent and of every ancestor that shared
+    // its right boundary.
+    OXML_ASSIGN_OR_RETURN(
+        int64_t extended,
+        Dml("UPDATE " + t + " SET eord = " + IntLit(new_max) +
+                " WHERE eord = " + IntLit(parent.eord) + " AND ord <= " +
+                IntLit(parent.ord),
+            &stats));
+    stats.rows_renumbered += extended;
+  }
+  return stats;
+}
+
+Result<UpdateStats> GlobalStore::DeleteSubtree(const StoredNode& node) {
+  UpdateStats stats;
+  OXML_ASSIGN_OR_RETURN(
+      int64_t deleted,
+      Dml("DELETE FROM " + table_name() + " WHERE ord >= " +
+              IntLit(node.ord) + " AND ord <= " + IntLit(node.eord),
+          &stats));
+  // Ancestor eords are left as (correct but loose) over-approximations of
+  // their intervals; every remaining node still falls in exactly its
+  // ancestors' intervals.
+  stats.nodes_deleted = deleted;
+  return stats;
+}
+
+}  // namespace oxml

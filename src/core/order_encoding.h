@@ -1,0 +1,86 @@
+#ifndef OXML_CORE_ORDER_ENCODING_H_
+#define OXML_CORE_ORDER_ENCODING_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/xml/xml_node.h"
+
+namespace oxml {
+
+/// The three order encodings proposed by the paper.
+enum class OrderEncoding : uint8_t {
+  kGlobal = 0,  ///< absolute position in document order + subtree interval
+  kLocal = 1,   ///< (parent id, sibling ordinal)
+  kDewey = 2,   ///< path of sibling ordinals, byte-encoded (see DeweyKey)
+};
+
+const char* OrderEncodingToString(OrderEncoding encoding);
+
+/// Configuration of an ordered XML store.
+struct StoreOptions {
+  /// Sparse-numbering gap: consecutive ordinals are assigned
+  /// gap, 2*gap, 3*gap, ... so inserts usually find a free ordinal without
+  /// renumbering. gap = 1 is dense numbering (every insert renumbers).
+  int64_t gap = 32;
+  /// Table name used in the database (one store per table).
+  std::string table_name = "nodes";
+};
+
+/// Where to place an inserted subtree relative to a reference node.
+enum class InsertPosition : uint8_t {
+  kBefore,      ///< as the sibling immediately preceding the reference node
+  kAfter,       ///< as the sibling immediately following the reference node
+  kFirstChild,  ///< as the first child of the reference node
+  kLastChild,   ///< as the last child of the reference node
+};
+
+/// Cost accounting for one ordered update operation. The paper's update
+/// experiments report exactly these: how many existing rows had to be
+/// renumbered, and whether a renumbering event fired at all.
+struct UpdateStats {
+  int64_t nodes_inserted = 0;   ///< rows added for the new subtree
+  int64_t nodes_deleted = 0;    ///< rows removed (delete operations)
+  int64_t rows_renumbered = 0;  ///< existing rows whose order key changed
+  int64_t statements = 0;       ///< SQL statements issued
+  bool renumbering_triggered = false;
+
+  void Add(const UpdateStats& other) {
+    nodes_inserted += other.nodes_inserted;
+    nodes_deleted += other.nodes_deleted;
+    rows_renumbered += other.rows_renumbered;
+    statements += other.statements;
+    renumbering_triggered =
+        renumbering_triggered || other.renumbering_triggered;
+  }
+};
+
+/// A node as materialized from the relational store. Only the fields of the
+/// owning store's encoding are meaningful (plus the common ones); the
+/// others stay zero/empty.
+struct StoredNode {
+  // Common fields.
+  XmlNodeKind kind = XmlNodeKind::kElement;
+  std::string tag;
+  std::string value;
+  int64_t depth = 0;  ///< root element has depth 1
+
+  // Global encoding.
+  int64_t ord = 0;   ///< absolute document-order position
+  int64_t eord = 0;  ///< largest ord in this node's subtree
+  int64_t pord = 0;  ///< parent's ord (0 for the root)
+
+  // Local encoding.
+  int64_t id = 0;    ///< surrogate node id
+  int64_t pid = 0;   ///< parent id (0 for the root)
+  int64_t sord = 0;  ///< ordinal among siblings
+
+  // Dewey encoding.
+  std::string path;  ///< binary DeweyKey encoding
+
+  bool is_element() const { return kind == XmlNodeKind::kElement; }
+};
+
+}  // namespace oxml
+
+#endif  // OXML_CORE_ORDER_ENCODING_H_

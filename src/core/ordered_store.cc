@@ -1,0 +1,260 @@
+#include "src/core/ordered_store.h"
+
+#include "src/common/strings.h"
+#include "src/core/stores.h"
+
+namespace oxml {
+
+const char* OrderEncodingToString(OrderEncoding encoding) {
+  switch (encoding) {
+    case OrderEncoding::kGlobal:
+      return "Global";
+    case OrderEncoding::kLocal:
+      return "Local";
+    case OrderEncoding::kDewey:
+      return "Dewey";
+  }
+  return "Unknown";
+}
+
+bool NodeTest::Matches(XmlNodeKind node_kind, const std::string& node_tag)
+    const {
+  switch (kind) {
+    case Kind::kAnyElement:
+      return node_kind == XmlNodeKind::kElement;
+    case Kind::kTag:
+      return node_kind == XmlNodeKind::kElement && node_tag == tag;
+    case Kind::kText:
+      return node_kind == XmlNodeKind::kText;
+    case Kind::kAnyNode:
+      return node_kind != XmlNodeKind::kAttribute;
+  }
+  return false;
+}
+
+std::string NodeTest::SqlCondition() const {
+  switch (kind) {
+    case Kind::kAnyElement:
+      return "kind = " + IntLit(static_cast<int>(XmlNodeKind::kElement));
+    case Kind::kTag:
+      return "kind = " + IntLit(static_cast<int>(XmlNodeKind::kElement)) +
+             " AND tag = " + SqlQuote(tag);
+    case Kind::kText:
+      return "kind = " + IntLit(static_cast<int>(XmlNodeKind::kText));
+    case Kind::kAnyNode:
+      return "kind <> " + IntLit(static_cast<int>(XmlNodeKind::kAttribute));
+  }
+  return "";
+}
+
+Status AssembleByDepth(const std::vector<StoredNode>& nodes,
+                       int64_t base_depth, XmlNode* root) {
+  // stack[i] holds the open node at depth (base_depth + i - 1); stack[0] is
+  // the container. A row at depth d attaches to stack[d - base_depth].
+  std::vector<XmlNode*> stack{root};
+  for (const StoredNode& n : nodes) {
+    if (n.depth < base_depth) {
+      return Status::Internal("inconsistent depth while reconstructing");
+    }
+    size_t level = static_cast<size_t>(n.depth - base_depth);
+    if (level + 1 > stack.size()) {
+      return Status::Internal("missing ancestor while reconstructing");
+    }
+    stack.resize(level + 1);
+    XmlNode* parent = stack.back();
+    switch (n.kind) {
+      case XmlNodeKind::kAttribute:
+        parent->SetAttribute(n.tag, n.value);
+        break;
+      case XmlNodeKind::kElement: {
+        XmlNode* e = parent->AppendChild(XmlNode::Element(n.tag));
+        stack.push_back(e);
+        break;
+      }
+      case XmlNodeKind::kText:
+        parent->AppendChild(XmlNode::Text(n.value));
+        break;
+      case XmlNodeKind::kComment:
+        parent->AppendChild(XmlNode::Comment(n.value));
+        break;
+      case XmlNodeKind::kProcessingInstruction:
+        parent->AppendChild(XmlNode::ProcessingInstruction(n.tag, n.value));
+        break;
+      case XmlNodeKind::kDocument:
+        return Status::Internal("unexpected document row");
+    }
+  }
+  return Status::OK();
+}
+
+std::string IntLit(int64_t v) { return std::to_string(v); }
+
+std::string BlobLit(std::string_view bytes) {
+  return "x'" + ToHex(bytes) + "'";
+}
+
+namespace {
+
+std::unique_ptr<OrderedXmlStore> NewStore(Database* db,
+                                          OrderEncoding encoding,
+                                          const StoreOptions& options) {
+  switch (encoding) {
+    case OrderEncoding::kGlobal:
+      return std::make_unique<GlobalStore>(db, options);
+    case OrderEncoding::kLocal:
+      return std::make_unique<LocalStore>(db, options);
+    case OrderEncoding::kDewey:
+      return std::make_unique<DeweyStore>(db, options);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<OrderedXmlStore>> OrderedXmlStore::Create(
+    Database* db, OrderEncoding encoding, const StoreOptions& options) {
+  if (options.gap < 1) {
+    return Status::InvalidArgument("gap must be >= 1");
+  }
+  std::unique_ptr<OrderedXmlStore> store = NewStore(db, encoding, options);
+  OXML_RETURN_NOT_OK(
+      static_cast<StoreBase*>(store.get())->CreateTableAndIndexes());
+  return store;
+}
+
+Result<std::unique_ptr<OrderedXmlStore>> OrderedXmlStore::Attach(
+    Database* db, OrderEncoding encoding, const StoreOptions& options) {
+  if (options.gap < 1) {
+    return Status::InvalidArgument("gap must be >= 1");
+  }
+  std::unique_ptr<OrderedXmlStore> store = NewStore(db, encoding, options);
+  TableInfo* table = db->GetTable(options.table_name);
+  if (table == nullptr) {
+    return Status::NotFound("no node table '" + options.table_name +
+                            "' in this database");
+  }
+  // Verify the table has this encoding's column layout.
+  std::vector<std::string> want = Split(store->NodeColumns(), ',');
+  if (table->schema().size() != want.size()) {
+    return Status::InvalidArgument("table '" + options.table_name +
+                                   "' does not match the " +
+                                   std::string(OrderEncodingToString(
+                                       encoding)) +
+                                   " encoding schema");
+  }
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (table->schema().column(i).name != Trim(want[i])) {
+      return Status::InvalidArgument(
+          "table '" + options.table_name + "' column " + std::to_string(i) +
+          " is '" + table->schema().column(i).name + "', expected '" +
+          Trim(want[i]) + "'");
+    }
+  }
+  OXML_RETURN_NOT_OK(
+      static_cast<StoreBase*>(store.get())->InitializeExisting());
+  return store;
+}
+
+Result<ResultSet> OrderedXmlStore::Sql(const std::string& sql,
+                                       UpdateStats* stats) {
+  if (stats != nullptr) ++stats->statements;
+  return db_->Query(sql);
+}
+
+Result<int64_t> OrderedXmlStore::Dml(const std::string& sql,
+                                     UpdateStats* stats) {
+  if (stats != nullptr) ++stats->statements;
+  return db_->Execute(sql);
+}
+
+Result<UpdateStats> OrderedXmlStore::UpdateNodeValue(
+    const StoredNode& node, std::string_view new_value) {
+  switch (node.kind) {
+    case XmlNodeKind::kText:
+    case XmlNodeKind::kComment:
+    case XmlNodeKind::kProcessingInstruction:
+    case XmlNodeKind::kAttribute:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "only text/comment/PI/attribute nodes carry a value; element "
+          "content lives in child text nodes");
+  }
+  UpdateStats stats;
+  OXML_ASSIGN_OR_RETURN(
+      int64_t changed,
+      Dml("UPDATE " + table_name() + " SET val = " + SqlQuote(new_value) +
+              " WHERE " + KeyCondition(node),
+          &stats));
+  if (changed == 0) return Status::NotFound("node row not found (stale?)");
+  return stats;
+}
+
+Result<UpdateStats> OrderedXmlStore::UpdateAttributeValue(
+    const StoredNode& element, std::string_view name,
+    std::string_view new_value) {
+  if (element.kind != XmlNodeKind::kElement) {
+    return Status::InvalidArgument("attributes belong to elements");
+  }
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> attrs,
+                        Attributes(element, name));
+  if (attrs.empty()) {
+    return Status::NotFound("element has no attribute '" +
+                            std::string(name) + "'");
+  }
+  return UpdateNodeValue(attrs[0], new_value);
+}
+
+Result<UpdateStats> OrderedXmlStore::MoveSubtree(const StoredNode& source,
+                                                 const StoredNode& ref,
+                                                 InsertPosition pos) {
+  OXML_ASSIGN_OR_RETURN(bool inside, IsDescendantOf(ref, source));
+  if (inside) {
+    return Status::InvalidArgument(
+        "cannot move a subtree relative to one of its own descendants");
+  }
+  // The reference must also not BE the source for before/after moves onto
+  // itself — a no-op we reject for clarity.
+  if (KeyCondition(ref) == KeyCondition(source)) {
+    return Status::InvalidArgument("move target equals the moved subtree");
+  }
+  OXML_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> subtree,
+                        ReconstructSubtree(source));
+  UpdateStats total;
+  OXML_ASSIGN_OR_RETURN(UpdateStats del, DeleteSubtree(source));
+  total.Add(del);
+  // `ref` stays valid: it is outside the deleted subtree and deletes never
+  // renumber under any encoding.
+  OXML_ASSIGN_OR_RETURN(UpdateStats ins, InsertSubtree(ref, pos, *subtree));
+  total.Add(ins);
+  return total;
+}
+
+Result<int64_t> OrderedXmlStore::NodeCount() {
+  OXML_ASSIGN_OR_RETURN(
+      ResultSet rs, Sql("SELECT COUNT(*) FROM " + table_name()));
+  return rs.rows[0][0].AsInt();
+}
+
+Result<StoredNode> OrderedXmlStore::ChildAt(const StoredNode& parent,
+                                            const NodeTest& test,
+                                            size_t idx) {
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> kids, Children(parent, test));
+  if (idx >= kids.size()) {
+    return Status::OutOfRange("child index " + std::to_string(idx) +
+                              " out of range (" +
+                              std::to_string(kids.size()) + " children)");
+  }
+  return kids[idx];
+}
+
+Result<StoredNode> OrderedXmlStore::NodeAtPath(
+    const std::vector<size_t>& child_indexes) {
+  OXML_ASSIGN_OR_RETURN(StoredNode node, Root());
+  for (size_t idx : child_indexes) {
+    OXML_ASSIGN_OR_RETURN(node, ChildAt(node, NodeTest::AnyNode(), idx));
+  }
+  return node;
+}
+
+}  // namespace oxml

@@ -1,0 +1,51 @@
+#ifndef OXML_CORE_SQL_TRANSLATOR_H_
+#define OXML_CORE_SQL_TRANSLATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/ordered_store.h"
+#include "src/core/xpath.h"
+
+namespace oxml {
+
+/// Whole-path translation mode: compiles an XPath query into a *single* SQL
+/// statement over the node table — the paper's core demonstration that an
+/// unmodified relational engine can answer ordered XML queries once order
+/// is encoded as data. Each location step becomes one table alias and the
+/// axes become join predicates:
+///
+///   Global: child       n2.pord = n1.ord
+///           descendant  n2.ord > n1.ord AND n2.ord <= n1.eord
+///           output      ORDER BY nk.ord
+///   Local:  child       n2.pid = n1.id
+///           descendant  (not expressible without recursion — rejected,
+///                        which is precisely the paper's criticism)
+///           output      ORDER BY n1.sord, n2.sord, ..., nk.sord
+///   Dewey:  child       n2.path > n1.path AND n2.path < SUCC(n1.path)
+///                       AND n2.depth = n1.depth + 1
+///           descendant  same without the depth conjunct
+///           output      ORDER BY nk.path
+///
+/// Attribute and child-value predicates become additional joins with
+/// existential semantics. Positional predicates and sibling axes are not
+/// translatable in this mode (they need per-context counting); use the
+/// driver mode (EvaluateXPath) for those. Unsupported queries return
+/// NotImplemented.
+Result<std::string> TranslateXPathToSql(const OrderedXmlStore& store,
+                                        const XPathQuery& query);
+Result<std::string> TranslateXPathToSql(const OrderedXmlStore& store,
+                                        std::string_view xpath);
+
+/// Translates, executes and materializes the query in one call. Results
+/// are in document order, duplicates removed (SELECT DISTINCT).
+Result<std::vector<StoredNode>> EvaluateXPathViaSql(OrderedXmlStore* store,
+                                                    std::string_view xpath);
+Result<std::vector<StoredNode>> EvaluateXPathViaSql(OrderedXmlStore* store,
+                                                    const XPathQuery& query);
+
+}  // namespace oxml
+
+#endif  // OXML_CORE_SQL_TRANSLATOR_H_

@@ -1,0 +1,35 @@
+#ifndef OXML_CORE_XPATH_EVAL_H_
+#define OXML_CORE_XPATH_EVAL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/ordered_store.h"
+#include "src/core/xpath.h"
+
+namespace oxml {
+
+/// Evaluates a parsed XPath query against an ordered store. The evaluator
+/// is the paper's "query driver": every axis is translated to indexed SQL
+/// by the store, positional predicates are applied over the (already
+/// ordered) per-context candidate lists, and results are returned in
+/// document order with duplicates removed.
+Result<std::vector<StoredNode>> EvaluateXPath(OrderedXmlStore* store,
+                                              const XPathQuery& query);
+
+/// Parses and evaluates `xpath`.
+Result<std::vector<StoredNode>> EvaluateXPath(OrderedXmlStore* store,
+                                              std::string_view xpath);
+
+/// Convenience: evaluates and maps each result to its string value.
+Result<std::vector<std::string>> EvaluateXPathStrings(OrderedXmlStore* store,
+                                                      std::string_view xpath);
+
+/// Encoding-specific identity of a stored node (used for de-duplication).
+std::string NodeIdentity(OrderEncoding encoding, const StoredNode& node);
+
+}  // namespace oxml
+
+#endif  // OXML_CORE_XPATH_EVAL_H_

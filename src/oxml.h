@@ -1,0 +1,31 @@
+#ifndef OXML_OXML_H_
+#define OXML_OXML_H_
+
+/// Umbrella header for the ordered-xml library: everything a typical
+/// application needs to parse XML, shred it into a relational database
+/// under one of the three order encodings, run ordered XPath queries (in
+/// driver or single-SQL-statement mode), perform order-preserving updates,
+/// and publish documents back to XML text.
+///
+/// Layering (include individual headers for finer-grained dependencies):
+///   common/      Status/Result error handling, utilities
+///   xml/         XML parser, DOM, writer, generators
+///   relational/  the embedded relational engine (SQL surface: database.h)
+///   core/        order encodings, XPath, updates, collections
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/core/collection.h"
+#include "src/core/dewey.h"
+#include "src/core/order_encoding.h"
+#include "src/core/ordered_store.h"
+#include "src/core/sql_translator.h"
+#include "src/core/xpath.h"
+#include "src/core/xpath_eval.h"
+#include "src/relational/database.h"
+#include "src/xml/xml_generator.h"
+#include "src/xml/xml_node.h"
+#include "src/xml/xml_parser.h"
+#include "src/xml/xml_writer.h"
+
+#endif  // OXML_OXML_H_

@@ -1,0 +1,273 @@
+#include "src/relational/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace oxml {
+
+namespace {
+
+/// Total order on (key, rid) entry pairs.
+int CompareEntry(std::string_view ak, const Rid& ar, std::string_view bk,
+                 const Rid& br) {
+  int c = ak.compare(bk);
+  if (c != 0) return c < 0 ? -1 : 1;
+  if (ar < br) return -1;
+  if (br < ar) return 1;
+  return 0;
+}
+
+constexpr Rid kMinRid{0, 0};
+constexpr Rid kMaxRid{0xFFFFFFFFu, 0xFFFFu};
+
+}  // namespace
+
+struct BPlusTree::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  bool is_leaf;
+};
+
+struct BPlusTree::Leaf : BPlusTree::Node {
+  Leaf() : Node(true) {}
+  std::vector<std::string> keys;
+  std::vector<Rid> rids;
+  Leaf* next = nullptr;
+};
+
+struct BPlusTree::Internal : BPlusTree::Node {
+  Internal() : Node(false) {}
+  // children[i] holds entries with composite < (keys[i], seprids[i]);
+  // children.back() holds the rest.
+  std::vector<std::string> keys;
+  std::vector<Rid> seprids;
+  std::vector<Node*> children;
+};
+
+namespace {
+
+void FreeNode(BPlusTree::Node* n) {
+  if (n == nullptr) return;
+  if (!n->is_leaf) {
+    auto* in = static_cast<BPlusTree::Internal*>(n);
+    for (BPlusTree::Node* c : in->children) FreeNode(c);
+    delete in;
+  } else {
+    delete static_cast<BPlusTree::Leaf*>(n);
+  }
+}
+
+/// Index of the child to descend into for composite (key, rid).
+size_t ChildIndex(const BPlusTree::Internal& in, std::string_view key,
+                  const Rid& rid) {
+  size_t lo = 0;
+  size_t hi = in.keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    // Descend left of separator mid iff composite < separator.
+    if (CompareEntry(key, rid, in.keys[mid], in.seprids[mid]) < 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// First position in the leaf with composite >= (key, rid).
+size_t LeafLowerBound(const BPlusTree::Leaf& leaf, std::string_view key,
+                      const Rid& rid) {
+  size_t lo = 0;
+  size_t hi = leaf.keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (CompareEntry(leaf.keys[mid], leaf.rids[mid], key, rid) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+struct SplitResult {
+  std::string sep_key;
+  Rid sep_rid;
+  BPlusTree::Node* right = nullptr;
+};
+
+}  // namespace
+
+BPlusTree::BPlusTree() { root_ = new Leaf(); }
+
+BPlusTree::~BPlusTree() { FreeNode(root_); }
+
+namespace {
+
+/// Recursive insert; fills `split` when the child node split.
+/// Returns false when the exact (key, rid) entry already existed.
+bool InsertRec(BPlusTree::Node* node, std::string_view key, const Rid& rid,
+               SplitResult* split) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<BPlusTree::Leaf*>(node);
+    size_t pos = LeafLowerBound(*leaf, key, rid);
+    if (pos < leaf->keys.size() &&
+        CompareEntry(leaf->keys[pos], leaf->rids[pos], key, rid) == 0) {
+      return false;  // duplicate entry
+    }
+    leaf->keys.insert(leaf->keys.begin() + pos, std::string(key));
+    leaf->rids.insert(leaf->rids.begin() + pos, rid);
+    if (leaf->keys.size() > BPlusTree::kNodeCapacity) {
+      auto* right = new BPlusTree::Leaf();
+      size_t half = leaf->keys.size() / 2;
+      right->keys.assign(leaf->keys.begin() + half, leaf->keys.end());
+      right->rids.assign(leaf->rids.begin() + half, leaf->rids.end());
+      leaf->keys.resize(half);
+      leaf->rids.resize(half);
+      right->next = leaf->next;
+      leaf->next = right;
+      split->sep_key = right->keys.front();
+      split->sep_rid = right->rids.front();
+      split->right = right;
+    }
+    return true;
+  }
+  auto* in = static_cast<BPlusTree::Internal*>(node);
+  size_t idx = ChildIndex(*in, key, rid);
+  SplitResult child_split;
+  bool inserted = InsertRec(in->children[idx], key, rid, &child_split);
+  if (child_split.right != nullptr) {
+    in->keys.insert(in->keys.begin() + idx, std::move(child_split.sep_key));
+    in->seprids.insert(in->seprids.begin() + idx, child_split.sep_rid);
+    in->children.insert(in->children.begin() + idx + 1, child_split.right);
+    if (in->keys.size() > BPlusTree::kNodeCapacity) {
+      auto* right = new BPlusTree::Internal();
+      size_t mid = in->keys.size() / 2;  // separator promoted to the parent
+      split->sep_key = in->keys[mid];
+      split->sep_rid = in->seprids[mid];
+      right->keys.assign(in->keys.begin() + mid + 1, in->keys.end());
+      right->seprids.assign(in->seprids.begin() + mid + 1, in->seprids.end());
+      right->children.assign(in->children.begin() + mid + 1,
+                             in->children.end());
+      in->keys.resize(mid);
+      in->seprids.resize(mid);
+      in->children.resize(mid + 1);
+      split->right = right;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace
+
+void BPlusTree::Insert(std::string_view key, const Rid& rid) {
+  SplitResult split;
+  bool inserted = InsertRec(root_, key, rid, &split);
+  if (split.right != nullptr) {
+    auto* new_root = new Internal();
+    new_root->keys.push_back(std::move(split.sep_key));
+    new_root->seprids.push_back(split.sep_rid);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split.right);
+    root_ = new_root;
+    ++height_;
+  }
+  if (inserted) {
+    ++size_;
+    key_bytes_ += key.size();
+  }
+}
+
+bool BPlusTree::Erase(std::string_view key, const Rid& rid) {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    auto* in = static_cast<Internal*>(node);
+    node = in->children[ChildIndex(*in, key, rid)];
+  }
+  auto* leaf = static_cast<Leaf*>(node);
+  size_t pos = LeafLowerBound(*leaf, key, rid);
+  if (pos >= leaf->keys.size() ||
+      CompareEntry(leaf->keys[pos], leaf->rids[pos], key, rid) != 0) {
+    return false;
+  }
+  leaf->keys.erase(leaf->keys.begin() + pos);
+  leaf->rids.erase(leaf->rids.begin() + pos);
+  --size_;
+  key_bytes_ -= key.size();
+  // No rebalancing: underfull/empty leaves are tolerated and skipped by
+  // iterators; acceptable for the insert/scan-heavy workloads here.
+  return true;
+}
+
+bool BPlusTree::Contains(std::string_view key) const {
+  Iterator it = LowerBound(key);
+  return it.valid() && it.key() == key;
+}
+
+BPlusTree::Iterator BPlusTree::LowerBound(std::string_view key) const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    const auto* in = static_cast<const Internal*>(node);
+    node = in->children[ChildIndex(*in, key, kMinRid)];
+  }
+  const auto* leaf = static_cast<const Leaf*>(node);
+  size_t pos = LeafLowerBound(*leaf, key, kMinRid);
+  Iterator it(leaf, pos);
+  if (pos >= leaf->keys.size()) it.Next();  // normalizes past-the-end/empty
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::UpperBound(std::string_view key) const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    const auto* in = static_cast<const Internal*>(node);
+    node = in->children[ChildIndex(*in, key, kMaxRid)];
+  }
+  const auto* leaf = static_cast<const Leaf*>(node);
+  size_t pos = LeafLowerBound(*leaf, key, kMaxRid);
+  // Skip any remaining exact matches (kMaxRid may itself be a stored rid in
+  // theory; treat bound as exclusive of all entries with this key).
+  Iterator it(leaf, pos);
+  if (pos >= leaf->keys.size()) it.Next();
+  while (it.valid() && it.key() == key) it.Next();
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::Begin() const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const Internal*>(node)->children.front();
+  }
+  const auto* leaf = static_cast<const Leaf*>(node);
+  Iterator it(leaf, 0);
+  if (leaf->keys.empty()) it.Next();
+  return it;
+}
+
+bool BPlusTree::Iterator::valid() const {
+  return leaf_ != nullptr && pos_ < leaf_->keys.size();
+}
+
+const std::string& BPlusTree::Iterator::key() const {
+  assert(valid());
+  return leaf_->keys[pos_];
+}
+
+const Rid& BPlusTree::Iterator::rid() const {
+  assert(valid());
+  return leaf_->rids[pos_];
+}
+
+void BPlusTree::Iterator::Next() {
+  if (leaf_ == nullptr) return;
+  if (pos_ + 1 < leaf_->keys.size()) {
+    ++pos_;
+    return;
+  }
+  // Move to the next non-empty leaf.
+  const Leaf* l = leaf_->next;
+  while (l != nullptr && l->keys.empty()) l = l->next;
+  leaf_ = l;
+  pos_ = 0;
+}
+
+}  // namespace oxml

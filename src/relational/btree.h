@@ -1,0 +1,84 @@
+#ifndef OXML_RELATIONAL_BTREE_H_
+#define OXML_RELATIONAL_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/relational/page.h"
+
+namespace oxml {
+
+/// A memory-resident B+tree mapping byte-string keys (see key_codec.h) to
+/// Rids. Duplicate keys are allowed; entries are totally ordered by
+/// (key, rid). Leaves are chained for ordered range scans. This plays the
+/// role of the RDBMS's secondary/primary indexes; the engine keeps indexes
+/// memory-resident (a common main-memory DBMS design) while the heap is
+/// page-structured.
+class BPlusTree {
+ public:
+  /// Maximum entries per node before a split.
+  static constexpr size_t kNodeCapacity = 64;
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts (key, rid). Duplicates of the same (key, rid) pair are ignored.
+  void Insert(std::string_view key, const Rid& rid);
+
+  /// Removes the exact (key, rid) entry. Returns true if it was present.
+  bool Erase(std::string_view key, const Rid& rid);
+
+  /// True if at least one entry with exactly `key` exists.
+  bool Contains(std::string_view key) const;
+
+  size_t size() const { return size_; }
+  /// Height of the tree (1 = a single leaf).
+  size_t height() const { return height_; }
+  /// Total bytes held in keys (storage accounting for experiments).
+  size_t key_bytes() const { return key_bytes_; }
+
+  // Node types are public so that implementation helpers in btree.cc can
+  // name them; they are defined only in the .cc file.
+  struct Node;
+  struct Leaf;
+  struct Internal;
+
+  /// Forward iterator over (key, rid) entries in key order.
+  class Iterator {
+   public:
+    Iterator() = default;
+    Iterator(const Leaf* leaf, size_t pos) : leaf_(leaf), pos_(pos) {}
+
+    bool valid() const;
+    const std::string& key() const;
+    const Rid& rid() const;
+    void Next();
+
+   private:
+    const Leaf* leaf_ = nullptr;
+    size_t pos_ = 0;
+  };
+
+  /// Iterator at the first entry with key >= `key` (end if none).
+  Iterator LowerBound(std::string_view key) const;
+  /// Iterator at the first entry with key > `key`.
+  Iterator UpperBound(std::string_view key) const;
+  /// Iterator at the smallest entry.
+  Iterator Begin() const;
+
+ private:
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  size_t height_ = 1;
+  size_t key_bytes_ = 0;
+};
+
+}  // namespace oxml
+
+#endif  // OXML_RELATIONAL_BTREE_H_

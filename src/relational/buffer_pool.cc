@@ -1,0 +1,211 @@
+#include "src/relational/buffer_pool.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace oxml {
+
+// ---------------------------------------------------------------- backends
+
+Result<uint32_t> MemoryBackend::AllocatePage() {
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<uint32_t>(pages_.size() - 1);
+}
+
+Status MemoryBackend::ReadPage(uint32_t id, char* buf) {
+  if (id >= pages_.size()) return Status::OutOfRange("bad page id");
+  std::memcpy(buf, pages_[id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status MemoryBackend::WritePage(uint32_t id, const char* buf) {
+  if (id >= pages_.size()) return Status::OutOfRange("bad page id");
+  std::memcpy(pages_[id].get(), buf, kPageSize);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FileBackend>> FileBackend::Open(
+    const std::string& path, bool truncate) {
+  int flags = O_RDWR | O_CREAT | (truncate ? O_TRUNC : 0);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  auto backend = std::unique_ptr<FileBackend>(new FileBackend(fd, path));
+  if (!truncate) {
+    off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size < 0) {
+      return Status::IOError("lseek(" + path + "): " + std::strerror(errno));
+    }
+    if (size % static_cast<off_t>(kPageSize) != 0) {
+      return Status::IOError(path + " is not page-aligned (corrupt?)");
+    }
+    backend->page_count_ = static_cast<uint32_t>(size / kPageSize);
+  }
+  return backend;
+}
+
+FileBackend::~FileBackend() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint32_t> FileBackend::AllocatePage() {
+  uint32_t id = page_count_;
+  char zeros[kPageSize];
+  std::memset(zeros, 0, kPageSize);
+  OXML_RETURN_NOT_OK(WritePage(id, zeros));
+  ++page_count_;
+  return id;
+}
+
+Status FileBackend::ReadPage(uint32_t id, char* buf) {
+  ssize_t n = ::pread(fd_, buf, kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pread failed for page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+Status FileBackend::WritePage(uint32_t id, const char* buf) {
+  ssize_t n = ::pwrite(fd_, buf, kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IOError("pwrite failed for page " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------- page handle
+
+PageHandle::PageHandle(BufferPool* pool, uint32_t page_id, char* data)
+    : pool_(pool), page_id_(page_id), data_(data) {}
+
+PageHandle::~PageHandle() { Release(); }
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), page_id_(other.page_id_), data_(other.data_) {
+  other.pool_ = nullptr;
+  other.data_ = nullptr;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    page_id_ = other.page_id_;
+    data_ = other.data_;
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageHandle::MarkDirty() {
+  if (pool_ != nullptr) pool_->Unpin(page_id_, /*dirty=*/true);
+  // Keep the pin: Unpin(dirty) only sets the dirty bit when pinned.
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(page_id_, /*dirty=*/false);
+    pool_ = nullptr;
+  }
+}
+
+// ------------------------------------------------------------- buffer pool
+
+BufferPool::BufferPool(std::unique_ptr<StorageBackend> backend,
+                       size_t capacity)
+    : backend_(std::move(backend)), capacity_(capacity) {}
+
+BufferPool::~BufferPool() { (void)FlushAll(); }
+
+Status BufferPool::EnsureCapacity() {
+  if (capacity_ == 0 || frames_.size() < capacity_) return Status::OK();
+  // Evict the least recently used unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    uint32_t victim = *it;
+    auto fit = frames_.find(victim);
+    if (fit == frames_.end() || fit->second.pin_count > 0) continue;
+    Frame& f = fit->second;
+    if (f.dirty) {
+      OXML_RETURN_NOT_OK(backend_->WritePage(victim, f.data.get()));
+    }
+    lru_.erase(std::next(it).base());
+    frames_.erase(fit);
+    return Status::OK();
+  }
+  return Status::Internal("buffer pool exhausted: all frames pinned");
+}
+
+Result<PageHandle> BufferPool::NewPage() {
+  OXML_ASSIGN_OR_RETURN(uint32_t id, backend_->AllocatePage());
+  OXML_RETURN_NOT_OK(EnsureCapacity());
+  Frame frame;
+  frame.data = std::make_unique<char[]>(kPageSize);
+  std::memset(frame.data.get(), 0, kPageSize);
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = true;  // a fresh page must eventually reach the backend
+  char* data = frame.data.get();
+  frames_.emplace(id, std::move(frame));
+  return PageHandle(this, id, data);
+}
+
+Result<PageHandle> BufferPool::FetchPage(uint32_t page_id) {
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) {
+    ++hits_;
+    Frame& f = it->second;
+    ++f.pin_count;
+    if (f.in_lru) {
+      lru_.erase(f.lru_pos);
+      f.in_lru = false;
+    }
+    return PageHandle(this, page_id, f.data.get());
+  }
+  ++misses_;
+  OXML_RETURN_NOT_OK(EnsureCapacity());
+  Frame frame;
+  frame.data = std::make_unique<char[]>(kPageSize);
+  OXML_RETURN_NOT_OK(backend_->ReadPage(page_id, frame.data.get()));
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  char* data = frame.data.get();
+  frames_.emplace(page_id, std::move(frame));
+  return PageHandle(this, page_id, data);
+}
+
+void BufferPool::Unpin(uint32_t page_id, bool dirty) {
+  auto it = frames_.find(page_id);
+  if (it == frames_.end()) return;
+  Frame& f = it->second;
+  if (dirty) {
+    f.dirty = true;
+    return;  // MarkDirty does not drop the pin
+  }
+  if (f.pin_count > 0) --f.pin_count;
+  if (f.pin_count == 0 && !f.in_lru) {
+    lru_.push_front(page_id);
+    f.lru_pos = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      OXML_RETURN_NOT_OK(backend_->WritePage(id, frame.data.get()));
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace oxml

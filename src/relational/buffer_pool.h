@@ -1,0 +1,140 @@
+#ifndef OXML_RELATIONAL_BUFFER_POOL_H_
+#define OXML_RELATIONAL_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/relational/page.h"
+
+namespace oxml {
+
+/// Abstract page store underneath the buffer pool.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+  /// Allocates a zeroed page, returning its id (ids are dense from 0).
+  virtual Result<uint32_t> AllocatePage() = 0;
+  virtual Status ReadPage(uint32_t id, char* buf) = 0;
+  virtual Status WritePage(uint32_t id, const char* buf) = 0;
+  virtual uint32_t page_count() const = 0;
+};
+
+/// Keeps every page in RAM (a main-memory database configuration).
+class MemoryBackend : public StorageBackend {
+ public:
+  Result<uint32_t> AllocatePage() override;
+  Status ReadPage(uint32_t id, char* buf) override;
+  Status WritePage(uint32_t id, const char* buf) override;
+  uint32_t page_count() const override {
+    return static_cast<uint32_t>(pages_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<char[]>> pages_;
+};
+
+/// Stores pages in a file via pread/pwrite (a disk-resident configuration).
+class FileBackend : public StorageBackend {
+ public:
+  /// Opens the file. With `truncate` (the default) any existing content is
+  /// discarded; otherwise existing pages are preserved and the page count
+  /// is derived from the file size (which must be page-aligned).
+  static Result<std::unique_ptr<FileBackend>> Open(const std::string& path,
+                                                   bool truncate = true);
+  ~FileBackend() override;
+
+  Result<uint32_t> AllocatePage() override;
+  Status ReadPage(uint32_t id, char* buf) override;
+  Status WritePage(uint32_t id, const char* buf) override;
+  uint32_t page_count() const override { return page_count_; }
+
+ private:
+  FileBackend(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  int fd_;
+  std::string path_;
+  uint32_t page_count_ = 0;
+};
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While a PageHandle is alive the frame will
+/// not be evicted. Call MarkDirty() after mutating data().
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(BufferPool* pool, uint32_t page_id, char* data);
+  ~PageHandle();
+
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+
+  bool valid() const { return pool_ != nullptr; }
+  uint32_t page_id() const { return page_id_; }
+  char* data() const { return data_; }
+  void MarkDirty();
+
+ private:
+  void Release();
+  BufferPool* pool_ = nullptr;
+  uint32_t page_id_ = kInvalidPageId;
+  char* data_ = nullptr;
+};
+
+/// A pin-counted LRU buffer pool over a StorageBackend.
+class BufferPool {
+ public:
+  /// `capacity` is the number of resident frames; 0 means unbounded
+  /// (sensible with MemoryBackend).
+  BufferPool(std::unique_ptr<StorageBackend> backend, size_t capacity = 0);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Allocates a fresh page and returns it pinned (contents zeroed).
+  Result<PageHandle> NewPage();
+
+  /// Returns the page pinned, faulting it in from the backend if needed.
+  Result<PageHandle> FetchPage(uint32_t page_id);
+
+  /// Writes back all dirty frames.
+  Status FlushAll();
+
+  uint32_t page_count() const { return backend_->page_count(); }
+  uint64_t hit_count() const { return hits_; }
+  uint64_t miss_count() const { return misses_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    uint32_t page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    std::list<uint32_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(uint32_t page_id, bool dirty);
+  /// Evicts one unpinned frame if at capacity. Returns error if all pinned.
+  Status EnsureCapacity();
+
+  std::unique_ptr<StorageBackend> backend_;
+  size_t capacity_;
+  std::unordered_map<uint32_t, Frame> frames_;
+  std::list<uint32_t> lru_;  // front = most recently used
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace oxml
+
+#endif  // OXML_RELATIONAL_BUFFER_POOL_H_

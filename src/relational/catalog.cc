@@ -1,0 +1,105 @@
+#include "src/relational/catalog.h"
+
+namespace oxml {
+
+Result<TableIndex*> TableInfo::CreateIndex(std::string index_name,
+                                           std::vector<int> column_indices,
+                                           bool unique) {
+  for (const auto& idx : indexes_) {
+    if (idx->name == index_name) {
+      return Status::AlreadyExists("index " + index_name);
+    }
+  }
+  auto index = std::make_unique<TableIndex>();
+  index->name = std::move(index_name);
+  index->column_indices = std::move(column_indices);
+  index->unique = unique;
+
+  // Bulk load existing rows.
+  HeapTable::Iterator it = heap_->Scan();
+  Rid rid;
+  Row row;
+  while (true) {
+    OXML_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &row));
+    if (!has) break;
+    std::string key = index->KeyFor(row);
+    if (index->unique && index->tree.Contains(key)) {
+      return Status::Aborted("duplicate key while building unique index " +
+                             index->name);
+    }
+    index->tree.Insert(key, rid);
+  }
+  TableIndex* raw = index.get();
+  indexes_.push_back(std::move(index));
+  return raw;
+}
+
+TableIndex* TableInfo::FindIndex(const std::string& index_name) const {
+  for (const auto& idx : indexes_) {
+    if (idx->name == index_name) return idx.get();
+  }
+  return nullptr;
+}
+
+Result<Rid> TableInfo::InsertRow(const Row& row, ExecStats* stats) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row width mismatch for table " + name_ + ": got " +
+        std::to_string(row.size()) + ", want " +
+        std::to_string(schema_.size()));
+  }
+  for (const auto& idx : indexes_) {
+    if (idx->unique && idx->tree.Contains(idx->KeyFor(row))) {
+      return Status::Aborted("unique constraint violated on index " +
+                             idx->name);
+    }
+  }
+  OXML_ASSIGN_OR_RETURN(Rid rid, heap_->Insert(row));
+  for (const auto& idx : indexes_) {
+    idx->tree.Insert(idx->KeyFor(row), rid);
+  }
+  if (stats != nullptr) ++stats->rows_inserted;
+  return rid;
+}
+
+Status TableInfo::DeleteRow(const Rid& rid, ExecStats* stats) {
+  OXML_ASSIGN_OR_RETURN(Row row, heap_->Get(rid));
+  for (const auto& idx : indexes_) {
+    idx->tree.Erase(idx->KeyFor(row), rid);
+  }
+  OXML_RETURN_NOT_OK(heap_->Delete(rid));
+  if (stats != nullptr) ++stats->rows_deleted;
+  return Status::OK();
+}
+
+Result<Rid> TableInfo::UpdateRow(const Rid& rid, const Row& new_row,
+                                 ExecStats* stats) {
+  if (new_row.size() != schema_.size()) {
+    return Status::InvalidArgument("row width mismatch for table " + name_);
+  }
+  OXML_ASSIGN_OR_RETURN(Row old_row, heap_->Get(rid));
+
+  // Unique pre-check (ignoring this row's own entry).
+  for (const auto& idx : indexes_) {
+    if (!idx->unique) continue;
+    std::string new_key = idx->KeyFor(new_row);
+    if (new_key == idx->KeyFor(old_row)) continue;
+    if (idx->tree.Contains(new_key)) {
+      return Status::Aborted("unique constraint violated on index " +
+                             idx->name);
+    }
+  }
+
+  OXML_ASSIGN_OR_RETURN(Rid new_rid, heap_->Update(rid, new_row));
+  for (const auto& idx : indexes_) {
+    std::string old_key = idx->KeyFor(old_row);
+    std::string new_key = idx->KeyFor(new_row);
+    if (old_key == new_key && new_rid == rid) continue;
+    idx->tree.Erase(old_key, rid);
+    idx->tree.Insert(new_key, new_rid);
+  }
+  if (stats != nullptr) ++stats->rows_updated;
+  return new_rid;
+}
+
+}  // namespace oxml

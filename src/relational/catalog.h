@@ -1,0 +1,88 @@
+#ifndef OXML_RELATIONAL_CATALOG_H_
+#define OXML_RELATIONAL_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/relational/btree.h"
+#include "src/relational/heap_table.h"
+#include "src/relational/key_codec.h"
+#include "src/relational/schema.h"
+
+namespace oxml {
+
+/// Mutation counters shared by the executor and the storage layer; the
+/// ordered-XML benchmarks read these to report "rows touched" per update.
+struct ExecStats {
+  uint64_t rows_scanned = 0;    // rows produced by table/index scans
+  uint64_t index_probes = 0;    // index lookups / range scans started
+  uint64_t rows_inserted = 0;
+  uint64_t rows_deleted = 0;
+  uint64_t rows_updated = 0;
+  uint64_t statements = 0;
+
+  void Reset() { *this = ExecStats(); }
+};
+
+/// A secondary (or primary, when `unique`) index over a table.
+struct TableIndex {
+  std::string name;
+  std::vector<int> column_indices;  // positions in the table schema
+  bool unique = false;
+  BPlusTree tree;
+
+  /// Encoded key of `row` for this index.
+  std::string KeyFor(const Row& row) const {
+    std::vector<Value> vals;
+    vals.reserve(column_indices.size());
+    for (int c : column_indices) vals.push_back(row[c]);
+    return EncodeKey(vals);
+  }
+};
+
+/// A table: heap storage plus its indexes, with index maintenance on every
+/// mutation. All row mutations must flow through this class.
+class TableInfo {
+ public:
+  TableInfo(std::string name, Schema schema, std::unique_ptr<HeapTable> heap)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        heap_(std::move(heap)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  HeapTable* heap() const { return heap_.get(); }
+
+  const std::vector<std::unique_ptr<TableIndex>>& indexes() const {
+    return indexes_;
+  }
+
+  /// Builds a new index (bulk-loading existing rows). Fails on duplicate
+  /// keys when `unique`.
+  Result<TableIndex*> CreateIndex(std::string index_name,
+                                  std::vector<int> column_indices,
+                                  bool unique);
+
+  TableIndex* FindIndex(const std::string& index_name) const;
+
+  /// Inserts a row, maintaining all indexes; enforces unique constraints.
+  Result<Rid> InsertRow(const Row& row, ExecStats* stats);
+
+  /// Deletes the row at `rid`, maintaining indexes.
+  Status DeleteRow(const Rid& rid, ExecStats* stats);
+
+  /// Replaces the row at `rid`; returns the (possibly moved) rid.
+  Result<Rid> UpdateRow(const Rid& rid, const Row& new_row, ExecStats* stats);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::unique_ptr<HeapTable> heap_;
+  std::vector<std::unique_ptr<TableIndex>> indexes_;
+};
+
+}  // namespace oxml
+
+#endif  // OXML_RELATIONAL_CATALOG_H_

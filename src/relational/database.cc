@@ -1,0 +1,522 @@
+#include "src/relational/database.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/relational/planner.h"
+#include "src/relational/sql_parser.h"
+
+namespace oxml {
+
+Result<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  std::unique_ptr<StorageBackend> backend;
+  if (!options.file_path.empty()) {
+    OXML_ASSIGN_OR_RETURN(
+        std::unique_ptr<FileBackend> fb,
+        FileBackend::Open(options.file_path,
+                          /*truncate=*/!options.open_existing));
+    backend = std::move(fb);
+  } else {
+    backend = std::make_unique<MemoryBackend>();
+  }
+  bool have_pages = backend->page_count() > 0;
+  auto pool = std::make_unique<BufferPool>(std::move(backend),
+                                           options.buffer_capacity);
+  auto db = std::unique_ptr<Database>(new Database(std::move(pool)));
+  if (options.open_existing && have_pages) {
+    OXML_RETURN_NOT_OK(db->LoadCatalog());
+  } else {
+    // Reserve page 0 for the catalog so table pages start at 1.
+    OXML_ASSIGN_OR_RETURN(PageHandle page, db->pool_->NewPage());
+    if (page.page_id() != 0) {
+      return Status::Internal("catalog page is not page 0");
+    }
+    page.MarkDirty();
+  }
+  return db;
+}
+
+Database::~Database() { (void)Checkpoint(); }
+
+namespace {
+
+// Catalog serialization helpers (page 0 layout: magic, version, payload
+// length, payload).
+constexpr uint32_t kCatalogMagic = 0x4F584D4Cu;  // "OXML"
+constexpr uint32_t kCatalogVersion = 1;
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU32C(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+void PutU64C(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+void PutStr(const std::string& s, std::string* out) {
+  PutU32C(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+class CatalogReader {
+ public:
+  CatalogReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> U8() {
+    if (pos_ + 1 > size_) return Fail();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  Result<uint32_t> U32() {
+    if (pos_ + 4 > size_) return Fail();
+    uint32_t v;
+    std::memcpy(&v, data_ + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  Result<uint64_t> U64() {
+    if (pos_ + 8 > size_) return Fail();
+    uint64_t v;
+    std::memcpy(&v, data_ + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  Result<std::string> Str() {
+    OXML_ASSIGN_OR_RETURN(uint32_t len, U32());
+    if (pos_ + len > size_) return Fail();
+    std::string out(data_ + pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+ private:
+  Status Fail() const { return Status::IOError("truncated catalog page"); }
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status Database::SaveCatalog() {
+  std::string payload;
+  PutU32C(static_cast<uint32_t>(tables_.size()), &payload);
+  for (const auto& [name, table] : tables_) {
+    PutStr(name, &payload);
+    const Schema& schema = table->schema();
+    PutU32C(static_cast<uint32_t>(schema.size()), &payload);
+    for (const Column& col : schema.columns()) {
+      PutStr(col.name, &payload);
+      PutU8(static_cast<uint8_t>(col.type), &payload);
+    }
+    const HeapTable* heap = table->heap();
+    PutU32C(heap->first_page(), &payload);
+    PutU32C(heap->last_page(), &payload);
+    PutU64C(heap->row_count(), &payload);
+    PutU64C(heap->page_chain_length(), &payload);
+    PutU64C(heap->data_bytes(), &payload);
+    PutU32C(static_cast<uint32_t>(table->indexes().size()), &payload);
+    for (const auto& idx : table->indexes()) {
+      PutStr(idx->name, &payload);
+      PutU8(idx->unique ? 1 : 0, &payload);
+      PutU32C(static_cast<uint32_t>(idx->column_indices.size()), &payload);
+      for (int c : idx->column_indices) {
+        PutU32C(static_cast<uint32_t>(c), &payload);
+      }
+    }
+  }
+  if (payload.size() + 12 > kPageSize) {
+    return Status::IOError("catalog exceeds one page (" +
+                           std::to_string(payload.size()) + " bytes)");
+  }
+  OXML_ASSIGN_OR_RETURN(PageHandle page, pool_->FetchPage(0));
+  std::string header;
+  PutU32C(kCatalogMagic, &header);
+  PutU32C(kCatalogVersion, &header);
+  PutU32C(static_cast<uint32_t>(payload.size()), &header);
+  std::memcpy(page.data(), header.data(), header.size());
+  std::memcpy(page.data() + header.size(), payload.data(), payload.size());
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Status Database::LoadCatalog() {
+  OXML_ASSIGN_OR_RETURN(PageHandle page, pool_->FetchPage(0));
+  CatalogReader header(page.data(), kPageSize);
+  OXML_ASSIGN_OR_RETURN(uint32_t magic, header.U32());
+  OXML_ASSIGN_OR_RETURN(uint32_t version, header.U32());
+  OXML_ASSIGN_OR_RETURN(uint32_t payload_len, header.U32());
+  if (magic != kCatalogMagic) {
+    return Status::IOError("not an ordered-xml database file (bad magic)");
+  }
+  if (version != kCatalogVersion) {
+    return Status::IOError("unsupported catalog version " +
+                           std::to_string(version));
+  }
+  if (payload_len + 12 > kPageSize) {
+    return Status::IOError("corrupt catalog length");
+  }
+  CatalogReader in(page.data() + 12, payload_len);
+
+  OXML_ASSIGN_OR_RETURN(uint32_t ntables, in.U32());
+  for (uint32_t t = 0; t < ntables; ++t) {
+    OXML_ASSIGN_OR_RETURN(std::string name, in.Str());
+    OXML_ASSIGN_OR_RETURN(uint32_t ncols, in.U32());
+    std::vector<Column> cols;
+    for (uint32_t c = 0; c < ncols; ++c) {
+      Column col;
+      OXML_ASSIGN_OR_RETURN(col.name, in.Str());
+      OXML_ASSIGN_OR_RETURN(uint8_t type, in.U8());
+      col.type = static_cast<TypeId>(type);
+      cols.push_back(std::move(col));
+    }
+    OXML_ASSIGN_OR_RETURN(uint32_t first_page, in.U32());
+    OXML_ASSIGN_OR_RETURN(uint32_t last_page, in.U32());
+    OXML_ASSIGN_OR_RETURN(uint64_t row_count, in.U64());
+    OXML_ASSIGN_OR_RETURN(uint64_t chain, in.U64());
+    OXML_ASSIGN_OR_RETURN(uint64_t data_bytes, in.U64());
+    Schema schema(cols);
+    std::unique_ptr<HeapTable> heap =
+        HeapTable::Attach(pool_.get(), schema, first_page, last_page,
+                          row_count, chain, data_bytes);
+    auto table =
+        std::make_unique<TableInfo>(name, std::move(schema), std::move(heap));
+
+    OXML_ASSIGN_OR_RETURN(uint32_t nindexes, in.U32());
+    for (uint32_t i = 0; i < nindexes; ++i) {
+      OXML_ASSIGN_OR_RETURN(std::string iname, in.Str());
+      OXML_ASSIGN_OR_RETURN(uint8_t unique, in.U8());
+      OXML_ASSIGN_OR_RETURN(uint32_t nic, in.U32());
+      std::vector<int> positions;
+      for (uint32_t c = 0; c < nic; ++c) {
+        OXML_ASSIGN_OR_RETURN(uint32_t pos, in.U32());
+        positions.push_back(static_cast<int>(pos));
+      }
+      // Rebuilds the memory-resident B+tree by scanning the heap.
+      OXML_RETURN_NOT_OK(
+          table->CreateIndex(iname, std::move(positions), unique != 0)
+              .status());
+    }
+    tables_[name] = std::move(table);
+  }
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  OXML_RETURN_NOT_OK(SaveCatalog());
+  return pool_->FlushAll();
+}
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  OXML_ASSIGN_OR_RETURN(std::unique_ptr<HeapTable> heap,
+                        HeapTable::Create(pool_.get(), schema));
+  tables_[name] = std::make_unique<TableInfo>(name, std::move(schema),
+                                              std::move(heap));
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  // Pages are not reclaimed (no free list); the catalog entry goes away.
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Status Database::CreateIndex(const std::string& index_name,
+                             const std::string& table,
+                             const std::vector<std::string>& columns,
+                             bool unique) {
+  TableInfo* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  std::vector<int> positions;
+  for (const std::string& col : columns) {
+    int idx = t->schema().IndexOf(col);
+    if (idx < 0) {
+      return Status::NotFound("no column " + col + " in table " + table);
+    }
+    positions.push_back(idx);
+  }
+  return t->CreateIndex(index_name, std::move(positions), unique).status();
+}
+
+TableInfo* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<Rid> Database::Insert(const std::string& table, const Row& row) {
+  TableInfo* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  return t->InsertRow(row, &stats_);
+}
+
+Result<ResultSet> Database::Query(std::string_view sql) {
+  ++stats_.statements;
+  OXML_ASSIGN_OR_RETURN(StmtPtr stmt, ParseSql(sql));
+  if (stmt->kind != StmtKind::kSelect) {
+    return Status::InvalidArgument("Query() requires a SELECT statement");
+  }
+  OXML_ASSIGN_OR_RETURN(
+      OperatorPtr plan,
+      PlanSelect(this, static_cast<SelectStmt*>(stmt.get())));
+  return ExecuteToResultSet(plan.get());
+}
+
+Result<std::string> Database::Explain(std::string_view sql) {
+  OXML_ASSIGN_OR_RETURN(StmtPtr stmt, ParseSql(sql));
+  if (stmt->kind != StmtKind::kSelect) {
+    return Status::InvalidArgument("Explain() requires a SELECT statement");
+  }
+  OXML_ASSIGN_OR_RETURN(
+      OperatorPtr plan,
+      PlanSelect(this, static_cast<SelectStmt*>(stmt.get())));
+  std::string out;
+  plan->Describe(0, &out);
+  return out;
+}
+
+Result<int64_t> Database::Execute(std::string_view sql) {
+  ++stats_.statements;
+  OXML_ASSIGN_OR_RETURN(StmtPtr stmt, ParseSql(sql));
+  switch (stmt->kind) {
+    case StmtKind::kSelect: {
+      OXML_ASSIGN_OR_RETURN(
+          OperatorPtr plan,
+          PlanSelect(this, static_cast<SelectStmt*>(stmt.get())));
+      OXML_ASSIGN_OR_RETURN(ResultSet rs, ExecuteToResultSet(plan.get()));
+      return static_cast<int64_t>(rs.rows.size());
+    }
+    case StmtKind::kInsert:
+      return ExecuteInsert(static_cast<InsertStmt*>(stmt.get()));
+    case StmtKind::kUpdate:
+      return ExecuteUpdate(static_cast<UpdateStmt*>(stmt.get()));
+    case StmtKind::kDelete:
+      return ExecuteDelete(static_cast<DeleteStmt*>(stmt.get()));
+    case StmtKind::kCreateTable: {
+      auto* ct = static_cast<CreateTableStmt*>(stmt.get());
+      OXML_RETURN_NOT_OK(CreateTable(ct->table, Schema(ct->columns)));
+      return 0;
+    }
+    case StmtKind::kCreateIndex: {
+      auto* ci = static_cast<CreateIndexStmt*>(stmt.get());
+      OXML_RETURN_NOT_OK(
+          CreateIndex(ci->index, ci->table, ci->columns, ci->unique));
+      return 0;
+    }
+    case StmtKind::kDropTable: {
+      auto* dt = static_cast<DropTableStmt*>(stmt.get());
+      OXML_RETURN_NOT_OK(DropTable(dt->table));
+      return 0;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+namespace {
+
+/// Coerces a literal value to a column type (INT -> DOUBLE promotion and
+/// TEXT/BLOB interchange); errors on incompatible kinds.
+Result<Value> CoerceTo(const Value& v, TypeId type) {
+  if (v.is_null()) return v;
+  if (v.type() == type) return v;
+  switch (type) {
+    case TypeId::kDouble:
+      if (v.type() == TypeId::kInt) return Value::Double(v.AsDouble());
+      break;
+    case TypeId::kInt:
+      if (v.type() == TypeId::kDouble) {
+        return Value::Int(static_cast<int64_t>(v.AsDouble()));
+      }
+      break;
+    case TypeId::kText:
+      if (v.type() == TypeId::kBlob) return Value::Text(v.AsString());
+      break;
+    case TypeId::kBlob:
+      if (v.type() == TypeId::kText) return Value::Blob(v.AsString());
+      break;
+    default:
+      break;
+  }
+  return Status::InvalidArgument(std::string("cannot coerce ") +
+                                 TypeIdToString(v.type()) + " to " +
+                                 TypeIdToString(type));
+}
+
+}  // namespace
+
+Result<int64_t> Database::ExecuteInsert(InsertStmt* stmt) {
+  TableInfo* t = GetTable(stmt->table);
+  if (t == nullptr) return Status::NotFound("no such table: " + stmt->table);
+  const Schema& schema = t->schema();
+
+  // Map the statement's column list to schema positions.
+  std::vector<int> positions;
+  if (stmt->columns.empty()) {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      positions.push_back(static_cast<int>(i));
+    }
+  } else {
+    for (const std::string& col : stmt->columns) {
+      int idx = schema.IndexOf(col);
+      if (idx < 0) {
+        return Status::NotFound("no column " + col + " in " + stmt->table);
+      }
+      positions.push_back(idx);
+    }
+  }
+
+  int64_t inserted = 0;
+  Row empty;
+  for (auto& exprs : stmt->rows) {
+    if (exprs.size() != positions.size()) {
+      return Status::InvalidArgument("VALUES arity mismatch");
+    }
+    Row row(schema.size(), Value::Null());
+    for (size_t i = 0; i < exprs.size(); ++i) {
+      OXML_ASSIGN_OR_RETURN(Value v, exprs[i]->Eval(empty));
+      OXML_ASSIGN_OR_RETURN(
+          row[positions[i]],
+          CoerceTo(v, schema.column(positions[i]).type));
+    }
+    OXML_RETURN_NOT_OK(t->InsertRow(row, &stats_).status());
+    ++inserted;
+  }
+  return inserted;
+}
+
+Result<std::vector<Rid>> Database::CollectRids(TableInfo* table,
+                                               Expr* where) {
+  std::vector<Rid> rids;
+  std::vector<Expr*> conjunct_ptrs;
+  std::vector<ExprPtr> owned;  // only to reuse SplitConjuncts shape
+
+  ExprPtr residual_pred;
+  AccessPath path;
+  if (where != nullptr) {
+    OXML_RETURN_NOT_OK(where->Bind(table->schema()));
+    // Split without taking ownership: treat the whole predicate as both
+    // sargable candidates and the residual check (re-evaluating consumed
+    // conjuncts is harmless here since DML row counts are modest relative
+    // to the scan itself).
+    std::vector<Expr*> flat;
+    // Walk top-level ANDs.
+    std::vector<Expr*> stack{where};
+    while (!stack.empty()) {
+      Expr* e = stack.back();
+      stack.pop_back();
+      if (e->kind() == Expr::Kind::kBinary) {
+        auto* bin = static_cast<BinaryExpr*>(e);
+        if (bin->op() == BinaryOp::kAnd) {
+          stack.push_back(bin->left());
+          stack.push_back(bin->right());
+          continue;
+        }
+      }
+      flat.push_back(e);
+    }
+    path = ChooseAccessPath(*table, flat);
+  }
+
+  auto row_matches = [&](const Row& row) -> Result<bool> {
+    if (where == nullptr) return true;
+    OXML_ASSIGN_OR_RETURN(Value v, where->Eval(row));
+    return !v.is_null() && v.IsTruthy();
+  };
+
+  if (path.index != nullptr) {
+    ++stats_.index_probes;
+    BPlusTree::Iterator it = path.lower.has_value()
+                                 ? path.index->tree.LowerBound(*path.lower)
+                                 : path.index->tree.Begin();
+    while (it.valid()) {
+      if (path.upper.has_value() && it.key() >= *path.upper) break;
+      OXML_ASSIGN_OR_RETURN(Row row, table->heap()->Get(it.rid()));
+      ++stats_.rows_scanned;
+      OXML_ASSIGN_OR_RETURN(bool ok, row_matches(row));
+      if (ok) rids.push_back(it.rid());
+      it.Next();
+    }
+  } else {
+    HeapTable::Iterator it = table->heap()->Scan();
+    Rid rid;
+    Row row;
+    while (true) {
+      OXML_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &row));
+      if (!has) break;
+      ++stats_.rows_scanned;
+      OXML_ASSIGN_OR_RETURN(bool ok, row_matches(row));
+      if (ok) rids.push_back(rid);
+    }
+  }
+  return rids;
+}
+
+Result<int64_t> Database::ExecuteUpdate(UpdateStmt* stmt) {
+  TableInfo* t = GetTable(stmt->table);
+  if (t == nullptr) return Status::NotFound("no such table: " + stmt->table);
+  const Schema& schema = t->schema();
+
+  std::vector<int> positions;
+  for (auto& [col, expr] : stmt->assignments) {
+    int idx = schema.IndexOf(col);
+    if (idx < 0) {
+      return Status::NotFound("no column " + col + " in " + stmt->table);
+    }
+    positions.push_back(idx);
+    OXML_RETURN_NOT_OK(expr->Bind(schema));
+  }
+
+  OXML_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                        CollectRids(t, stmt->where.get()));
+
+  int64_t updated = 0;
+  for (const Rid& rid : rids) {
+    OXML_ASSIGN_OR_RETURN(Row row, t->heap()->Get(rid));
+    Row new_row = row;
+    for (size_t i = 0; i < positions.size(); ++i) {
+      OXML_ASSIGN_OR_RETURN(Value v, stmt->assignments[i].second->Eval(row));
+      OXML_ASSIGN_OR_RETURN(
+          new_row[positions[i]],
+          CoerceTo(v, schema.column(positions[i]).type));
+    }
+    OXML_RETURN_NOT_OK(t->UpdateRow(rid, new_row, &stats_).status());
+    ++updated;
+  }
+  return updated;
+}
+
+Result<int64_t> Database::ExecuteDelete(DeleteStmt* stmt) {
+  TableInfo* t = GetTable(stmt->table);
+  if (t == nullptr) return Status::NotFound("no such table: " + stmt->table);
+  OXML_ASSIGN_OR_RETURN(std::vector<Rid> rids,
+                        CollectRids(t, stmt->where.get()));
+  for (const Rid& rid : rids) {
+    OXML_RETURN_NOT_OK(t->DeleteRow(rid, &stats_));
+  }
+  return static_cast<int64_t>(rids.size());
+}
+
+StorageStats Database::GetStorageStats() const {
+  StorageStats s;
+  for (const auto& [name, table] : tables_) {
+    s.heap_pages += table->heap()->page_chain_length();
+    s.heap_rows += table->heap()->row_count();
+    s.heap_bytes += table->heap()->data_bytes();
+    for (const auto& idx : table->indexes()) {
+      s.index_entries += idx->tree.size();
+      s.index_bytes += idx->tree.key_bytes();
+    }
+  }
+  return s;
+}
+
+}  // namespace oxml

@@ -1,0 +1,114 @@
+#ifndef OXML_RELATIONAL_DATABASE_H_
+#define OXML_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/relational/buffer_pool.h"
+#include "src/relational/catalog.h"
+#include "src/relational/executor.h"
+#include "src/relational/sql_ast.h"
+
+namespace oxml {
+
+/// Configuration of a Database instance.
+struct DatabaseOptions {
+  /// When non-empty, pages live in this file behind an LRU buffer pool;
+  /// otherwise everything is memory-resident.
+  std::string file_path;
+  /// Buffer-pool frames when file-backed (0 = unbounded cache).
+  size_t buffer_capacity = 0;
+  /// Reopen an existing database file: the persisted catalog (page 0) is
+  /// read back, heap tables are re-attached and the memory-resident
+  /// B+tree indexes are rebuilt by scanning the heaps. When false (the
+  /// default) any existing file content is discarded.
+  bool open_existing = false;
+};
+
+/// Aggregate storage numbers (per database), used by the loading/storage
+/// experiment.
+struct StorageStats {
+  uint64_t heap_pages = 0;
+  uint64_t heap_rows = 0;
+  uint64_t heap_bytes = 0;   // live row bytes
+  uint64_t index_entries = 0;
+  uint64_t index_bytes = 0;  // key bytes held in B+trees
+};
+
+/// The embedded relational engine: catalog + storage + SQL execution.
+/// Single-threaded; statements are parsed, planned and executed eagerly.
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(
+      const DatabaseOptions& options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  ~Database();
+
+  /// Serializes the catalog into page 0 and flushes all dirty pages to the
+  /// backend. A no-op guarantee-wise for memory-resident databases. Called
+  /// automatically on destruction.
+  Status Checkpoint();
+
+  // -------------------------------------------------------- programmatic API
+
+  Status CreateTable(const std::string& name, Schema schema);
+  Status DropTable(const std::string& name);
+  Status CreateIndex(const std::string& index_name, const std::string& table,
+                     const std::vector<std::string>& columns, bool unique);
+
+  /// Returns the table or nullptr.
+  TableInfo* GetTable(const std::string& name) const;
+
+  /// Direct row insertion (bypasses SQL, used by the bulk shredder).
+  Result<Rid> Insert(const std::string& table, const Row& row);
+
+  // ---------------------------------------------------------------- SQL API
+
+  /// Executes a SELECT and materializes the result.
+  Result<ResultSet> Query(std::string_view sql);
+
+  /// Executes any statement; returns the number of affected rows
+  /// (0 for DDL, result-row count for SELECT).
+  Result<int64_t> Execute(std::string_view sql);
+
+  /// Returns the physical plan of a SELECT as an indented tree.
+  Result<std::string> Explain(std::string_view sql);
+
+  // ------------------------------------------------------------- accounting
+
+  ExecStats* stats() { return &stats_; }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  StorageStats GetStorageStats() const;
+
+ private:
+  explicit Database(std::unique_ptr<BufferPool> pool)
+      : pool_(std::move(pool)) {}
+
+  /// Writes the catalog (table + index definitions, heap metadata) into
+  /// the reserved catalog page.
+  Status SaveCatalog();
+  /// Rebuilds the catalog from page 0 of an existing file.
+  Status LoadCatalog();
+
+  Result<int64_t> ExecuteInsert(InsertStmt* stmt);
+  Result<int64_t> ExecuteUpdate(UpdateStmt* stmt);
+  Result<int64_t> ExecuteDelete(DeleteStmt* stmt);
+
+  /// Collects the rids of rows in `table` matching `where` (which may be
+  /// null), using an index range when one applies.
+  Result<std::vector<Rid>> CollectRids(TableInfo* table, Expr* where);
+
+  std::unique_ptr<BufferPool> pool_;
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_;
+  ExecStats stats_;
+};
+
+}  // namespace oxml
+
+#endif  // OXML_RELATIONAL_DATABASE_H_

@@ -1,0 +1,686 @@
+#include "src/relational/executor.h"
+
+#include <algorithm>
+
+#include "src/relational/key_codec.h"
+
+namespace oxml {
+
+void Operator::Describe(int indent, std::string* out) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(Name());
+  out->push_back('\n');
+}
+
+// ------------------------------------------------------------------ SeqScan
+
+SeqScanOp::SeqScanOp(TableInfo* table, Schema qualified_schema,
+                     ExecStats* stats)
+    : table_(table), stats_(stats) {
+  schema_ = std::move(qualified_schema);
+}
+
+Status SeqScanOp::Open() {
+  it_.emplace(table_->heap()->Scan());
+  return Status::OK();
+}
+
+Result<bool> SeqScanOp::Next(Row* row) {
+  Rid rid;
+  OXML_ASSIGN_OR_RETURN(bool has, it_->Next(&rid, row));
+  if (has && stats_ != nullptr) ++stats_->rows_scanned;
+  return has;
+}
+
+std::string SeqScanOp::Name() const {
+  return "SeqScan(" + table_->name() + ")";
+}
+
+// ---------------------------------------------------------------- IndexScan
+
+IndexScanOp::IndexScanOp(TableInfo* table, TableIndex* index,
+                         Schema qualified_schema,
+                         std::optional<std::string> lower,
+                         std::optional<std::string> upper, ExecStats* stats)
+    : table_(table),
+      index_(index),
+      lower_(std::move(lower)),
+      upper_(std::move(upper)),
+      stats_(stats) {
+  schema_ = std::move(qualified_schema);
+}
+
+Status IndexScanOp::Open() {
+  if (stats_ != nullptr) ++stats_->index_probes;
+  it_ = lower_.has_value() ? index_->tree.LowerBound(*lower_)
+                           : index_->tree.Begin();
+  return Status::OK();
+}
+
+Result<bool> IndexScanOp::Next(Row* row) {
+  if (!it_.valid()) return false;
+  if (upper_.has_value() && it_.key() >= *upper_) return false;
+  OXML_ASSIGN_OR_RETURN(*row, table_->heap()->Get(it_.rid()));
+  it_.Next();
+  if (stats_ != nullptr) ++stats_->rows_scanned;
+  return true;
+}
+
+std::string IndexScanOp::Name() const {
+  std::string range = lower_.has_value() || upper_.has_value()
+                          ? " range"
+                          : " full";
+  return "IndexScan(" + table_->name() + "." + index_->name + range + ")";
+}
+
+// ------------------------------------------------------------------- Filter
+
+FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {
+  schema_ = child_->schema();
+}
+
+Status FilterOp::Open() { return child_->Open(); }
+
+Result<bool> FilterOp::Next(Row* row) {
+  while (true) {
+    OXML_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    OXML_ASSIGN_OR_RETURN(Value v, predicate_->Eval(*row));
+    if (!v.is_null() && v.IsTruthy()) return true;
+  }
+}
+
+std::string FilterOp::Name() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+void FilterOp::Describe(int indent, std::string* out) const {
+  Operator::Describe(indent, out);
+  child_->Describe(indent + 1, out);
+}
+
+// ------------------------------------------------------------------ Project
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
+                     Schema out_schema)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {
+  schema_ = std::move(out_schema);
+}
+
+Status ProjectOp::Open() { return child_->Open(); }
+
+Result<bool> ProjectOp::Next(Row* row) {
+  Row in;
+  OXML_ASSIGN_OR_RETURN(bool has, child_->Next(&in));
+  if (!has) return false;
+  row->clear();
+  row->reserve(exprs_.size());
+  for (const auto& e : exprs_) {
+    OXML_ASSIGN_OR_RETURN(Value v, e->Eval(in));
+    row->push_back(std::move(v));
+  }
+  return true;
+}
+
+std::string ProjectOp::Name() const {
+  std::string cols;
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) cols += ", ";
+    cols += exprs_[i]->ToString();
+  }
+  return "Project(" + cols + ")";
+}
+
+void ProjectOp::Describe(int indent, std::string* out) const {
+  Operator::Describe(indent, out);
+  child_->Describe(indent + 1, out);
+}
+
+// --------------------------------------------------------- NestedLoopJoin
+
+NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
+                                   ExprPtr predicate)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)) {
+  schema_ = left_->schema();
+  schema_.Append(right_->schema());
+}
+
+Status NestedLoopJoinOp::Open() {
+  OXML_RETURN_NOT_OK(left_->Open());
+  OXML_RETURN_NOT_OK(right_->Open());
+  right_rows_.clear();
+  Row row;
+  while (true) {
+    OXML_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+    if (!has) break;
+    right_rows_.push_back(row);
+  }
+  right_->Close();
+  have_left_ = false;
+  right_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> NestedLoopJoinOp::Next(Row* row) {
+  while (true) {
+    if (!have_left_) {
+      OXML_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+      if (!has) return false;
+      have_left_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& r = right_rows_[right_pos_++];
+      *row = left_row_;
+      row->insert(row->end(), r.begin(), r.end());
+      if (predicate_ == nullptr) return true;
+      OXML_ASSIGN_OR_RETURN(Value v, predicate_->Eval(*row));
+      if (!v.is_null() && v.IsTruthy()) return true;
+    }
+    have_left_ = false;
+  }
+}
+
+void NestedLoopJoinOp::Close() {
+  left_->Close();
+  right_rows_.clear();
+}
+
+std::string NestedLoopJoinOp::Name() const {
+  return "NestedLoopJoin(" +
+         (predicate_ != nullptr ? predicate_->ToString() : "cross") + ")";
+}
+
+void NestedLoopJoinOp::Describe(int indent, std::string* out) const {
+  Operator::Describe(indent, out);
+  left_->Describe(indent + 1, out);
+  right_->Describe(indent + 1, out);
+}
+
+// --------------------------------------------------------------- HashJoin
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
+                       std::vector<ExprPtr> left_keys,
+                       std::vector<ExprPtr> right_keys)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)) {
+  schema_ = left_->schema();
+  schema_.Append(right_->schema());
+}
+
+namespace {
+
+/// Encodes join-key expressions; yields an empty optional when any key
+/// value is NULL (SQL: NULL never equi-joins, not even with NULL).
+Result<std::optional<std::string>> EvalKey(const std::vector<ExprPtr>& exprs,
+                                           const Row& row) {
+  std::vector<Value> vals;
+  vals.reserve(exprs.size());
+  for (const auto& e : exprs) {
+    OXML_ASSIGN_OR_RETURN(Value v, e->Eval(row));
+    if (v.is_null()) return std::optional<std::string>();
+    vals.push_back(std::move(v));
+  }
+  return std::optional<std::string>(EncodeKey(vals));
+}
+
+}  // namespace
+
+Status HashJoinOp::Open() {
+  OXML_RETURN_NOT_OK(left_->Open());
+  OXML_RETURN_NOT_OK(right_->Open());
+  hash_.clear();
+  Row row;
+  while (true) {
+    OXML_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+    if (!has) break;
+    OXML_ASSIGN_OR_RETURN(std::optional<std::string> key,
+                          EvalKey(right_keys_, row));
+    if (key.has_value()) hash_.emplace(std::move(*key), row);
+  }
+  right_->Close();
+  have_left_ = false;
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(Row* row) {
+  while (true) {
+    if (!have_left_) {
+      OXML_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+      if (!has) return false;
+      OXML_ASSIGN_OR_RETURN(std::optional<std::string> key,
+                            EvalKey(left_keys_, left_row_));
+      if (!key.has_value()) continue;  // NULL key never joins
+      matches_ = hash_.equal_range(*key);
+      have_left_ = true;
+    }
+    if (matches_.first != matches_.second) {
+      *row = left_row_;
+      const Row& r = matches_.first->second;
+      row->insert(row->end(), r.begin(), r.end());
+      ++matches_.first;
+      return true;
+    }
+    have_left_ = false;
+  }
+}
+
+void HashJoinOp::Close() {
+  left_->Close();
+  hash_.clear();
+}
+
+std::string HashJoinOp::Name() const {
+  std::string keys;
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) keys += ", ";
+    keys += left_keys_[i]->ToString() + "=" + right_keys_[i]->ToString();
+  }
+  return "HashJoin(" + keys + ")";
+}
+
+void HashJoinOp::Describe(int indent, std::string* out) const {
+  Operator::Describe(indent, out);
+  left_->Describe(indent + 1, out);
+  right_->Describe(indent + 1, out);
+}
+
+// ----------------------------------------------------- IndexNestedLoopJoin
+
+IndexNestedLoopJoinOp::IndexNestedLoopJoinOp(OperatorPtr outer,
+                                             TableInfo* inner,
+                                             TableIndex* index,
+                                             Schema inner_schema,
+                                             std::vector<ExprPtr> outer_keys,
+                                             ExecStats* stats)
+    : outer_(std::move(outer)),
+      inner_(inner),
+      index_(index),
+      inner_schema_(std::move(inner_schema)),
+      outer_keys_(std::move(outer_keys)),
+      stats_(stats) {
+  schema_ = outer_->schema();
+  schema_.Append(inner_schema_);
+}
+
+Status IndexNestedLoopJoinOp::Open() {
+  have_outer_ = false;
+  return outer_->Open();
+}
+
+Result<bool> IndexNestedLoopJoinOp::Next(Row* row) {
+  while (true) {
+    if (!have_outer_) {
+      OXML_ASSIGN_OR_RETURN(bool has, outer_->Next(&outer_row_));
+      if (!has) return false;
+      OXML_ASSIGN_OR_RETURN(std::optional<std::string> key,
+                            EvalKey(outer_keys_, outer_row_));
+      if (!key.has_value()) continue;  // NULL key never joins
+      probe_key_ = std::move(*key);
+      if (stats_ != nullptr) ++stats_->index_probes;
+      it_ = index_->tree.LowerBound(probe_key_);
+      have_outer_ = true;
+    }
+    // The probe key covers a prefix of the index columns; matching entries
+    // are exactly those whose key starts with probe_key_.
+    if (it_.valid() && it_.key().size() >= probe_key_.size() &&
+        std::string_view(it_.key()).substr(0, probe_key_.size()) ==
+            probe_key_) {
+      OXML_ASSIGN_OR_RETURN(Row inner_row, inner_->heap()->Get(it_.rid()));
+      it_.Next();
+      if (stats_ != nullptr) ++stats_->rows_scanned;
+      *row = outer_row_;
+      row->insert(row->end(), inner_row.begin(), inner_row.end());
+      return true;
+    }
+    have_outer_ = false;
+  }
+}
+
+std::string IndexNestedLoopJoinOp::Name() const {
+  return "IndexNestedLoopJoin(" + inner_->name() + "." + index_->name + ")";
+}
+
+void IndexNestedLoopJoinOp::Describe(int indent, std::string* out) const {
+  Operator::Describe(indent, out);
+  outer_->Describe(indent + 1, out);
+}
+
+// --------------------------------------------------------------------- Sort
+
+SortOp::SortOp(OperatorPtr child, std::vector<ExprPtr> order_exprs,
+               std::vector<bool> desc)
+    : child_(std::move(child)),
+      order_exprs_(std::move(order_exprs)),
+      desc_(std::move(desc)) {
+  schema_ = child_->schema();
+}
+
+Status SortOp::Open() {
+  OXML_RETURN_NOT_OK(child_->Open());
+  rows_.clear();
+  pos_ = 0;
+  Row row;
+  while (true) {
+    OXML_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+    rows_.push_back(row);
+  }
+  child_->Close();
+
+  // Precompute sort keys to keep the comparator exception-free.
+  struct Keyed {
+    std::vector<Value> keys;
+    size_t index;
+  };
+  std::vector<Keyed> keyed(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    keyed[i].index = i;
+    keyed[i].keys.reserve(order_exprs_.size());
+    for (const auto& e : order_exprs_) {
+      OXML_ASSIGN_OR_RETURN(Value v, e->Eval(rows_[i]));
+      keyed[i].keys.push_back(std::move(v));
+    }
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [this](const Keyed& a, const Keyed& b) {
+                     for (size_t k = 0; k < a.keys.size(); ++k) {
+                       int c = a.keys[k].Compare(b.keys[k]);
+                       if (c != 0) return desc_[k] ? c > 0 : c < 0;
+                     }
+                     return false;
+                   });
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (const Keyed& k : keyed) sorted.push_back(std::move(rows_[k.index]));
+  rows_ = std::move(sorted);
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(Row* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = rows_[pos_++];
+  return true;
+}
+
+void SortOp::Close() { rows_.clear(); }
+
+std::string SortOp::Name() const {
+  std::string keys;
+  for (size_t i = 0; i < order_exprs_.size(); ++i) {
+    if (i > 0) keys += ", ";
+    keys += order_exprs_[i]->ToString();
+    if (desc_[i]) keys += " DESC";
+  }
+  return "Sort(" + keys + ")";
+}
+
+void SortOp::Describe(int indent, std::string* out) const {
+  Operator::Describe(indent, out);
+  child_->Describe(indent + 1, out);
+}
+
+// -------------------------------------------------------------------- Limit
+
+LimitOp::LimitOp(OperatorPtr child, int64_t limit)
+    : child_(std::move(child)), limit_(limit) {
+  schema_ = child_->schema();
+}
+
+Status LimitOp::Open() {
+  produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> LimitOp::Next(Row* row) {
+  if (produced_ >= limit_) return false;
+  OXML_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+  if (!has) return false;
+  ++produced_;
+  return true;
+}
+
+std::string LimitOp::Name() const {
+  return "Limit(" + std::to_string(limit_) + ")";
+}
+
+void LimitOp::Describe(int indent, std::string* out) const {
+  Operator::Describe(indent, out);
+  child_->Describe(indent + 1, out);
+}
+
+// ----------------------------------------------------------------- Distinct
+
+DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {
+  schema_ = child_->schema();
+}
+
+Status DistinctOp::Open() {
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<bool> DistinctOp::Next(Row* row) {
+  while (true) {
+    OXML_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    size_t h = HashRow(*row);
+    auto range = seen_.equal_range(h);
+    bool duplicate = false;
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second.size() != row->size()) continue;
+      bool equal = true;
+      for (size_t i = 0; i < row->size(); ++i) {
+        if (it->second[i].Compare((*row)[i]) != 0) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      seen_.emplace(h, *row);
+      return true;
+    }
+  }
+}
+
+void DistinctOp::Close() {
+  child_->Close();
+  seen_.clear();
+}
+
+std::string DistinctOp::Name() const { return "Distinct"; }
+
+void DistinctOp::Describe(int indent, std::string* out) const {
+  Operator::Describe(indent, out);
+  child_->Describe(indent + 1, out);
+}
+
+// ---------------------------------------------------------------- Aggregate
+
+AggregateOp::AggregateOp(OperatorPtr child, std::vector<ExprPtr> group_by,
+                         std::vector<AggregateSpec> aggregates,
+                         Schema out_schema)
+    : child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {
+  schema_ = std::move(out_schema);
+}
+
+Status AggregateOp::Open() {
+  OXML_RETURN_NOT_OK(child_->Open());
+  groups_.clear();
+  group_index_.clear();
+  pos_ = 0;
+
+  Row row;
+  while (true) {
+    OXML_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+
+    Row group_values;
+    group_values.reserve(group_by_.size());
+    for (const auto& e : group_by_) {
+      OXML_ASSIGN_OR_RETURN(Value v, e->Eval(row));
+      group_values.push_back(std::move(v));
+    }
+
+    size_t h = HashRow(group_values);
+    GroupState* state = nullptr;
+    for (size_t idx : group_index_[h]) {
+      bool equal = true;
+      for (size_t i = 0; i < group_values.size(); ++i) {
+        if (groups_[idx].group_values[i].Compare(group_values[i]) != 0) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) {
+        state = &groups_[idx];
+        break;
+      }
+    }
+    if (state == nullptr) {
+      group_index_[h].push_back(groups_.size());
+      groups_.push_back(GroupState{
+          std::move(group_values),
+          std::vector<Value>(aggregates_.size(), Value::Null()),
+          std::vector<int64_t>(aggregates_.size(), 0)});
+      state = &groups_.back();
+    }
+
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggregateSpec& spec = aggregates_[a];
+      Value arg = Value::Null();
+      if (spec.arg != nullptr) {
+        OXML_ASSIGN_OR_RETURN(arg, spec.arg->Eval(row));
+      }
+      Value& acc = state->accumulators[a];
+      switch (spec.kind) {
+        case AggregateKind::kCount:
+          if (spec.arg == nullptr || !arg.is_null()) ++state->counts[a];
+          break;
+        case AggregateKind::kSum:
+        case AggregateKind::kAvg:
+          if (!arg.is_null()) {
+            ++state->counts[a];
+            if (acc.is_null()) {
+              acc = arg;
+            } else if (acc.type() == TypeId::kInt &&
+                       arg.type() == TypeId::kInt) {
+              acc = Value::Int(acc.AsInt() + arg.AsInt());
+            } else {
+              acc = Value::Double(acc.AsDouble() + arg.AsDouble());
+            }
+          }
+          break;
+        case AggregateKind::kMin:
+          if (!arg.is_null() && (acc.is_null() || arg.Compare(acc) < 0)) {
+            acc = arg;
+          }
+          break;
+        case AggregateKind::kMax:
+          if (!arg.is_null() && (acc.is_null() || arg.Compare(acc) > 0)) {
+            acc = arg;
+          }
+          break;
+        case AggregateKind::kNone:
+          return Status::Internal("non-aggregate in AggregateOp");
+      }
+    }
+  }
+  child_->Close();
+
+  // A global aggregate (no GROUP BY) over zero rows still yields one row.
+  if (groups_.empty() && group_by_.empty()) {
+    groups_.push_back(GroupState{
+        Row{}, std::vector<Value>(aggregates_.size(), Value::Null()),
+        std::vector<int64_t>(aggregates_.size(), 0)});
+  }
+  return Status::OK();
+}
+
+Result<bool> AggregateOp::Next(Row* row) {
+  if (pos_ >= groups_.size()) return false;
+  GroupState& g = groups_[pos_++];
+  row->clear();
+  row->insert(row->end(), g.group_values.begin(), g.group_values.end());
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    switch (aggregates_[a].kind) {
+      case AggregateKind::kCount:
+        row->push_back(Value::Int(g.counts[a]));
+        break;
+      case AggregateKind::kAvg:
+        if (g.counts[a] == 0) {
+          row->push_back(Value::Null());
+        } else {
+          row->push_back(
+              Value::Double(g.accumulators[a].AsDouble() /
+                            static_cast<double>(g.counts[a])));
+        }
+        break;
+      default:
+        row->push_back(g.accumulators[a]);
+    }
+  }
+  return true;
+}
+
+void AggregateOp::Close() {
+  groups_.clear();
+  group_index_.clear();
+}
+
+std::string AggregateOp::Name() const {
+  return "Aggregate(groups=" + std::to_string(group_by_.size()) +
+         ", aggs=" + std::to_string(aggregates_.size()) + ")";
+}
+
+void AggregateOp::Describe(int indent, std::string* out) const {
+  Operator::Describe(indent, out);
+  child_->Describe(indent + 1, out);
+}
+
+// ---------------------------------------------------------------- ResultSet
+
+std::string ResultSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema.column(i).name;
+  }
+  out += "\n";
+  for (const Row& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ResultSet> ExecuteToResultSet(Operator* root) {
+  ResultSet rs;
+  rs.schema = root->schema();
+  OXML_RETURN_NOT_OK(root->Open());
+  Row row;
+  while (true) {
+    OXML_ASSIGN_OR_RETURN(bool has, root->Next(&row));
+    if (!has) break;
+    rs.rows.push_back(row);
+  }
+  root->Close();
+  return rs;
+}
+
+}  // namespace oxml

@@ -1,0 +1,276 @@
+#ifndef OXML_RELATIONAL_EXECUTOR_H_
+#define OXML_RELATIONAL_EXECUTOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/relational/catalog.h"
+#include "src/relational/expression.h"
+#include "src/relational/schema.h"
+
+namespace oxml {
+
+/// Volcano-style pull iterator. Lifecycle: Open, then Next until it yields
+/// false, then Close. `schema()` is valid after construction.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open() = 0;
+  /// Produces the next row into `*row`; returns false at end of stream.
+  virtual Result<bool> Next(Row* row) = 0;
+  virtual void Close() {}
+
+  const Schema& schema() const { return schema_; }
+
+  /// One-line plan description; `Describe` renders the whole subtree.
+  virtual std::string Name() const = 0;
+  virtual void Describe(int indent, std::string* out) const;
+
+ protected:
+  Schema schema_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Full-table scan in page-chain order.
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(TableInfo* table, Schema qualified_schema, ExecStats* stats);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  std::string Name() const override;
+
+ private:
+  TableInfo* table_;
+  ExecStats* stats_;
+  std::optional<HeapTable::Iterator> it_;
+};
+
+/// Range scan over a B+tree index, fetching heap rows. `lower` is the
+/// inclusive lower bound key (empty optional = from the start); `upper` is
+/// the exclusive upper bound (empty = to the end). Rows are produced in key
+/// order.
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(TableInfo* table, TableIndex* index, Schema qualified_schema,
+              std::optional<std::string> lower,
+              std::optional<std::string> upper, ExecStats* stats);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  std::string Name() const override;
+
+ private:
+  TableInfo* table_;
+  TableIndex* index_;
+  std::optional<std::string> lower_;
+  std::optional<std::string> upper_;
+  ExecStats* stats_;
+  BPlusTree::Iterator it_;
+};
+
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  std::string Name() const override;
+  void Describe(int indent, std::string* out) const override;
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+class ProjectOp : public Operator {
+ public:
+  /// `exprs` are bound against the child's schema; `out_schema` names the
+  /// produced columns (same arity as exprs).
+  ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs, Schema out_schema);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  std::string Name() const override;
+  void Describe(int indent, std::string* out) const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+/// Block nested-loop join: materializes the right input, then streams the
+/// left input against it. The optional predicate is evaluated on the
+/// concatenated row.
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  std::string Name() const override;
+  void Describe(int indent, std::string* out) const override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  ExprPtr predicate_;  // may be null (cross product)
+  std::vector<Row> right_rows_;
+  Row left_row_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+/// Hash equi-join: builds a hash table on the right input keyed by
+/// `right_keys`, probes with `left_keys`.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right, std::vector<ExprPtr> left_keys,
+             std::vector<ExprPtr> right_keys);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  std::string Name() const override;
+  void Describe(int indent, std::string* out) const override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  std::unordered_multimap<std::string, Row> hash_;
+  Row left_row_;
+  bool have_left_ = false;
+  std::pair<std::unordered_multimap<std::string, Row>::iterator,
+            std::unordered_multimap<std::string, Row>::iterator>
+      matches_;
+};
+
+/// Index nested-loop join: for each outer row, evaluates `outer_keys`
+/// (bound to the outer schema), probes the inner table's index for equal
+/// keys and emits outer ++ inner rows.
+class IndexNestedLoopJoinOp : public Operator {
+ public:
+  IndexNestedLoopJoinOp(OperatorPtr outer, TableInfo* inner,
+                        TableIndex* index, Schema inner_schema,
+                        std::vector<ExprPtr> outer_keys, ExecStats* stats);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { outer_->Close(); }
+  std::string Name() const override;
+  void Describe(int indent, std::string* out) const override;
+
+ private:
+  OperatorPtr outer_;
+  TableInfo* inner_;
+  TableIndex* index_;
+  Schema inner_schema_;
+  std::vector<ExprPtr> outer_keys_;
+  ExecStats* stats_;
+  Row outer_row_;
+  bool have_outer_ = false;
+  BPlusTree::Iterator it_;
+  std::string probe_key_;
+};
+
+/// Full sort (materializing). Order expressions are bound to the child
+/// schema; `desc[i]` flips the i-th direction.
+class SortOp : public Operator {
+ public:
+  SortOp(OperatorPtr child, std::vector<ExprPtr> order_exprs,
+         std::vector<bool> desc);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  std::string Name() const override;
+  void Describe(int indent, std::string* out) const override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> order_exprs_;
+  std::vector<bool> desc_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+  std::string Name() const override;
+  void Describe(int indent, std::string* out) const override;
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t produced_ = 0;
+};
+
+/// Hash-based duplicate elimination over full rows.
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  std::string Name() const override;
+  void Describe(int indent, std::string* out) const override;
+
+ private:
+  OperatorPtr child_;
+  std::unordered_multimap<size_t, Row> seen_;
+};
+
+/// One aggregate computation: kind + argument (null argument = COUNT(*)).
+struct AggregateSpec {
+  AggregateKind kind = AggregateKind::kCount;
+  ExprPtr arg;  // bound to child schema; null for COUNT(*)
+};
+
+/// Hash aggregation. Output schema: group-by columns first (in order),
+/// then one column per aggregate.
+class AggregateOp : public Operator {
+ public:
+  AggregateOp(OperatorPtr child, std::vector<ExprPtr> group_by,
+              std::vector<AggregateSpec> aggregates, Schema out_schema);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  std::string Name() const override;
+  void Describe(int indent, std::string* out) const override;
+
+ private:
+  struct GroupState {
+    Row group_values;
+    std::vector<Value> accumulators;
+    std::vector<int64_t> counts;  // per-aggregate row counts (AVG/COUNT)
+  };
+
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggregateSpec> aggregates_;
+  std::vector<GroupState> groups_;
+  std::unordered_map<size_t, std::vector<size_t>> group_index_;
+  size_t pos_ = 0;
+};
+
+/// Materialized result of a query.
+struct ResultSet {
+  Schema schema;
+  std::vector<Row> rows;
+
+  /// Pretty-prints an ASCII table (for examples and debugging).
+  std::string ToString() const;
+};
+
+/// Drains an operator tree into a ResultSet.
+Result<ResultSet> ExecuteToResultSet(Operator* root);
+
+}  // namespace oxml
+
+#endif  // OXML_RELATIONAL_EXECUTOR_H_

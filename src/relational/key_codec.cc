@@ -1,0 +1,89 @@
+#include "src/relational/key_codec.h"
+
+#include <cstring>
+
+namespace oxml {
+namespace {
+
+void EncodeBigEndian(uint64_t v, std::string* out) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void EncodeString(std::string_view s, std::string* out) {
+  for (char c : s) {
+    if (c == '\0') {
+      out->push_back('\0');
+      out->push_back('\xFF');
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('\0');
+  out->push_back('\0');
+}
+
+}  // namespace
+
+void EncodeKeyValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    out->push_back('\0');
+    return;
+  }
+  out->push_back('\x01');
+  switch (v.type()) {
+    case TypeId::kInt: {
+      uint64_t bits = static_cast<uint64_t>(v.AsInt());
+      bits ^= 0x8000000000000000ULL;  // flip sign so negatives sort first
+      EncodeBigEndian(bits, out);
+      break;
+    }
+    case TypeId::kDouble: {
+      double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      // IEEE-754 totally ordered encoding: flip all bits for negatives,
+      // flip just the sign bit for non-negatives.
+      if (bits & 0x8000000000000000ULL) {
+        bits = ~bits;
+      } else {
+        bits ^= 0x8000000000000000ULL;
+      }
+      EncodeBigEndian(bits, out);
+      break;
+    }
+    case TypeId::kText:
+    case TypeId::kBlob:
+      EncodeString(v.AsString(), out);
+      break;
+    case TypeId::kNull:
+      break;
+  }
+}
+
+std::string EncodeKey(const std::vector<Value>& values) {
+  std::string out;
+  for (const Value& v : values) EncodeKeyValue(v, &out);
+  return out;
+}
+
+std::string EncodeKey(const Value& v) {
+  std::string out;
+  EncodeKeyValue(v, &out);
+  return out;
+}
+
+std::string KeySuccessor(std::string_view key) {
+  std::string out(key);
+  out.push_back('\xFF');
+  return out;
+}
+
+std::string BlobPrefixUpperBound(std::string_view blob) {
+  std::string out(blob);
+  out.push_back('\xFF');
+  return out;
+}
+
+}  // namespace oxml

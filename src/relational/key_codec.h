@@ -1,0 +1,38 @@
+#ifndef OXML_RELATIONAL_KEY_CODEC_H_
+#define OXML_RELATIONAL_KEY_CODEC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/relational/value.h"
+
+namespace oxml {
+
+/// Order-preserving key encoding: the byte-wise (memcmp) order of encoded
+/// keys equals the Value::Compare order of the original composite keys.
+/// This lets the B+tree store plain byte strings.
+///
+/// Per-component layout: a one-byte tag (0x00 NULL, 0x01 value) followed by
+///   INT:    8 bytes big-endian with the sign bit flipped
+///   DOUBLE: 8 bytes big-endian of the IEEE bits, sign-adjusted
+///   TEXT/BLOB: bytes with 0x00 escaped as {0x00,0xFF}, terminated {0x00,0x00}
+void EncodeKeyValue(const Value& v, std::string* out);
+
+/// Encodes a composite key (concatenation of the component encodings).
+std::string EncodeKey(const std::vector<Value>& values);
+std::string EncodeKey(const Value& v);
+
+/// Returns the smallest byte string strictly greater than every string with
+/// prefix `key` — i.e. key with a 0xFF byte appended. Useful for building
+/// exclusive upper bounds of prefix ranges over already-encoded keys.
+std::string KeySuccessor(std::string_view key);
+
+/// Returns the smallest blob strictly greater than every blob having `blob`
+/// as a prefix (appends 0xFF at the *value* level; combined with the escape
+/// scheme this bounds Dewey descendant ranges).
+std::string BlobPrefixUpperBound(std::string_view blob);
+
+}  // namespace oxml
+
+#endif  // OXML_RELATIONAL_KEY_CODEC_H_

@@ -1,0 +1,168 @@
+#include "src/relational/page.h"
+
+#include <cstring>
+#include <vector>
+
+namespace oxml {
+
+namespace {
+constexpr size_t kHeaderSize = 8;
+constexpr size_t kSlotEntrySize = 4;
+
+uint16_t LoadU16(const char* p) {
+  uint16_t v;
+  std::memcpy(&v, p, 2);
+  return v;
+}
+void StoreU16(char* p, uint16_t v) { std::memcpy(p, &v, 2); }
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+void StoreU32(char* p, uint32_t v) { std::memcpy(p, &v, 4); }
+}  // namespace
+
+void SlottedPage::Initialize(char* data) {
+  std::memset(data, 0, kHeaderSize);
+  StoreU16(data, 0);                                   // slot_count
+  StoreU16(data + 2, static_cast<uint16_t>(kPageSize));  // cell_start
+  StoreU32(data + 4, kInvalidPageId);                  // next_page
+}
+
+uint16_t SlottedPage::slot_count() const { return LoadU16(data_); }
+void SlottedPage::set_slot_count(uint16_t v) { StoreU16(data_, v); }
+uint16_t SlottedPage::cell_start() const { return LoadU16(data_ + 2); }
+void SlottedPage::set_cell_start(uint16_t v) { StoreU16(data_ + 2, v); }
+uint32_t SlottedPage::next_page() const { return LoadU32(data_ + 4); }
+void SlottedPage::set_next_page(uint32_t id) { StoreU32(data_ + 4, id); }
+
+void SlottedPage::GetSlot(uint16_t slot, uint16_t* offset,
+                          uint16_t* size) const {
+  const char* p = data_ + kHeaderSize + slot * kSlotEntrySize;
+  *offset = LoadU16(p);
+  *size = LoadU16(p + 2);
+}
+
+void SlottedPage::SetSlot(uint16_t slot, uint16_t offset, uint16_t size) {
+  char* p = data_ + kHeaderSize + slot * kSlotEntrySize;
+  StoreU16(p, offset);
+  StoreU16(p + 2, size);
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t dir_end = kHeaderSize + slot_count() * kSlotEntrySize;
+  size_t start = cell_start();
+  return start > dir_end ? start - dir_end : 0;
+}
+
+size_t SlottedPage::LiveCount() const {
+  size_t live = 0;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    uint16_t off, size;
+    GetSlot(i, &off, &size);
+    if (off != kDeletedOffset) ++live;
+  }
+  return live;
+}
+
+void SlottedPage::Compact() {
+  struct Cell {
+    uint16_t slot;
+    std::string bytes;
+  };
+  std::vector<Cell> cells;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    uint16_t off, size;
+    GetSlot(i, &off, &size);
+    if (off == kDeletedOffset) continue;
+    cells.push_back({i, std::string(data_ + off, size)});
+  }
+  uint16_t pos = static_cast<uint16_t>(kPageSize);
+  for (const Cell& c : cells) {
+    pos = static_cast<uint16_t>(pos - c.bytes.size());
+    std::memcpy(data_ + pos, c.bytes.data(), c.bytes.size());
+    SetSlot(c.slot, pos, static_cast<uint16_t>(c.bytes.size()));
+  }
+  set_cell_start(pos);
+}
+
+Result<uint16_t> SlottedPage::Insert(std::string_view cell) {
+  if (cell.size() + kSlotEntrySize > kPageSize - kHeaderSize) {
+    return Status::InvalidArgument("cell larger than a page");
+  }
+  // Reuse a deleted slot's directory entry when possible (cheaper directory).
+  int reuse = -1;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    uint16_t off, size;
+    GetSlot(i, &off, &size);
+    if (off == kDeletedOffset) {
+      reuse = i;
+      break;
+    }
+  }
+  size_t needed = cell.size() + (reuse < 0 ? kSlotEntrySize : 0);
+  if (FreeSpace() < needed) {
+    Compact();
+    if (FreeSpace() < needed) {
+      return Status::OutOfRange("page full");
+    }
+  }
+  uint16_t pos = static_cast<uint16_t>(cell_start() - cell.size());
+  std::memcpy(data_ + pos, cell.data(), cell.size());
+  set_cell_start(pos);
+  uint16_t slot;
+  if (reuse >= 0) {
+    slot = static_cast<uint16_t>(reuse);
+  } else {
+    slot = slot_count();
+    set_slot_count(static_cast<uint16_t>(slot + 1));
+  }
+  SetSlot(slot, pos, static_cast<uint16_t>(cell.size()));
+  return slot;
+}
+
+Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count()) return Status::NotFound("bad slot");
+  uint16_t off, size;
+  GetSlot(slot, &off, &size);
+  if (off == kDeletedOffset) return Status::NotFound("deleted slot");
+  return std::string_view(data_ + off, size);
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count()) return Status::NotFound("bad slot");
+  uint16_t off, size;
+  GetSlot(slot, &off, &size);
+  if (off == kDeletedOffset) return Status::NotFound("already deleted");
+  SetSlot(slot, kDeletedOffset, 0);
+  return Status::OK();
+}
+
+Status SlottedPage::Update(uint16_t slot, std::string_view cell) {
+  if (slot >= slot_count()) return Status::NotFound("bad slot");
+  uint16_t off, size;
+  GetSlot(slot, &off, &size);
+  if (off == kDeletedOffset) return Status::NotFound("deleted slot");
+  if (cell.size() <= size) {
+    std::memcpy(data_ + off, cell.data(), cell.size());
+    SetSlot(slot, off, static_cast<uint16_t>(cell.size()));
+    return Status::OK();
+  }
+  // Relocate within the page: free the old cell, then insert fresh bytes.
+  SetSlot(slot, kDeletedOffset, 0);
+  if (FreeSpace() < cell.size()) {
+    Compact();
+    if (FreeSpace() < cell.size()) {
+      // Restore nothing: the caller will re-insert elsewhere; mark deleted.
+      return Status::OutOfRange("page full on update");
+    }
+  }
+  uint16_t pos = static_cast<uint16_t>(cell_start() - cell.size());
+  std::memcpy(data_ + pos, cell.data(), cell.size());
+  set_cell_start(pos);
+  SetSlot(slot, pos, static_cast<uint16_t>(cell.size()));
+  return Status::OK();
+}
+
+}  // namespace oxml

@@ -1,0 +1,89 @@
+#ifndef OXML_RELATIONAL_PAGE_H_
+#define OXML_RELATIONAL_PAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace oxml {
+
+/// Fixed page size used throughout the storage layer.
+constexpr size_t kPageSize = 8192;
+
+/// Invalid / "null" page id sentinel.
+constexpr uint32_t kInvalidPageId = 0xFFFFFFFFu;
+
+/// A record id: (page, slot).
+struct Rid {
+  uint32_t page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool valid() const { return page_id != kInvalidPageId; }
+  bool operator==(const Rid&) const = default;
+  /// Total order used to disambiguate duplicate index keys.
+  auto operator<=>(const Rid&) const = default;
+};
+
+/// Slotted-page accessor over a raw kPageSize buffer (the buffer is owned by
+/// the buffer pool). Layout:
+///
+///   [u16 slot_count][u16 cell_start][u32 next_page]      -- header (8 bytes)
+///   [u16 offset, u16 size] x slot_count                  -- slot directory
+///   ... free space ...
+///   cells growing downward from the end of the page
+///
+/// A deleted slot keeps its directory entry with offset == kDeletedOffset so
+/// that live Rids stay stable.
+class SlottedPage {
+ public:
+  static constexpr uint16_t kDeletedOffset = 0xFFFF;
+
+  /// Wraps an existing, already-initialized page buffer.
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats a fresh page (empty slot directory, no next page).
+  static void Initialize(char* data);
+
+  uint16_t slot_count() const;
+  uint32_t next_page() const;
+  void set_next_page(uint32_t id);
+
+  /// Bytes available for a new cell including its directory entry.
+  size_t FreeSpace() const;
+
+  /// Inserts a cell; returns its slot index or OutOfRange if it cannot fit
+  /// even after compaction.
+  Result<uint16_t> Insert(std::string_view cell);
+
+  /// Returns the cell stored in `slot`; NotFound for deleted/bad slots.
+  Result<std::string_view> Get(uint16_t slot) const;
+
+  /// Marks `slot` deleted. The directory entry is retained.
+  Status Delete(uint16_t slot);
+
+  /// Replaces the cell at `slot`. Succeeds in place when the new cell is no
+  /// larger; otherwise tries to relocate within this page; otherwise returns
+  /// OutOfRange (the caller moves the record to another page).
+  Status Update(uint16_t slot, std::string_view cell);
+
+  /// Number of live (non-deleted) cells.
+  size_t LiveCount() const;
+
+ private:
+  uint16_t cell_start() const;
+  void set_cell_start(uint16_t v);
+  void set_slot_count(uint16_t v);
+  void GetSlot(uint16_t slot, uint16_t* offset, uint16_t* size) const;
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t size);
+
+  /// Rewrites all live cells contiguously at the end of the page to coalesce
+  /// free space. Slot indices are preserved.
+  void Compact();
+
+  char* data_;
+};
+
+}  // namespace oxml
+
+#endif  // OXML_RELATIONAL_PAGE_H_

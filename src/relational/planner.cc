@@ -1,0 +1,624 @@
+#include "src/relational/planner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/relational/database.h"
+#include "src/relational/key_codec.h"
+
+namespace oxml {
+
+std::vector<ExprPtr> SplitConjuncts(ExprPtr expr) {
+  std::vector<ExprPtr> out;
+  if (expr == nullptr) return out;
+  if (expr->kind() == Expr::Kind::kBinary) {
+    auto* bin = static_cast<BinaryExpr*>(expr.get());
+    if (bin->op() == BinaryOp::kAnd) {
+      std::vector<ExprPtr> left = SplitConjuncts(bin->TakeLeft());
+      std::vector<ExprPtr> right = SplitConjuncts(bin->TakeRight());
+      for (auto& e : left) out.push_back(std::move(e));
+      for (auto& e : right) out.push_back(std::move(e));
+      return out;
+    }
+  }
+  out.push_back(std::move(expr));
+  return out;
+}
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+  ExprPtr out;
+  for (auto& c : conjuncts) {
+    if (out == nullptr) {
+      out = std::move(c);
+    } else {
+      out = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(out),
+                                         std::move(c));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// A normalized sargable conjunct: <column> <op> <literal>.
+struct Sarg {
+  int column = -1;       // bound position in the (qualified) table schema
+  BinaryOp op = BinaryOp::kEq;
+  Value value;
+  size_t conjunct_index = 0;
+};
+
+BinaryOp FlipComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt:
+      return BinaryOp::kGt;
+    case BinaryOp::kLe:
+      return BinaryOp::kGe;
+    case BinaryOp::kGt:
+      return BinaryOp::kLt;
+    case BinaryOp::kGe:
+      return BinaryOp::kLe;
+    default:
+      return op;
+  }
+}
+
+bool IsComparison(BinaryOp op) {
+  return op == BinaryOp::kEq || op == BinaryOp::kLt || op == BinaryOp::kLe ||
+         op == BinaryOp::kGt || op == BinaryOp::kGe;
+}
+
+/// Losslessly coerces `v` to the column type so that the encoded probe key
+/// compares correctly against stored keys (the memcmp key encoding is only
+/// order-preserving within a single type). Returns false when the coercion
+/// would be lossy (e.g. DOUBLE literal against an INT column), in which case
+/// the conjunct stays a residual filter.
+bool CoerceForColumn(TypeId column_type, Value* v) {
+  if (v->type() == column_type) return true;
+  if (column_type == TypeId::kDouble && v->type() == TypeId::kInt) {
+    *v = Value::Double(v->AsDouble());
+    return true;
+  }
+  if (column_type == TypeId::kText && v->type() == TypeId::kBlob) {
+    *v = Value::Text(v->AsString());
+    return true;
+  }
+  if (column_type == TypeId::kBlob && v->type() == TypeId::kText) {
+    *v = Value::Blob(v->AsString());
+    return true;
+  }
+  return false;
+}
+
+/// Extracts sargable conjuncts (already bound against the scan schema).
+std::vector<Sarg> ExtractSargs(const Schema& schema,
+                               const std::vector<Expr*>& conjuncts) {
+  std::vector<Sarg> sargs;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    const Expr* e = conjuncts[i];
+    if (e->kind() != Expr::Kind::kBinary) continue;
+    const auto* bin = static_cast<const BinaryExpr*>(e);
+    if (!IsComparison(bin->op())) continue;
+    const Expr* l = bin->left();
+    const Expr* r = bin->right();
+    Sarg s;
+    if (l->kind() == Expr::Kind::kColumn &&
+        r->kind() == Expr::Kind::kLiteral) {
+      s.column = static_cast<const ColumnExpr*>(l)->index();
+      s.op = bin->op();
+      s.value = static_cast<const LiteralExpr*>(r)->value();
+    } else if (r->kind() == Expr::Kind::kColumn &&
+               l->kind() == Expr::Kind::kLiteral) {
+      s.column = static_cast<const ColumnExpr*>(r)->index();
+      s.op = FlipComparison(bin->op());
+      s.value = static_cast<const LiteralExpr*>(l)->value();
+    } else {
+      continue;
+    }
+    if (s.column < 0 || static_cast<size_t>(s.column) >= schema.size()) {
+      continue;
+    }
+    if (s.value.is_null()) continue;  // col <op> NULL never matches
+    if (!CoerceForColumn(schema.column(s.column).type, &s.value)) continue;
+    s.conjunct_index = i;
+    sargs.push_back(std::move(s));
+  }
+  return sargs;
+}
+
+}  // namespace
+
+AccessPath ChooseAccessPath(const TableInfo& table,
+                            const std::vector<Expr*>& conjuncts) {
+  std::vector<Sarg> sargs = ExtractSargs(table.schema(), conjuncts);
+  AccessPath best;
+  best.consumed.assign(conjuncts.size(), false);
+  int best_score = 0;
+
+  for (const auto& index : table.indexes()) {
+    std::vector<Value> eq_prefix;
+    std::vector<size_t> used;
+    int score = 0;
+    const Sarg* range_lower = nullptr;
+    const Sarg* range_upper = nullptr;
+
+    for (int col : index->column_indices) {
+      const Sarg* eq = nullptr;
+      for (const Sarg& s : sargs) {
+        if (s.column == col && s.op == BinaryOp::kEq) {
+          eq = &s;
+          break;
+        }
+      }
+      if (eq != nullptr) {
+        eq_prefix.push_back(eq->value);
+        used.push_back(eq->conjunct_index);
+        score += 2;
+        continue;
+      }
+      // No equality on this column: consume at most one range pair here.
+      for (const Sarg& s : sargs) {
+        if (s.column != col) continue;
+        if ((s.op == BinaryOp::kGt || s.op == BinaryOp::kGe) &&
+            range_lower == nullptr) {
+          range_lower = &s;
+        } else if ((s.op == BinaryOp::kLt || s.op == BinaryOp::kLe) &&
+                   range_upper == nullptr) {
+          range_upper = &s;
+        }
+      }
+      if (range_lower != nullptr || range_upper != nullptr) score += 1;
+      break;
+    }
+    if (score <= best_score) {
+      range_lower = range_upper = nullptr;
+      continue;
+    }
+
+    // Build encoded bounds.
+    std::string prefix = EncodeKey(eq_prefix);
+    AccessPath path;
+    path.index = index.get();
+    path.consumed.assign(conjuncts.size(), false);
+    for (size_t u : used) path.consumed[u] = true;
+
+    if (range_lower != nullptr) {
+      std::string k = prefix;
+      EncodeKeyValue(range_lower->value, &k);
+      path.lower = range_lower->op == BinaryOp::kGe ? k : KeySuccessor(k);
+      path.consumed[range_lower->conjunct_index] = true;
+    } else if (!eq_prefix.empty()) {
+      path.lower = prefix;
+    }
+    if (range_upper != nullptr) {
+      std::string k = prefix;
+      EncodeKeyValue(range_upper->value, &k);
+      path.upper = range_upper->op == BinaryOp::kLt ? k : KeySuccessor(k);
+      path.consumed[range_upper->conjunct_index] = true;
+    } else if (!eq_prefix.empty()) {
+      path.upper = KeySuccessor(prefix);
+    }
+
+    best = std::move(path);
+    best_score = score;
+    range_lower = range_upper = nullptr;
+  }
+  return best;
+}
+
+TypeId InferType(const Expr& expr, const Schema& schema) {
+  switch (expr.kind()) {
+    case Expr::Kind::kLiteral: {
+      TypeId t = static_cast<const LiteralExpr&>(expr).value().type();
+      return t == TypeId::kNull ? TypeId::kText : t;
+    }
+    case Expr::Kind::kColumn: {
+      const auto& col = static_cast<const ColumnExpr&>(expr);
+      if (col.index() >= 0 && static_cast<size_t>(col.index()) < schema.size()) {
+        return schema.column(col.index()).type;
+      }
+      int idx = schema.IndexOf(col.name());
+      return idx >= 0 ? schema.column(idx).type : TypeId::kText;
+    }
+    case Expr::Kind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      if (IsComparison(bin.op()) || bin.op() == BinaryOp::kAnd ||
+          bin.op() == BinaryOp::kOr || bin.op() == BinaryOp::kLike) {
+        return TypeId::kInt;
+      }
+      TypeId l = InferType(*bin.left(), schema);
+      TypeId r = InferType(*bin.right(), schema);
+      if (bin.op() == BinaryOp::kAdd && l == TypeId::kText) return TypeId::kText;
+      if (l == TypeId::kDouble || r == TypeId::kDouble) return TypeId::kDouble;
+      return TypeId::kInt;
+    }
+    case Expr::Kind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      if (un.op() == UnaryOp::kNeg) return InferType(*un.operand(), schema);
+      return TypeId::kInt;
+    }
+    case Expr::Kind::kFunction: {
+      const auto& fn = static_cast<const FunctionExpr&>(expr);
+      switch (fn.aggregate()) {
+        case AggregateKind::kCount:
+          return TypeId::kInt;
+        case AggregateKind::kAvg:
+          return TypeId::kDouble;
+        case AggregateKind::kSum:
+        case AggregateKind::kMin:
+        case AggregateKind::kMax:
+          return fn.args().empty() ? TypeId::kInt
+                                   : InferType(*fn.args()[0], schema);
+        case AggregateKind::kNone:
+          break;
+      }
+      if (fn.name() == "LENGTH") return TypeId::kInt;
+      if (fn.name() == "SUCC" && !fn.args().empty()) {
+        return InferType(*fn.args()[0], schema);
+      }
+      if (fn.name() == "PATH_PARENT") return TypeId::kBlob;
+      if (fn.name() == "SUBSTR") return TypeId::kText;
+      if (fn.name() == "ABS" && !fn.args().empty()) {
+        return InferType(*fn.args()[0], schema);
+      }
+      return TypeId::kText;
+    }
+    case Expr::Kind::kStar:
+      return TypeId::kInt;
+  }
+  return TypeId::kText;
+}
+
+namespace {
+
+bool TryBind(Expr* e, const Schema& schema) { return e->Bind(schema).ok(); }
+
+/// Builds the qualified scan schema for a table reference.
+Schema QualifiedSchema(const TableInfo& table, const std::string& alias) {
+  Schema out;
+  out.Append(table.schema(), alias);
+  return out;
+}
+
+/// Plans the access to one base table given the conjuncts that reference
+/// only this table (already bound to `qualified`). Consumed conjuncts are
+/// dropped; the rest become a Filter on top of the scan.
+Result<OperatorPtr> PlanTableAccess(TableInfo* table, Schema qualified,
+                                    std::vector<ExprPtr> conjuncts,
+                                    ExecStats* stats) {
+  std::vector<Expr*> raw;
+  raw.reserve(conjuncts.size());
+  for (auto& c : conjuncts) raw.push_back(c.get());
+  AccessPath path = ChooseAccessPath(*table, raw);
+
+  OperatorPtr scan;
+  if (path.index != nullptr) {
+    scan = std::make_unique<IndexScanOp>(table, path.index,
+                                         std::move(qualified),
+                                         std::move(path.lower),
+                                         std::move(path.upper), stats);
+  } else {
+    scan = std::make_unique<SeqScanOp>(table, std::move(qualified), stats);
+  }
+
+  std::vector<ExprPtr> residual;
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (path.consumed.empty() || !path.consumed[i]) {
+      residual.push_back(std::move(conjuncts[i]));
+    }
+  }
+  ExprPtr filter = CombineConjuncts(std::move(residual));
+  if (filter != nullptr) {
+    OXML_RETURN_NOT_OK(filter->Bind(scan->schema()));
+    scan = std::make_unique<FilterOp>(std::move(scan), std::move(filter));
+  }
+  return scan;
+}
+
+}  // namespace
+
+Result<OperatorPtr> PlanSelect(Database* db, SelectStmt* stmt) {
+  if (stmt->from.empty()) {
+    return Status::NotImplemented("SELECT without FROM");
+  }
+
+  // Resolve tables and build qualified schemas.
+  std::vector<TableInfo*> tables;
+  std::vector<Schema> qualified;
+  for (const TableRef& ref : stmt->from) {
+    TableInfo* t = db->GetTable(ref.table);
+    if (t == nullptr) return Status::NotFound("no such table: " + ref.table);
+    tables.push_back(t);
+    qualified.push_back(QualifiedSchema(*t, ref.effective_alias()));
+  }
+
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(std::move(stmt->where));
+
+  // Claim single-table conjuncts for the first table.
+  auto claim_for = [&conjuncts](const Schema& schema) {
+    std::vector<ExprPtr> mine;
+    for (auto& c : conjuncts) {
+      if (c != nullptr && TryBind(c.get(), schema)) {
+        mine.push_back(std::move(c));
+      }
+    }
+    std::erase(conjuncts, nullptr);
+    return mine;
+  };
+
+  OperatorPtr plan;
+  {
+    std::vector<ExprPtr> mine = claim_for(qualified[0]);
+    OXML_ASSIGN_OR_RETURN(
+        plan, PlanTableAccess(tables[0], qualified[0], std::move(mine),
+                              db->stats()));
+  }
+  Schema combined = qualified[0];
+
+  for (size_t i = 1; i < tables.size(); ++i) {
+    std::vector<ExprPtr> inner_conjuncts = claim_for(qualified[i]);
+
+    // Find an equi-join conjunct linking `combined` and table i.
+    ExprPtr join_pred;
+    ExprPtr outer_key;
+    ExprPtr inner_key;
+    for (auto& c : conjuncts) {
+      if (c == nullptr || c->kind() != Expr::Kind::kBinary) continue;
+      auto* bin = static_cast<BinaryExpr*>(c.get());
+      if (bin->op() != BinaryOp::kEq) continue;
+      Expr* l = bin->left();
+      Expr* r = bin->right();
+      if (l->kind() != Expr::Kind::kColumn ||
+          r->kind() != Expr::Kind::kColumn) {
+        continue;
+      }
+      bool l_outer = TryBind(l, combined);
+      bool r_inner = TryBind(r, qualified[i]);
+      if (l_outer && r_inner) {
+        outer_key = bin->TakeLeft();
+        inner_key = bin->TakeRight();
+      } else {
+        bool r_outer = TryBind(r, combined);
+        bool l_inner = TryBind(l, qualified[i]);
+        if (r_outer && l_inner) {
+          outer_key = bin->TakeRight();
+          inner_key = bin->TakeLeft();
+        } else {
+          continue;
+        }
+      }
+      c = nullptr;
+      break;
+    }
+    std::erase(conjuncts, nullptr);
+
+    if (inner_key != nullptr) {
+      // Prefer an index-nested-loop join when the inner column leads an
+      // index and the inner side has no extra sargable filters to exploit.
+      int inner_col =
+          static_cast<ColumnExpr*>(inner_key.get())->index();
+      TableIndex* inl_index = nullptr;
+      for (const auto& idx : tables[i]->indexes()) {
+        if (!idx->column_indices.empty() &&
+            idx->column_indices[0] == inner_col) {
+          inl_index = idx.get();
+          break;
+        }
+      }
+      if (inl_index != nullptr) {
+        std::vector<ExprPtr> outer_keys;
+        outer_keys.push_back(std::move(outer_key));
+        plan = std::make_unique<IndexNestedLoopJoinOp>(
+            std::move(plan), tables[i], inl_index, qualified[i],
+            std::move(outer_keys), db->stats());
+        combined.Append(qualified[i]);
+        // Inner-side filters run on the joined rows.
+        ExprPtr residual = CombineConjuncts(std::move(inner_conjuncts));
+        if (residual != nullptr) {
+          OXML_RETURN_NOT_OK(residual->Bind(plan->schema()));
+          plan = std::make_unique<FilterOp>(std::move(plan),
+                                            std::move(residual));
+        }
+      } else {
+        OXML_ASSIGN_OR_RETURN(
+            OperatorPtr inner,
+            PlanTableAccess(tables[i], qualified[i],
+                            std::move(inner_conjuncts), db->stats()));
+        std::vector<ExprPtr> lk, rk;
+        lk.push_back(std::move(outer_key));
+        rk.push_back(std::move(inner_key));
+        // Rebind the inner key against the inner plan's schema.
+        OXML_RETURN_NOT_OK(rk[0]->Bind(inner->schema()));
+        OXML_RETURN_NOT_OK(lk[0]->Bind(plan->schema()));
+        plan = std::make_unique<HashJoinOp>(std::move(plan), std::move(inner),
+                                            std::move(lk), std::move(rk));
+        combined.Append(qualified[i]);
+      }
+    } else {
+      OXML_ASSIGN_OR_RETURN(
+          OperatorPtr inner,
+          PlanTableAccess(tables[i], qualified[i], std::move(inner_conjuncts),
+                          db->stats()));
+      plan = std::make_unique<NestedLoopJoinOp>(std::move(plan),
+                                                std::move(inner), nullptr);
+      combined.Append(qualified[i]);
+    }
+
+    // Attach any conjuncts now evaluable over the combined schema.
+    std::vector<ExprPtr> evaluable;
+    for (auto& c : conjuncts) {
+      if (c != nullptr && TryBind(c.get(), combined)) {
+        evaluable.push_back(std::move(c));
+      }
+    }
+    std::erase(conjuncts, nullptr);
+    ExprPtr filter = CombineConjuncts(std::move(evaluable));
+    if (filter != nullptr) {
+      OXML_RETURN_NOT_OK(filter->Bind(plan->schema()));
+      plan = std::make_unique<FilterOp>(std::move(plan), std::move(filter));
+    }
+  }
+
+  if (!conjuncts.empty()) {
+    return Status::InvalidArgument("WHERE references unknown columns: " +
+                                   conjuncts[0]->ToString());
+  }
+
+  // Aggregation.
+  bool has_agg = !stmt->group_by.empty();
+  for (const SelectItem& item : stmt->items) {
+    if (item.expr != nullptr && item.expr->ContainsAggregate()) {
+      has_agg = true;
+    }
+  }
+
+  bool sort_after_projection = has_agg;
+
+  if (!has_agg) {
+    // Sort before projection so ORDER BY can reference scan columns that
+    // are not in the output list.
+    if (!stmt->order_by.empty()) {
+      std::vector<ExprPtr> order_exprs;
+      std::vector<bool> desc;
+      for (OrderItem& o : stmt->order_by) {
+        OXML_RETURN_NOT_OK(o.expr->Bind(plan->schema()));
+        order_exprs.push_back(std::move(o.expr));
+        desc.push_back(o.desc);
+      }
+      plan = std::make_unique<SortOp>(std::move(plan), std::move(order_exprs),
+                                      std::move(desc));
+    }
+    // Projection ('*' expands to all columns).
+    std::vector<ExprPtr> exprs;
+    std::vector<Column> out_cols;
+    for (SelectItem& item : stmt->items) {
+      if (item.expr == nullptr) {
+        for (size_t c = 0; c < plan->schema().size(); ++c) {
+          const Column& col = plan->schema().column(c);
+          exprs.push_back(std::make_unique<ColumnExpr>(col.name,
+                                                       static_cast<int>(c)));
+          out_cols.push_back(col);
+        }
+        continue;
+      }
+      OXML_RETURN_NOT_OK(item.expr->Bind(plan->schema()));
+      std::string name =
+          item.alias.empty() ? item.expr->ToString() : item.alias;
+      out_cols.push_back({name, InferType(*item.expr, plan->schema())});
+      exprs.push_back(std::move(item.expr));
+    }
+    plan = std::make_unique<ProjectOp>(std::move(plan), std::move(exprs),
+                                       Schema(std::move(out_cols)));
+  } else {
+    // Aggregate plan: AggregateOp produces [group cols..., agg cols...],
+    // then a projection maps select items onto those positions.
+    std::vector<ExprPtr> group_exprs;
+    std::vector<std::string> group_names;
+    for (ExprPtr& g : stmt->group_by) {
+      OXML_RETURN_NOT_OK(g->Bind(plan->schema()));
+      group_names.push_back(g->ToString());
+      group_exprs.push_back(std::move(g));
+    }
+
+    std::vector<AggregateSpec> specs;
+    std::vector<std::string> agg_names;
+    struct ItemSlot {
+      int position;  // index into AggregateOp output
+      std::string out_name;
+      TypeId type;
+    };
+    std::vector<ItemSlot> slots;
+
+    for (SelectItem& item : stmt->items) {
+      if (item.expr == nullptr) {
+        return Status::InvalidArgument("'*' not allowed with aggregates");
+      }
+      std::string out_name =
+          item.alias.empty() ? item.expr->ToString() : item.alias;
+      if (item.expr->ContainsAggregate()) {
+        if (item.expr->kind() != Expr::Kind::kFunction) {
+          return Status::NotImplemented(
+              "expressions over aggregates are not supported");
+        }
+        auto* fn = static_cast<FunctionExpr*>(item.expr.get());
+        AggregateSpec spec;
+        spec.kind = fn->aggregate();
+        TypeId out_type = InferType(*fn, plan->schema());
+        if (!fn->args().empty() &&
+            fn->args()[0]->kind() != Expr::Kind::kStar) {
+          OXML_RETURN_NOT_OK(item.expr->Bind(plan->schema()));
+          spec.arg = std::move(fn->mutable_args()[0]);
+        }
+        slots.push_back({static_cast<int>(group_exprs.size() +
+                                          specs.size()),
+                         out_name, out_type});
+        agg_names.push_back(out_name);
+        specs.push_back(std::move(spec));
+      } else {
+        // Must match a GROUP BY expression.
+        OXML_RETURN_NOT_OK(item.expr->Bind(plan->schema()));
+        std::string repr = item.expr->ToString();
+        int pos = -1;
+        for (size_t g = 0; g < group_names.size(); ++g) {
+          if (group_names[g] == repr) {
+            pos = static_cast<int>(g);
+            break;
+          }
+        }
+        if (pos < 0) {
+          return Status::InvalidArgument(
+              "non-aggregate select item must appear in GROUP BY: " + repr);
+        }
+        slots.push_back({pos, out_name, InferType(*item.expr, plan->schema())});
+      }
+    }
+
+    // AggregateOp output schema.
+    std::vector<Column> agg_cols;
+    for (size_t g = 0; g < group_exprs.size(); ++g) {
+      agg_cols.push_back({group_names[g],
+                          InferType(*group_exprs[g], plan->schema())});
+    }
+    for (size_t a = 0; a < specs.size(); ++a) {
+      agg_cols.push_back({agg_names[a], TypeId::kDouble});
+    }
+    plan = std::make_unique<AggregateOp>(std::move(plan),
+                                         std::move(group_exprs),
+                                         std::move(specs),
+                                         Schema(std::move(agg_cols)));
+
+    // Final projection.
+    std::vector<ExprPtr> exprs;
+    std::vector<Column> out_cols;
+    for (const ItemSlot& slot : slots) {
+      exprs.push_back(std::make_unique<ColumnExpr>(
+          plan->schema().column(slot.position).name, slot.position));
+      out_cols.push_back({slot.out_name, slot.type});
+    }
+    plan = std::make_unique<ProjectOp>(std::move(plan), std::move(exprs),
+                                       Schema(std::move(out_cols)));
+  }
+
+  if (stmt->distinct) {
+    plan = std::make_unique<DistinctOp>(std::move(plan));
+  }
+
+  if (sort_after_projection && !stmt->order_by.empty()) {
+    std::vector<ExprPtr> order_exprs;
+    std::vector<bool> desc;
+    for (OrderItem& o : stmt->order_by) {
+      OXML_RETURN_NOT_OK(o.expr->Bind(plan->schema()));
+      order_exprs.push_back(std::move(o.expr));
+      desc.push_back(o.desc);
+    }
+    plan = std::make_unique<SortOp>(std::move(plan), std::move(order_exprs),
+                                    std::move(desc));
+  }
+
+  if (stmt->limit.has_value()) {
+    plan = std::make_unique<LimitOp>(std::move(plan), *stmt->limit);
+  }
+  return plan;
+}
+
+}  // namespace oxml

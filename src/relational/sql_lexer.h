@@ -1,0 +1,37 @@
+#ifndef OXML_RELATIONAL_SQL_LEXER_H_
+#define OXML_RELATIONAL_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace oxml {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  // bare word (keywords are recognized by the parser)
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,  // 'quoted' with '' escaping
+  kBlobLiteral,    // x'hex'
+  kSymbol,         // operators / punctuation, text holds the lexeme
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier name / symbol lexeme / decoded string
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes a SQL statement. Symbols produced: , ( ) . * + - / % = <> !=
+/// < <= > >= and ';'. Comments ("-- ...") are skipped.
+Result<std::vector<Token>> LexSql(std::string_view input);
+
+}  // namespace oxml
+
+#endif  // OXML_RELATIONAL_SQL_LEXER_H_

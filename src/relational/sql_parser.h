@@ -1,0 +1,27 @@
+#ifndef OXML_RELATIONAL_SQL_PARSER_H_
+#define OXML_RELATIONAL_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/relational/sql_ast.h"
+
+namespace oxml {
+
+/// Parses a single SQL statement (optionally terminated by ';').
+/// Supported subset:
+///
+///   SELECT [DISTINCT] list FROM t [alias] [, ...] [WHERE e]
+///       [GROUP BY e, ...] [ORDER BY e [ASC|DESC], ...] [LIMIT n]
+///   INSERT INTO t [(cols)] VALUES (...), (...)
+///   UPDATE t SET c = e [, ...] [WHERE e]
+///   DELETE FROM t [WHERE e]
+///   CREATE TABLE t (col TYPE, ...)         -- INT|DOUBLE|TEXT|BLOB
+///   CREATE [UNIQUE] INDEX i ON t (cols)
+///   DROP TABLE t
+Result<StmtPtr> ParseSql(std::string_view sql);
+
+}  // namespace oxml
+
+#endif  // OXML_RELATIONAL_SQL_PARSER_H_

@@ -1,0 +1,120 @@
+#include "src/relational/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "src/common/strings.h"
+
+namespace oxml {
+
+const char* TypeIdToString(TypeId type) {
+  switch (type) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kInt:
+      return "INT";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kText:
+      return "TEXT";
+    case TypeId::kBlob:
+      return "BLOB";
+  }
+  return "UNKNOWN";
+}
+
+bool Value::IsTruthy() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return false;
+    case TypeId::kInt:
+      return int_ != 0;
+    case TypeId::kDouble:
+      return double_ != 0.0;
+    case TypeId::kText:
+    case TypeId::kBlob:
+      return !str_.empty();
+  }
+  return false;
+}
+
+namespace {
+
+bool IsNumeric(TypeId t) { return t == TypeId::kInt || t == TypeId::kDouble; }
+
+int CompareDouble(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (IsNumeric(type_) && IsNumeric(other.type_)) {
+    if (type_ == TypeId::kInt && other.type_ == TypeId::kInt) {
+      if (int_ < other.int_) return -1;
+      if (int_ > other.int_) return 1;
+      return 0;
+    }
+    return CompareDouble(AsDouble(), other.AsDouble());
+  }
+  if (type_ != other.type_) {
+    return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+  }
+  // TEXT vs TEXT or BLOB vs BLOB: byte-wise.
+  int c = str_.compare(other.str_);
+  if (c < 0) return -1;
+  if (c > 0) return 1;
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kInt:
+      return std::to_string(int_);
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", double_);
+      return buf;
+    }
+    case TypeId::kText:
+      return str_;
+    case TypeId::kBlob:
+      return "x'" + ToHex(str_) + "'";
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case TypeId::kInt:
+      return std::hash<double>()(static_cast<double>(int_));
+    case TypeId::kDouble:
+      return std::hash<double>()(double_);
+    case TypeId::kText:
+    case TypeId::kBlob:
+      return std::hash<std::string>()(str_);
+  }
+  return 0;
+}
+
+size_t HashRow(const Row& row) {
+  size_t h = 14695981039346656037ULL;
+  for (const Value& v : row) {
+    h ^= v.Hash();
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace oxml

@@ -1,0 +1,96 @@
+#ifndef OXML_XML_XML_GENERATOR_H_
+#define OXML_XML_XML_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/xml/xml_node.h"
+
+namespace oxml {
+
+/// Knobs of the synthetic XML generator. This is our stand-in for the IBM
+/// XML Generator used in the paper: it controls the same document-shape
+/// parameters the paper's datasets varied (node count, depth, fan-out, text
+/// share, vocabulary).
+struct XmlGeneratorOptions {
+  uint64_t seed = 42;
+  /// Approximate number of DOM nodes (elements + text) to generate.
+  size_t target_nodes = 10000;
+  /// Maximum element nesting depth (root element is depth 1).
+  int max_depth = 8;
+  /// Children per element are drawn uniformly from [1, max_fanout].
+  int max_fanout = 8;
+  /// Distinct element tag names.
+  int tag_vocabulary = 20;
+  /// Probability that an element carries an `id`-style attribute.
+  double attribute_probability = 0.3;
+  /// Probability that a leaf position becomes a text node.
+  double text_probability = 0.7;
+  /// Words per text node are drawn uniformly from [1, max_text_words].
+  int max_text_words = 8;
+};
+
+/// Generates a random document. Deterministic in `options.seed`.
+std::unique_ptr<XmlDocument> GenerateXml(const XmlGeneratorOptions& options);
+
+/// Options for the news-style generator (NITF-like), matching the paper's
+/// motivating workload: a news document whose section/paragraph order is
+/// semantically meaningful.
+struct NewsGeneratorOptions {
+  uint64_t seed = 42;
+  int sections = 10;
+  int paragraphs_per_section = 10;
+  int sentences_per_paragraph = 3;
+};
+
+/// Generates a news document:
+///
+///   <nitf>
+///     <head><title/><dateline/><byline/></head>
+///     <body>
+///       <section id="s1"><title/><para class="...">text</para>...</section>
+///       ...
+///     </body>
+///   </nitf>
+std::unique_ptr<XmlDocument> GenerateNewsXml(const NewsGeneratorOptions& opts);
+
+/// Options for the XMark-style auction generator — the standard XML
+/// benchmark document shape of the paper's era: a site with regions
+/// containing items, open auctions with growing bid histories, and people
+/// with profiles. Ordered data appears naturally (bid sequences, item
+/// descriptions as ordered paragraph lists).
+struct AuctionGeneratorOptions {
+  uint64_t seed = 42;
+  int items_per_region = 20;   // x 3 regions
+  int open_auctions = 30;      // each with an ordered bid history
+  int bids_per_auction = 8;
+  int people = 25;
+};
+
+/// Generates an XMark-like auction site document:
+///
+///   <site>
+///     <regions><africa><item id="..."><name/><description><parlist>
+///       <listitem>...</listitem>...</parlist></description></item>...
+///     </africa><asia>...</asia><europe>...</europe></regions>
+///     <open_auctions><open_auction id="...."><initial/>
+///       <bidder><date/><personref person="..."/><increase/></bidder>...
+///       <current/></open_auction>...</open_auctions>
+///     <people><person id="..."><name/><emailaddress/></person>...</people>
+///   </site>
+std::unique_ptr<XmlDocument> GenerateAuctionXml(
+    const AuctionGeneratorOptions& opts);
+
+/// Generates a flat "wide" document: one root with `n` leaf children, used
+/// by the update benchmarks to isolate sibling-renumbering costs.
+std::unique_ptr<XmlDocument> GenerateWideXml(size_t n, uint64_t seed = 42);
+
+/// Generates a "deep" chain document of the given depth (each element has
+/// one element child plus one text leaf), used by the Dewey key-length
+/// ablation.
+std::unique_ptr<XmlDocument> GenerateDeepXml(size_t depth, uint64_t seed = 42);
+
+}  // namespace oxml
+
+#endif  // OXML_XML_XML_GENERATOR_H_

@@ -1,0 +1,146 @@
+#include "src/xml/xml_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace oxml {
+
+const char* XmlNodeKindToString(XmlNodeKind kind) {
+  switch (kind) {
+    case XmlNodeKind::kDocument:
+      return "document";
+    case XmlNodeKind::kElement:
+      return "element";
+    case XmlNodeKind::kText:
+      return "text";
+    case XmlNodeKind::kComment:
+      return "comment";
+    case XmlNodeKind::kProcessingInstruction:
+      return "pi";
+    case XmlNodeKind::kAttribute:
+      return "attribute";
+  }
+  return "unknown";
+}
+
+const std::string* XmlNode::attribute(std::string_view name) const {
+  for (const XmlAttribute& a : attributes_) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+void XmlNode::SetAttribute(std::string name, std::string value) {
+  for (XmlAttribute& a : attributes_) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::move(name), std::move(value)});
+}
+
+XmlNode* XmlNode::AppendChild(std::unique_ptr<XmlNode> node) {
+  return InsertChild(children_.size(), std::move(node));
+}
+
+XmlNode* XmlNode::InsertChild(size_t pos, std::unique_ptr<XmlNode> node) {
+  assert(pos <= children_.size());
+  node->parent_ = this;
+  XmlNode* raw = node.get();
+  children_.insert(children_.begin() + static_cast<ptrdiff_t>(pos),
+                   std::move(node));
+  return raw;
+}
+
+std::unique_ptr<XmlNode> XmlNode::RemoveChild(size_t pos) {
+  assert(pos < children_.size());
+  std::unique_ptr<XmlNode> out = std::move(children_[pos]);
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(pos));
+  out->parent_ = nullptr;
+  return out;
+}
+
+size_t XmlNode::IndexInParent() const {
+  if (parent_ == nullptr) return 0;
+  const auto& siblings = parent_->children_;
+  for (size_t i = 0; i < siblings.size(); ++i) {
+    if (siblings[i].get() == this) return i;
+  }
+  assert(false && "node not found in parent's child list");
+  return 0;
+}
+
+XmlNode* XmlNode::FirstChildElement(std::string_view tag) const {
+  for (const auto& c : children_) {
+    if (c->is_element() && c->name() == tag) return c.get();
+  }
+  return nullptr;
+}
+
+XmlNode* XmlNode::FindElement(std::string_view tag) {
+  if (is_element() && name_ == tag) return this;
+  for (const auto& c : children_) {
+    if (XmlNode* found = c->FindElement(tag)) return found;
+  }
+  return nullptr;
+}
+
+std::string XmlNode::InnerText() const {
+  if (is_text()) return value_;
+  std::string out;
+  for (const auto& c : children_) {
+    out += c->InnerText();
+  }
+  return out;
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t n = 1 + attributes_.size();
+  for (const auto& c : children_) n += c->SubtreeSize();
+  return n;
+}
+
+size_t XmlNode::TreeNodeCount() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->TreeNodeCount();
+  return n;
+}
+
+size_t XmlNode::SubtreeDepth() const {
+  size_t deepest = 0;
+  for (const auto& c : children_) {
+    deepest = std::max(deepest, c->SubtreeDepth());
+  }
+  return deepest + 1;
+}
+
+std::unique_ptr<XmlNode> XmlNode::Clone() const {
+  auto copy = std::make_unique<XmlNode>(kind_, name_, value_);
+  copy->attributes_ = attributes_;
+  for (const auto& c : children_) {
+    copy->AppendChild(c->Clone());
+  }
+  return copy;
+}
+
+bool XmlNode::StructurallyEqual(const XmlNode& other) const {
+  if (kind_ != other.kind_ || name_ != other.name_ || value_ != other.value_) {
+    return false;
+  }
+  if (attributes_ != other.attributes_) return false;
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->StructurallyEqual(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+XmlNode* XmlDocument::root_element() const {
+  for (const auto& c : root_->children()) {
+    if (c->is_element()) return c.get();
+  }
+  return nullptr;
+}
+
+}  // namespace oxml

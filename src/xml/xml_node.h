@@ -1,0 +1,167 @@
+#ifndef OXML_XML_XML_NODE_H_
+#define OXML_XML_XML_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace oxml {
+
+/// Node kinds of the XML data model relevant to shredding. Attribute nodes
+/// are materialized by the shredder (they live as plain name/value pairs on
+/// elements in the DOM, matching XML's "attributes are unordered" rule).
+enum class XmlNodeKind : uint8_t {
+  kDocument = 0,
+  kElement = 1,
+  kText = 2,
+  kComment = 3,
+  kProcessingInstruction = 4,
+  kAttribute = 5,  // only produced by the shredder, never in the DOM tree
+};
+
+const char* XmlNodeKindToString(XmlNodeKind kind);
+
+/// A name="value" attribute on an element.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+
+  bool operator==(const XmlAttribute&) const = default;
+};
+
+/// A node in an in-memory XML tree. Children are owned and kept in document
+/// order; `parent` is a non-owning back pointer maintained by the tree
+/// mutation methods.
+class XmlNode {
+ public:
+  explicit XmlNode(XmlNodeKind kind) : kind_(kind) {}
+  XmlNode(XmlNodeKind kind, std::string name)
+      : kind_(kind), name_(std::move(name)) {}
+  XmlNode(XmlNodeKind kind, std::string name, std::string value)
+      : kind_(kind), name_(std::move(name)), value_(std::move(value)) {}
+
+  XmlNode(const XmlNode&) = delete;
+  XmlNode& operator=(const XmlNode&) = delete;
+
+  /// Convenience factories.
+  static std::unique_ptr<XmlNode> Element(std::string tag) {
+    return std::make_unique<XmlNode>(XmlNodeKind::kElement, std::move(tag));
+  }
+  static std::unique_ptr<XmlNode> Text(std::string text) {
+    return std::make_unique<XmlNode>(XmlNodeKind::kText, "#text",
+                                     std::move(text));
+  }
+  static std::unique_ptr<XmlNode> Comment(std::string text) {
+    return std::make_unique<XmlNode>(XmlNodeKind::kComment, "#comment",
+                                     std::move(text));
+  }
+  static std::unique_ptr<XmlNode> ProcessingInstruction(std::string target,
+                                                        std::string data) {
+    return std::make_unique<XmlNode>(XmlNodeKind::kProcessingInstruction,
+                                     std::move(target), std::move(data));
+  }
+
+  XmlNodeKind kind() const { return kind_; }
+  bool is_element() const { return kind_ == XmlNodeKind::kElement; }
+  bool is_text() const { return kind_ == XmlNodeKind::kText; }
+
+  /// Tag name for elements, "#text"/"#comment" markers otherwise, PI target
+  /// for processing instructions.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Text content for text/comment nodes, PI data for PIs; empty for
+  /// elements (element text lives in child text nodes).
+  const std::string& value() const { return value_; }
+  void set_value(std::string value) { value_ = std::move(value); }
+
+  XmlNode* parent() const { return parent_; }
+
+  const std::vector<std::unique_ptr<XmlNode>>& children() const {
+    return children_;
+  }
+  size_t child_count() const { return children_.size(); }
+  XmlNode* child(size_t i) const { return children_[i].get(); }
+
+  const std::vector<XmlAttribute>& attributes() const { return attributes_; }
+
+  /// Returns the attribute value or nullptr if absent.
+  const std::string* attribute(std::string_view name) const;
+  void SetAttribute(std::string name, std::string value);
+
+  /// Appends `node` as the last child; returns a raw pointer to it.
+  XmlNode* AppendChild(std::unique_ptr<XmlNode> node);
+
+  /// Inserts `node` so that it becomes the child at index `pos`
+  /// (0 <= pos <= child_count()).
+  XmlNode* InsertChild(size_t pos, std::unique_ptr<XmlNode> node);
+
+  /// Removes and returns the child at `pos`.
+  std::unique_ptr<XmlNode> RemoveChild(size_t pos);
+
+  /// Index of this node within its parent's child list; 0 for a root.
+  size_t IndexInParent() const;
+
+  /// First child element with the given tag, or nullptr.
+  XmlNode* FirstChildElement(std::string_view tag) const;
+
+  /// Depth-first search for the first element with the given tag,
+  /// including this node.
+  XmlNode* FindElement(std::string_view tag);
+
+  /// Concatenation of all descendant text node values, in document order.
+  std::string InnerText() const;
+
+  /// Number of nodes in this subtree (this node + attributes materialized
+  /// as nodes + all descendants); matches the shredder's row count.
+  size_t SubtreeSize() const;
+
+  /// Number of DOM nodes (no attribute rows), this node included.
+  size_t TreeNodeCount() const;
+
+  /// Maximum depth of the subtree rooted here (a leaf has depth 1).
+  size_t SubtreeDepth() const;
+
+  /// Deep copy of the subtree (parent pointer of the copy is null).
+  std::unique_ptr<XmlNode> Clone() const;
+
+  /// Structural equality: kind, name, value, attributes and children
+  /// (recursively, order-sensitive — this is the ordered XML data model).
+  bool StructurallyEqual(const XmlNode& other) const;
+
+ private:
+  XmlNodeKind kind_;
+  std::string name_;
+  std::string value_;
+  XmlNode* parent_ = nullptr;
+  std::vector<XmlAttribute> attributes_;
+  std::vector<std::unique_ptr<XmlNode>> children_;
+};
+
+/// An XML document: owns the tree root (a kDocument node whose children are
+/// the top-level comments/PIs and exactly one root element).
+class XmlDocument {
+ public:
+  XmlDocument() : root_(std::make_unique<XmlNode>(XmlNodeKind::kDocument,
+                                                  "#document")) {}
+
+  XmlNode* root() const { return root_.get(); }
+
+  /// The single top-level element, or nullptr for an empty document.
+  XmlNode* root_element() const;
+
+  size_t TotalNodes() const { return root_->SubtreeSize(); }
+
+  bool StructurallyEqual(const XmlDocument& other) const {
+    return root_->StructurallyEqual(*other.root_);
+  }
+
+ private:
+  std::unique_ptr<XmlNode> root_;
+};
+
+}  // namespace oxml
+
+#endif  // OXML_XML_XML_NODE_H_

@@ -1,0 +1,127 @@
+#include "src/xml/xml_writer.h"
+
+namespace oxml {
+namespace {
+
+void Indent(std::string* out, int depth, int indent) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth * indent), ' ');
+}
+
+void WriteNode(const XmlNode& node, const XmlWriteOptions& options, int depth,
+               std::string* out) {
+  switch (node.kind()) {
+    case XmlNodeKind::kDocument: {
+      bool first = true;
+      for (const auto& c : node.children()) {
+        if (!first && options.indent > 0) out->push_back('\n');
+        WriteNode(*c, options, depth, out);
+        first = false;
+      }
+      return;
+    }
+    case XmlNodeKind::kElement: {
+      out->push_back('<');
+      out->append(node.name());
+      for (const XmlAttribute& a : node.attributes()) {
+        out->push_back(' ');
+        out->append(a.name);
+        out->append("=\"");
+        out->append(EscapeXml(a.value, /*in_attribute=*/true));
+        out->push_back('"');
+      }
+      if (node.children().empty()) {
+        out->append("/>");
+        return;
+      }
+      out->push_back('>');
+      bool only_text = true;
+      for (const auto& c : node.children()) {
+        if (!c->is_text()) only_text = false;
+      }
+      for (const auto& c : node.children()) {
+        if (!only_text) Indent(out, depth + 1, options.indent);
+        WriteNode(*c, options, depth + 1, out);
+      }
+      if (!only_text) Indent(out, depth, options.indent);
+      out->append("</");
+      out->append(node.name());
+      out->push_back('>');
+      return;
+    }
+    case XmlNodeKind::kText:
+      out->append(EscapeXml(node.value()));
+      return;
+    case XmlNodeKind::kComment:
+      out->append("<!--");
+      out->append(node.value());
+      out->append("-->");
+      return;
+    case XmlNodeKind::kProcessingInstruction:
+      out->append("<?");
+      out->append(node.name());
+      if (!node.value().empty()) {
+        out->push_back(' ');
+        out->append(node.value());
+      }
+      out->append("?>");
+      return;
+    case XmlNodeKind::kAttribute:
+      // Attribute rows never appear in a DOM tree.
+      return;
+  }
+}
+
+}  // namespace
+
+std::string EscapeXml(std::string_view text, bool in_attribute) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out.append("&amp;");
+        break;
+      case '<':
+        out.append("&lt;");
+        break;
+      case '>':
+        out.append("&gt;");
+        break;
+      case '"':
+        if (in_attribute) {
+          out.append("&quot;");
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case '\'':
+        if (in_attribute) {
+          out.append("&apos;");
+        } else {
+          out.push_back(c);
+        }
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out.append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    if (options.indent > 0) out.push_back('\n');
+  }
+  WriteNode(node, options, 0, &out);
+  return out;
+}
+
+std::string WriteXml(const XmlDocument& doc, const XmlWriteOptions& options) {
+  return WriteXml(*doc.root(), options);
+}
+
+}  // namespace oxml

@@ -1,0 +1,30 @@
+#ifndef OXML_XML_XML_WRITER_H_
+#define OXML_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "src/xml/xml_node.h"
+
+namespace oxml {
+
+/// Serialization options.
+struct XmlWriteOptions {
+  /// Pretty-print with this indent per level; 0 emits a compact document.
+  int indent = 0;
+  /// Emit an <?xml version="1.0"?> declaration.
+  bool declaration = false;
+};
+
+/// Serializes a node subtree (or a whole document) back to XML text with the
+/// required escaping. Round-trips with ParseXml for documents that carry no
+/// insignificant whitespace.
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options = {});
+std::string WriteXml(const XmlDocument& doc,
+                     const XmlWriteOptions& options = {});
+
+/// Escapes character data: & < > (and " ' when `in_attribute`).
+std::string EscapeXml(std::string_view text, bool in_attribute = false);
+
+}  // namespace oxml
+
+#endif  // OXML_XML_XML_WRITER_H_

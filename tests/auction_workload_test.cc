@@ -1,0 +1,174 @@
+// Integration tests on the XMark-style auction document — the era's
+// standard XML benchmark shape. Exercises ordered bid histories, ordered
+// paragraph lists and cross-referencing attributes under every encoding,
+// in both query modes, plus the "place a bid" append workload.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/sql_translator.h"
+#include "src/core/xpath_eval.h"
+#include "src/xml/xml_generator.h"
+#include "src/xml/xml_parser.h"
+#include "src/xml/xml_writer.h"
+
+namespace oxml {
+namespace {
+
+class AuctionTest : public ::testing::TestWithParam<OrderEncoding> {
+ protected:
+  void SetUp() override {
+    AuctionGeneratorOptions opts;
+    opts.seed = 2002;
+    opts.items_per_region = 10;
+    opts.open_auctions = 12;
+    opts.bids_per_auction = 5;
+    opts.people = 8;
+    doc_ = GenerateAuctionXml(opts);
+
+    auto dbr = Database::Open();
+    ASSERT_TRUE(dbr.ok());
+    db_ = std::move(dbr).value();
+    auto sr = OrderedXmlStore::Create(db_.get(), GetParam(), {.gap = 8});
+    ASSERT_TRUE(sr.ok());
+    store_ = std::move(sr).value();
+    ASSERT_TRUE(store_->LoadDocument(*doc_).ok());
+  }
+
+  std::unique_ptr<XmlDocument> doc_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<OrderedXmlStore> store_;
+};
+
+TEST_P(AuctionTest, RoundTrip) {
+  auto rebuilt = store_->ReconstructDocument();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE((*rebuilt)->StructurallyEqual(*doc_));
+  ASSERT_TRUE(store_->Validate().ok());
+}
+
+TEST_P(AuctionTest, OrderedQueries) {
+  // XMark Q2-style: the FIRST bid of each auction (order matters).
+  auto first_bids = EvaluateXPath(
+      store_.get(), "//open_auction/bidder[1]/increase");
+  ASSERT_TRUE(first_bids.ok());
+  EXPECT_EQ(first_bids->size(), 12u);
+
+  // The latest bid is the last bidder child.
+  auto latest = EvaluateXPathStrings(
+      store_.get(),
+      "//open_auction[@id = 'auction3']/bidder[last()]/increase");
+  ASSERT_TRUE(latest.ok());
+  ASSERT_EQ(latest->size(), 1u);
+  auto current = EvaluateXPathStrings(
+      store_.get(), "//open_auction[@id = 'auction3']/current");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ((*latest)[0], (*current)[0]) << "last bid must equal current";
+
+  // Items per region, ordered paragraph lists.
+  EXPECT_EQ(EvaluateXPath(store_.get(), "/site/regions/asia/item")->size(),
+            10u);
+  auto paras = EvaluateXPath(
+      store_.get(),
+      "/site/regions/europe/item[2]/description/parlist/listitem");
+  ASSERT_TRUE(paras.ok());
+  EXPECT_GE(paras->size(), 1u);
+
+  // Cross-reference attributes.
+  auto refs = EvaluateXPath(store_.get(),
+                            "//bidder/personref[@person = 'person0']");
+  ASSERT_TRUE(refs.ok());
+  auto all_refs = EvaluateXPath(store_.get(), "//personref");
+  ASSERT_TRUE(all_refs.ok());
+  EXPECT_EQ(all_refs->size(), 60u);
+  EXPECT_LE(refs->size(), all_refs->size());
+}
+
+TEST_P(AuctionTest, TranslationModeAgreesOnAuctionQueries) {
+  for (const char* q : {
+           "/site/open_auctions/open_auction/current",
+           "/site/people/person[@id = 'person2']/name",
+           "/site/regions/africa/item/quantity",
+       }) {
+    auto via_sql = EvaluateXPathViaSql(store_.get(), q);
+    ASSERT_TRUE(via_sql.ok()) << q << ": " << via_sql.status();
+    auto via_driver = EvaluateXPath(store_.get(), q);
+    ASSERT_TRUE(via_driver.ok());
+    ASSERT_EQ(via_sql->size(), via_driver->size()) << q;
+    for (size_t i = 0; i < via_sql->size(); ++i) {
+      EXPECT_EQ(NodeIdentity(GetParam(), (*via_sql)[i]),
+                NodeIdentity(GetParam(), (*via_driver)[i]))
+          << q;
+    }
+  }
+}
+
+TEST_P(AuctionTest, PlacingBidsAppendsInOrder) {
+  // The canonical ordered-XML update of the auction workload: append a bid
+  // and update <current/> — order determines the auction outcome.
+  auto auction = EvaluateXPath(store_.get(),
+                               "//open_auction[@id = 'auction7']");
+  ASSERT_TRUE(auction.ok());
+  ASSERT_EQ(auction->size(), 1u);
+  auto current_node = EvaluateXPath(
+      store_.get(), "//open_auction[@id = 'auction7']/current");
+  ASSERT_TRUE(current_node.ok());
+
+  // The new bid must be inserted BEFORE <current/> (which stays last).
+  auto bid = ParseXml(
+      "<bidder><date>2002-06-30</date>"
+      "<personref person=\"person5\"/>"
+      "<increase>999.5</increase></bidder>");
+  ASSERT_TRUE(bid.ok());
+  auto stats = store_->InsertSubtree((*current_node)[0],
+                                     InsertPosition::kBefore,
+                                     *(*bid)->root_element());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  auto current_text = EvaluateXPath(
+      store_.get(), "//open_auction[@id = 'auction7']/current/text()");
+  ASSERT_TRUE(current_text.ok());
+  ASSERT_EQ(current_text->size(), 1u);
+  ASSERT_TRUE(store_->UpdateNodeValue((*current_text)[0], "999.5").ok());
+
+  auto latest = EvaluateXPathStrings(
+      store_.get(),
+      "//open_auction[@id = 'auction7']/bidder[last()]/increase");
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ((*latest)[0], "999.5");
+  auto current = EvaluateXPathStrings(
+      store_.get(), "//open_auction[@id = 'auction7']/current");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ((*current)[0], "999.5");
+  ASSERT_TRUE(store_->Validate().ok());
+}
+
+TEST(AuctionGeneratorTest, DeterministicAndWellFormed) {
+  AuctionGeneratorOptions opts;
+  opts.seed = 5;
+  auto d1 = GenerateAuctionXml(opts);
+  auto d2 = GenerateAuctionXml(opts);
+  EXPECT_TRUE(d1->root()->StructurallyEqual(*d2->root()));
+
+  std::string xml = WriteXml(*d1);
+  auto again = ParseXml(xml);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE((*again)->root()->StructurallyEqual(*d1->root()));
+
+  XmlNode* site = d1->root_element();
+  ASSERT_NE(site, nullptr);
+  EXPECT_EQ(site->name(), "site");
+  EXPECT_EQ(site->child_count(), 3u);  // regions, open_auctions, people
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, AuctionTest,
+                         ::testing::Values(OrderEncoding::kGlobal,
+                                           OrderEncoding::kLocal,
+                                           OrderEncoding::kDewey),
+                         [](const auto& info) {
+                           return OrderEncodingToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace oxml

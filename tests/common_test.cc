@@ -1,0 +1,116 @@
+// Tests for the common utilities: Status/Result, strings, Random.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+
+namespace oxml {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::NotFound("missing thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.IsNotFound());
+  EXPECT_FALSE(err.IsParseError());
+  EXPECT_EQ(err.ToString(), "NotFound: missing thing");
+  EXPECT_EQ(err.message(), "missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAborted), "Aborted");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Result<int> Chain(int x) {
+  OXML_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.ValueOr(-1), 42);
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto r1 = Chain(5);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, 11);
+  auto r2 = Chain(-5);
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(StringsTest, JoinSplitTrim) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(Trim("\t\t"), "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+  EXPECT_EQ(ToUpper("MiXeD"), "MIXED");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_TRUE(StartsWith("hello world", "hello"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(StringsTest, SqlQuoteEscapesQuotes) {
+  EXPECT_EQ(SqlQuote("abc"), "'abc'");
+  EXPECT_EQ(SqlQuote("a'b"), "'a''b'");
+  EXPECT_EQ(SqlQuote(""), "''");
+}
+
+TEST(StringsTest, ToHex) {
+  EXPECT_EQ(ToHex(std::string("\x00\x1F\xFF", 3)), "001fff");
+  EXPECT_EQ(ToHex(""), "");
+}
+
+TEST(RandomTest, DeterministicAndInRange) {
+  Random r1(7), r2(7);
+  for (int i = 0; i < 100; ++i) {
+    int64_t a = r1.Uniform(0, 10);
+    int64_t b = r2.Uniform(0, 10);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a, 0);
+    EXPECT_LE(a, 10);
+  }
+}
+
+TEST(RandomTest, WordAndSkew) {
+  Random rng(3);
+  for (int i = 0; i < 50; ++i) {
+    std::string w = rng.Word(2, 5);
+    EXPECT_GE(w.size(), 2u);
+    EXPECT_LE(w.size(), 5u);
+    int64_t s = rng.Skewed(100);
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 100);
+  }
+}
+
+}  // namespace
+}  // namespace oxml

@@ -1,0 +1,149 @@
+// DeweyKey codec tests, including randomized property checks of the
+// order-preservation invariants the Dewey encoding relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/dewey.h"
+
+namespace oxml {
+namespace {
+
+TEST(DeweyKeyTest, BasicOps) {
+  DeweyKey root = DeweyKey::Root(8);
+  EXPECT_EQ(root.ToString(), "8");
+  EXPECT_EQ(root.depth(), 1u);
+
+  DeweyKey child = root.Child(16);
+  EXPECT_EQ(child.ToString(), "8.16");
+  EXPECT_EQ(child.Parent().ToString(), "8");
+  EXPECT_EQ(child.WithLast(24).ToString(), "8.24");
+  EXPECT_TRUE(root.IsAncestorOf(child));
+  EXPECT_FALSE(child.IsAncestorOf(root));
+  EXPECT_FALSE(root.IsAncestorOf(root));
+}
+
+TEST(DeweyKeyTest, DocumentOrderCompare) {
+  DeweyKey a({1, 5});
+  DeweyKey b({1, 5, 3});
+  DeweyKey c({1, 6});
+  DeweyKey d({2});
+  EXPECT_LT(a.Compare(b), 0);  // ancestor before descendant
+  EXPECT_LT(b.Compare(c), 0);
+  EXPECT_LT(c.Compare(d), 0);
+  EXPECT_EQ(a.Compare(DeweyKey({1, 5})), 0);
+  EXPECT_GT(d.Compare(a), 0);
+}
+
+TEST(DeweyKeyTest, EncodeDecodeRoundTrip) {
+  std::vector<std::vector<int64_t>> cases = {
+      {1},
+      {1, 2, 3},
+      {255},
+      {256},
+      {65535, 65536},
+      {1, 1'000'000'000'000LL},
+      {42, 7, 99, 12345, 8},
+  };
+  for (const auto& comps : cases) {
+    DeweyKey key(comps);
+    auto decoded = DeweyKey::Decode(key.Encode());
+    ASSERT_TRUE(decoded.ok()) << key.ToString();
+    EXPECT_EQ(decoded->components(), comps);
+  }
+}
+
+TEST(DeweyKeyTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DeweyKey::Decode("\x09").ok());        // bad length byte
+  EXPECT_FALSE(DeweyKey::Decode("\x02\x01").ok());    // truncated
+  EXPECT_FALSE(DeweyKey::Decode(std::string("\x00", 1)).ok());
+  EXPECT_TRUE(DeweyKey::Decode("").ok());  // empty path (document)
+}
+
+TEST(DeweyKeyTest, EncodedOrderEqualsDocumentOrder) {
+  // Property: memcmp order of encodings == DeweyKey::Compare order.
+  Random rng(99);
+  std::vector<DeweyKey> keys;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<int64_t> comps;
+    int depth = static_cast<int>(rng.Uniform(1, 6));
+    for (int d = 0; d < depth; ++d) {
+      // Mix small and large components to cross length-byte boundaries.
+      int64_t c = rng.Chance(0.3) ? rng.Uniform(1, 10'000'000)
+                                  : rng.Uniform(1, 300);
+      comps.push_back(c);
+    }
+    keys.emplace_back(std::move(comps));
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      int logical = keys[i].Compare(keys[j]);
+      int physical = keys[i].Encode().compare(keys[j].Encode());
+      int norm_physical = physical < 0 ? -1 : (physical > 0 ? 1 : 0);
+      ASSERT_EQ(logical, norm_physical)
+          << keys[i].ToString() << " vs " << keys[j].ToString();
+    }
+  }
+}
+
+TEST(DeweyKeyTest, AncestorIffEncodedPrefix) {
+  Random rng(7);
+  std::vector<DeweyKey> keys;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<int64_t> comps;
+    int depth = static_cast<int>(rng.Uniform(1, 5));
+    for (int d = 0; d < depth; ++d) comps.push_back(rng.Uniform(1, 400));
+    keys.emplace_back(std::move(comps));
+  }
+  for (const DeweyKey& a : keys) {
+    for (const DeweyKey& b : keys) {
+      std::string ea = a.Encode();
+      std::string eb = b.Encode();
+      bool prefix = ea.size() < eb.size() &&
+                    eb.compare(0, ea.size(), ea) == 0;
+      ASSERT_EQ(a.IsAncestorOf(b), prefix)
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(DeweyKeyTest, SubtreeUpperBoundCoversExactlyTheSubtree) {
+  Random rng(13);
+  DeweyKey parent({5, 130});
+  std::string lower = parent.Encode();
+  std::string upper = parent.SubtreeUpperBound();
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<int64_t> comps{5, 130};
+    int extra = static_cast<int>(rng.Uniform(0, 3));
+    for (int d = 0; d < extra; ++d) comps.push_back(rng.Uniform(1, 100'000));
+    DeweyKey descendant_or_self(comps);
+    std::string enc = descendant_or_self.Encode();
+    EXPECT_GE(enc, lower);
+    EXPECT_LT(enc, upper);
+  }
+  // Nodes outside the subtree fall outside the range.
+  EXPECT_LT(DeweyKey({5, 129, 7}).Encode(), lower);
+  EXPECT_GE(DeweyKey({5, 131}).Encode(), upper);
+  EXPECT_GE(DeweyKey({6}).Encode(), upper);
+  // A sibling with a *longer* encoded component also sorts above.
+  EXPECT_GE(DeweyKey({5, 1'000'000}).Encode(), upper);
+}
+
+TEST(DeweyKeyTest, LargeComponentBoundaries) {
+  // Values around the per-byte-length boundaries keep strict order.
+  std::vector<int64_t> boundary = {1,       254,     255,      256,
+                                   65535,   65536,   16777215, 16777216,
+                                   (1LL << 32) - 1, 1LL << 32};
+  for (size_t i = 0; i + 1 < boundary.size(); ++i) {
+    DeweyKey a({boundary[i]});
+    DeweyKey b({boundary[i + 1]});
+    EXPECT_LT(a.Encode(), b.Encode())
+        << boundary[i] << " !< " << boundary[i + 1];
+  }
+}
+
+}  // namespace
+}  // namespace oxml

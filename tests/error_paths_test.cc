@@ -1,0 +1,177 @@
+// Error-path coverage: every public API must fail loudly and precisely —
+// with the right status code — rather than corrupting state or crashing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/collection.h"
+#include "src/core/ordered_store.h"
+#include "src/core/sql_translator.h"
+#include "src/core/xpath_eval.h"
+#include "src/xml/xml_parser.h"
+
+namespace oxml {
+namespace {
+
+class ErrorPathTest : public ::testing::TestWithParam<OrderEncoding> {
+ protected:
+  void SetUp() override {
+    auto dbr = Database::Open();
+    ASSERT_TRUE(dbr.ok());
+    db_ = std::move(dbr).value();
+    auto sr = OrderedXmlStore::Create(db_.get(), GetParam(), {.gap = 8});
+    ASSERT_TRUE(sr.ok());
+    store_ = std::move(sr).value();
+    auto doc = ParseXml("<r a=\"1\"><x>one</x><y>two</y></r>");
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(store_->LoadDocument(**doc).ok());
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<OrderedXmlStore> store_;
+};
+
+TEST_P(ErrorPathTest, InsertRelativeToAttributeRejected) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto attrs = store_->Attributes(*root, "a");
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs->size(), 1u);
+  auto frag = XmlNode::Element("z");
+  auto r = store_->InsertSubtree((*attrs)[0], InsertPosition::kAfter, *frag);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_P(ErrorPathTest, SiblingOfRootRejectedOrImpossible) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto frag = XmlNode::Element("z");
+  auto r = store_->InsertSubtree(*root, InsertPosition::kBefore, *frag);
+  // Global/Local report NotFound (no parent row); Dewey InvalidArgument.
+  EXPECT_FALSE(r.ok()) << OrderEncodingToString(GetParam());
+}
+
+TEST_P(ErrorPathTest, ChildAtOutOfRange) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto r = store_->ChildAt(*root, NodeTest::AnyNode(), 99);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+TEST_P(ErrorPathTest, NodeAtPathThroughLeafFails) {
+  // Path descends through a text leaf: no children there.
+  auto r = store_->NodeAtPath({0, 0, 0});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_P(ErrorPathTest, RootOfEmptyStoreNotFound) {
+  auto dbr = Database::Open();
+  ASSERT_TRUE(dbr.ok());
+  auto sr = OrderedXmlStore::Create(dbr->get(), GetParam(),
+                                    {.gap = 8, .table_name = "empty"});
+  ASSERT_TRUE(sr.ok());
+  auto root = (*sr)->Root();
+  EXPECT_FALSE(root.ok());
+  EXPECT_TRUE(root.status().IsNotFound());
+}
+
+TEST_P(ErrorPathTest, DuplicateTableNameRejected) {
+  auto sr = OrderedXmlStore::Create(db_.get(), GetParam(), {.gap = 8});
+  EXPECT_FALSE(sr.ok());
+  EXPECT_TRUE(sr.status().IsAlreadyExists()) << sr.status();
+}
+
+TEST_P(ErrorPathTest, BadGapRejected) {
+  auto sr = OrderedXmlStore::Create(db_.get(), GetParam(),
+                                    {.gap = 0, .table_name = "g0"});
+  EXPECT_FALSE(sr.ok());
+  EXPECT_TRUE(sr.status().IsInvalidArgument());
+}
+
+TEST_P(ErrorPathTest, XPathOnStoreErrors) {
+  EXPECT_FALSE(EvaluateXPath(store_.get(), "not absolute").ok());
+  EXPECT_FALSE(EvaluateXPath(store_.get(), "/r[").ok());
+  // Sibling axis as the first step is rejected by the evaluator.
+  auto r = EvaluateXPath(store_.get(), "/following-sibling::x");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status();
+}
+
+TEST_P(ErrorPathTest, StaleHandleValueUpdateReportsNotFound) {
+  auto texts = EvaluateXPath(store_.get(), "/r/x/text()");
+  ASSERT_TRUE(texts.ok());
+  ASSERT_EQ(texts->size(), 1u);
+  StoredNode stale = (*texts)[0];
+  // Delete <x> entirely; the text handle goes stale.
+  auto x = EvaluateXPath(store_.get(), "/r/x");
+  ASSERT_TRUE(x.ok());
+  ASSERT_TRUE(store_->DeleteSubtree((*x)[0]).ok());
+  auto r = store_->UpdateNodeValue(stale, "zzz");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound()) << r.status();
+}
+
+TEST_P(ErrorPathTest, TranslatorRejectsUnknownTable) {
+  // A store attached over a dropped table fails loudly on use.
+  ASSERT_TRUE(db_->DropTable(store_->table_name()).ok());
+  auto r = EvaluateXPath(store_.get(), "/r");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ErrorPathDbTest, SqlStatementErrors) {
+  auto dbr = Database::Open();
+  ASSERT_TRUE(dbr.ok());
+  std::unique_ptr<Database> db = std::move(dbr).value();
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INT)").ok());
+
+  EXPECT_TRUE(db->Execute("CREATE TABLE t (a INT)").status()
+                  .IsAlreadyExists());
+  EXPECT_TRUE(db->Execute("DROP TABLE nope").status().IsNotFound());
+  EXPECT_TRUE(db->Execute("INSERT INTO nope VALUES (1)").status()
+                  .IsNotFound());
+  EXPECT_TRUE(db->Execute("INSERT INTO t VALUES (1, 2)").status()
+                  .IsInvalidArgument());  // arity
+  EXPECT_TRUE(db->Execute("INSERT INTO t (zz) VALUES (1)").status()
+                  .IsNotFound());
+  EXPECT_TRUE(db->Execute("UPDATE t SET zz = 1").status().IsNotFound());
+  EXPECT_TRUE(db->Execute("CREATE INDEX i ON t (zz)").status().IsNotFound());
+  EXPECT_TRUE(db->Execute("CREATE INDEX i ON nope (a)").status()
+                  .IsNotFound());
+  ASSERT_TRUE(db->Execute("CREATE INDEX i ON t (a)").ok());
+  EXPECT_TRUE(db->Execute("CREATE INDEX i ON t (a)").status()
+                  .IsAlreadyExists());
+  // Type mismatch on insert.
+  EXPECT_TRUE(db->Execute("INSERT INTO t VALUES ('text')").status()
+                  .IsInvalidArgument());
+  // Query() refuses non-SELECT.
+  EXPECT_TRUE(db->Query("INSERT INTO t VALUES (1)").status()
+                  .IsInvalidArgument());
+}
+
+TEST(ErrorPathDbTest, RuntimeEvaluationErrorsSurface) {
+  auto dbr = Database::Open();
+  ASSERT_TRUE(dbr.ok());
+  std::unique_ptr<Database> db = std::move(dbr).value();
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (1)").ok());
+  auto r = db->Query("SELECT a / 0 FROM t");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+  r = db->Query("SELECT SUBSTR(a, 1, 2) FROM t WHERE NOPEFN(a) = 1");
+  EXPECT_FALSE(r.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, ErrorPathTest,
+                         ::testing::Values(OrderEncoding::kGlobal,
+                                           OrderEncoding::kLocal,
+                                           OrderEncoding::kDewey),
+                         [](const auto& info) {
+                           return OrderEncodingToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace oxml

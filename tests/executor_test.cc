@@ -1,0 +1,230 @@
+// Operator-level executor tests, exercised through SQL on controlled data:
+// join semantics (duplicates, NULL keys, plan-shape independence),
+// aggregates over edge cases, sorting stability and NULL ordering.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/relational/database.h"
+
+namespace oxml {
+namespace {
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dbr = Database::Open();
+    ASSERT_TRUE(dbr.ok());
+    db_ = std::move(dbr).value();
+  }
+
+  void Must(const std::string& sql) {
+    auto r = db_->Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status();
+  }
+
+  ResultSet Rows(const std::string& sql) {
+    auto r = db_->Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ExecutorTest, JoinDuplicateKeysProduceCrossProductOfMatches) {
+  Must("CREATE TABLE l (k INT, lv TEXT)");
+  Must("CREATE TABLE r (k INT, rv TEXT)");
+  Must("INSERT INTO l VALUES (1, 'a'), (1, 'b'), (2, 'c')");
+  Must("INSERT INTO r VALUES (1, 'x'), (1, 'y'), (3, 'z')");
+  ResultSet rs = Rows(
+      "SELECT l.lv, r.rv FROM l, r WHERE l.k = r.k ORDER BY l.lv, r.rv");
+  ASSERT_EQ(rs.rows.size(), 4u);  // 2 l-rows x 2 r-rows for k=1
+  EXPECT_EQ(rs.rows[0][0].AsString(), "a");
+  EXPECT_EQ(rs.rows[0][1].AsString(), "x");
+  EXPECT_EQ(rs.rows[3][0].AsString(), "b");
+  EXPECT_EQ(rs.rows[3][1].AsString(), "y");
+}
+
+TEST_F(ExecutorTest, NullKeysNeverJoin) {
+  Must("CREATE TABLE l (k INT)");
+  Must("CREATE TABLE r (k INT)");
+  Must("INSERT INTO l VALUES (1), (NULL)");
+  Must("INSERT INTO r VALUES (1), (NULL)");
+  // Hash join path.
+  EXPECT_EQ(Rows("SELECT l.k FROM l, r WHERE l.k = r.k").rows.size(), 1u);
+  // Index-nested-loop path.
+  Must("CREATE INDEX r_k ON r (k)");
+  EXPECT_EQ(Rows("SELECT l.k FROM l, r WHERE l.k = r.k").rows.size(), 1u);
+}
+
+TEST_F(ExecutorTest, JoinResultIndependentOfJoinAlgorithm) {
+  Must("CREATE TABLE a (x INT, p TEXT)");
+  Must("CREATE TABLE b (x INT, q TEXT)");
+  for (int i = 0; i < 50; ++i) {
+    Must("INSERT INTO a VALUES (" + std::to_string(i % 7) + ", 'a" +
+         std::to_string(i) + "')");
+    Must("INSERT INTO b VALUES (" + std::to_string(i % 5) + ", 'b" +
+         std::to_string(i) + "')");
+  }
+  ResultSet hash_join = Rows(
+      "SELECT a.p, b.q FROM a, b WHERE a.x = b.x ORDER BY a.p, b.q");
+  Must("CREATE INDEX b_x ON b (x)");
+  auto plan = db_->Explain("SELECT a.p, b.q FROM a, b WHERE a.x = b.x");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexNestedLoopJoin"), std::string::npos) << *plan;
+  ResultSet inlj = Rows(
+      "SELECT a.p, b.q FROM a, b WHERE a.x = b.x ORDER BY a.p, b.q");
+  ASSERT_EQ(hash_join.rows.size(), inlj.rows.size());
+  for (size_t i = 0; i < hash_join.rows.size(); ++i) {
+    EXPECT_EQ(hash_join.rows[i][0].AsString(), inlj.rows[i][0].AsString());
+    EXPECT_EQ(hash_join.rows[i][1].AsString(), inlj.rows[i][1].AsString());
+  }
+}
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  Must("CREATE TABLE t1 (a INT)");
+  Must("CREATE TABLE t2 (a INT, b INT)");
+  Must("CREATE TABLE t3 (b INT, v TEXT)");
+  Must("INSERT INTO t1 VALUES (1), (2)");
+  Must("INSERT INTO t2 VALUES (1, 10), (2, 20), (2, 30)");
+  Must("INSERT INTO t3 VALUES (10, 'ten'), (20, 'twenty'), (30, 'thirty')");
+  ResultSet rs = Rows(
+      "SELECT t1.a, t3.v FROM t1, t2, t3 "
+      "WHERE t1.a = t2.a AND t2.b = t3.b ORDER BY t3.v");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][1].AsString(), "ten");
+  EXPECT_EQ(rs.rows[2][1].AsString(), "twenty");
+}
+
+TEST_F(ExecutorTest, AggregatesIgnoreNulls) {
+  Must("CREATE TABLE t (g INT, v INT)");
+  Must("INSERT INTO t VALUES (1, 10), (1, NULL), (2, 5), (2, 7), (1, 20)");
+  ResultSet rs = Rows(
+      "SELECT g, COUNT(*) AS all_rows, COUNT(v) AS non_null, SUM(v), "
+      "AVG(v), MIN(v), MAX(v) FROM t GROUP BY g ORDER BY g");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  // Group 1: rows 3, non-null 2, sum 30, avg 15, min 10, max 20.
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 3);
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 2);
+  EXPECT_EQ(rs.rows[0][3].AsInt(), 30);
+  EXPECT_DOUBLE_EQ(rs.rows[0][4].AsDouble(), 15.0);
+  EXPECT_EQ(rs.rows[0][5].AsInt(), 10);
+  EXPECT_EQ(rs.rows[0][6].AsInt(), 20);
+}
+
+TEST_F(ExecutorTest, SumAvgOverAllNullGroup) {
+  Must("CREATE TABLE t (v INT)");
+  Must("INSERT INTO t VALUES (NULL), (NULL)");
+  ResultSet rs = Rows("SELECT SUM(v), AVG(v), COUNT(v), COUNT(*) FROM t");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 0);
+  EXPECT_EQ(rs.rows[0][3].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, GroupByNullFormsItsOwnGroup) {
+  Must("CREATE TABLE t (g INT, v INT)");
+  Must("INSERT INTO t VALUES (NULL, 1), (NULL, 2), (1, 3)");
+  ResultSet rs = Rows("SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY g");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());  // NULL sorts first
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 2);
+}
+
+TEST_F(ExecutorTest, SortIsStableAndNullsFirst) {
+  Must("CREATE TABLE t (k INT, seq INT)");
+  Must("INSERT INTO t VALUES (2, 1), (1, 2), (2, 3), (NULL, 4), (1, 5)");
+  ResultSet rs = Rows("SELECT k, seq FROM t ORDER BY k");
+  ASSERT_EQ(rs.rows.size(), 5u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+  // Stability: within equal keys, heap order (seq) is preserved.
+  EXPECT_EQ(rs.rows[1][1].AsInt(), 2);
+  EXPECT_EQ(rs.rows[2][1].AsInt(), 5);
+  EXPECT_EQ(rs.rows[3][1].AsInt(), 1);
+  EXPECT_EQ(rs.rows[4][1].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, OrderByExpression) {
+  Must("CREATE TABLE t (a INT)");
+  Must("INSERT INTO t VALUES (3), (1), (2)");
+  ResultSet rs = Rows("SELECT a FROM t ORDER BY a * -1");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(rs.rows[2][0].AsInt(), 1);
+}
+
+TEST_F(ExecutorTest, LimitZeroAndOverrun) {
+  Must("CREATE TABLE t (a INT)");
+  Must("INSERT INTO t VALUES (1), (2)");
+  EXPECT_EQ(Rows("SELECT a FROM t LIMIT 0").rows.size(), 0u);
+  EXPECT_EQ(Rows("SELECT a FROM t LIMIT 99").rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, DistinctOnMultipleColumns) {
+  Must("CREATE TABLE t (a INT, b TEXT)");
+  Must("INSERT INTO t VALUES (1, 'x'), (1, 'x'), (1, 'y'), (2, 'x')");
+  EXPECT_EQ(Rows("SELECT DISTINCT a, b FROM t").rows.size(), 3u);
+  EXPECT_EQ(Rows("SELECT DISTINCT a FROM t").rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, DistinctTreatsIntAndDoubleEqualValuesAsEqual) {
+  Must("CREATE TABLE t (a DOUBLE)");
+  Must("INSERT INTO t VALUES (1), (1.0), (2)");
+  EXPECT_EQ(Rows("SELECT DISTINCT a FROM t").rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, CrossProductSizes) {
+  Must("CREATE TABLE a (x INT)");
+  Must("CREATE TABLE b (y INT)");
+  Must("INSERT INTO a VALUES (1), (2), (3)");
+  Must("INSERT INTO b VALUES (1), (2)");
+  EXPECT_EQ(Rows("SELECT a.x, b.y FROM a, b").rows.size(), 6u);
+  // Empty side → empty product.
+  Must("CREATE TABLE c (z INT)");
+  EXPECT_EQ(Rows("SELECT a.x, c.z FROM a, c").rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, SelfJoinWithAliases) {
+  Must("CREATE TABLE t (id INT, parent INT)");
+  Must("INSERT INTO t VALUES (1, 0), (2, 1), (3, 1), (4, 2)");
+  ResultSet rs = Rows(
+      "SELECT child.id FROM t child, t parent "
+      "WHERE child.parent = parent.id AND parent.parent = 0 "
+      "ORDER BY child.id");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 3);
+}
+
+TEST_F(ExecutorTest, NonEquiJoinFallsBackToNestedLoop) {
+  Must("CREATE TABLE a (x INT)");
+  Must("CREATE TABLE b (y INT)");
+  Must("INSERT INTO a VALUES (1), (5)");
+  Must("INSERT INTO b VALUES (2), (4), (6)");
+  auto plan = db_->Explain("SELECT a.x, b.y FROM a, b WHERE a.x < b.y");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("NestedLoopJoin"), std::string::npos) << *plan;
+  ResultSet rs = Rows(
+      "SELECT a.x, b.y FROM a, b WHERE a.x < b.y ORDER BY a.x, b.y");
+  EXPECT_EQ(rs.rows.size(), 4u);  // 1<2,1<4,1<6, 5<6
+}
+
+TEST_F(ExecutorTest, UpdateSeesConsistentSnapshotOfMatches) {
+  // Halloween-problem guard: the update must not reprocess rows it moved.
+  Must("CREATE TABLE t (a INT)");
+  Must("CREATE INDEX t_a ON t (a)");
+  for (int i = 0; i < 20; ++i) {
+    Must("INSERT INTO t VALUES (" + std::to_string(i) + ")");
+  }
+  auto n = db_->Execute("UPDATE t SET a = a + 100 WHERE a >= 10");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 10);
+  ResultSet rs = Rows("SELECT COUNT(*) FROM t WHERE a >= 110");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 10);
+}
+
+}  // namespace
+}  // namespace oxml

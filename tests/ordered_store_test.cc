@@ -1,0 +1,391 @@
+// Parameterized conformance suite: every test runs against all three order
+// encodings (Global, Local, Dewey) and checks the identical observable
+// behaviour — the ordered XML data model must be preserved by each scheme.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/core/ordered_store.h"
+#include "src/xml/xml_generator.h"
+#include "src/xml/xml_parser.h"
+#include "src/xml/xml_writer.h"
+
+namespace oxml {
+namespace {
+
+constexpr const char* kDoc = R"(
+<doc>
+  <head><title>t0</title></head>
+  <body>
+    <section id="s1"><title>alpha</title><para>p1</para><para>p2</para></section>
+    <section id="s2"><title>beta</title><para>p3</para></section>
+    <section id="s3"><title>gamma</title><para>p4</para><para>p5</para><para>p6</para></section>
+  </body>
+</doc>)";
+
+class StoreTest : public ::testing::TestWithParam<OrderEncoding> {
+ protected:
+  void SetUp() override {
+    auto dbr = Database::Open();
+    ASSERT_TRUE(dbr.ok());
+    db_ = std::move(dbr).value();
+    StoreOptions opts;
+    opts.gap = 8;
+    auto sr = OrderedXmlStore::Create(db_.get(), GetParam(), opts);
+    ASSERT_TRUE(sr.ok()) << sr.status();
+    store_ = std::move(sr).value();
+
+    auto docr = ParseXml(kDoc);
+    ASSERT_TRUE(docr.ok()) << docr.status();
+    doc_ = std::move(docr).value();
+    ASSERT_TRUE(store_->LoadDocument(*doc_).ok());
+  }
+
+  /// Asserts the store's reconstruction equals the in-memory document.
+  void ExpectRoundTrip(const XmlDocument& expected) {
+    auto rebuilt = store_->ReconstructDocument();
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+    EXPECT_TRUE((*rebuilt)->StructurallyEqual(expected))
+        << "expected:\n"
+        << WriteXml(expected, {.indent = 2}) << "\ngot:\n"
+        << WriteXml(**rebuilt, {.indent = 2});
+  }
+
+  std::vector<std::string> Tags(const std::vector<StoredNode>& nodes) {
+    std::vector<std::string> out;
+    for (const auto& n : nodes) out.push_back(n.tag);
+    return out;
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<OrderedXmlStore> store_;
+  std::unique_ptr<XmlDocument> doc_;
+};
+
+TEST_P(StoreTest, NodeCountMatchesSubtreeSize) {
+  auto count = store_->NodeCount();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(static_cast<size_t>(*count), doc_->TotalNodes() - 1);  // -doc node
+}
+
+TEST_P(StoreTest, RoundTripReconstruction) { ExpectRoundTrip(*doc_); }
+
+TEST_P(StoreTest, RootIsDocElement) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok()) << root.status();
+  EXPECT_EQ(root->tag, "doc");
+  EXPECT_EQ(root->depth, 1);
+}
+
+TEST_P(StoreTest, ChildrenInDocumentOrder) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto kids = store_->Children(*root, NodeTest::AnyElement());
+  ASSERT_TRUE(kids.ok());
+  EXPECT_EQ(Tags(*kids), (std::vector<std::string>{"head", "body"}));
+
+  auto body = (*kids)[1];
+  auto sections = store_->Children(body, NodeTest::Tag("section"));
+  ASSERT_TRUE(sections.ok());
+  EXPECT_EQ(sections->size(), 3u);
+}
+
+TEST_P(StoreTest, DescendantsInDocumentOrder) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto paras = store_->Descendants(*root, NodeTest::Tag("para"));
+  ASSERT_TRUE(paras.ok()) << paras.status();
+  ASSERT_EQ(paras->size(), 6u);
+  for (size_t i = 0; i < paras->size(); ++i) {
+    auto text = store_->StringValue((*paras)[i]);
+    ASSERT_TRUE(text.ok());
+    EXPECT_EQ(*text, "p" + std::to_string(i + 1));
+  }
+}
+
+TEST_P(StoreTest, DescendantsFromInnerNode) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+  auto s3 = store_->ChildAt(*body, NodeTest::Tag("section"), 2);
+  ASSERT_TRUE(s3.ok());
+  auto paras = store_->Descendants(*s3, NodeTest::Tag("para"));
+  ASSERT_TRUE(paras.ok());
+  EXPECT_EQ(paras->size(), 3u);
+  auto all = store_->Descendants(*s3, NodeTest::AnyNode());
+  ASSERT_TRUE(all.ok());
+  // title + text + 3 paras + 3 texts = 8 nodes.
+  EXPECT_EQ(all->size(), 8u);
+}
+
+TEST_P(StoreTest, FollowingAndPrecedingSiblings) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+  auto s1 = store_->ChildAt(*body, NodeTest::Tag("section"), 0);
+  ASSERT_TRUE(s1.ok());
+
+  auto following = store_->FollowingSiblings(*s1, NodeTest::Tag("section"));
+  ASSERT_TRUE(following.ok());
+  EXPECT_EQ(following->size(), 2u);
+
+  auto s3 = store_->ChildAt(*body, NodeTest::Tag("section"), 2);
+  ASSERT_TRUE(s3.ok());
+  auto preceding = store_->PrecedingSiblings(*s3, NodeTest::Tag("section"));
+  ASSERT_TRUE(preceding.ok());
+  EXPECT_EQ(preceding->size(), 2u);
+  EXPECT_TRUE(following->back().tag == "section");
+}
+
+TEST_P(StoreTest, AttributesAreQueryable) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+  auto s2 = store_->ChildAt(*body, NodeTest::Tag("section"), 1);
+  ASSERT_TRUE(s2.ok());
+  auto attrs = store_->Attributes(*s2, "id");
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs->size(), 1u);
+  EXPECT_EQ((*attrs)[0].value, "s2");
+}
+
+TEST_P(StoreTest, ParentNavigation) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+  auto parent = store_->Parent(*body);
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(parent->tag, "doc");
+  EXPECT_FALSE(store_->Parent(*root).ok());
+}
+
+TEST_P(StoreTest, SortDocumentOrderRestoresOrder) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto paras = store_->Descendants(*root, NodeTest::Tag("para"));
+  ASSERT_TRUE(paras.ok());
+  std::vector<StoredNode> shuffled = *paras;
+  std::reverse(shuffled.begin(), shuffled.end());
+  ASSERT_TRUE(store_->SortDocumentOrder(&shuffled).ok());
+  for (size_t i = 0; i < shuffled.size(); ++i) {
+    auto text = store_->StringValue(shuffled[i]);
+    ASSERT_TRUE(text.ok());
+    EXPECT_EQ(*text, "p" + std::to_string(i + 1));
+  }
+}
+
+TEST_P(StoreTest, StringValueConcatenatesSubtreeText) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+  auto s1 = store_->ChildAt(*body, NodeTest::Tag("section"), 0);
+  ASSERT_TRUE(s1.ok());
+  auto sv = store_->StringValue(*s1);
+  ASSERT_TRUE(sv.ok());
+  EXPECT_EQ(*sv, "alphap1p2");
+}
+
+TEST_P(StoreTest, ReconstructSubtree) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+  auto s2 = store_->ChildAt(*body, NodeTest::Tag("section"), 1);
+  ASSERT_TRUE(s2.ok());
+  auto subtree = store_->ReconstructSubtree(*s2);
+  ASSERT_TRUE(subtree.ok()) << subtree.status();
+  XmlNode* expected =
+      doc_->root_element()->FindElement("body")->child(1);
+  EXPECT_TRUE((*subtree)->StructurallyEqual(*expected))
+      << WriteXml(**subtree);
+}
+
+// ------------------------------------------------------------ update tests
+
+TEST_P(StoreTest, InsertBeforeKeepsOrder) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+  auto s2 = store_->ChildAt(*body, NodeTest::Tag("section"), 1);
+  ASSERT_TRUE(s2.ok());
+
+  auto sub = ParseXml("<section id=\"new\"><para>fresh</para></section>");
+  ASSERT_TRUE(sub.ok());
+  auto stats = store_->InsertSubtree(*s2, InsertPosition::kBefore,
+                                     *(*sub)->root_element());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->nodes_inserted, 4);  // section + id attr + para + text
+
+  // Mirror on the DOM and compare.
+  XmlNode* dom_body = doc_->root_element()->FindElement("body");
+  dom_body->InsertChild(1, (*sub)->root()->RemoveChild(0));
+  ExpectRoundTrip(*doc_);
+}
+
+TEST_P(StoreTest, InsertAfterKeepsOrder) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+  auto s3 = store_->ChildAt(*body, NodeTest::Tag("section"), 2);
+  ASSERT_TRUE(s3.ok());
+
+  auto sub = ParseXml("<appendix>end</appendix>");
+  ASSERT_TRUE(sub.ok());
+  auto stats = store_->InsertSubtree(*s3, InsertPosition::kAfter,
+                                     *(*sub)->root_element());
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  XmlNode* dom_body = doc_->root_element()->FindElement("body");
+  dom_body->AppendChild((*sub)->root()->RemoveChild(0));
+  ExpectRoundTrip(*doc_);
+}
+
+TEST_P(StoreTest, InsertFirstAndLastChild) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+
+  auto first = ParseXml("<preface>start</preface>");
+  auto last = ParseXml("<closing>fin</closing>");
+  ASSERT_TRUE(first.ok() && last.ok());
+  ASSERT_TRUE(store_
+                  ->InsertSubtree(*body, InsertPosition::kFirstChild,
+                                  *(*first)->root_element())
+                  .ok());
+  ASSERT_TRUE(store_
+                  ->InsertSubtree(*body, InsertPosition::kLastChild,
+                                  *(*last)->root_element())
+                  .ok());
+
+  XmlNode* dom_body = doc_->root_element()->FindElement("body");
+  dom_body->InsertChild(0, (*first)->root()->RemoveChild(0));
+  dom_body->AppendChild((*last)->root()->RemoveChild(0));
+  ExpectRoundTrip(*doc_);
+}
+
+TEST_P(StoreTest, RepeatedInsertsAtSamePositionForceRenumbering) {
+  // Hammer one insertion point until the sparse numbering must renumber.
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+
+  XmlNode* dom_body = doc_->root_element()->FindElement("body");
+  bool renumbered = false;
+  for (int i = 0; i < 40; ++i) {
+    auto target = store_->ChildAt(*body, NodeTest::AnyNode(), 1);
+    ASSERT_TRUE(target.ok());
+    auto sub = ParseXml("<note>n" + std::to_string(i) + "</note>");
+    ASSERT_TRUE(sub.ok());
+    auto stats = store_->InsertSubtree(*target, InsertPosition::kBefore,
+                                       *(*sub)->root_element());
+    ASSERT_TRUE(stats.ok()) << i << ": " << stats.status();
+    renumbered = renumbered || stats->renumbering_triggered;
+    dom_body->InsertChild(1, (*sub)->root()->RemoveChild(0));
+  }
+  EXPECT_TRUE(renumbered) << "40 dense inserts should exhaust gap=8";
+  ExpectRoundTrip(*doc_);
+}
+
+TEST_P(StoreTest, DeleteSubtree) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+  auto s2 = store_->ChildAt(*body, NodeTest::Tag("section"), 1);
+  ASSERT_TRUE(s2.ok());
+
+  auto stats = store_->DeleteSubtree(*s2);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  // section + id attr + title + title text + para + para text = 6 rows
+  EXPECT_EQ(stats->nodes_deleted, 6);
+
+  XmlNode* dom_body = doc_->root_element()->FindElement("body");
+  dom_body->RemoveChild(1);
+  ExpectRoundTrip(*doc_);
+}
+
+TEST_P(StoreTest, DeleteThenInsertIntoFreedRegion) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto body = store_->ChildAt(*root, NodeTest::Tag("body"), 0);
+  ASSERT_TRUE(body.ok());
+  auto s2 = store_->ChildAt(*body, NodeTest::Tag("section"), 1);
+  ASSERT_TRUE(s2.ok());
+  ASSERT_TRUE(store_->DeleteSubtree(*s2).ok());
+
+  auto s3 = store_->ChildAt(*body, NodeTest::Tag("section"), 1);
+  ASSERT_TRUE(s3.ok());
+  auto sub = ParseXml("<section id=\"sx\"><para>px</para></section>");
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(store_
+                  ->InsertSubtree(*s3, InsertPosition::kBefore,
+                                  *(*sub)->root_element())
+                  .ok());
+
+  XmlNode* dom_body = doc_->root_element()->FindElement("body");
+  dom_body->RemoveChild(1);
+  dom_body->InsertChild(1, (*sub)->root()->RemoveChild(0));
+  ExpectRoundTrip(*doc_);
+}
+
+TEST_P(StoreTest, InsertIntoEmptyElement) {
+  auto root = store_->Root();
+  ASSERT_TRUE(root.ok());
+  auto head = store_->ChildAt(*root, NodeTest::Tag("head"), 0);
+  ASSERT_TRUE(head.ok());
+  auto title = store_->ChildAt(*head, NodeTest::Tag("title"), 0);
+  ASSERT_TRUE(title.ok());
+  // title has one text child; insert into head after title.
+  auto sub = ParseXml("<meta name=\"k\">v</meta>");
+  ASSERT_TRUE(sub.ok());
+  ASSERT_TRUE(store_
+                  ->InsertSubtree(*title, InsertPosition::kAfter,
+                                  *(*sub)->root_element())
+                  .ok());
+  XmlNode* dom_head = doc_->root_element()->FindElement("head");
+  dom_head->AppendChild((*sub)->root()->RemoveChild(0));
+  ExpectRoundTrip(*doc_);
+}
+
+TEST_P(StoreTest, LargeRandomDocumentRoundTrip) {
+  auto dbr = Database::Open();
+  ASSERT_TRUE(dbr.ok());
+  std::unique_ptr<Database> db = std::move(dbr).value();
+  StoreOptions opts;
+  opts.gap = 16;
+  opts.table_name = "big";
+  auto sr = OrderedXmlStore::Create(db.get(), GetParam(), opts);
+  ASSERT_TRUE(sr.ok());
+  auto store = std::move(sr).value();
+
+  XmlGeneratorOptions gen;
+  gen.target_nodes = 2000;
+  gen.seed = 7;
+  auto doc = GenerateXml(gen);
+  ASSERT_TRUE(store->LoadDocument(*doc).ok());
+  auto rebuilt = store->ReconstructDocument();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_TRUE((*rebuilt)->StructurallyEqual(*doc));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, StoreTest,
+                         ::testing::Values(OrderEncoding::kGlobal,
+                                           OrderEncoding::kLocal,
+                                           OrderEncoding::kDewey),
+                         [](const auto& info) {
+                           return OrderEncodingToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace oxml

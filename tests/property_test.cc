@@ -1,0 +1,232 @@
+// Randomized model-based property tests. A long random edit script is
+// applied simultaneously to an in-memory DOM (the model) and to a
+// relational store under each encoding (the system under test). After
+// every few operations the store must (a) pass its structural invariant
+// checker and (b) reconstruct to a document structurally equal to the DOM.
+// Small gaps force frequent renumbering, exercising the hardest paths.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/ordered_store.h"
+#include "src/xml/xml_generator.h"
+#include "src/xml/xml_parser.h"
+#include "src/xml/xml_writer.h"
+
+namespace oxml {
+namespace {
+
+/// Returns the child-index path (over non-attribute children) from the root
+/// element to `node`.
+std::vector<size_t> PathTo(const XmlNode* node) {
+  std::vector<size_t> path;
+  while (node->parent() != nullptr &&
+         node->parent()->kind() != XmlNodeKind::kDocument) {
+    path.push_back(node->IndexInParent());
+    node = node->parent();
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Picks a random descendant element (possibly the root element itself).
+XmlNode* RandomElement(XmlNode* root_element, Random* rng) {
+  XmlNode* cur = root_element;
+  while (true) {
+    std::vector<XmlNode*> element_children;
+    for (const auto& c : cur->children()) {
+      if (c->is_element()) element_children.push_back(c.get());
+    }
+    if (element_children.empty() || rng->Chance(0.35)) return cur;
+    cur = element_children[rng->Uniform(
+        0, static_cast<int64_t>(element_children.size()) - 1)];
+  }
+}
+
+std::unique_ptr<XmlNode> RandomFragment(Random* rng, int id) {
+  auto node = XmlNode::Element("frag" + std::to_string(rng->Uniform(0, 3)));
+  if (rng->Chance(0.5)) {
+    node->SetAttribute("n", std::to_string(id));
+  }
+  int kids = static_cast<int>(rng->Uniform(0, 3));
+  for (int i = 0; i < kids; ++i) {
+    if (rng->Chance(0.5)) {
+      node->AppendChild(XmlNode::Text("t" + std::to_string(id)));
+    } else {
+      XmlNode* sub = node->AppendChild(XmlNode::Element("sub"));
+      sub->AppendChild(XmlNode::Text("s" + std::to_string(id)));
+    }
+  }
+  return node;
+}
+
+class EditScriptTest : public ::testing::TestWithParam<OrderEncoding> {};
+
+TEST_P(EditScriptTest, RandomEditScriptConvergesWithDomModel) {
+  auto dbr = Database::Open();
+  ASSERT_TRUE(dbr.ok());
+  std::unique_ptr<Database> db = std::move(dbr).value();
+  // gap = 2 keeps renumbering frequent.
+  auto sr = OrderedXmlStore::Create(db.get(), GetParam(), {.gap = 2});
+  ASSERT_TRUE(sr.ok());
+  std::unique_ptr<OrderedXmlStore> store = std::move(sr).value();
+
+  auto model = ParseXml(
+      "<root><a x=\"1\"><b>t1</b><b>t2</b></a><c/><d><e>t3</e></d></root>");
+  ASSERT_TRUE(model.ok());
+  XmlDocument& dom = **model;
+  ASSERT_TRUE(store->LoadDocument(dom).ok());
+
+  Random rng(static_cast<uint64_t>(GetParam()) * 7919 + 101);
+  int fragment_id = 0;
+
+  for (int op = 0; op < 120; ++op) {
+    XmlNode* dom_target = RandomElement(dom.root_element(), &rng);
+    std::vector<size_t> path = PathTo(dom_target);
+    auto stored_target = store->NodeAtPath(path);
+    ASSERT_TRUE(stored_target.ok())
+        << "op " << op << ": " << stored_target.status();
+
+    double dice = rng.NextDouble();
+    if (dice < 0.75 || dom_target->parent() == nullptr ||
+        dom_target->parent()->kind() == XmlNodeKind::kDocument) {
+      // Insert a fragment at a random position relative to the target.
+      auto fragment = RandomFragment(&rng, fragment_id++);
+      InsertPosition pos;
+      bool target_is_root =
+          dom_target->parent() == nullptr ||
+          dom_target->parent()->kind() == XmlNodeKind::kDocument;
+      switch (target_is_root ? rng.Uniform(2, 3) : rng.Uniform(0, 3)) {
+        case 0:
+          pos = InsertPosition::kBefore;
+          break;
+        case 1:
+          pos = InsertPosition::kAfter;
+          break;
+        case 2:
+          pos = InsertPosition::kFirstChild;
+          break;
+        default:
+          pos = InsertPosition::kLastChild;
+      }
+      auto stats = store->InsertSubtree(*stored_target, pos, *fragment);
+      ASSERT_TRUE(stats.ok()) << "op " << op << " insert: " << stats.status();
+
+      // Mirror on the DOM.
+      switch (pos) {
+        case InsertPosition::kBefore:
+          dom_target->parent()->InsertChild(dom_target->IndexInParent(),
+                                            std::move(fragment));
+          break;
+        case InsertPosition::kAfter:
+          dom_target->parent()->InsertChild(dom_target->IndexInParent() + 1,
+                                            std::move(fragment));
+          break;
+        case InsertPosition::kFirstChild:
+          dom_target->InsertChild(0, std::move(fragment));
+          break;
+        case InsertPosition::kLastChild:
+          dom_target->AppendChild(std::move(fragment));
+          break;
+      }
+    } else {
+      // Delete the target subtree.
+      auto stats = store->DeleteSubtree(*stored_target);
+      ASSERT_TRUE(stats.ok()) << "op " << op << " delete: " << stats.status();
+      EXPECT_EQ(stats->nodes_deleted,
+                static_cast<int64_t>(dom_target->SubtreeSize()))
+          << "op " << op;
+      dom_target->parent()->RemoveChild(dom_target->IndexInParent());
+    }
+
+    if (op % 10 == 9) {
+      ASSERT_TRUE(store->Validate().ok())
+          << "op " << op << ": " << store->Validate();
+      auto rebuilt = store->ReconstructDocument();
+      ASSERT_TRUE(rebuilt.ok()) << "op " << op;
+      ASSERT_TRUE((*rebuilt)->StructurallyEqual(dom))
+          << "op " << op << "\nmodel:\n"
+          << WriteXml(dom, {.indent = 2}) << "\nstore:\n"
+          << WriteXml(**rebuilt, {.indent = 2});
+    }
+  }
+
+  // Final deep checks.
+  ASSERT_TRUE(store->Validate().ok()) << store->Validate();
+  auto rebuilt = store->ReconstructDocument();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE((*rebuilt)->StructurallyEqual(dom));
+  auto count = store->NodeCount();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(static_cast<size_t>(*count), dom.TotalNodes() - 1);
+}
+
+/// Same idea on a generated document, with multiple seeds, insert-only (a
+/// denser stress of the renumbering paths).
+class SeededInsertTest
+    : public ::testing::TestWithParam<std::tuple<OrderEncoding, int>> {};
+
+TEST_P(SeededInsertTest, DenseFrontInsertsStayConsistent) {
+  auto [encoding, seed] = GetParam();
+  auto dbr = Database::Open();
+  ASSERT_TRUE(dbr.ok());
+  std::unique_ptr<Database> db = std::move(dbr).value();
+  auto sr = OrderedXmlStore::Create(db.get(), encoding, {.gap = 1});
+  ASSERT_TRUE(sr.ok());  // gap 1: EVERY insert renumbers
+  std::unique_ptr<OrderedXmlStore> store = std::move(sr).value();
+
+  auto model = ParseXml("<list><i>0</i></list>");
+  ASSERT_TRUE(model.ok());
+  XmlDocument& dom = **model;
+  ASSERT_TRUE(store->LoadDocument(dom).ok());
+
+  Random rng(static_cast<uint64_t>(seed));
+  int renumber_events = 0;
+  for (int op = 1; op <= 40; ++op) {
+    // Always insert before a random existing child: maximal renumber churn.
+    size_t n = dom.root_element()->child_count();
+    size_t idx = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(n) - 1));
+    auto target = store->NodeAtPath({idx});
+    ASSERT_TRUE(target.ok()) << op;
+    auto frag = XmlNode::Element("i");
+    frag->AppendChild(XmlNode::Text(std::to_string(op)));
+    auto stats =
+        store->InsertSubtree(*target, InsertPosition::kBefore, *frag);
+    ASSERT_TRUE(stats.ok()) << op << ": " << stats.status();
+    renumber_events += stats->renumbering_triggered ? 1 : 0;
+    dom.root_element()->InsertChild(idx, std::move(frag));
+  }
+  // Dense numbering must have forced renumbering repeatedly (a renumber
+  // redistributes some slack, so not necessarily on every insert).
+  EXPECT_GT(renumber_events, 5);
+  ASSERT_TRUE(store->Validate().ok()) << store->Validate();
+  auto rebuilt = store->ReconstructDocument();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_TRUE((*rebuilt)->StructurallyEqual(dom));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, EditScriptTest,
+                         ::testing::Values(OrderEncoding::kGlobal,
+                                           OrderEncoding::kLocal,
+                                           OrderEncoding::kDewey),
+                         [](const auto& info) {
+                           return OrderEncodingToString(info.param);
+                         });
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SeededInsertTest,
+    ::testing::Combine(::testing::Values(OrderEncoding::kGlobal,
+                                         OrderEncoding::kLocal,
+                                         OrderEncoding::kDewey),
+                       ::testing::Values(1, 2, 3, 4, 5)),
+    [](const auto& info) {
+      return std::string(OrderEncodingToString(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace oxml

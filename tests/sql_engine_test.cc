@@ -1,0 +1,325 @@
+// End-to-end tests of the mini relational engine through its SQL surface.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/relational/database.h"
+
+namespace oxml {
+namespace {
+
+class SqlEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open();
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+    Must("CREATE TABLE people (id INT, name TEXT, age INT, score DOUBLE)");
+    Must("INSERT INTO people VALUES (1, 'ada', 36, 9.5)");
+    Must("INSERT INTO people VALUES (2, 'bob', 25, 7.25)");
+    Must("INSERT INTO people VALUES (3, 'carol', 41, 8.0)");
+    Must("INSERT INTO people VALUES (4, 'dan', 25, 6.5)");
+  }
+
+  void Must(const std::string& sql) {
+    auto r = db_->Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status();
+  }
+
+  ResultSet Rows(const std::string& sql) {
+    auto r = db_->Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+    return r.ok() ? std::move(r).value() : ResultSet{};
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(SqlEngineTest, SelectAll) {
+  ResultSet rs = Rows("SELECT * FROM people");
+  EXPECT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(rs.schema.size(), 4u);
+}
+
+TEST_F(SqlEngineTest, Projection) {
+  ResultSet rs = Rows("SELECT name, age FROM people WHERE id = 2");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsString(), "bob");
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 25);
+}
+
+TEST_F(SqlEngineTest, WhereComparisons) {
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE age > 25").rows.size(), 2u);
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE age >= 25").rows.size(), 4u);
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE age <> 25").rows.size(), 2u);
+  EXPECT_EQ(
+      Rows("SELECT id FROM people WHERE age = 25 AND score > 7").rows.size(),
+      1u);
+  EXPECT_EQ(
+      Rows("SELECT id FROM people WHERE age = 36 OR age = 41").rows.size(),
+      2u);
+}
+
+TEST_F(SqlEngineTest, OrderByAscDesc) {
+  ResultSet rs = Rows("SELECT id FROM people ORDER BY score DESC");
+  ASSERT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rs.rows[3][0].AsInt(), 4);
+
+  rs = Rows("SELECT id FROM people ORDER BY age ASC, name DESC");
+  ASSERT_EQ(rs.rows.size(), 4u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 4);  // dan before bob at age 25 (DESC name)
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 2);
+}
+
+TEST_F(SqlEngineTest, Limit) {
+  ResultSet rs = Rows("SELECT id FROM people ORDER BY id LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 2);
+}
+
+TEST_F(SqlEngineTest, Distinct) {
+  ResultSet rs = Rows("SELECT DISTINCT age FROM people");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SqlEngineTest, Between) {
+  ResultSet rs = Rows("SELECT id FROM people WHERE age BETWEEN 25 AND 36");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SqlEngineTest, Like) {
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE name LIKE 'c%'").rows.size(),
+            1u);
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE name LIKE '%a%'").rows.size(),
+            3u);
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE name LIKE '_ob'").rows.size(),
+            1u);
+}
+
+TEST_F(SqlEngineTest, Aggregates) {
+  ResultSet rs = Rows("SELECT COUNT(*), MIN(age), MAX(age) FROM people");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 4);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 25);
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 41);
+
+  rs = Rows("SELECT SUM(age) FROM people");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 127);
+
+  rs = Rows("SELECT AVG(score) FROM people");
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].AsDouble(), (9.5 + 7.25 + 8.0 + 6.5) / 4);
+}
+
+TEST_F(SqlEngineTest, GroupBy) {
+  ResultSet rs = Rows(
+      "SELECT age, COUNT(*) AS n FROM people GROUP BY age ORDER BY age");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 25);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 2);
+  EXPECT_EQ(rs.rows[2][0].AsInt(), 41);
+  EXPECT_EQ(rs.rows[2][1].AsInt(), 1);
+}
+
+TEST_F(SqlEngineTest, AggregateOverEmptyInput) {
+  ResultSet rs = Rows("SELECT COUNT(*) FROM people WHERE age > 100");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(SqlEngineTest, UpdateAndDelete) {
+  auto updated = db_->Execute("UPDATE people SET age = age + 1 WHERE id = 2");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(*updated, 1);
+  ResultSet rs = Rows("SELECT age FROM people WHERE id = 2");
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 26);
+
+  auto deleted = db_->Execute("DELETE FROM people WHERE age >= 36");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 2);
+  EXPECT_EQ(Rows("SELECT * FROM people").rows.size(), 2u);
+}
+
+TEST_F(SqlEngineTest, InsertWithColumnList) {
+  Must("INSERT INTO people (id, name) VALUES (9, 'zoe')");
+  ResultSet rs = Rows("SELECT age, name FROM people WHERE id = 9");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+  EXPECT_EQ(rs.rows[0][1].AsString(), "zoe");
+}
+
+TEST_F(SqlEngineTest, NullSemantics) {
+  Must("INSERT INTO people (id, name) VALUES (10, 'nil')");
+  // NULL age never satisfies comparison predicates.
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE age > 0").rows.size(), 4u);
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE age IS NULL").rows.size(), 1u);
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE age IS NOT NULL").rows.size(),
+            4u);
+}
+
+TEST_F(SqlEngineTest, IndexedEqualityUsesIndexScan) {
+  Must("CREATE INDEX idx_age ON people (age)");
+  auto plan = db_->Explain("SELECT id FROM people WHERE age = 25");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexScan"), std::string::npos) << *plan;
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE age = 25").rows.size(), 2u);
+}
+
+TEST_F(SqlEngineTest, IndexedRangeScan) {
+  Must("CREATE INDEX idx_age ON people (age)");
+  db_->stats()->Reset();
+  ResultSet rs = Rows("SELECT id FROM people WHERE age >= 30 AND age < 41");
+  EXPECT_EQ(rs.rows.size(), 1u);
+  // Only the matching row should have been fetched through the index.
+  EXPECT_EQ(db_->stats()->rows_scanned, 1u);
+}
+
+TEST_F(SqlEngineTest, CompositeIndexEqualityPlusRange) {
+  Must("CREATE INDEX idx_age_score ON people (age, score)");
+  ResultSet rs =
+      Rows("SELECT id FROM people WHERE age = 25 AND score > 7 ORDER BY id");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(SqlEngineTest, UniqueIndexRejectsDuplicates) {
+  Must("CREATE UNIQUE INDEX pk ON people (id)");
+  auto r = db_->Execute("INSERT INTO people VALUES (1, 'dup', 1, 1.0)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsAborted()) << r.status();
+}
+
+TEST_F(SqlEngineTest, JoinHash) {
+  Must("CREATE TABLE pets (owner INT, pet TEXT)");
+  Must("INSERT INTO pets VALUES (1, 'cat'), (1, 'dog'), (3, 'fish')");
+  ResultSet rs = Rows(
+      "SELECT p.name, q.pet FROM people p, pets q "
+      "WHERE p.id = q.owner ORDER BY q.pet");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].AsString(), "ada");
+  EXPECT_EQ(rs.rows[0][1].AsString(), "cat");
+  EXPECT_EQ(rs.rows[2][0].AsString(), "carol");
+}
+
+TEST_F(SqlEngineTest, JoinIndexNestedLoop) {
+  Must("CREATE TABLE pets (owner INT, pet TEXT)");
+  Must("INSERT INTO pets VALUES (1, 'cat'), (1, 'dog'), (3, 'fish')");
+  Must("CREATE INDEX idx_owner ON pets (owner)");
+  auto plan = db_->Explain(
+      "SELECT p.name, q.pet FROM people p, pets q WHERE p.id = q.owner");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("IndexNestedLoopJoin"), std::string::npos) << *plan;
+  ResultSet rs = Rows(
+      "SELECT p.name, q.pet FROM people p, pets q "
+      "WHERE p.id = q.owner ORDER BY q.pet");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SqlEngineTest, JoinWithExtraPredicate) {
+  Must("CREATE TABLE pets (owner INT, pet TEXT)");
+  Must("INSERT INTO pets VALUES (1, 'cat'), (1, 'dog'), (3, 'fish')");
+  ResultSet rs = Rows(
+      "SELECT q.pet FROM people p, pets q "
+      "WHERE p.id = q.owner AND p.age > 40");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsString(), "fish");
+}
+
+TEST_F(SqlEngineTest, CrossJoin) {
+  Must("CREATE TABLE tags (t TEXT)");
+  Must("INSERT INTO tags VALUES ('x'), ('y')");
+  ResultSet rs = Rows("SELECT p.id, g.t FROM people p, tags g");
+  EXPECT_EQ(rs.rows.size(), 8u);
+}
+
+TEST_F(SqlEngineTest, ScalarFunctions) {
+  ResultSet rs = Rows(
+      "SELECT LENGTH(name), SUBSTR(name, 1, 2) FROM people WHERE id = 3");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(rs.rows[0][1].AsString(), "ca");
+}
+
+TEST_F(SqlEngineTest, Arithmetic) {
+  ResultSet rs =
+      Rows("SELECT age * 2 + 1, age % 10, -age FROM people WHERE id = 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 73);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 6);
+  EXPECT_EQ(rs.rows[0][2].AsInt(), -36);
+}
+
+TEST_F(SqlEngineTest, BlobLiteralsRoundTrip) {
+  Must("CREATE TABLE b (k BLOB, v INT)");
+  Must("INSERT INTO b VALUES (x'0102', 1), (x'0103', 2)");
+  ResultSet rs = Rows("SELECT v FROM b WHERE k = x'0103'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 2);
+
+  rs = Rows("SELECT v FROM b WHERE k >= x'0102' AND k < x'02' ORDER BY k");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(SqlEngineTest, DropTable) {
+  Must("DROP TABLE people");
+  auto r = db_->Query("SELECT * FROM people");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(SqlEngineTest, ParseErrors) {
+  EXPECT_FALSE(db_->Execute("SELEC * FROM people").ok());
+  EXPECT_FALSE(db_->Execute("SELECT FROM people").ok());
+  EXPECT_FALSE(db_->Execute("SELECT * FROM people WHERE").ok());
+  EXPECT_FALSE(db_->Execute("INSERT INTO people VALUES (1,2,")
+                   .ok());
+}
+
+TEST_F(SqlEngineTest, UnknownColumnsRejected) {
+  auto r = db_->Query("SELECT nope FROM people");
+  EXPECT_FALSE(r.ok());
+  r = db_->Query("SELECT id FROM people WHERE nope = 1");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlEngineTest, UpdateMaintainsIndexes) {
+  Must("CREATE INDEX idx_age ON people (age)");
+  Must("UPDATE people SET age = 99 WHERE id = 1");
+  ResultSet rs = Rows("SELECT id FROM people WHERE age = 99");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE age = 36").rows.size(), 0u);
+}
+
+TEST_F(SqlEngineTest, DeleteMaintainsIndexes) {
+  Must("CREATE INDEX idx_age ON people (age)");
+  Must("DELETE FROM people WHERE age = 25");
+  EXPECT_EQ(Rows("SELECT id FROM people WHERE age = 25").rows.size(), 0u);
+  EXPECT_EQ(Rows("SELECT * FROM people").rows.size(), 2u);
+}
+
+TEST_F(SqlEngineTest, FileBackedDatabase) {
+  DatabaseOptions opts;
+  opts.file_path = ::testing::TempDir() + "/oxml_test.db";
+  opts.buffer_capacity = 4;  // force eviction traffic
+  auto dbr = Database::Open(opts);
+  ASSERT_TRUE(dbr.ok()) << dbr.status();
+  std::unique_ptr<Database> db = std::move(dbr).value();
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (id INT, payload TEXT)").ok());
+  for (int i = 0; i < 2000; ++i) {
+    auto r = db->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                         ", 'row payload number " + std::to_string(i) + "')");
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+  auto rs = db->Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 2000);
+  // Evictions must have happened with a 4-frame pool.
+  EXPECT_GT(db->buffer_pool()->miss_count(), 0u);
+}
+
+}  // namespace
+}  // namespace oxml

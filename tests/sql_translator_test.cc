@@ -1,0 +1,157 @@
+// Whole-path SQL translation tests: for every supported query the single
+// generated SQL statement must return exactly what the step-by-step driver
+// returns, in the same (document) order.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/sql_translator.h"
+#include "src/core/xpath_eval.h"
+#include "src/xml/xml_parser.h"
+
+namespace oxml {
+namespace {
+
+constexpr const char* kDoc = R"(
+<doc>
+  <head><title>t0</title></head>
+  <body>
+    <section id="s1"><title>alpha</title><para>p1</para><para>p2</para></section>
+    <section id="s2"><title>beta</title><para>p3</para></section>
+    <section id="s3"><title>gamma</title><para>p4</para><para>p5</para><para>p6</para></section>
+  </body>
+</doc>)";
+
+class SqlTranslatorTest : public ::testing::TestWithParam<OrderEncoding> {
+ protected:
+  void SetUp() override {
+    auto dbr = Database::Open();
+    ASSERT_TRUE(dbr.ok());
+    db_ = std::move(dbr).value();
+    auto sr = OrderedXmlStore::Create(db_.get(), GetParam(), {.gap = 8});
+    ASSERT_TRUE(sr.ok());
+    store_ = std::move(sr).value();
+    auto doc = ParseXml(kDoc);
+    ASSERT_TRUE(doc.ok());
+    ASSERT_TRUE(store_->LoadDocument(**doc).ok());
+  }
+
+  bool IsLocal() const { return GetParam() == OrderEncoding::kLocal; }
+
+  /// Asserts translation-mode results == driver-mode results (same nodes,
+  /// same order).
+  void ExpectAgreesWithDriver(const std::string& xpath) {
+    auto via_sql = EvaluateXPathViaSql(store_.get(), xpath);
+    ASSERT_TRUE(via_sql.ok()) << xpath << ": " << via_sql.status();
+    auto via_driver = EvaluateXPath(store_.get(), xpath);
+    ASSERT_TRUE(via_driver.ok()) << xpath << ": " << via_driver.status();
+    ASSERT_EQ(via_sql->size(), via_driver->size()) << xpath;
+    for (size_t i = 0; i < via_sql->size(); ++i) {
+      EXPECT_EQ(NodeIdentity(GetParam(), (*via_sql)[i]),
+                NodeIdentity(GetParam(), (*via_driver)[i]))
+          << xpath << " result " << i;
+    }
+  }
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<OrderedXmlStore> store_;
+};
+
+TEST_P(SqlTranslatorTest, ChildPath) {
+  ExpectAgreesWithDriver("/doc");
+  ExpectAgreesWithDriver("/doc/body");
+  ExpectAgreesWithDriver("/doc/body/section");
+  ExpectAgreesWithDriver("/doc/body/section/para");
+  ExpectAgreesWithDriver("/doc/body/section/para/text()");
+  ExpectAgreesWithDriver("/nope/nothing");
+}
+
+TEST_P(SqlTranslatorTest, WildcardPath) {
+  ExpectAgreesWithDriver("/doc/*");
+  ExpectAgreesWithDriver("/doc/body/*");
+}
+
+TEST_P(SqlTranslatorTest, DescendantPath) {
+  if (IsLocal()) {
+    auto r = TranslateXPathToSql(*store_, "//para");
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsNotImplemented())
+        << "local descendant needs a recursive join";
+    return;
+  }
+  ExpectAgreesWithDriver("//para");
+  ExpectAgreesWithDriver("//section");
+  ExpectAgreesWithDriver("/doc//title");
+  ExpectAgreesWithDriver("//body//para");
+}
+
+TEST_P(SqlTranslatorTest, AttributePredicate) {
+  ExpectAgreesWithDriver("/doc/body/section[@id = 's2']");
+  ExpectAgreesWithDriver("/doc/body/section[@id != 's2']/title");
+  ExpectAgreesWithDriver("/doc/body/section[@id = 'zzz']");
+}
+
+TEST_P(SqlTranslatorTest, ChildValuePredicate) {
+  ExpectAgreesWithDriver("/doc/body/section[title = 'beta']");
+  ExpectAgreesWithDriver("/doc/body/section[title = 'beta']/para");
+}
+
+TEST_P(SqlTranslatorTest, SelfValuePredicate) {
+  ExpectAgreesWithDriver("/doc/body/section/para[. = 'p3']");
+}
+
+TEST_P(SqlTranslatorTest, ParentAxisJoins) {
+  ExpectAgreesWithDriver("/doc/body/section/para/parent::section");
+  ExpectAgreesWithDriver("/doc/body/section/title/../para");
+  // Ancestor needs recursion: rejected.
+  auto r = TranslateXPathToSql(*store_, "/doc/body/section/ancestor::doc");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotImplemented());
+}
+
+TEST_P(SqlTranslatorTest, AttributeAxisFinalStep) {
+  ExpectAgreesWithDriver("/doc/body/section/@id");
+}
+
+TEST_P(SqlTranslatorTest, GeneratedSqlShape) {
+  auto sql = TranslateXPathToSql(*store_, "/doc/body/section");
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_NE(sql->find("SELECT DISTINCT"), std::string::npos) << *sql;
+  EXPECT_NE(sql->find("ORDER BY"), std::string::npos) << *sql;
+  // Three aliases, one per step.
+  EXPECT_NE(sql->find(" n1"), std::string::npos);
+  EXPECT_NE(sql->find(" n3"), std::string::npos);
+}
+
+TEST_P(SqlTranslatorTest, UnsupportedConstructsAreRejected) {
+  auto r = TranslateXPathToSql(*store_, "/doc/body/section[2]");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotImplemented());
+
+  r = TranslateXPathToSql(*store_, "/doc/body/section[last()]");
+  EXPECT_FALSE(r.ok());
+
+  r = TranslateXPathToSql(*store_,
+                          "/doc/body/section/following-sibling::section");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotImplemented());
+}
+
+TEST_P(SqlTranslatorTest, DistinctRemovesOverlapDuplicates) {
+  if (IsLocal()) return;  // descendants untranslatable for local
+  auto r = EvaluateXPathViaSql(store_.get(), "//body//para");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, SqlTranslatorTest,
+                         ::testing::Values(OrderEncoding::kGlobal,
+                                           OrderEncoding::kLocal,
+                                           OrderEncoding::kDewey),
+                         [](const auto& info) {
+                           return OrderEncodingToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace oxml
