@@ -39,6 +39,7 @@ void BM_AuctionServing(benchmark::State& state) {
   OXML_BENCH_OK(bid);
 
   int64_t renumbered = 0;
+  ExecStats exec;
   for (auto _ : state) {
     state.PauseTiming();
     StoreFixture f = MakeLoadedStore(enc, *doc, /*gap=*/8);
@@ -88,8 +89,10 @@ void BM_AuctionServing(benchmark::State& state) {
         }
       }
     }
+    exec = *f.db->stats();
   }
   state.counters["rows_renumbered_total"] = static_cast<double>(renumbered);
+  ReportExecStats(state, exec);
   state.SetLabel(OrderEncodingToString(enc));
 }
 

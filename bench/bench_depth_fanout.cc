@@ -33,6 +33,7 @@ void BM_DeepDocument(benchmark::State& state) {
   state.counters["index_bytes_per_row"] =
       static_cast<double>(s.index_bytes) /
       static_cast<double>(s.index_entries);
+  ReportExecStats(state, f.db.get());
   state.SetLabel(std::string(OrderEncodingToString(enc)) + "/depth=" +
                  std::to_string(depth));
 }
@@ -57,6 +58,7 @@ void BM_WideDocument(benchmark::State& state) {
   state.counters["index_bytes_per_row"] =
       static_cast<double>(s.index_bytes) /
       static_cast<double>(s.index_entries);
+  ReportExecStats(state, f.db.get());
   state.SetLabel(std::string(OrderEncodingToString(enc)) + "/width=" +
                  std::to_string(width));
 }

@@ -34,6 +34,7 @@ void BM_GapSensitivity(benchmark::State& state) {
   int64_t renumber_events = 0;
   int64_t ops = 0;
   uint64_t index_bytes = 0;
+  ExecStats exec;
   for (auto _ : state) {
     state.PauseTiming();
     StoreFixture f = MakeLoadedStore(enc, *doc, gap);
@@ -60,6 +61,7 @@ void BM_GapSensitivity(benchmark::State& state) {
     }
     state.PauseTiming();
     index_bytes = f.db->GetStorageStats().index_bytes;
+    exec = *f.db->stats();
     state.ResumeTiming();
   }
   state.counters["gap"] = static_cast<double>(gap);
@@ -69,6 +71,7 @@ void BM_GapSensitivity(benchmark::State& state) {
       100.0 * static_cast<double>(renumber_events) /
       static_cast<double>(ops);
   state.counters["index_KB"] = static_cast<double>(index_bytes) / 1024.0;
+  ReportExecStats(state, exec);
   state.SetLabel(std::string(OrderEncodingToString(enc)) + "/gap=" +
                  std::to_string(gap));
 }

@@ -33,9 +33,11 @@ void BM_Load(benchmark::State& state) {
   const XmlDocument& doc = DocOfSize(state.range(1));
 
   StorageStats last{};
+  ExecStats exec;
   for (auto _ : state) {
     StoreFixture f = MakeLoadedStore(enc, doc);
     last = f.db->GetStorageStats();
+    exec = *f.db->stats();
     benchmark::DoNotOptimize(last.heap_rows);
   }
   state.counters["rows"] = static_cast<double>(last.heap_rows);
@@ -44,6 +46,7 @@ void BM_Load(benchmark::State& state) {
   state.counters["index_entries"] =
       static_cast<double>(last.index_entries);
   state.counters["index_KB"] = static_cast<double>(last.index_bytes) / 1024.0;
+  ReportExecStats(state, exec);
   state.SetLabel(OrderEncodingToString(enc));
 }
 

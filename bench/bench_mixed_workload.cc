@@ -38,6 +38,7 @@ void BM_MixedWorkload(benchmark::State& state) {
   const XmlNode& subtree = *(*para)->root_element();
 
   int64_t ops = 0;
+  ExecStats exec;
   for (auto _ : state) {
     state.PauseTiming();
     StoreFixture f = MakeLoadedStore(enc, *doc, /*gap=*/8);
@@ -68,9 +69,11 @@ void BM_MixedWorkload(benchmark::State& state) {
       }
       ++ops;
     }
+    exec = *f.db->stats();
   }
   state.counters["ops_per_s"] = benchmark::Counter(
       static_cast<double>(ops), benchmark::Counter::kIsRate);
+  ReportExecStats(state, exec);
   state.SetLabel(std::string(OrderEncodingToString(enc)) + "/updates=" +
                  std::to_string(update_pct) + "%");
 }

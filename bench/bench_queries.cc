@@ -59,6 +59,7 @@ void BM_Query(benchmark::State& state) {
   }
   OXML_BENCH_CHECK(results >= q.expected_min);
   state.counters["results"] = static_cast<double>(results);
+  ReportExecStats(state, f.db.get());
   state.SetLabel(std::string(OrderEncodingToString(enc)) + "/" + q.id);
 }
 
@@ -75,6 +76,7 @@ void BM_QuerySubtreeReconstruct(benchmark::State& state) {
     OXML_BENCH_OK(subtree);
     benchmark::DoNotOptimize(*subtree);
   }
+  ReportExecStats(state, f.db.get());
   state.SetLabel(std::string(OrderEncodingToString(enc)) +
                  "/QR8_subtree_reconstruct");
 }

@@ -42,6 +42,7 @@ void BM_Reconstruct(benchmark::State& state) {
   auto rebuilt = f.store->ReconstructDocument();
   OXML_BENCH_OK(rebuilt);
   OXML_BENCH_CHECK((*rebuilt)->StructurallyEqual(doc));
+  ReportExecStats(state, f.db.get());
   state.SetLabel(OrderEncodingToString(enc));
 }
 
@@ -59,6 +60,7 @@ void BM_SerializeToText(benchmark::State& state) {
     benchmark::DoNotOptimize(xml);
   }
   state.counters["xml_KB"] = static_cast<double>(bytes) / 1024.0;
+  ReportExecStats(state, f.db.get());
   state.SetLabel(OrderEncodingToString(enc));
 }
 

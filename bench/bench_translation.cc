@@ -54,6 +54,7 @@ void BM_DriverMode(benchmark::State& state) {
     benchmark::DoNotOptimize(results);
   }
   state.counters["results"] = static_cast<double>(results);
+  ReportExecStats(state, f.db.get());
   state.SetLabel(std::string(OrderEncodingToString(enc)) + "/driver/" +
                  q.id);
 }
@@ -70,6 +71,7 @@ void BM_TranslationMode(benchmark::State& state) {
     benchmark::DoNotOptimize(results);
   }
   state.counters["results"] = static_cast<double>(results);
+  ReportExecStats(state, f.db.get());
   state.SetLabel(std::string(OrderEncodingToString(enc)) + "/one-sql/" +
                  q.id);
 }

@@ -26,6 +26,7 @@ void BM_Append(benchmark::State& state) {
 
   int64_t renumbered = 0;
   int64_t ops = 0;
+  ExecStats exec;
   for (auto _ : state) {
     state.PauseTiming();
     StoreFixture f = MakeLoadedStore(enc, *doc, /*gap=*/8);
@@ -44,9 +45,11 @@ void BM_Append(benchmark::State& state) {
       renumbered += stats->rows_renumbered;
       ++ops;
     }
+    exec = *f.db->stats();
   }
   state.counters["rows_renumbered_per_op"] =
       static_cast<double>(renumbered) / static_cast<double>(ops);
+  ReportExecStats(state, exec);
   state.SetLabel(OrderEncodingToString(enc));
 }
 

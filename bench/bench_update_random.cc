@@ -31,6 +31,7 @@ void BM_RandomInsert(benchmark::State& state) {
   int64_t renumbered = 0;
   int64_t renumber_events = 0;
   int64_t ops = 0;
+  ExecStats exec;
   for (auto _ : state) {
     state.PauseTiming();
     StoreFixture f = MakeLoadedStore(enc, *doc, /*gap=*/8);
@@ -55,12 +56,14 @@ void BM_RandomInsert(benchmark::State& state) {
       renumber_events += stats->renumbering_triggered ? 1 : 0;
       ++ops;
     }
+    exec = *f.db->stats();
   }
   state.counters["rows_renumbered_per_op"] =
       static_cast<double>(renumbered) / static_cast<double>(ops);
   state.counters["renumber_event_pct"] =
       100.0 * static_cast<double>(renumber_events) /
       static_cast<double>(ops);
+  ReportExecStats(state, exec);
   state.SetLabel(OrderEncodingToString(enc));
 }
 

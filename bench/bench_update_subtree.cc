@@ -42,6 +42,7 @@ void BM_SubtreeInsert(benchmark::State& state) {
   int64_t renumbered = 0;
   int64_t renumber_events = 0;
   int64_t ops = 0;
+  ExecStats exec;
   for (auto _ : state) {
     state.PauseTiming();
     StoreFixture f = MakeLoadedStore(enc, *doc, /*gap=*/8);
@@ -62,6 +63,7 @@ void BM_SubtreeInsert(benchmark::State& state) {
       renumber_events += stats->renumbering_triggered ? 1 : 0;
       ++ops;
     }
+    exec = *f.db->stats();
   }
   state.counters["fragment_nodes"] =
       static_cast<double>(fragment->SubtreeSize());
@@ -70,6 +72,7 @@ void BM_SubtreeInsert(benchmark::State& state) {
   state.counters["renumber_event_pct"] =
       100.0 * static_cast<double>(renumber_events) /
       static_cast<double>(ops);
+  ReportExecStats(state, exec);
   state.SetLabel(OrderEncodingToString(enc));
 }
 

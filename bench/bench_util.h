@@ -5,6 +5,8 @@
 // Each bench binary regenerates one table/figure of the paper's evaluation
 // (see DESIGN.md section 4 for the experiment index).
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -75,6 +77,20 @@ inline StoreFixture MakeLoadedStore(OrderEncoding encoding,
   auto st = f.store->LoadDocument(doc);
   OXML_BENCH_CHECK(st.ok());
   return f;
+}
+
+/// Attaches the engine's execution counters to the benchmark report:
+/// plan-cache hit rate (fraction of statements that skipped parse + plan)
+/// and rows produced by scans. Call once after the timing loop; for
+/// benchmarks that rebuild their database per iteration, snapshot
+/// `*db->stats()` inside the loop and pass the last snapshot.
+inline void ReportExecStats(benchmark::State& state, const ExecStats& s) {
+  state.counters["plan_hit_rate"] = s.PlanCacheHitRate();
+  state.counters["rows_scanned"] = static_cast<double>(s.rows_scanned);
+}
+
+inline void ReportExecStats(benchmark::State& state, Database* db) {
+  ReportExecStats(state, *db->stats());
 }
 
 /// The news-style document used across the experiments (sections of

@@ -73,9 +73,11 @@ void DeweyStore::ShredInto(const XmlNode& node, const DeweyKey& key,
 
 Status DeweyStore::BulkInsert(const std::vector<Row>& rows,
                               UpdateStats* stats) {
-  for (const Row& row : rows) {
-    OXML_RETURN_NOT_OK(db_->Insert(table_name(), row).status());
-  }
+  OXML_ASSIGN_OR_RETURN(
+      PreparedStatement ins,
+      db_->Prepare("INSERT INTO " + table_name() + " (" + kCols +
+                   ") VALUES (?, ?, ?, ?, ?)"));
+  OXML_RETURN_NOT_OK(ins.ExecuteBatch(rows).status());
   if (stats != nullptr) {
     ++stats->statements;
     stats->nodes_inserted += static_cast<int64_t>(rows.size());
@@ -94,85 +96,98 @@ Status DeweyStore::LoadDocument(const XmlDocument& doc) {
 }
 
 Result<std::vector<StoredNode>> DeweyStore::Select(const std::string& where,
+                                                   Row params,
                                                    const std::string& order) {
   std::string sql = std::string("SELECT ") + kCols + " FROM " + table_name();
   if (!where.empty()) sql += " WHERE " + where;
   if (!order.empty()) sql += " ORDER BY " + order;
-  OXML_ASSIGN_OR_RETURN(ResultSet rs, Sql(sql));
+  OXML_ASSIGN_OR_RETURN(ResultSet rs, SqlP(sql, std::move(params)));
   std::vector<StoredNode> out;
   out.reserve(rs.rows.size());
   for (const Row& row : rs.rows) out.push_back(FromDeweyRow(row));
   return out;
 }
 
-Result<StoredNode> DeweyStore::SelectOne(const std::string& where) {
-  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes, Select(where, "path"));
+Result<StoredNode> DeweyStore::SelectOne(const std::string& where,
+                                         Row params) {
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes,
+                        Select(where, std::move(params), "path"));
   if (nodes.empty()) return Status::NotFound("no node matches: " + where);
   return nodes.front();
 }
 
 Result<StoredNode> DeweyStore::Root() {
   return SelectOne("depth = 1 AND kind = " +
-                   IntLit(static_cast<int>(XmlNodeKind::kElement)));
+                       IntLit(static_cast<int>(XmlNodeKind::kElement)),
+                   {});
 }
 
 Result<std::vector<StoredNode>> DeweyStore::Children(const StoredNode& node,
                                                      const NodeTest& test) {
-  return Select("path > " + BlobLit(node.path) + " AND path < " +
-                    BlobLit(BlobPrefixUpperBound(node.path)) +
-                    " AND depth = " + IntLit(node.depth + 1) + " AND " +
-                    test.SqlCondition(),
-                "path");
+  Row params{Value::Blob(node.path),
+             Value::Blob(BlobPrefixUpperBound(node.path)),
+             Value::Int(node.depth + 1)};
+  // Built before the Select call: SqlConditionP appends to `params`, and
+  // argument evaluation order would otherwise race it against the move.
+  std::string where = "path > ? AND path < ? AND depth = ? AND " +
+                      test.SqlConditionP(&params);
+  return Select(where, std::move(params), "path");
 }
 
 Result<std::vector<StoredNode>> DeweyStore::Descendants(
     const StoredNode& node, const NodeTest& test) {
-  return Select("path > " + BlobLit(node.path) + " AND path < " +
-                    BlobLit(BlobPrefixUpperBound(node.path)) + " AND " +
-                    test.SqlCondition(),
-                "path");
+  Row params{Value::Blob(node.path),
+             Value::Blob(BlobPrefixUpperBound(node.path))};
+  std::string where =
+      "path > ? AND path < ? AND " + test.SqlConditionP(&params);
+  return Select(where, std::move(params), "path");
 }
 
 Result<std::vector<StoredNode>> DeweyStore::FollowingSiblings(
     const StoredNode& node, const NodeTest& test) {
   OXML_ASSIGN_OR_RETURN(DeweyKey key, DeweyKey::Decode(node.path));
-  std::string where = "path >= " +
-                      BlobLit(BlobPrefixUpperBound(node.path)) +
-                      " AND depth = " + IntLit(node.depth) + " AND " +
-                      test.SqlCondition();
+  Row params{Value::Blob(BlobPrefixUpperBound(node.path)),
+             Value::Int(node.depth)};
+  std::string where =
+      "path >= ? AND depth = ? AND " + test.SqlConditionP(&params);
   if (key.depth() > 1) {
-    where += " AND path < " +
-             BlobLit(key.Parent().SubtreeUpperBound());
+    where += " AND path < ?";
+    params.push_back(Value::Blob(key.Parent().SubtreeUpperBound()));
   }
-  return Select(where, "path");
+  return Select(where, std::move(params), "path");
 }
 
 Result<std::vector<StoredNode>> DeweyStore::PrecedingSiblings(
     const StoredNode& node, const NodeTest& test) {
   OXML_ASSIGN_OR_RETURN(DeweyKey key, DeweyKey::Decode(node.path));
-  std::string where = "path < " + BlobLit(node.path) + " AND depth = " +
-                      IntLit(node.depth) + " AND " + test.SqlCondition();
+  Row params{Value::Blob(node.path), Value::Int(node.depth)};
+  std::string where =
+      "path < ? AND depth = ? AND " + test.SqlConditionP(&params);
   if (key.depth() > 1) {
-    where += " AND path > " + BlobLit(key.Parent().Encode());
+    where += " AND path > ?";
+    params.push_back(Value::Blob(key.Parent().Encode()));
   }
-  return Select(where, "path");
+  return Select(where, std::move(params), "path");
 }
 
 Result<std::vector<StoredNode>> DeweyStore::Attributes(
     const StoredNode& node, std::string_view name) {
-  std::string where = "path > " + BlobLit(node.path) + " AND path < " +
-                      BlobLit(BlobPrefixUpperBound(node.path)) +
-                      " AND depth = " + IntLit(node.depth + 1) +
-                      " AND kind = " +
+  Row params{Value::Blob(node.path),
+             Value::Blob(BlobPrefixUpperBound(node.path)),
+             Value::Int(node.depth + 1)};
+  std::string where = "path > ? AND path < ? AND depth = ? AND kind = " +
                       IntLit(static_cast<int>(XmlNodeKind::kAttribute));
-  if (!name.empty()) where += " AND tag = " + SqlQuote(name);
-  return Select(where, "path");
+  if (!name.empty()) {
+    where += " AND tag = ?";
+    params.push_back(Value::Text(std::string(name)));
+  }
+  return Select(where, std::move(params), "path");
 }
 
 Result<StoredNode> DeweyStore::Parent(const StoredNode& node) {
   OXML_ASSIGN_OR_RETURN(DeweyKey key, DeweyKey::Decode(node.path));
   if (key.depth() <= 1) return Status::NotFound("root has no parent");
-  return SelectOne("path = " + BlobLit(key.Parent().Encode()));
+  return SelectOne("path = ?", {Value::Blob(key.Parent().Encode())});
 }
 
 Status DeweyStore::SortDocumentOrder(std::vector<StoredNode>* nodes) {
@@ -191,17 +206,19 @@ Result<std::string> DeweyStore::StringValue(const StoredNode& node) {
   }
   OXML_ASSIGN_OR_RETURN(
       ResultSet rs,
-      Sql("SELECT val FROM " + table_name() + " WHERE path >= " +
-          BlobLit(node.path) + " AND path < " +
-          BlobLit(BlobPrefixUpperBound(node.path)) + " AND kind = " +
-          IntLit(static_cast<int>(XmlNodeKind::kText)) + " ORDER BY path"));
+      SqlP("SELECT val FROM " + table_name() +
+               " WHERE path >= ? AND path < ? AND kind = " +
+               IntLit(static_cast<int>(XmlNodeKind::kText)) +
+               " ORDER BY path",
+           {Value::Blob(node.path),
+            Value::Blob(BlobPrefixUpperBound(node.path))}));
   std::string out;
   for (const Row& row : rs.rows) out += row[0].AsString();
   return out;
 }
 
 Result<std::unique_ptr<XmlDocument>> DeweyStore::ReconstructDocument() {
-  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes, Select("", "path"));
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes, Select("", {}, "path"));
   auto doc = std::make_unique<XmlDocument>();
   OXML_RETURN_NOT_OK(AssembleByDepth(nodes, 1, doc->root()));
   return doc;
@@ -211,8 +228,9 @@ Result<std::unique_ptr<XmlNode>> DeweyStore::ReconstructSubtree(
     const StoredNode& node) {
   OXML_ASSIGN_OR_RETURN(
       std::vector<StoredNode> nodes,
-      Select("path >= " + BlobLit(node.path) + " AND path < " +
-                 BlobLit(BlobPrefixUpperBound(node.path)),
+      Select("path >= ? AND path < ?",
+             {Value::Blob(node.path),
+              Value::Blob(BlobPrefixUpperBound(node.path))},
              "path"));
   auto holder = std::make_unique<XmlNode>(XmlNodeKind::kDocument, "#holder");
   OXML_RETURN_NOT_OK(AssembleByDepth(nodes, node.depth, holder.get()));
@@ -233,8 +251,14 @@ std::string DeweyStore::KeyCondition(const StoredNode& node) const {
   return "path = " + BlobLit(node.path);
 }
 
+std::string DeweyStore::KeyConditionP(const StoredNode& node,
+                                      Row* params) const {
+  params->push_back(Value::Blob(node.path));
+  return "path = ?";
+}
+
 Status DeweyStore::Validate() {
-  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> rows, Select("", "path"));
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> rows, Select("", {}, "path"));
   std::set<std::string> paths;
   int roots = 0;
   std::string prev;
@@ -293,9 +317,9 @@ Result<UpdateStats> DeweyStore::InsertSubtree(const StoredNode& ref,
         have_right = true;
         OXML_ASSIGN_OR_RETURN(
             std::vector<StoredNode> prev,
-            Select("path > " + BlobLit(parent_key.Encode()) + " AND path < " +
-                       BlobLit(ref.path) + " AND depth = " +
-                       IntLit(ref.depth),
+            Select("path > ? AND path < ? AND depth = ?",
+                   {Value::Blob(parent_key.Encode()), Value::Blob(ref.path),
+                    Value::Int(ref.depth)},
                    "path DESC LIMIT 1"));
         if (!prev.empty()) {
           OXML_ASSIGN_OR_RETURN(c_left, LastComponent(prev.front()));
@@ -304,9 +328,9 @@ Result<UpdateStats> DeweyStore::InsertSubtree(const StoredNode& ref,
         c_left = refk.last();
         OXML_ASSIGN_OR_RETURN(
             std::vector<StoredNode> next,
-            Select("path >= " + BlobLit(BlobPrefixUpperBound(ref.path)) +
-                       " AND path < " + BlobLit(parent_ub) +
-                       " AND depth = " + IntLit(ref.depth),
+            Select("path >= ? AND path < ? AND depth = ?",
+                   {Value::Blob(BlobPrefixUpperBound(ref.path)),
+                    Value::Blob(parent_ub), Value::Int(ref.depth)},
                    "path LIMIT 1"));
         if (!next.empty()) {
           right = next.front();
@@ -319,22 +343,22 @@ Result<UpdateStats> DeweyStore::InsertSubtree(const StoredNode& ref,
       parent_key = refk;
       OXML_ASSIGN_OR_RETURN(
           std::vector<StoredNode> attrs,
-          Select("path > " + BlobLit(ref.path) + " AND path < " +
-                     BlobLit(BlobPrefixUpperBound(ref.path)) +
-                     " AND depth = " + IntLit(ref.depth + 1) +
-                     " AND kind = " +
+          Select("path > ? AND path < ? AND depth = ? AND kind = " +
                      IntLit(static_cast<int>(XmlNodeKind::kAttribute)),
+                 {Value::Blob(ref.path),
+                  Value::Blob(BlobPrefixUpperBound(ref.path)),
+                  Value::Int(ref.depth + 1)},
                  "path DESC LIMIT 1"));
       if (!attrs.empty()) {
         OXML_ASSIGN_OR_RETURN(c_left, LastComponent(attrs.front()));
       }
       OXML_ASSIGN_OR_RETURN(
           std::vector<StoredNode> kids,
-          Select("path > " + BlobLit(ref.path) + " AND path < " +
-                     BlobLit(BlobPrefixUpperBound(ref.path)) +
-                     " AND depth = " + IntLit(ref.depth + 1) +
-                     " AND kind <> " +
+          Select("path > ? AND path < ? AND depth = ? AND kind <> " +
                      IntLit(static_cast<int>(XmlNodeKind::kAttribute)),
+                 {Value::Blob(ref.path),
+                  Value::Blob(BlobPrefixUpperBound(ref.path)),
+                  Value::Int(ref.depth + 1)},
                  "path LIMIT 1"));
       if (!kids.empty()) {
         right = kids.front();
@@ -346,9 +370,10 @@ Result<UpdateStats> DeweyStore::InsertSubtree(const StoredNode& ref,
       parent_key = refk;
       OXML_ASSIGN_OR_RETURN(
           std::vector<StoredNode> last,
-          Select("path > " + BlobLit(ref.path) + " AND path < " +
-                     BlobLit(BlobPrefixUpperBound(ref.path)) +
-                     " AND depth = " + IntLit(ref.depth + 1),
+          Select("path > ? AND path < ? AND depth = ?",
+                 {Value::Blob(ref.path),
+                  Value::Blob(BlobPrefixUpperBound(ref.path)),
+                  Value::Int(ref.depth + 1)},
                  "path DESC LIMIT 1"));
       if (!last.empty()) {
         OXML_ASSIGN_OR_RETURN(c_left, LastComponent(last.front()));
@@ -372,16 +397,23 @@ Result<UpdateStats> DeweyStore::InsertSubtree(const StoredNode& ref,
       // reports. Processing from the last sibling down keeps intermediate
       // states collision-free (each key moves strictly upward into
       // vacated space).
-      std::string parent_ub_sql =
-          parent_key.empty()
-              ? std::string()
-              : " AND path < " + BlobLit(parent_key.SubtreeUpperBound());
+      Row shift_params{Value::Blob(right.path), Value::Int(right.depth)};
+      std::string shift_where = "path >= ? AND depth = ?";
+      if (!parent_key.empty()) {
+        shift_where += " AND path < ?";
+        shift_params.push_back(Value::Blob(parent_key.SubtreeUpperBound()));
+      }
       OXML_ASSIGN_OR_RETURN(
           std::vector<StoredNode> to_shift,
-          Select("path >= " + BlobLit(right.path) + " AND depth = " +
-                     IntLit(right.depth) + parent_ub_sql,
-                 "path DESC"));
+          Select(shift_where, std::move(shift_params), "path DESC"));
       ++stats.statements;
+      // The per-row path rewrites run through one prepared UPDATE; the
+      // (new, old) pairs are generated in the same order the per-row
+      // statements used to execute, so intermediate states stay
+      // collision-free.
+      OXML_ASSIGN_OR_RETURN(
+          PreparedStatement move_row,
+          db_->Prepare("UPDATE " + t + " SET path = ? WHERE path = ?"));
       for (const StoredNode& sib : to_shift) {
         OXML_ASSIGN_OR_RETURN(DeweyKey old_key, DeweyKey::Decode(sib.path));
         DeweyKey new_key = old_key.WithLast(old_key.last() + options_.gap);
@@ -390,22 +422,22 @@ Result<UpdateStats> DeweyStore::InsertSubtree(const StoredNode& ref,
         // Rewrite the sibling's whole subtree, prefix-substituting keys.
         OXML_ASSIGN_OR_RETURN(
             ResultSet subtree_rows,
-            Sql("SELECT path FROM " + t + " WHERE path >= " +
-                    BlobLit(old_prefix) + " AND path < " +
-                    BlobLit(BlobPrefixUpperBound(old_prefix)) +
-                    " ORDER BY path",
-                &stats));
+            SqlP("SELECT path FROM " + t +
+                     " WHERE path >= ? AND path < ? ORDER BY path",
+                 {Value::Blob(old_prefix),
+                  Value::Blob(BlobPrefixUpperBound(old_prefix))},
+                 &stats));
+        std::vector<Row> moves;
+        moves.reserve(subtree_rows.rows.size());
         for (const Row& row : subtree_rows.rows) {
           const std::string& old_path = row[0].AsString();
-          std::string new_path =
-              new_prefix + old_path.substr(old_prefix.size());
-          OXML_ASSIGN_OR_RETURN(
-              int64_t changed,
-              Dml("UPDATE " + t + " SET path = " + BlobLit(new_path) +
-                      " WHERE path = " + BlobLit(old_path),
-                  &stats));
-          stats.rows_renumbered += changed;
+          moves.push_back(
+              Row{Value::Blob(new_prefix + old_path.substr(old_prefix.size())),
+                  Value::Blob(old_path)});
         }
+        OXML_ASSIGN_OR_RETURN(int64_t changed, move_row.ExecuteBatch(moves));
+        stats.statements += static_cast<int64_t>(moves.size());
+        stats.rows_renumbered += changed;
       }
       stats.renumbering_triggered = true;
       slot = c_left + (c_right + options_.gap - c_left) / 2;
@@ -422,10 +454,10 @@ Result<UpdateStats> DeweyStore::DeleteSubtree(const StoredNode& node) {
   UpdateStats stats;
   OXML_ASSIGN_OR_RETURN(
       int64_t deleted,
-      Dml("DELETE FROM " + table_name() + " WHERE path >= " +
-              BlobLit(node.path) + " AND path < " +
-              BlobLit(BlobPrefixUpperBound(node.path)),
-          &stats));
+      DmlP("DELETE FROM " + table_name() + " WHERE path >= ? AND path < ?",
+           {Value::Blob(node.path),
+            Value::Blob(BlobPrefixUpperBound(node.path))},
+           &stats));
   stats.nodes_deleted = deleted;
   return stats;
 }

@@ -77,9 +77,11 @@ void GlobalStore::ShredInto(const XmlNode& node, int64_t pord, int64_t depth,
 
 Status GlobalStore::BulkInsert(const std::vector<Row>& rows,
                                UpdateStats* stats) {
-  for (const Row& row : rows) {
-    OXML_RETURN_NOT_OK(db_->Insert(table_name(), row).status());
-  }
+  OXML_ASSIGN_OR_RETURN(
+      PreparedStatement ins,
+      db_->Prepare("INSERT INTO " + table_name() + " (" + kCols +
+                   ") VALUES (?, ?, ?, ?, ?, ?, ?)"));
+  OXML_RETURN_NOT_OK(ins.ExecuteBatch(rows).status());
   if (stats != nullptr) {
     ++stats->statements;  // modeled as one multi-row INSERT
     stats->nodes_inserted += static_cast<int64_t>(rows.size());
@@ -97,66 +99,80 @@ Status GlobalStore::LoadDocument(const XmlDocument& doc) {
 }
 
 Result<std::vector<StoredNode>> GlobalStore::Select(const std::string& where,
+                                                    Row params,
                                                     const std::string& order) {
   std::string sql = std::string("SELECT ") + kCols + " FROM " + table_name();
   if (!where.empty()) sql += " WHERE " + where;
   if (!order.empty()) sql += " ORDER BY " + order;
-  OXML_ASSIGN_OR_RETURN(ResultSet rs, Sql(sql));
+  OXML_ASSIGN_OR_RETURN(ResultSet rs, SqlP(sql, std::move(params)));
   std::vector<StoredNode> out;
   out.reserve(rs.rows.size());
   for (const Row& row : rs.rows) out.push_back(FromGlobalRow(row));
   return out;
 }
 
-Result<StoredNode> GlobalStore::SelectOne(const std::string& where) {
-  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes, Select(where, "ord"));
+Result<StoredNode> GlobalStore::SelectOne(const std::string& where,
+                                          Row params) {
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes,
+                        Select(where, std::move(params), "ord"));
   if (nodes.empty()) return Status::NotFound("no node matches: " + where);
   return nodes.front();
 }
 
 Result<StoredNode> GlobalStore::Root() {
   return SelectOne("pord = 0 AND kind = " +
-                   IntLit(static_cast<int>(XmlNodeKind::kElement)));
+                       IntLit(static_cast<int>(XmlNodeKind::kElement)),
+                   {});
 }
 
 Result<std::vector<StoredNode>> GlobalStore::Children(const StoredNode& node,
                                                       const NodeTest& test) {
-  return Select("pord = " + IntLit(node.ord) + " AND " + test.SqlCondition(),
-                "ord");
+  Row params{Value::Int(node.ord)};
+  // Built before the Select call: SqlConditionP appends to `params`, and
+  // argument evaluation order would otherwise race it against the move.
+  std::string where = "pord = ? AND " + test.SqlConditionP(&params);
+  return Select(where, std::move(params), "ord");
 }
 
 Result<std::vector<StoredNode>> GlobalStore::Descendants(
     const StoredNode& node, const NodeTest& test) {
-  return Select("ord > " + IntLit(node.ord) + " AND ord <= " +
-                    IntLit(node.eord) + " AND " + test.SqlCondition(),
-                "ord");
+  Row params{Value::Int(node.ord), Value::Int(node.eord)};
+  std::string where =
+      "ord > ? AND ord <= ? AND " + test.SqlConditionP(&params);
+  return Select(where, std::move(params), "ord");
 }
 
 Result<std::vector<StoredNode>> GlobalStore::FollowingSiblings(
     const StoredNode& node, const NodeTest& test) {
-  return Select("pord = " + IntLit(node.pord) + " AND ord > " +
-                    IntLit(node.ord) + " AND " + test.SqlCondition(),
-                "ord");
+  Row params{Value::Int(node.pord), Value::Int(node.ord)};
+  std::string where =
+      "pord = ? AND ord > ? AND " + test.SqlConditionP(&params);
+  return Select(where, std::move(params), "ord");
 }
 
 Result<std::vector<StoredNode>> GlobalStore::PrecedingSiblings(
     const StoredNode& node, const NodeTest& test) {
-  return Select("pord = " + IntLit(node.pord) + " AND ord < " +
-                    IntLit(node.ord) + " AND " + test.SqlCondition(),
-                "ord");
+  Row params{Value::Int(node.pord), Value::Int(node.ord)};
+  std::string where =
+      "pord = ? AND ord < ? AND " + test.SqlConditionP(&params);
+  return Select(where, std::move(params), "ord");
 }
 
 Result<std::vector<StoredNode>> GlobalStore::Attributes(
     const StoredNode& node, std::string_view name) {
-  std::string where = "pord = " + IntLit(node.ord) + " AND kind = " +
+  Row params{Value::Int(node.ord)};
+  std::string where = "pord = ? AND kind = " +
                       IntLit(static_cast<int>(XmlNodeKind::kAttribute));
-  if (!name.empty()) where += " AND tag = " + SqlQuote(name);
-  return Select(where, "ord");
+  if (!name.empty()) {
+    where += " AND tag = ?";
+    params.push_back(Value::Text(std::string(name)));
+  }
+  return Select(where, std::move(params), "ord");
 }
 
 Result<StoredNode> GlobalStore::Parent(const StoredNode& node) {
   if (node.pord == 0) return Status::NotFound("root has no parent");
-  return SelectOne("ord = " + IntLit(node.pord));
+  return SelectOne("ord = ?", {Value::Int(node.pord)});
 }
 
 Status GlobalStore::SortDocumentOrder(std::vector<StoredNode>* nodes) {
@@ -175,17 +191,17 @@ Result<std::string> GlobalStore::StringValue(const StoredNode& node) {
   }
   OXML_ASSIGN_OR_RETURN(
       ResultSet rs,
-      Sql("SELECT val FROM " + table_name() + " WHERE ord >= " +
-          IntLit(node.ord) + " AND ord <= " + IntLit(node.eord) +
-          " AND kind = " + IntLit(static_cast<int>(XmlNodeKind::kText)) +
-          " ORDER BY ord"));
+      SqlP("SELECT val FROM " + table_name() +
+               " WHERE ord >= ? AND ord <= ? AND kind = " +
+               IntLit(static_cast<int>(XmlNodeKind::kText)) + " ORDER BY ord",
+           {Value::Int(node.ord), Value::Int(node.eord)}));
   std::string out;
   for (const Row& row : rs.rows) out += row[0].AsString();
   return out;
 }
 
 Result<std::unique_ptr<XmlDocument>> GlobalStore::ReconstructDocument() {
-  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes, Select("", "ord"));
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes, Select("", {}, "ord"));
   auto doc = std::make_unique<XmlDocument>();
   OXML_RETURN_NOT_OK(AssembleByDepth(nodes, 1, doc->root()));
   return doc;
@@ -195,9 +211,8 @@ Result<std::unique_ptr<XmlNode>> GlobalStore::ReconstructSubtree(
     const StoredNode& node) {
   OXML_ASSIGN_OR_RETURN(
       std::vector<StoredNode> nodes,
-      Select("ord >= " + IntLit(node.ord) + " AND ord <= " +
-                 IntLit(node.eord),
-             "ord"));
+      Select("ord >= ? AND ord <= ?",
+             {Value::Int(node.ord), Value::Int(node.eord)}, "ord"));
   auto holder = std::make_unique<XmlNode>(XmlNodeKind::kDocument, "#holder");
   OXML_RETURN_NOT_OK(AssembleByDepth(nodes, node.depth, holder.get()));
   if (holder->child_count() != 1) {
@@ -217,8 +232,14 @@ std::string GlobalStore::KeyCondition(const StoredNode& node) const {
   return "ord = " + IntLit(node.ord);
 }
 
+std::string GlobalStore::KeyConditionP(const StoredNode& node,
+                                       Row* params) const {
+  params->push_back(Value::Int(node.ord));
+  return "ord = ?";
+}
+
 Status GlobalStore::Validate() {
-  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> rows, Select("", "ord"));
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> rows, Select("", {}, "ord"));
   std::vector<const StoredNode*> stack;  // open ancestor intervals
   int roots = 0;
   int64_t prev_ord = -1;
@@ -288,9 +309,9 @@ Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
   auto last_attr_or_none = [&](const StoredNode& p) -> Result<bool> {
     OXML_ASSIGN_OR_RETURN(
         std::vector<StoredNode> attrs,
-        Select("pord = " + IntLit(p.ord) + " AND kind = " +
+        Select("pord = ? AND kind = " +
                    IntLit(static_cast<int>(XmlNodeKind::kAttribute)),
-               "ord DESC LIMIT 1"));
+               {Value::Int(p.ord)}, "ord DESC LIMIT 1"));
     if (attrs.empty()) return false;
     left = attrs.front();
     return true;
@@ -303,8 +324,8 @@ Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
       have_right = true;
       OXML_ASSIGN_OR_RETURN(
           std::vector<StoredNode> prev,
-          Select("pord = " + IntLit(parent.ord) + " AND ord < " +
-                     IntLit(ref.ord),
+          Select("pord = ? AND ord < ?",
+                 {Value::Int(parent.ord), Value::Int(ref.ord)},
                  "ord DESC LIMIT 1"));
       if (!prev.empty()) {
         left = prev.front();
@@ -320,8 +341,8 @@ Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
       have_left = true;
       OXML_ASSIGN_OR_RETURN(
           std::vector<StoredNode> next,
-          Select("pord = " + IntLit(parent.ord) + " AND ord > " +
-                     IntLit(ref.ord),
+          Select("pord = ? AND ord > ?",
+                 {Value::Int(parent.ord), Value::Int(ref.ord)},
                  "ord LIMIT 1"));
       if (!next.empty()) {
         right = next.front();
@@ -333,9 +354,9 @@ Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
       parent = ref;
       OXML_ASSIGN_OR_RETURN(
           std::vector<StoredNode> kids,
-          Select("pord = " + IntLit(parent.ord) + " AND kind <> " +
+          Select("pord = ? AND kind <> " +
                      IntLit(static_cast<int>(XmlNodeKind::kAttribute)),
-                 "ord LIMIT 1"));
+                 {Value::Int(parent.ord)}, "ord LIMIT 1"));
       if (!kids.empty()) {
         right = kids.front();
         have_right = true;
@@ -347,7 +368,7 @@ Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
       parent = ref;
       OXML_ASSIGN_OR_RETURN(
           std::vector<StoredNode> kids,
-          Select("pord = " + IntLit(parent.ord), "ord DESC LIMIT 1"));
+          Select("pord = ?", {Value::Int(parent.ord)}, "ord DESC LIMIT 1"));
       if (!kids.empty()) {
         left = kids.front();
         have_left = true;
@@ -367,9 +388,8 @@ Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
     // the parent's interval.
     OXML_ASSIGN_OR_RETURN(
         ResultSet rs,
-        Sql("SELECT ord FROM " + t + " WHERE ord > " + IntLit(parent.eord) +
-                " ORDER BY ord LIMIT 1",
-            &stats));
+        SqlP("SELECT ord FROM " + t + " WHERE ord > ? ORDER BY ord LIMIT 1",
+             {Value::Int(parent.eord)}, &stats));
     if (rs.rows.empty()) {
       hi_finite = false;
     } else {
@@ -385,17 +405,16 @@ Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
     int64_t delta = (m + 1) * options_.gap;
     OXML_ASSIGN_OR_RETURN(
         int64_t shifted,
-        Dml("UPDATE " + t + " SET ord = ord + " + IntLit(delta) +
-                " WHERE ord >= " + IntLit(hi),
-            &stats));
-    OXML_RETURN_NOT_OK(Dml("UPDATE " + t + " SET eord = eord + " +
-                               IntLit(delta) + " WHERE eord >= " + IntLit(hi),
-                           &stats)
-                           .status());
-    OXML_RETURN_NOT_OK(Dml("UPDATE " + t + " SET pord = pord + " +
-                               IntLit(delta) + " WHERE pord >= " + IntLit(hi),
-                           &stats)
-                           .status());
+        DmlP("UPDATE " + t + " SET ord = ord + ? WHERE ord >= ?",
+             {Value::Int(delta), Value::Int(hi)}, &stats));
+    OXML_RETURN_NOT_OK(
+        DmlP("UPDATE " + t + " SET eord = eord + ? WHERE eord >= ?",
+             {Value::Int(delta), Value::Int(hi)}, &stats)
+            .status());
+    OXML_RETURN_NOT_OK(
+        DmlP("UPDATE " + t + " SET pord = pord + ? WHERE pord >= ?",
+             {Value::Int(delta), Value::Int(hi)}, &stats)
+            .status());
     stats.rows_renumbered += shifted;
     stats.renumbering_triggered = true;
     hi += delta;
@@ -417,10 +436,10 @@ Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
     // its right boundary.
     OXML_ASSIGN_OR_RETURN(
         int64_t extended,
-        Dml("UPDATE " + t + " SET eord = " + IntLit(new_max) +
-                " WHERE eord = " + IntLit(parent.eord) + " AND ord <= " +
-                IntLit(parent.ord),
-            &stats));
+        DmlP("UPDATE " + t + " SET eord = ? WHERE eord = ? AND ord <= ?",
+             {Value::Int(new_max), Value::Int(parent.eord),
+              Value::Int(parent.ord)},
+             &stats));
     stats.rows_renumbered += extended;
   }
   return stats;
@@ -430,9 +449,8 @@ Result<UpdateStats> GlobalStore::DeleteSubtree(const StoredNode& node) {
   UpdateStats stats;
   OXML_ASSIGN_OR_RETURN(
       int64_t deleted,
-      Dml("DELETE FROM " + table_name() + " WHERE ord >= " +
-              IntLit(node.ord) + " AND ord <= " + IntLit(node.eord),
-          &stats));
+      DmlP("DELETE FROM " + table_name() + " WHERE ord >= ? AND ord <= ?",
+           {Value::Int(node.ord), Value::Int(node.eord)}, &stats));
   // Ancestor eords are left as (correct but loose) over-approximations of
   // their intervals; every remaining node still falls in exactly its
   // ancestors' intervals.

@@ -85,9 +85,11 @@ void ShredLocal(const XmlNode& node, int64_t pid, int64_t sord, int64_t depth,
 
 Status LocalStore::BulkInsert(const std::vector<Row>& rows,
                               UpdateStats* stats) {
-  for (const Row& row : rows) {
-    OXML_RETURN_NOT_OK(db_->Insert(table_name(), row).status());
-  }
+  OXML_ASSIGN_OR_RETURN(
+      PreparedStatement ins,
+      db_->Prepare("INSERT INTO " + table_name() + " (" + kCols +
+                   ") VALUES (?, ?, ?, ?, ?, ?, ?)"));
+  OXML_RETURN_NOT_OK(ins.ExecuteBatch(rows).status());
   if (stats != nullptr) {
     ++stats->statements;
     stats->nodes_inserted += static_cast<int64_t>(rows.size());
@@ -106,32 +108,39 @@ Status LocalStore::LoadDocument(const XmlDocument& doc) {
 }
 
 Result<std::vector<StoredNode>> LocalStore::Select(const std::string& where,
+                                                   Row params,
                                                    const std::string& order) {
   std::string sql = std::string("SELECT ") + kCols + " FROM " + table_name();
   if (!where.empty()) sql += " WHERE " + where;
   if (!order.empty()) sql += " ORDER BY " + order;
-  OXML_ASSIGN_OR_RETURN(ResultSet rs, Sql(sql));
+  OXML_ASSIGN_OR_RETURN(ResultSet rs, SqlP(sql, std::move(params)));
   std::vector<StoredNode> out;
   out.reserve(rs.rows.size());
   for (const Row& row : rs.rows) out.push_back(FromLocalRow(row));
   return out;
 }
 
-Result<StoredNode> LocalStore::SelectOne(const std::string& where) {
-  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes, Select(where, "id"));
+Result<StoredNode> LocalStore::SelectOne(const std::string& where,
+                                         Row params) {
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> nodes,
+                        Select(where, std::move(params), "id"));
   if (nodes.empty()) return Status::NotFound("no node matches: " + where);
   return nodes.front();
 }
 
 Result<StoredNode> LocalStore::Root() {
   return SelectOne("pid = 0 AND kind = " +
-                   IntLit(static_cast<int>(XmlNodeKind::kElement)));
+                       IntLit(static_cast<int>(XmlNodeKind::kElement)),
+                   {});
 }
 
 Result<std::vector<StoredNode>> LocalStore::Children(const StoredNode& node,
                                                      const NodeTest& test) {
-  return Select("pid = " + IntLit(node.id) + " AND " + test.SqlCondition(),
-                "sord");
+  Row params{Value::Int(node.id)};
+  // Built before the Select call: SqlConditionP appends to `params`, and
+  // argument evaluation order would otherwise race it against the move.
+  std::string where = "pid = ? AND " + test.SqlConditionP(&params);
+  return Select(where, std::move(params), "sord");
 }
 
 Result<std::vector<StoredNode>> LocalStore::Descendants(
@@ -140,10 +149,12 @@ Result<std::vector<StoredNode>> LocalStore::Descendants(
     // From the root a tag/kind scan sees every node; document order must
     // then be recovered via ancestor ordinal paths (the expensive part of
     // the local scheme).
+    Row params;
+    std::string test_cond = test.SqlConditionP(&params);
+    params.push_back(Value::Int(node.id));
     OXML_ASSIGN_OR_RETURN(
         std::vector<StoredNode> all,
-        Select(test.SqlCondition() + " AND id <> " + IntLit(node.id) +
-                   " AND pid <> 0",
+        Select(test_cond + " AND id <> ? AND pid <> 0", std::move(params),
                ""));
     OXML_RETURN_NOT_OK(SortDocumentOrder(&all));
     return all;
@@ -171,29 +182,35 @@ Result<std::vector<StoredNode>> LocalStore::Descendants(
 
 Result<std::vector<StoredNode>> LocalStore::FollowingSiblings(
     const StoredNode& node, const NodeTest& test) {
-  return Select("pid = " + IntLit(node.pid) + " AND sord > " +
-                    IntLit(node.sord) + " AND " + test.SqlCondition(),
-                "sord");
+  Row params{Value::Int(node.pid), Value::Int(node.sord)};
+  std::string where =
+      "pid = ? AND sord > ? AND " + test.SqlConditionP(&params);
+  return Select(where, std::move(params), "sord");
 }
 
 Result<std::vector<StoredNode>> LocalStore::PrecedingSiblings(
     const StoredNode& node, const NodeTest& test) {
-  return Select("pid = " + IntLit(node.pid) + " AND sord < " +
-                    IntLit(node.sord) + " AND " + test.SqlCondition(),
-                "sord");
+  Row params{Value::Int(node.pid), Value::Int(node.sord)};
+  std::string where =
+      "pid = ? AND sord < ? AND " + test.SqlConditionP(&params);
+  return Select(where, std::move(params), "sord");
 }
 
 Result<std::vector<StoredNode>> LocalStore::Attributes(
     const StoredNode& node, std::string_view name) {
-  std::string where = "pid = " + IntLit(node.id) + " AND kind = " +
+  Row params{Value::Int(node.id)};
+  std::string where = "pid = ? AND kind = " +
                       IntLit(static_cast<int>(XmlNodeKind::kAttribute));
-  if (!name.empty()) where += " AND tag = " + SqlQuote(name);
-  return Select(where, "sord");
+  if (!name.empty()) {
+    where += " AND tag = ?";
+    params.push_back(Value::Text(std::string(name)));
+  }
+  return Select(where, std::move(params), "sord");
 }
 
 Result<StoredNode> LocalStore::Parent(const StoredNode& node) {
   if (node.pid == 0) return Status::NotFound("root has no parent");
-  return SelectOne("id = " + IntLit(node.pid));
+  return SelectOne("id = ?", {Value::Int(node.pid)});
 }
 
 Result<std::vector<int64_t>> LocalStore::OrdinalPath(
@@ -206,8 +223,8 @@ Result<std::vector<int64_t>> LocalStore::OrdinalPath(
     if (it == cache->end()) {
       OXML_ASSIGN_OR_RETURN(
           ResultSet rs,
-          Sql("SELECT pid, sord FROM " + table_name() + " WHERE id = " +
-              IntLit(pid)));
+          SqlP("SELECT pid, sord FROM " + table_name() + " WHERE id = ?",
+               {Value::Int(pid)}));
       if (rs.rows.empty()) {
         return Status::Internal("dangling parent id " + std::to_string(pid));
       }
@@ -302,7 +319,8 @@ void AssembleLocal(
 Result<std::unique_ptr<XmlDocument>> LocalStore::ReconstructDocument() {
   // One scan ordered by (pid, sord), grouped in memory, then a recursive
   // parent-to-children assembly (the join the local encoding forces).
-  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> all, Select("", "pid, sord"));
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> all,
+                        Select("", {}, "pid, sord"));
   std::map<int64_t, std::vector<StoredNode>> by_parent;
   for (StoredNode& n : all) by_parent[n.pid].push_back(std::move(n));
   auto doc = std::make_unique<XmlDocument>();
@@ -348,8 +366,8 @@ Result<bool> LocalStore::IsDescendantOf(const StoredNode& node,
   while (pid != 0) {
     if (pid == ancestor.id) return true;
     OXML_ASSIGN_OR_RETURN(
-        ResultSet rs, Sql("SELECT pid FROM " + table_name() +
-                          " WHERE id = " + IntLit(pid)));
+        ResultSet rs, SqlP("SELECT pid FROM " + table_name() + " WHERE id = ?",
+                           {Value::Int(pid)}));
     if (rs.rows.empty()) {
       return Status::Internal("dangling parent id " + std::to_string(pid));
     }
@@ -362,8 +380,14 @@ std::string LocalStore::KeyCondition(const StoredNode& node) const {
   return "id = " + IntLit(node.id);
 }
 
+std::string LocalStore::KeyConditionP(const StoredNode& node,
+                                      Row* params) const {
+  params->push_back(Value::Int(node.id));
+  return "id = ?";
+}
+
 Status LocalStore::Validate() {
-  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> rows, Select("", "id"));
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> rows, Select("", {}, "id"));
   std::unordered_map<int64_t, const StoredNode*> by_id;
   for (const StoredNode& n : rows) {
     if (!by_id.emplace(n.id, &n).second) {
@@ -430,16 +454,16 @@ Result<UpdateStats> LocalStore::InsertSubtree(const StoredNode& ref,
         have_right = true;
         OXML_ASSIGN_OR_RETURN(
             std::vector<StoredNode> prev,
-            Select("pid = " + IntLit(parent_id) + " AND sord < " +
-                       IntLit(ref.sord),
+            Select("pid = ? AND sord < ?",
+                   {Value::Int(parent_id), Value::Int(ref.sord)},
                    "sord DESC LIMIT 1"));
         if (!prev.empty()) s_left = prev.front().sord;
       } else {
         s_left = ref.sord;
         OXML_ASSIGN_OR_RETURN(
             std::vector<StoredNode> next,
-            Select("pid = " + IntLit(parent_id) + " AND sord > " +
-                       IntLit(ref.sord),
+            Select("pid = ? AND sord > ?",
+                   {Value::Int(parent_id), Value::Int(ref.sord)},
                    "sord LIMIT 1"));
         if (!next.empty()) {
           right = next.front();
@@ -453,15 +477,15 @@ Result<UpdateStats> LocalStore::InsertSubtree(const StoredNode& ref,
       parent_depth = ref.depth;
       OXML_ASSIGN_OR_RETURN(
           std::vector<StoredNode> attrs,
-          Select("pid = " + IntLit(parent_id) + " AND kind = " +
+          Select("pid = ? AND kind = " +
                      IntLit(static_cast<int>(XmlNodeKind::kAttribute)),
-                 "sord DESC LIMIT 1"));
+                 {Value::Int(parent_id)}, "sord DESC LIMIT 1"));
       if (!attrs.empty()) s_left = attrs.front().sord;
       OXML_ASSIGN_OR_RETURN(
           std::vector<StoredNode> kids,
-          Select("pid = " + IntLit(parent_id) + " AND kind <> " +
+          Select("pid = ? AND kind <> " +
                      IntLit(static_cast<int>(XmlNodeKind::kAttribute)),
-                 "sord LIMIT 1"));
+                 {Value::Int(parent_id)}, "sord LIMIT 1"));
       if (!kids.empty()) {
         right = kids.front();
         have_right = true;
@@ -473,7 +497,7 @@ Result<UpdateStats> LocalStore::InsertSubtree(const StoredNode& ref,
       parent_depth = ref.depth;
       OXML_ASSIGN_OR_RETURN(
           std::vector<StoredNode> last,
-          Select("pid = " + IntLit(parent_id), "sord DESC LIMIT 1"));
+          Select("pid = ?", {Value::Int(parent_id)}, "sord DESC LIMIT 1"));
       if (!last.empty()) s_left = last.front().sord;
       break;
     }
@@ -492,19 +516,23 @@ Result<UpdateStats> LocalStore::InsertSubtree(const StoredNode& ref,
     // point of the local scheme.
     OXML_ASSIGN_OR_RETURN(
         std::vector<StoredNode> to_shift,
-        Select("pid = " + IntLit(parent_id) + " AND sord >= " +
-                   IntLit(right.sord),
-               "sord DESC"));
+        Select("pid = ? AND sord >= ?",
+               {Value::Int(parent_id), Value::Int(right.sord)}, "sord DESC"));
     ++stats.statements;
+    // One prepared UPDATE executed per shifted sibling: the parse + plan is
+    // paid once for the whole batch.
+    std::vector<Row> shift_rows;
+    shift_rows.reserve(to_shift.size());
     for (const StoredNode& sib : to_shift) {
-      OXML_ASSIGN_OR_RETURN(
-          int64_t changed,
-          Dml("UPDATE " + t + " SET sord = " +
-                  IntLit(sib.sord + options_.gap) + " WHERE id = " +
-                  IntLit(sib.id),
-              &stats));
-      stats.rows_renumbered += changed;
+      shift_rows.push_back(
+          Row{Value::Int(sib.sord + options_.gap), Value::Int(sib.id)});
     }
+    OXML_ASSIGN_OR_RETURN(PreparedStatement shift,
+                          db_->Prepare("UPDATE " + t +
+                                       " SET sord = ? WHERE id = ?"));
+    OXML_ASSIGN_OR_RETURN(int64_t changed, shift.ExecuteBatch(shift_rows));
+    stats.statements += static_cast<int64_t>(shift_rows.size());
+    stats.rows_renumbered += changed;
     stats.renumbering_triggered = true;
     slot = s_left + (right.sord + options_.gap - s_left) / 2;
   }
@@ -526,9 +554,8 @@ Result<UpdateStats> LocalStore::DeleteSubtree(const StoredNode& node) {
     for (int64_t id : frontier) {
       OXML_ASSIGN_OR_RETURN(
           ResultSet rs,
-          Sql("SELECT id, kind FROM " + table_name() + " WHERE pid = " +
-                  IntLit(id),
-              &stats));
+          SqlP("SELECT id, kind FROM " + table_name() + " WHERE pid = ?",
+               {Value::Int(id)}, &stats));
       for (const Row& row : rs.rows) {
         if (static_cast<XmlNodeKind>(row[1].AsInt()) ==
             XmlNodeKind::kElement) {
@@ -542,14 +569,14 @@ Result<UpdateStats> LocalStore::DeleteSubtree(const StoredNode& node) {
   for (int64_t pid : parents) {
     OXML_ASSIGN_OR_RETURN(
         int64_t n,
-        Dml("DELETE FROM " + table_name() + " WHERE pid = " + IntLit(pid),
-            &stats));
+        DmlP("DELETE FROM " + table_name() + " WHERE pid = ?",
+             {Value::Int(pid)}, &stats));
     stats.nodes_deleted += n;
   }
   OXML_ASSIGN_OR_RETURN(
       int64_t n,
-      Dml("DELETE FROM " + table_name() + " WHERE id = " + IntLit(node.id),
-          &stats));
+      DmlP("DELETE FROM " + table_name() + " WHERE id = ?",
+           {Value::Int(node.id)}, &stats));
   stats.nodes_deleted += n;
   return stats;
 }

@@ -47,6 +47,15 @@ std::string NodeTest::SqlCondition() const {
   return "";
 }
 
+std::string NodeTest::SqlConditionP(Row* params) const {
+  if (kind == Kind::kTag) {
+    params->push_back(Value::Text(tag));
+    return "kind = " + IntLit(static_cast<int>(XmlNodeKind::kElement)) +
+           " AND tag = ?";
+  }
+  return SqlCondition();  // no tag => no variable part
+}
+
 Status AssembleByDepth(const std::vector<StoredNode>& nodes,
                        int64_t base_depth, XmlNode* root) {
   // stack[i] holds the open node at depth (base_depth + i - 1); stack[0] is
@@ -167,6 +176,22 @@ Result<int64_t> OrderedXmlStore::Dml(const std::string& sql,
   return db_->Execute(sql);
 }
 
+Result<ResultSet> OrderedXmlStore::SqlP(const std::string& sql, Row params,
+                                        UpdateStats* stats) {
+  if (stats != nullptr) ++stats->statements;
+  OXML_ASSIGN_OR_RETURN(PreparedStatement ps, db_->Prepare(sql));
+  OXML_RETURN_NOT_OK(ps.BindAll(std::move(params)));
+  return ps.Query();
+}
+
+Result<int64_t> OrderedXmlStore::DmlP(const std::string& sql, Row params,
+                                      UpdateStats* stats) {
+  if (stats != nullptr) ++stats->statements;
+  OXML_ASSIGN_OR_RETURN(PreparedStatement ps, db_->Prepare(sql));
+  OXML_RETURN_NOT_OK(ps.BindAll(std::move(params)));
+  return ps.Execute();
+}
+
 Result<UpdateStats> OrderedXmlStore::UpdateNodeValue(
     const StoredNode& node, std::string_view new_value) {
   switch (node.kind) {
@@ -181,11 +206,13 @@ Result<UpdateStats> OrderedXmlStore::UpdateNodeValue(
           "content lives in child text nodes");
   }
   UpdateStats stats;
+  Row params;
+  params.push_back(Value::Text(std::string(new_value)));
+  std::string key_cond = KeyConditionP(node, &params);
   OXML_ASSIGN_OR_RETURN(
       int64_t changed,
-      Dml("UPDATE " + table_name() + " SET val = " + SqlQuote(new_value) +
-              " WHERE " + KeyCondition(node),
-          &stats));
+      DmlP("UPDATE " + table_name() + " SET val = ? WHERE " + key_cond,
+           std::move(params), &stats));
   if (changed == 0) return Status::NotFound("node row not found (stale?)");
   return stats;
 }

@@ -34,6 +34,13 @@ struct NodeTest {
 
   /// SQL predicate fragment over columns `kind`/`tag` (empty = no filter).
   std::string SqlCondition() const;
+
+  /// Parameterized variant: the tag becomes a '?' marker whose value is
+  /// appended to `params`, so every tag test shares one SQL text (and thus
+  /// one cached plan). The kind comparison stays inline — it is a closed
+  /// set that selects different access paths, so distinct cache keys per
+  /// kind are what we want.
+  std::string SqlConditionP(Row* params) const;
 };
 
 /// One XML document stored in relations under one of the three order
@@ -153,6 +160,11 @@ class OrderedXmlStore {
   /// "id = 7", "path = x'0105'").
   virtual std::string KeyCondition(const StoredNode& node) const = 0;
 
+  /// Parameterized KeyCondition: emits "ord = ?" etc. and appends the key
+  /// value(s) to `params`.
+  virtual std::string KeyConditionP(const StoredNode& node,
+                                    Row* params) const = 0;
+
   // -------------------------------------------------------- verification
 
   /// Scans the node table and checks every structural invariant of the
@@ -195,6 +207,15 @@ class OrderedXmlStore {
 
   /// Runs a DML statement, returning affected rows.
   Result<int64_t> Dml(const std::string& sql, UpdateStats* stats = nullptr);
+
+  /// Prepared variants: `sql` contains '?' markers bound positionally from
+  /// `params`. Because identical SQL texts share a cached plan, the axis
+  /// methods pay lexer/parser/planner cost once per statement shape rather
+  /// than once per call.
+  Result<ResultSet> SqlP(const std::string& sql, Row params,
+                         UpdateStats* stats = nullptr);
+  Result<int64_t> DmlP(const std::string& sql, Row params,
+                       UpdateStats* stats = nullptr);
 
   Database* db_;
   OrderEncoding encoding_;

@@ -317,7 +317,10 @@ Result<std::string> TranslateXPathToSql(const OrderedXmlStore& store,
 Result<std::vector<StoredNode>> EvaluateXPathViaSql(OrderedXmlStore* store,
                                                     const XPathQuery& query) {
   OXML_ASSIGN_OR_RETURN(std::string sql, TranslateXPathToSql(*store, query));
-  OXML_ASSIGN_OR_RETURN(ResultSet rs, store->db()->Query(sql));
+  // Repeated evaluations of the same XPath reuse the cached plan keyed by
+  // the translated SQL text.
+  OXML_ASSIGN_OR_RETURN(PreparedStatement ps, store->db()->Prepare(sql));
+  OXML_ASSIGN_OR_RETURN(ResultSet rs, ps.Query());
   std::vector<StoredNode> out;
   out.reserve(rs.rows.size());
   for (const Row& row : rs.rows) out.push_back(store->NodeFromRow(row));

@@ -71,11 +71,17 @@ class GlobalStore : public StoreBase {
   Result<bool> IsDescendantOf(const StoredNode& node,
                               const StoredNode& ancestor) override;
   std::string KeyCondition(const StoredNode& node) const override;
+  std::string KeyConditionP(const StoredNode& node,
+                            Row* params) const override;
 
  private:
+  /// `where` may contain '?' markers bound from `params`; the generated
+  /// SQL text is stable across calls so repeated axis steps reuse one
+  /// cached plan.
   Result<std::vector<StoredNode>> Select(const std::string& where,
+                                         Row params,
                                          const std::string& order);
-  Result<StoredNode> SelectOne(const std::string& where);
+  Result<StoredNode> SelectOne(const std::string& where, Row params);
   /// Shreds `node` assigning ordinals spaced by `step` starting after
   /// `*counter`; returns rows appended to `rows`.
   void ShredInto(const XmlNode& node, int64_t pord, int64_t depth,
@@ -127,11 +133,14 @@ class LocalStore : public StoreBase {
   Result<bool> IsDescendantOf(const StoredNode& node,
                               const StoredNode& ancestor) override;
   std::string KeyCondition(const StoredNode& node) const override;
+  std::string KeyConditionP(const StoredNode& node,
+                            Row* params) const override;
 
  private:
   Result<std::vector<StoredNode>> Select(const std::string& where,
+                                         Row params,
                                          const std::string& order);
-  Result<StoredNode> SelectOne(const std::string& where);
+  Result<StoredNode> SelectOne(const std::string& where, Row params);
   Status BulkInsert(const std::vector<Row>& rows, UpdateStats* stats);
   /// Ordinal path from the root to `node` (ancestor sords), fetched by
   /// iterated parent lookups with memoization — the cost center of
@@ -184,11 +193,14 @@ class DeweyStore : public StoreBase {
   Result<bool> IsDescendantOf(const StoredNode& node,
                               const StoredNode& ancestor) override;
   std::string KeyCondition(const StoredNode& node) const override;
+  std::string KeyConditionP(const StoredNode& node,
+                            Row* params) const override;
 
  private:
   Result<std::vector<StoredNode>> Select(const std::string& where,
+                                         Row params,
                                          const std::string& order);
-  Result<StoredNode> SelectOne(const std::string& where);
+  Result<StoredNode> SelectOne(const std::string& where, Row params);
   void ShredInto(const XmlNode& node, const DeweyKey& key,
                  std::vector<Row>* rows);
   Status BulkInsert(const std::vector<Row>& rows, UpdateStats* stats);

@@ -22,6 +22,17 @@ struct ExecStats {
   uint64_t rows_deleted = 0;
   uint64_t rows_updated = 0;
   uint64_t statements = 0;
+  uint64_t plan_cache_hits = 0;    // statements served from the plan cache
+  uint64_t plan_cache_misses = 0;  // statements that paid parse + plan
+  uint64_t parse_plan_ns = 0;      // wall time spent lexing/parsing/planning
+
+  /// Fraction of statement compilations avoided by the plan cache.
+  double PlanCacheHitRate() const {
+    uint64_t total = plan_cache_hits + plan_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(plan_cache_hits) /
+                            static_cast<double>(total);
+  }
 
   void Reset() { *this = ExecStats(); }
 };

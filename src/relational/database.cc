@@ -1,12 +1,26 @@
 #include "src/relational/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <utility>
 
 #include "src/relational/planner.h"
 #include "src/relational/sql_parser.h"
 
 namespace oxml {
+
+struct CachedPlan {
+  std::string sql;
+  StmtKind kind = StmtKind::kSelect;
+  OperatorPtr plan;  // SELECT only: reusable physical plan
+  StmtPtr stmt;      // non-SELECT: parsed AST, re-executed per call
+  std::shared_ptr<Row> params;  // binding buffer shared with ParamExprs
+  size_t param_count = 0;
+  uint64_t generation = 0;    // catalog generation at compile time
+  size_t last_row_count = 0;  // SELECT materialization size hint
+  std::list<std::string>::iterator lru_it;  // valid only while cached
+};
 
 Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
@@ -24,6 +38,7 @@ Result<std::unique_ptr<Database>> Database::Open(
   auto pool = std::make_unique<BufferPool>(std::move(backend),
                                            options.buffer_capacity);
   auto db = std::unique_ptr<Database>(new Database(std::move(pool)));
+  db->plan_cache_capacity_ = options.plan_cache_capacity;
   if (options.open_existing && have_pages) {
     OXML_RETURN_NOT_OK(db->LoadCatalog());
   } else {
@@ -220,6 +235,7 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
                         HeapTable::Create(pool_.get(), schema));
   tables_[name] = std::make_unique<TableInfo>(name, std::move(schema),
                                               std::move(heap));
+  InvalidatePlans();
   return Status::OK();
 }
 
@@ -227,7 +243,10 @@ Status Database::DropTable(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   // Pages are not reclaimed (no free list); the catalog entry goes away.
+  // Cached plans hold raw TableInfo*/TableIndex* into the dropped table, so
+  // every one of them must go before anything can execute again.
   tables_.erase(it);
+  InvalidatePlans();
   return Status::OK();
 }
 
@@ -245,7 +264,11 @@ Status Database::CreateIndex(const std::string& index_name,
     }
     positions.push_back(idx);
   }
-  return t->CreateIndex(index_name, std::move(positions), unique).status();
+  OXML_RETURN_NOT_OK(
+      t->CreateIndex(index_name, std::move(positions), unique).status());
+  // Cached access paths were chosen without this index; recompile.
+  InvalidatePlans();
+  return Status::OK();
 }
 
 TableInfo* Database::GetTable(const std::string& name) const {
@@ -259,26 +282,132 @@ Result<Rid> Database::Insert(const std::string& table, const Row& row) {
   return t->InsertRow(row, &stats_);
 }
 
+void Database::InvalidatePlans() {
+  ++catalog_generation_;
+  plan_cache_.clear();
+  lru_.clear();
+}
+
+namespace {
+
+bool IsCacheableKind(StmtKind kind) {
+  switch (kind) {
+    case StmtKind::kSelect:
+    case StmtKind::kInsert:
+    case StmtKind::kUpdate:
+    case StmtKind::kDelete:
+      return true;
+    default:
+      return false;  // DDL is rare and invalidates the cache anyway
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<CachedPlan>> Database::GetOrBuildPlan(
+    std::string_view sql) {
+  std::string key(sql);
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) {
+    ++stats_.plan_cache_hits;
+    lru_.splice(lru_.begin(), lru_, it->second->lru_it);
+    return it->second;
+  }
+  ++stats_.plan_cache_misses;
+
+  auto start = std::chrono::steady_clock::now();
+  OXML_ASSIGN_OR_RETURN(ParsedStatement parsed, ParseSqlWithParams(key));
+  auto entry = std::make_shared<CachedPlan>();
+  entry->sql = key;
+  entry->kind = parsed.stmt->kind;
+  entry->params = std::move(parsed.params);
+  entry->param_count = parsed.param_count;
+  entry->generation = catalog_generation_;
+  if (entry->kind == StmtKind::kSelect) {
+    OXML_ASSIGN_OR_RETURN(
+        entry->plan,
+        PlanSelect(this, static_cast<SelectStmt*>(parsed.stmt.get())));
+  } else {
+    entry->stmt = std::move(parsed.stmt);
+  }
+  stats_.parse_plan_ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+
+  if (plan_cache_capacity_ > 0 && IsCacheableKind(entry->kind)) {
+    lru_.push_front(key);
+    entry->lru_it = lru_.begin();
+    plan_cache_[key] = entry;
+    if (plan_cache_.size() > plan_cache_capacity_) {
+      plan_cache_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+  return entry;
+}
+
+Result<int64_t> Database::ExecuteEntry(CachedPlan* entry) {
+  switch (entry->kind) {
+    case StmtKind::kSelect: {
+      OXML_ASSIGN_OR_RETURN(
+          ResultSet rs,
+          ExecuteToResultSet(entry->plan.get(), entry->last_row_count));
+      entry->last_row_count = rs.rows.size();
+      return static_cast<int64_t>(rs.rows.size());
+    }
+    case StmtKind::kInsert:
+      return ExecuteInsert(static_cast<InsertStmt*>(entry->stmt.get()));
+    case StmtKind::kUpdate:
+      return ExecuteUpdate(static_cast<UpdateStmt*>(entry->stmt.get()));
+    case StmtKind::kDelete:
+      return ExecuteDelete(static_cast<DeleteStmt*>(entry->stmt.get()));
+    case StmtKind::kCreateTable: {
+      auto* ct = static_cast<CreateTableStmt*>(entry->stmt.get());
+      OXML_RETURN_NOT_OK(CreateTable(ct->table, Schema(ct->columns)));
+      return 0;
+    }
+    case StmtKind::kCreateIndex: {
+      auto* ci = static_cast<CreateIndexStmt*>(entry->stmt.get());
+      OXML_RETURN_NOT_OK(
+          CreateIndex(ci->index, ci->table, ci->columns, ci->unique));
+      return 0;
+    }
+    case StmtKind::kDropTable: {
+      auto* dt = static_cast<DropTableStmt*>(entry->stmt.get());
+      OXML_RETURN_NOT_OK(DropTable(dt->table));
+      return 0;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
 Result<ResultSet> Database::Query(std::string_view sql) {
   ++stats_.statements;
-  OXML_ASSIGN_OR_RETURN(StmtPtr stmt, ParseSql(sql));
-  if (stmt->kind != StmtKind::kSelect) {
+  OXML_ASSIGN_OR_RETURN(std::shared_ptr<CachedPlan> entry,
+                        GetOrBuildPlan(sql));
+  if (entry->kind != StmtKind::kSelect) {
     return Status::InvalidArgument("Query() requires a SELECT statement");
   }
+  if (entry->param_count > 0) {
+    return Status::InvalidArgument(
+        "statement has '?' parameters; use Prepare()");
+  }
   OXML_ASSIGN_OR_RETURN(
-      OperatorPtr plan,
-      PlanSelect(this, static_cast<SelectStmt*>(stmt.get())));
-  return ExecuteToResultSet(plan.get());
+      ResultSet rs,
+      ExecuteToResultSet(entry->plan.get(), entry->last_row_count));
+  entry->last_row_count = rs.rows.size();
+  return rs;
 }
 
 Result<std::string> Database::Explain(std::string_view sql) {
-  OXML_ASSIGN_OR_RETURN(StmtPtr stmt, ParseSql(sql));
-  if (stmt->kind != StmtKind::kSelect) {
+  OXML_ASSIGN_OR_RETURN(ParsedStatement parsed, ParseSqlWithParams(sql));
+  if (parsed.stmt->kind != StmtKind::kSelect) {
     return Status::InvalidArgument("Explain() requires a SELECT statement");
   }
   OXML_ASSIGN_OR_RETURN(
       OperatorPtr plan,
-      PlanSelect(this, static_cast<SelectStmt*>(stmt.get())));
+      PlanSelect(this, static_cast<SelectStmt*>(parsed.stmt.get())));
   std::string out;
   plan->Describe(0, &out);
   return out;
@@ -286,39 +415,99 @@ Result<std::string> Database::Explain(std::string_view sql) {
 
 Result<int64_t> Database::Execute(std::string_view sql) {
   ++stats_.statements;
-  OXML_ASSIGN_OR_RETURN(StmtPtr stmt, ParseSql(sql));
-  switch (stmt->kind) {
-    case StmtKind::kSelect: {
-      OXML_ASSIGN_OR_RETURN(
-          OperatorPtr plan,
-          PlanSelect(this, static_cast<SelectStmt*>(stmt.get())));
-      OXML_ASSIGN_OR_RETURN(ResultSet rs, ExecuteToResultSet(plan.get()));
-      return static_cast<int64_t>(rs.rows.size());
-    }
-    case StmtKind::kInsert:
-      return ExecuteInsert(static_cast<InsertStmt*>(stmt.get()));
-    case StmtKind::kUpdate:
-      return ExecuteUpdate(static_cast<UpdateStmt*>(stmt.get()));
-    case StmtKind::kDelete:
-      return ExecuteDelete(static_cast<DeleteStmt*>(stmt.get()));
-    case StmtKind::kCreateTable: {
-      auto* ct = static_cast<CreateTableStmt*>(stmt.get());
-      OXML_RETURN_NOT_OK(CreateTable(ct->table, Schema(ct->columns)));
-      return 0;
-    }
-    case StmtKind::kCreateIndex: {
-      auto* ci = static_cast<CreateIndexStmt*>(stmt.get());
-      OXML_RETURN_NOT_OK(
-          CreateIndex(ci->index, ci->table, ci->columns, ci->unique));
-      return 0;
-    }
-    case StmtKind::kDropTable: {
-      auto* dt = static_cast<DropTableStmt*>(stmt.get());
-      OXML_RETURN_NOT_OK(DropTable(dt->table));
-      return 0;
-    }
+  OXML_ASSIGN_OR_RETURN(std::shared_ptr<CachedPlan> entry,
+                        GetOrBuildPlan(sql));
+  if (entry->param_count > 0) {
+    return Status::InvalidArgument(
+        "statement has '?' parameters; use Prepare()");
   }
-  return Status::Internal("unhandled statement kind");
+  return ExecuteEntry(entry.get());
+}
+
+Result<PreparedStatement> Database::Prepare(std::string_view sql) {
+  OXML_ASSIGN_OR_RETURN(std::shared_ptr<CachedPlan> entry,
+                        GetOrBuildPlan(sql));
+  return PreparedStatement(this, std::move(entry));
+}
+
+// ------------------------------------------------------- PreparedStatement
+
+PreparedStatement::PreparedStatement(Database* db,
+                                     std::shared_ptr<CachedPlan> entry)
+    : db_(db), entry_(std::move(entry)) {}
+
+const std::string& PreparedStatement::sql() const {
+  static const std::string kEmpty;
+  return entry_ == nullptr ? kEmpty : entry_->sql;
+}
+
+size_t PreparedStatement::param_count() const {
+  return entry_ == nullptr ? 0 : entry_->param_count;
+}
+
+Status PreparedStatement::Bind(size_t index, Value v) {
+  if (entry_ == nullptr) return Status::Internal("statement not prepared");
+  if (index >= entry_->param_count) {
+    return Status::InvalidArgument(
+        "parameter index " + std::to_string(index) + " out of range (" +
+        std::to_string(entry_->param_count) + " parameters)");
+  }
+  (*entry_->params)[index] = std::move(v);
+  return Status::OK();
+}
+
+Status PreparedStatement::BindAll(Row values) {
+  if (entry_ == nullptr) return Status::Internal("statement not prepared");
+  if (values.size() != entry_->param_count) {
+    return Status::InvalidArgument(
+        "BindAll got " + std::to_string(values.size()) + " values for " +
+        std::to_string(entry_->param_count) + " parameters");
+  }
+  *entry_->params = std::move(values);
+  return Status::OK();
+}
+
+Status PreparedStatement::Refresh() {
+  if (entry_ == nullptr) return Status::Internal("statement not prepared");
+  if (entry_->generation == db_->catalog_generation_) return Status::OK();
+  // The catalog changed since this plan was compiled: every TableInfo* in
+  // it may dangle. Recompile from the SQL text, carrying bindings over.
+  Row saved = std::move(*entry_->params);
+  OXML_ASSIGN_OR_RETURN(std::shared_ptr<CachedPlan> fresh,
+                        db_->GetOrBuildPlan(entry_->sql));
+  if (fresh->param_count == saved.size()) *fresh->params = std::move(saved);
+  entry_ = std::move(fresh);
+  return Status::OK();
+}
+
+Result<ResultSet> PreparedStatement::Query() {
+  OXML_RETURN_NOT_OK(Refresh());
+  if (entry_->kind != StmtKind::kSelect) {
+    return Status::InvalidArgument("Query() requires a SELECT statement");
+  }
+  ++db_->stats_.statements;
+  OXML_ASSIGN_OR_RETURN(
+      ResultSet rs,
+      ExecuteToResultSet(entry_->plan.get(), entry_->last_row_count));
+  entry_->last_row_count = rs.rows.size();
+  return rs;
+}
+
+Result<int64_t> PreparedStatement::Execute() {
+  OXML_RETURN_NOT_OK(Refresh());
+  ++db_->stats_.statements;
+  return db_->ExecuteEntry(entry_.get());
+}
+
+Result<int64_t> PreparedStatement::ExecuteBatch(
+    const std::vector<Row>& rows) {
+  int64_t total = 0;
+  for (const Row& row : rows) {
+    OXML_RETURN_NOT_OK(BindAll(row));
+    OXML_ASSIGN_OR_RETURN(int64_t n, Execute());
+    total += n;
+  }
+  return total;
 }
 
 namespace {
@@ -424,6 +613,18 @@ Result<std::vector<Rid>> Database::CollectRids(TableInfo* table,
       flat.push_back(e);
     }
     path = ChooseAccessPath(*table, flat);
+    if (path.dynamic.has_value()) {
+      // DML runs with parameters already bound, so parameter-dependent
+      // bounds resolve right here. A NULL binding keeps the scan
+      // unbounded; the full-predicate recheck below stays correct either
+      // way.
+      OXML_ASSIGN_OR_RETURN(ResolvedIndexBounds bounds,
+                            ResolveIndexBounds(*path.dynamic));
+      if (bounds.usable) {
+        path.lower = std::move(bounds.lower);
+        path.upper = std::move(bounds.upper);
+      }
+    }
   }
 
   auto row_matches = [&](const Row& row) -> Result<bool> {

@@ -1,10 +1,12 @@
 #ifndef OXML_RELATIONAL_DATABASE_H_
 #define OXML_RELATIONAL_DATABASE_H_
 
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
@@ -27,6 +29,10 @@ struct DatabaseOptions {
   /// B+tree indexes are rebuilt by scanning the heaps. When false (the
   /// default) any existing file content is discarded.
   bool open_existing = false;
+  /// Capacity of the LRU plan cache (distinct SQL texts). 0 disables
+  /// caching entirely: every statement — prepared or ad-hoc — pays a fresh
+  /// parse + plan.
+  size_t plan_cache_capacity = 128;
 };
 
 /// Aggregate storage numbers (per database), used by the loading/storage
@@ -37,6 +43,56 @@ struct StorageStats {
   uint64_t heap_bytes = 0;   // live row bytes
   uint64_t index_entries = 0;
   uint64_t index_bytes = 0;  // key bytes held in B+trees
+};
+
+class Database;
+
+/// A compiled statement held by the Database's plan cache (opaque outside
+/// database.cc). SELECTs keep their physical operator tree; DML keeps the
+/// parsed AST. Both carry the shared parameter buffer their ParamExprs read.
+struct CachedPlan;
+
+/// A reusable statement handle: parse and plan once, then Bind fresh values
+/// and re-execute. Obtained from Database::Prepare. Copyable (copies share
+/// the underlying compiled plan and its parameter bindings — two handles on
+/// the same SQL text rebind each other, so bind-then-execute without
+/// interleaving other handles of the same text).
+///
+/// If the catalog changes (CREATE/DROP TABLE or INDEX) between calls, the
+/// handle transparently re-prepares itself from its SQL text, preserving
+/// current bindings; it never executes a plan from a previous catalog
+/// generation.
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+
+  const std::string& sql() const;
+  size_t param_count() const;
+
+  /// Binds parameter `index` (0-based, left-to-right order of '?' in the
+  /// SQL text). Bindings persist across executions until rebound.
+  Status Bind(size_t index, Value v);
+  /// Binds all parameters at once; `values.size()` must equal param_count().
+  Status BindAll(Row values);
+
+  /// Executes a prepared SELECT with the current bindings.
+  Result<ResultSet> Query();
+  /// Executes any prepared statement; returns affected-row count
+  /// (result-row count for SELECT, 0 for DDL).
+  Result<int64_t> Execute();
+  /// Binds and executes once per row: one parse + plan for N executions.
+  /// Returns the summed affected-row count. An empty batch is a no-op.
+  Result<int64_t> ExecuteBatch(const std::vector<Row>& rows);
+
+ private:
+  friend class Database;
+  PreparedStatement(Database* db, std::shared_ptr<CachedPlan> entry);
+
+  /// Re-prepares from sql() when the catalog generation has moved.
+  Status Refresh();
+
+  Database* db_ = nullptr;
+  std::shared_ptr<CachedPlan> entry_;
 };
 
 /// The embedded relational engine: catalog + storage + SQL execution.
@@ -70,14 +126,22 @@ class Database {
 
   // ---------------------------------------------------------------- SQL API
 
-  /// Executes a SELECT and materializes the result.
+  /// Executes a SELECT and materializes the result. Served from the plan
+  /// cache when the same SQL text was seen before. Statements containing
+  /// '?' parameters are rejected — use Prepare().
   Result<ResultSet> Query(std::string_view sql);
 
   /// Executes any statement; returns the number of affected rows
-  /// (0 for DDL, result-row count for SELECT).
+  /// (0 for DDL, result-row count for SELECT). Cache/parameter behavior as
+  /// for Query().
   Result<int64_t> Execute(std::string_view sql);
 
-  /// Returns the physical plan of a SELECT as an indented tree.
+  /// Compiles `sql` (which may contain '?' parameter markers) into a
+  /// reusable handle, served from the plan cache on repeat texts.
+  Result<PreparedStatement> Prepare(std::string_view sql);
+
+  /// Returns the physical plan of a SELECT as an indented tree. Accepts
+  /// '?' markers (bounds depending on them render as dynamic).
   Result<std::string> Explain(std::string_view sql);
 
   // ------------------------------------------------------------- accounting
@@ -86,7 +150,15 @@ class Database {
   BufferPool* buffer_pool() { return pool_.get(); }
   StorageStats GetStorageStats() const;
 
+  /// Monotone counter bumped by every CREATE/DROP TABLE and CREATE INDEX;
+  /// cached plans from older generations are never executed.
+  uint64_t catalog_generation() const { return catalog_generation_; }
+  /// Entries currently held by the plan cache.
+  size_t plan_cache_size() const { return plan_cache_.size(); }
+
  private:
+  friend class PreparedStatement;
+
   explicit Database(std::unique_ptr<BufferPool> pool)
       : pool_(std::move(pool)) {}
 
@@ -104,9 +176,25 @@ class Database {
   /// null), using an index range when one applies.
   Result<std::vector<Rid>> CollectRids(TableInfo* table, Expr* where);
 
+  /// Looks up `sql` in the plan cache; on miss, parses + plans and (for
+  /// cacheable statement kinds) inserts the entry, evicting the least
+  /// recently used one past capacity.
+  Result<std::shared_ptr<CachedPlan>> GetOrBuildPlan(std::string_view sql);
+  /// Runs a compiled entry with its current parameter bindings.
+  Result<int64_t> ExecuteEntry(CachedPlan* entry);
+  /// Drops all cached plans and bumps the catalog generation (called by
+  /// every DDL mutation).
+  void InvalidatePlans();
+
   std::unique_ptr<BufferPool> pool_;
   std::map<std::string, std::unique_ptr<TableInfo>> tables_;
   ExecStats stats_;
+
+  // Plan cache: SQL text -> compiled entry, LRU-ordered (front = hottest).
+  std::unordered_map<std::string, std::shared_ptr<CachedPlan>> plan_cache_;
+  std::list<std::string> lru_;
+  size_t plan_cache_capacity_ = 128;
+  uint64_t catalog_generation_ = 0;
 };
 
 }  // namespace oxml

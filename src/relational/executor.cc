@@ -1,6 +1,7 @@
 #include "src/relational/executor.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/relational/key_codec.h"
 
@@ -10,6 +11,77 @@ void Operator::Describe(int indent, std::string* out) const {
   out->append(static_cast<size_t>(indent) * 2, ' ');
   out->append(Name());
   out->push_back('\n');
+}
+
+bool CoerceForColumn(TypeId column_type, Value* v) {
+  if (v->type() == column_type) return true;
+  if (column_type == TypeId::kDouble && v->type() == TypeId::kInt) {
+    *v = Value::Double(v->AsDouble());
+    return true;
+  }
+  if (column_type == TypeId::kText && v->type() == TypeId::kBlob) {
+    *v = Value::Text(v->AsString());
+    return true;
+  }
+  if (column_type == TypeId::kBlob && v->type() == TypeId::kText) {
+    *v = Value::Blob(v->AsString());
+    return true;
+  }
+  return false;
+}
+
+Result<ResolvedIndexBounds> ResolveIndexBounds(const DynamicIndexBounds& b) {
+  static const Row kEmptyRow;
+  ResolvedIndexBounds out;
+  auto eval = [&](const DynamicIndexBounds::Term& term) -> Result<Value> {
+    OXML_ASSIGN_OR_RETURN(Value v, term.expr->Eval(kEmptyRow));
+    if (v.is_null()) return v;
+    if (!CoerceForColumn(term.column_type, &v)) {
+      return Status::InvalidArgument(
+          "bound parameter of type " + std::string(TypeIdToString(v.type())) +
+          " cannot probe a " + TypeIdToString(term.column_type) +
+          " index column");
+    }
+    return v;
+  };
+
+  std::vector<Value> eq_values;
+  eq_values.reserve(b.eq.size());
+  for (const auto& term : b.eq) {
+    OXML_ASSIGN_OR_RETURN(Value v, eval(term));
+    if (v.is_null()) {
+      out.usable = false;
+      return out;
+    }
+    eq_values.push_back(std::move(v));
+  }
+  std::string prefix = EncodeKey(eq_values);
+
+  if (b.lower.has_value()) {
+    OXML_ASSIGN_OR_RETURN(Value v, eval(*b.lower));
+    if (v.is_null()) {
+      out.usable = false;
+      return out;
+    }
+    std::string k = prefix;
+    EncodeKeyValue(v, &k);
+    out.lower = b.lower_inclusive ? k : KeySuccessor(k);
+  } else if (!eq_values.empty()) {
+    out.lower = prefix;
+  }
+  if (b.upper.has_value()) {
+    OXML_ASSIGN_OR_RETURN(Value v, eval(*b.upper));
+    if (v.is_null()) {
+      out.usable = false;
+      return out;
+    }
+    std::string k = prefix;
+    EncodeKeyValue(v, &k);
+    out.upper = b.upper_inclusive ? KeySuccessor(k) : k;
+  } else if (!eq_values.empty()) {
+    out.upper = KeySuccessor(prefix);
+  }
+  return out;
 }
 
 // ------------------------------------------------------------------ SeqScan
@@ -50,7 +122,29 @@ IndexScanOp::IndexScanOp(TableInfo* table, TableIndex* index,
   schema_ = std::move(qualified_schema);
 }
 
+IndexScanOp::IndexScanOp(TableInfo* table, TableIndex* index,
+                         Schema qualified_schema, DynamicIndexBounds dynamic,
+                         ExecStats* stats)
+    : table_(table),
+      index_(index),
+      dynamic_(std::move(dynamic)),
+      stats_(stats) {
+  schema_ = std::move(qualified_schema);
+}
+
 Status IndexScanOp::Open() {
+  if (dynamic_.has_value()) {
+    OXML_ASSIGN_OR_RETURN(ResolvedIndexBounds bounds,
+                          ResolveIndexBounds(*dynamic_));
+    if (bounds.usable) {
+      lower_ = std::move(bounds.lower);
+      upper_ = std::move(bounds.upper);
+    } else {
+      // A NULL binding: scan unbounded, the residual filter decides.
+      lower_.reset();
+      upper_.reset();
+    }
+  }
   if (stats_ != nullptr) ++stats_->index_probes;
   it_ = lower_.has_value() ? index_->tree.LowerBound(*lower_)
                            : index_->tree.Begin();
@@ -67,9 +161,9 @@ Result<bool> IndexScanOp::Next(Row* row) {
 }
 
 std::string IndexScanOp::Name() const {
-  std::string range = lower_.has_value() || upper_.has_value()
-                          ? " range"
-                          : " full";
+  std::string range = dynamic_.has_value() ? " dynamic"
+                      : lower_.has_value() || upper_.has_value() ? " range"
+                                                                 : " full";
   return "IndexScan(" + table_->name() + "." + index_->name + range + ")";
 }
 
@@ -156,7 +250,7 @@ Status NestedLoopJoinOp::Open() {
   while (true) {
     OXML_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
     if (!has) break;
-    right_rows_.push_back(row);
+    right_rows_.push_back(std::move(row));
   }
   right_->Close();
   have_left_ = false;
@@ -241,7 +335,7 @@ Status HashJoinOp::Open() {
     if (!has) break;
     OXML_ASSIGN_OR_RETURN(std::optional<std::string> key,
                           EvalKey(right_keys_, row));
-    if (key.has_value()) hash_.emplace(std::move(*key), row);
+    if (key.has_value()) hash_.emplace(std::move(*key), std::move(row));
   }
   right_->Close();
   have_left_ = false;
@@ -369,7 +463,7 @@ Status SortOp::Open() {
   while (true) {
     OXML_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
     if (!has) break;
-    rows_.push_back(row);
+    rows_.push_back(std::move(row));
   }
   child_->Close();
 
@@ -404,7 +498,9 @@ Status SortOp::Open() {
 
 Result<bool> SortOp::Next(Row* row) {
   if (pos_ >= rows_.size()) return false;
-  *row = rows_[pos_++];
+  // Each materialized row is produced exactly once per Open(), so handing
+  // ownership to the caller is safe.
+  *row = std::move(rows_[pos_++]);
   return true;
 }
 
@@ -669,15 +765,16 @@ std::string ResultSet::ToString() const {
   return out;
 }
 
-Result<ResultSet> ExecuteToResultSet(Operator* root) {
+Result<ResultSet> ExecuteToResultSet(Operator* root, size_t size_hint) {
   ResultSet rs;
   rs.schema = root->schema();
+  if (size_hint > 0) rs.rows.reserve(size_hint);
   OXML_RETURN_NOT_OK(root->Open());
   Row row;
   while (true) {
     OXML_ASSIGN_OR_RETURN(bool has, root->Next(&row));
     if (!has) break;
-    rs.rows.push_back(row);
+    rs.rows.push_back(std::move(row));
   }
   root->Close();
   return rs;

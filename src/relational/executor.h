@@ -36,6 +36,41 @@ class Operator {
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
+/// Losslessly coerces `v` to `column_type` so that an encoded probe key
+/// compares correctly against stored keys (the memcmp key encoding is only
+/// order-preserving within a single type). Returns false when the coercion
+/// would be lossy (e.g. DOUBLE 1.5 against an INT column).
+bool CoerceForColumn(TypeId column_type, Value* v);
+
+/// Index-scan bounds whose values come from expressions ('?' parameters or
+/// literals mixed with them) and therefore cannot be encoded at plan time.
+/// The executor resolves them at Open(), after parameters are bound.
+struct DynamicIndexBounds {
+  struct Term {
+    ExprPtr expr;  // kLiteral or kParam; evaluated against an empty row
+    TypeId column_type = TypeId::kNull;
+  };
+  std::vector<Term> eq;        // equality prefix, in index-column order
+  std::optional<Term> lower;   // at most one trailing range bound each way
+  bool lower_inclusive = true;
+  std::optional<Term> upper;
+  bool upper_inclusive = true;
+};
+
+/// Encoded bounds produced from a DynamicIndexBounds at execution time.
+/// `usable == false` means a term evaluated to NULL: the scan falls back to
+/// an unbounded range and the (always retained) residual filter decides.
+struct ResolvedIndexBounds {
+  std::optional<std::string> lower;  // inclusive
+  std::optional<std::string> upper;  // exclusive
+  bool usable = true;
+};
+
+/// Evaluates the bound terms with the current parameter bindings. Fails with
+/// InvalidArgument when a bound value cannot be losslessly coerced to its
+/// column type (e.g. a TEXT parameter probing an INT index column).
+Result<ResolvedIndexBounds> ResolveIndexBounds(const DynamicIndexBounds& b);
+
 /// Full-table scan in page-chain order.
 class SeqScanOp : public Operator {
  public:
@@ -59,6 +94,10 @@ class IndexScanOp : public Operator {
   IndexScanOp(TableInfo* table, TableIndex* index, Schema qualified_schema,
               std::optional<std::string> lower,
               std::optional<std::string> upper, ExecStats* stats);
+  /// Parameter-dependent bounds, re-resolved on every Open() so a cached
+  /// plan picks up fresh bindings.
+  IndexScanOp(TableInfo* table, TableIndex* index, Schema qualified_schema,
+              DynamicIndexBounds dynamic, ExecStats* stats);
   Status Open() override;
   Result<bool> Next(Row* row) override;
   std::string Name() const override;
@@ -68,6 +107,7 @@ class IndexScanOp : public Operator {
   TableIndex* index_;
   std::optional<std::string> lower_;
   std::optional<std::string> upper_;
+  std::optional<DynamicIndexBounds> dynamic_;
   ExecStats* stats_;
   BPlusTree::Iterator it_;
 };
@@ -268,8 +308,9 @@ struct ResultSet {
   std::string ToString() const;
 };
 
-/// Drains an operator tree into a ResultSet.
-Result<ResultSet> ExecuteToResultSet(Operator* root);
+/// Drains an operator tree into a ResultSet. `size_hint` pre-reserves the
+/// row vector (prepared statements pass the previous execution's row count).
+Result<ResultSet> ExecuteToResultSet(Operator* root, size_t size_hint = 0);
 
 }  // namespace oxml
 

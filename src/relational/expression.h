@@ -48,7 +48,8 @@ class Expr {
     kBinary,
     kUnary,
     kFunction,
-    kStar,  // the '*' inside COUNT(*)
+    kStar,   // the '*' inside COUNT(*)
+    kParam,  // '?' placeholder bound at execution time
   };
 
   explicit Expr(Kind kind) : kind_(kind) {}
@@ -91,6 +92,39 @@ class LiteralExpr : public Expr {
 
  private:
   Value value_;
+};
+
+/// A '?' parameter marker. All markers in one statement share a single
+/// binding buffer (owned by the PreparedStatement); Eval reads the slot at
+/// `index_`, so rebinding the buffer re-parameterizes a cached plan without
+/// touching the expression tree.
+class ParamExpr : public Expr {
+ public:
+  ParamExpr(std::shared_ptr<Row> params, size_t index)
+      : Expr(Kind::kParam), params_(std::move(params)), index_(index) {}
+
+  Status Bind(const Schema&) override { return Status::OK(); }
+  Result<Value> Eval(const Row&) const override {
+    if (index_ >= params_->size()) {
+      return Status::Internal("parameter index out of range");
+    }
+    return (*params_)[index_];
+  }
+  std::string ToString() const override {
+    return "?" + std::to_string(index_ + 1);
+  }
+  void CollectColumns(std::vector<int>*) const override {}
+
+  size_t index() const { return index_; }
+  /// Current binding (valid between Bind and the end of execution).
+  const Value& value() const { return (*params_)[index_]; }
+  /// The shared binding buffer (used by the planner to clone markers into
+  /// dynamic index bounds).
+  const std::shared_ptr<Row>& buffer() const { return params_; }
+
+ private:
+  std::shared_ptr<Row> params_;
+  size_t index_;
 };
 
 class ColumnExpr : public Expr {

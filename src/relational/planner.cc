@@ -40,11 +40,13 @@ ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
 
 namespace {
 
-/// A normalized sargable conjunct: <column> <op> <literal>.
+/// A normalized sargable conjunct: <column> <op> <literal-or-parameter>.
 struct Sarg {
   int column = -1;       // bound position in the (qualified) table schema
   BinaryOp op = BinaryOp::kEq;
-  Value value;
+  Value value;           // coerced literal value (literal sargs only)
+  const Expr* value_expr = nullptr;  // the value side, borrowed
+  bool is_param = false;
   size_t conjunct_index = 0;
 };
 
@@ -68,26 +70,8 @@ bool IsComparison(BinaryOp op) {
          op == BinaryOp::kGt || op == BinaryOp::kGe;
 }
 
-/// Losslessly coerces `v` to the column type so that the encoded probe key
-/// compares correctly against stored keys (the memcmp key encoding is only
-/// order-preserving within a single type). Returns false when the coercion
-/// would be lossy (e.g. DOUBLE literal against an INT column), in which case
-/// the conjunct stays a residual filter.
-bool CoerceForColumn(TypeId column_type, Value* v) {
-  if (v->type() == column_type) return true;
-  if (column_type == TypeId::kDouble && v->type() == TypeId::kInt) {
-    *v = Value::Double(v->AsDouble());
-    return true;
-  }
-  if (column_type == TypeId::kText && v->type() == TypeId::kBlob) {
-    *v = Value::Text(v->AsString());
-    return true;
-  }
-  if (column_type == TypeId::kBlob && v->type() == TypeId::kText) {
-    *v = Value::Blob(v->AsString());
-    return true;
-  }
-  return false;
+bool IsValueExpr(const Expr* e) {
+  return e->kind() == Expr::Kind::kLiteral || e->kind() == Expr::Kind::kParam;
 }
 
 /// Extracts sargable conjuncts (already bound against the scan schema).
@@ -102,28 +86,48 @@ std::vector<Sarg> ExtractSargs(const Schema& schema,
     const Expr* l = bin->left();
     const Expr* r = bin->right();
     Sarg s;
-    if (l->kind() == Expr::Kind::kColumn &&
-        r->kind() == Expr::Kind::kLiteral) {
+    if (l->kind() == Expr::Kind::kColumn && IsValueExpr(r)) {
       s.column = static_cast<const ColumnExpr*>(l)->index();
       s.op = bin->op();
-      s.value = static_cast<const LiteralExpr*>(r)->value();
-    } else if (r->kind() == Expr::Kind::kColumn &&
-               l->kind() == Expr::Kind::kLiteral) {
+      s.value_expr = r;
+    } else if (r->kind() == Expr::Kind::kColumn && IsValueExpr(l)) {
       s.column = static_cast<const ColumnExpr*>(r)->index();
       s.op = FlipComparison(bin->op());
-      s.value = static_cast<const LiteralExpr*>(l)->value();
+      s.value_expr = l;
     } else {
       continue;
     }
     if (s.column < 0 || static_cast<size_t>(s.column) >= schema.size()) {
       continue;
     }
-    if (s.value.is_null()) continue;  // col <op> NULL never matches
-    if (!CoerceForColumn(schema.column(s.column).type, &s.value)) continue;
+    if (s.value_expr->kind() == Expr::Kind::kParam) {
+      // Parameter values are unknown until execution; bounds become dynamic.
+      s.is_param = true;
+    } else {
+      s.value = static_cast<const LiteralExpr*>(s.value_expr)->value();
+      if (s.value.is_null()) continue;  // col <op> NULL never matches
+      if (!CoerceForColumn(schema.column(s.column).type, &s.value)) continue;
+    }
     s.conjunct_index = i;
     sargs.push_back(std::move(s));
   }
   return sargs;
+}
+
+/// Builds an owning bound term from a sarg (cloning the value expression so
+/// the scan operator can outlive the conjunct it came from). Cloned
+/// ParamExprs share the original binding buffer, which is what lets a
+/// cached plan see fresh bindings.
+DynamicIndexBounds::Term MakeBoundTerm(const Sarg& s, TypeId column_type) {
+  DynamicIndexBounds::Term term;
+  term.column_type = column_type;
+  if (s.is_param) {
+    const auto* p = static_cast<const ParamExpr*>(s.value_expr);
+    term.expr = std::make_unique<ParamExpr>(p->buffer(), p->index());
+  } else {
+    term.expr = std::make_unique<LiteralExpr>(s.value);
+  }
+  return term;
 }
 
 }  // namespace
@@ -136,8 +140,7 @@ AccessPath ChooseAccessPath(const TableInfo& table,
   int best_score = 0;
 
   for (const auto& index : table.indexes()) {
-    std::vector<Value> eq_prefix;
-    std::vector<size_t> used;
+    std::vector<const Sarg*> eq_sargs;
     int score = 0;
     const Sarg* range_lower = nullptr;
     const Sarg* range_upper = nullptr;
@@ -151,8 +154,7 @@ AccessPath ChooseAccessPath(const TableInfo& table,
         }
       }
       if (eq != nullptr) {
-        eq_prefix.push_back(eq->value);
-        used.push_back(eq->conjunct_index);
+        eq_sargs.push_back(eq);
         score += 2;
         continue;
       }
@@ -170,38 +172,64 @@ AccessPath ChooseAccessPath(const TableInfo& table,
       if (range_lower != nullptr || range_upper != nullptr) score += 1;
       break;
     }
-    if (score <= best_score) {
-      range_lower = range_upper = nullptr;
-      continue;
-    }
+    if (score <= best_score) continue;
 
-    // Build encoded bounds.
-    std::string prefix = EncodeKey(eq_prefix);
+    bool any_param = false;
+    for (const Sarg* s : eq_sargs) any_param |= s->is_param;
+    if (range_lower != nullptr) any_param |= range_lower->is_param;
+    if (range_upper != nullptr) any_param |= range_upper->is_param;
+
     AccessPath path;
     path.index = index.get();
     path.consumed.assign(conjuncts.size(), false);
-    for (size_t u : used) path.consumed[u] = true;
 
-    if (range_lower != nullptr) {
-      std::string k = prefix;
-      EncodeKeyValue(range_lower->value, &k);
-      path.lower = range_lower->op == BinaryOp::kGe ? k : KeySuccessor(k);
-      path.consumed[range_lower->conjunct_index] = true;
-    } else if (!eq_prefix.empty()) {
-      path.lower = prefix;
-    }
-    if (range_upper != nullptr) {
-      std::string k = prefix;
-      EncodeKeyValue(range_upper->value, &k);
-      path.upper = range_upper->op == BinaryOp::kLt ? k : KeySuccessor(k);
-      path.consumed[range_upper->conjunct_index] = true;
-    } else if (!eq_prefix.empty()) {
-      path.upper = KeySuccessor(prefix);
+    if (any_param) {
+      // Defer bound encoding to execution time; leave `consumed` all-false
+      // so the bound conjuncts stay in the residual filter (see AccessPath).
+      const Schema& schema = table.schema();
+      DynamicIndexBounds dyn;
+      for (const Sarg* s : eq_sargs) {
+        dyn.eq.push_back(MakeBoundTerm(*s, schema.column(s->column).type));
+      }
+      if (range_lower != nullptr) {
+        dyn.lower = MakeBoundTerm(*range_lower,
+                                  schema.column(range_lower->column).type);
+        dyn.lower_inclusive = range_lower->op == BinaryOp::kGe;
+      }
+      if (range_upper != nullptr) {
+        dyn.upper = MakeBoundTerm(*range_upper,
+                                  schema.column(range_upper->column).type);
+        dyn.upper_inclusive = range_upper->op == BinaryOp::kLe;
+      }
+      path.dynamic = std::move(dyn);
+    } else {
+      // All-literal bounds: encode eagerly.
+      std::vector<Value> eq_prefix;
+      for (const Sarg* s : eq_sargs) {
+        eq_prefix.push_back(s->value);
+        path.consumed[s->conjunct_index] = true;
+      }
+      std::string prefix = EncodeKey(eq_prefix);
+      if (range_lower != nullptr) {
+        std::string k = prefix;
+        EncodeKeyValue(range_lower->value, &k);
+        path.lower = range_lower->op == BinaryOp::kGe ? k : KeySuccessor(k);
+        path.consumed[range_lower->conjunct_index] = true;
+      } else if (!eq_prefix.empty()) {
+        path.lower = prefix;
+      }
+      if (range_upper != nullptr) {
+        std::string k = prefix;
+        EncodeKeyValue(range_upper->value, &k);
+        path.upper = range_upper->op == BinaryOp::kLt ? k : KeySuccessor(k);
+        path.consumed[range_upper->conjunct_index] = true;
+      } else if (!eq_prefix.empty()) {
+        path.upper = KeySuccessor(prefix);
+      }
     }
 
     best = std::move(path);
     best_score = score;
-    range_lower = range_upper = nullptr;
   }
   return best;
 }
@@ -265,6 +293,11 @@ TypeId InferType(const Expr& expr, const Schema& schema) {
     }
     case Expr::Kind::kStar:
       return TypeId::kInt;
+    case Expr::Kind::kParam: {
+      // Best effort: the type of the current binding, TEXT before any Bind.
+      TypeId t = static_cast<const ParamExpr&>(expr).value().type();
+      return t == TypeId::kNull ? TypeId::kText : t;
+    }
   }
   return TypeId::kText;
 }
@@ -292,7 +325,11 @@ Result<OperatorPtr> PlanTableAccess(TableInfo* table, Schema qualified,
   AccessPath path = ChooseAccessPath(*table, raw);
 
   OperatorPtr scan;
-  if (path.index != nullptr) {
+  if (path.index != nullptr && path.dynamic.has_value()) {
+    scan = std::make_unique<IndexScanOp>(table, path.index,
+                                         std::move(qualified),
+                                         std::move(*path.dynamic), stats);
+  } else if (path.index != nullptr) {
     scan = std::make_unique<IndexScanOp>(table, path.index,
                                          std::move(qualified),
                                          std::move(path.lower),

@@ -26,11 +26,19 @@ ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts);
 /// (index == nullptr) or a B+tree range scan with encoded bounds.
 /// `consumed` marks which of the candidate conjuncts are fully enforced by
 /// the scan bounds (parallel to the candidate list passed in).
+///
+/// When a sargable conjunct compares against a '?' parameter, the bounds
+/// cannot be encoded at plan time: `dynamic` then carries the value
+/// expressions for the executor to resolve at Open(), lower/upper stay
+/// unset, and `consumed` stays all-false (bound conjuncts are re-checked by
+/// the residual filter, because a NULL binding degrades the scan to an
+/// unbounded range).
 struct AccessPath {
   TableIndex* index = nullptr;
   std::optional<std::string> lower;  // inclusive encoded key bound
   std::optional<std::string> upper;  // exclusive encoded key bound
   std::vector<bool> consumed;
+  std::optional<DynamicIndexBounds> dynamic;
 };
 
 /// Rule-based access-path selection: picks the index that consumes the

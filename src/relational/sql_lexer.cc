@@ -166,6 +166,7 @@ Result<std::vector<Token>> LexSql(std::string_view input) {
       case '<':
       case '>':
       case ';':
+      case '?':
         symbol(rest.substr(0, 1));
         continue;
       default:

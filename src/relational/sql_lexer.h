@@ -29,7 +29,8 @@ struct Token {
 };
 
 /// Tokenizes a SQL statement. Symbols produced: , ( ) . * + - / % = <> !=
-/// < <= > >= and ';'. Comments ("-- ...") are skipped.
+/// < <= > >= ';' and the '?' parameter marker. Comments ("-- ...") are
+/// skipped.
 Result<std::vector<Token>> LexSql(std::string_view input);
 
 }  // namespace oxml

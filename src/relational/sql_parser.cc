@@ -12,6 +12,14 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
+  /// Enables '?' parameter markers. Every ParamExpr produced by this parse
+  /// shares `params` as its binding buffer; the caller resizes it to
+  /// param_count() afterwards.
+  void EnableParams(std::shared_ptr<Row> params) {
+    params_ = std::move(params);
+  }
+  size_t param_count() const { return param_count_; }
+
   Result<StmtPtr> ParseStatement() {
     OXML_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatementInner());
     MatchSymbol(";");
@@ -494,6 +502,15 @@ class Parser {
           OXML_RETURN_NOT_OK(ExpectSymbol(")"));
           return e;
         }
+        if (tok.text == "?") {
+          if (!params_) {
+            return Error(
+                "'?' parameter markers require a prepared statement");
+          }
+          Advance();
+          return ExprPtr(
+              std::make_unique<ParamExpr>(params_, param_count_++));
+        }
         return Error("unexpected symbol '" + tok.text + "'");
       case TokenKind::kIdentifier: {
         if (EqualsIgnoreCase(tok.text, "NULL")) {
@@ -538,6 +555,8 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  std::shared_ptr<Row> params_;  // null: '?' markers rejected
+  size_t param_count_ = 0;
 };
 
 }  // namespace
@@ -546,6 +565,20 @@ Result<StmtPtr> ParseSql(std::string_view sql) {
   OXML_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(sql));
   Parser parser(std::move(tokens));
   return parser.ParseStatement();
+}
+
+Result<ParsedStatement> ParseSqlWithParams(std::string_view sql) {
+  OXML_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(sql));
+  Parser parser(std::move(tokens));
+  ParsedStatement out;
+  out.params = std::make_shared<Row>();
+  parser.EnableParams(out.params);
+  OXML_ASSIGN_OR_RETURN(out.stmt, parser.ParseStatement());
+  out.param_count = parser.param_count();
+  // Size the shared buffer once so ParamExpr::Eval never sees an
+  // out-of-range slot; unbound slots read as NULL.
+  out.params->assign(out.param_count, Value::Null());
+  return out;
 }
 
 }  // namespace oxml
