@@ -20,11 +20,10 @@ namespace oxml {
 namespace bench {
 namespace {
 
-constexpr int kAuctions = 40;
-constexpr int kOpsPerIteration = 60;
-
 void BM_AuctionServing(benchmark::State& state) {
   OrderEncoding enc = EncodingFromIndex(state.range(0));
+  const int kAuctions = static_cast<int>(SmokeScaled(40, 8));
+  const int kOpsPerIteration = static_cast<int>(SmokeScaled(60, 10));
   AuctionGeneratorOptions gen;
   gen.seed = 42;
   gen.items_per_region = 15;
@@ -107,4 +106,4 @@ BENCHMARK(oxml::bench::BM_AuctionServing)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+OXML_BENCH_MAIN();

@@ -15,7 +15,7 @@ namespace {
 
 void BM_DeepDocument(benchmark::State& state) {
   OrderEncoding enc = EncodingFromIndex(state.range(0));
-  size_t depth = static_cast<size_t>(state.range(1));
+  size_t depth = static_cast<size_t>(SmokeCapped(state.range(1), 20));
   auto doc = GenerateDeepXml(depth);
   StoreFixture f = MakeLoadedStore(enc, *doc);
 
@@ -40,7 +40,7 @@ void BM_DeepDocument(benchmark::State& state) {
 
 void BM_WideDocument(benchmark::State& state) {
   OrderEncoding enc = EncodingFromIndex(state.range(0));
-  size_t width = static_cast<size_t>(state.range(1));
+  size_t width = static_cast<size_t>(SmokeCapped(state.range(1), 1000));
   auto doc = GenerateWideXml(width);
   StoreFixture f = MakeLoadedStore(enc, *doc);
 
@@ -74,4 +74,4 @@ BENCHMARK(oxml::bench::BM_WideDocument)
     ->ArgsProduct({{0, 1, 2}, {1000, 10000}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+OXML_BENCH_MAIN();

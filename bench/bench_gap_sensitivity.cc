@@ -21,9 +21,9 @@ namespace {
 void BM_GapSensitivity(benchmark::State& state) {
   OrderEncoding enc = EncodingFromIndex(state.range(0));
   int64_t gap = state.range(1);
-  constexpr int kSections = 60;
-  constexpr int kParagraphs = 15;
-  constexpr int kOpsPerIteration = 100;
+  const int kSections = static_cast<int>(SmokeScaled(60, 12));
+  const int kParagraphs = static_cast<int>(SmokeScaled(15, 5));
+  const int kOpsPerIteration = static_cast<int>(SmokeScaled(100, 20));
 
   auto doc = NewsDoc(kSections, kParagraphs);
   auto para = ParseXml("<para>gap probe paragraph</para>");
@@ -85,4 +85,4 @@ BENCHMARK(oxml::bench::BM_GapSensitivity)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+OXML_BENCH_MAIN();

@@ -30,7 +30,7 @@ const XmlDocument& DocOfSize(int64_t nodes) {
 
 void BM_Load(benchmark::State& state) {
   OrderEncoding enc = EncodingFromIndex(state.range(0));
-  const XmlDocument& doc = DocOfSize(state.range(1));
+  const XmlDocument& doc = DocOfSize(SmokeCapped(state.range(1), 2000));
 
   StorageStats last{};
   ExecStats exec;
@@ -59,4 +59,4 @@ BENCHMARK(oxml::bench::BM_Load)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+OXML_BENCH_MAIN();

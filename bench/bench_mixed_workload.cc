@@ -17,10 +17,6 @@ namespace oxml {
 namespace bench {
 namespace {
 
-constexpr int kSections = 100;
-constexpr int kParagraphs = 15;
-constexpr int kOpsPerIteration = 60;
-
 const char* const kQueryMix[] = {
     "//para[@class = 'lead']",
     "/nitf/body/section[7]/para[3]",
@@ -31,6 +27,10 @@ const char* const kQueryMix[] = {
 void BM_MixedWorkload(benchmark::State& state) {
   OrderEncoding enc = EncodingFromIndex(state.range(0));
   int update_pct = static_cast<int>(state.range(1));
+  // Smoke keeps >= 45 sections so the s40 sibling query still matches.
+  const int kSections = static_cast<int>(SmokeScaled(100, 45));
+  const int kParagraphs = static_cast<int>(SmokeScaled(15, 5));
+  const int kOpsPerIteration = static_cast<int>(SmokeScaled(60, 10));
 
   auto doc = NewsDoc(kSections, kParagraphs);
   auto para = ParseXml("<para>mixed workload paragraph</para>");
@@ -87,4 +87,4 @@ BENCHMARK(oxml::bench::BM_MixedWorkload)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+OXML_BENCH_MAIN();

@@ -20,14 +20,12 @@ namespace oxml {
 namespace bench {
 namespace {
 
-constexpr int kSections = 100;
-constexpr int kParagraphs = 10;
-
 StoreFixture& FixtureFor(OrderEncoding enc) {
   static auto* fixtures = new std::map<OrderEncoding, StoreFixture>();
   auto it = fixtures->find(enc);
   if (it == fixtures->end()) {
-    auto doc = NewsDoc(kSections, kParagraphs);
+    auto doc = NewsDoc(static_cast<int>(SmokeScaled(100, 30)),
+                       static_cast<int>(SmokeScaled(10, 5)));
     it = fixtures->emplace(enc, MakeLoadedStore(enc, *doc)).first;
   }
   return it->second;
@@ -73,7 +71,8 @@ Probe& ProbeFor(StoreFixture& f) {
     }
     p.binds.push_back(v);
   }
-  OXML_BENCH_CHECK(p.binds.size() > 1000);
+  OXML_BENCH_CHECK(p.binds.size() >
+                   static_cast<size_t>(SmokeScaled(1000, 100)));
   return probes->emplace(f.store->encoding(), std::move(p)).first->second;
 }
 
@@ -120,9 +119,10 @@ void BM_PointQueryPrepared(benchmark::State& state) {
                  "/prepared");
 }
 
-constexpr int kBatchRows = 256;
+int BatchRows() { return static_cast<int>(SmokeScaled(256, 32)); }
 
 void BM_InsertRowAtATimeAdHoc(benchmark::State& state) {
+  const int kBatchRows = BatchRows();
   for (auto _ : state) {
     state.PauseTiming();
     auto dbr = Database::Open();
@@ -142,6 +142,7 @@ void BM_InsertRowAtATimeAdHoc(benchmark::State& state) {
 }
 
 void BM_InsertPreparedBatch(benchmark::State& state) {
+  const int kBatchRows = BatchRows();
   std::vector<Row> rows;
   rows.reserve(kBatchRows);
   for (int i = 0; i < kBatchRows; ++i) {
@@ -184,4 +185,4 @@ BENCHMARK(oxml::bench::BM_InsertRowAtATimeAdHoc)
 BENCHMARK(oxml::bench::BM_InsertPreparedBatch)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+OXML_BENCH_MAIN();

@@ -30,7 +30,7 @@ const XmlDocument& DocOfSize(int64_t nodes) {
 
 void BM_Reconstruct(benchmark::State& state) {
   OrderEncoding enc = EncodingFromIndex(state.range(0));
-  const XmlDocument& doc = DocOfSize(state.range(1));
+  const XmlDocument& doc = DocOfSize(SmokeCapped(state.range(1), 2000));
   StoreFixture f = MakeLoadedStore(enc, doc);
 
   for (auto _ : state) {
@@ -48,7 +48,7 @@ void BM_Reconstruct(benchmark::State& state) {
 
 void BM_SerializeToText(benchmark::State& state) {
   OrderEncoding enc = EncodingFromIndex(state.range(0));
-  const XmlDocument& doc = DocOfSize(10000);
+  const XmlDocument& doc = DocOfSize(SmokeScaled(10000, 2000));
   StoreFixture f = MakeLoadedStore(enc, doc);
 
   size_t bytes = 0;
@@ -79,4 +79,4 @@ BENCHMARK(oxml::bench::BM_SerializeToText)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+OXML_BENCH_MAIN();

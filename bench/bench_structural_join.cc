@@ -1,0 +1,144 @@
+// Experiment E13 — structural join vs nested-loop containment join
+// (the interval-merge operator mid-2000s engines grew for exactly this
+// query shape; see docs/INTERNALS.md "Order-aware execution").
+//
+// Builds a deeply nested document (sections holding <div> chains D levels
+// deep, paragraphs hanging off every level) and runs the descendant query
+// //div//para as one translated SQL statement. The same SQL is executed
+// with the structural-join lowering enabled (stack-based interval merge,
+// O(|A|+|D|)) and disabled (nested-loop join with a containment filter,
+// O(|A|*|D|)). Expected shape: the gap widens with depth because deeper
+// nesting multiplies both the ancestor count and the pair count; at
+// depth >= 6 the structural join should win by well over 5x on Global.
+// Local is omitted: descendant steps do not translate to one SQL there.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/core/sql_translator.h"
+
+#include "bench/bench_util.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+int Sections() { return static_cast<int>(SmokeScaled(20, 4)); }
+constexpr int kParasPerLevel = 3;
+
+std::unique_ptr<XmlDocument> DeepNestedDoc(int sections, int depth) {
+  auto doc = std::make_unique<XmlDocument>();
+  XmlNode* root = doc->root()->AppendChild(XmlNode::Element("doc"));
+  for (int s = 0; s < sections; ++s) {
+    XmlNode* cursor = root->AppendChild(XmlNode::Element("sec"));
+    for (int d = 0; d < depth; ++d) {
+      cursor = cursor->AppendChild(XmlNode::Element("div"));
+      for (int p = 0; p < kParasPerLevel; ++p) {
+        XmlNode* para = cursor->AppendChild(XmlNode::Element("para"));
+        para->AppendChild(XmlNode::Text(
+            "s" + std::to_string(s) + "d" + std::to_string(d) + "p" +
+            std::to_string(p)));
+      }
+    }
+  }
+  return doc;
+}
+
+StoreFixture& FixtureFor(OrderEncoding enc, int depth, bool structural) {
+  static auto* fixtures =
+      new std::map<std::tuple<OrderEncoding, int, bool>, StoreFixture>();
+  auto key = std::make_tuple(enc, depth, structural);
+  auto it = fixtures->find(key);
+  if (it == fixtures->end()) {
+    // Only the structural-join lowering differs between the variants, so
+    // the comparison isolates the physical join (merge join and sort
+    // elision stay at their defaults in both).
+    DatabaseOptions opts;
+    opts.enable_structural_join = structural;
+    StoreFixture f;
+    auto dbr = Database::Open(opts);
+    OXML_BENCH_CHECK(dbr.ok());
+    f.db = std::move(dbr).value();
+    auto sr = OrderedXmlStore::Create(f.db.get(), enc, StoreOptions{});
+    OXML_BENCH_CHECK(sr.ok());
+    f.store = std::move(sr).value();
+    auto doc = DeepNestedDoc(Sections(), depth);
+    OXML_BENCH_CHECK(f.store->LoadDocument(*doc).ok());
+    it = fixtures->emplace(std::move(key), std::move(f)).first;
+  }
+  return it->second;
+}
+
+constexpr char kQuery[] = "//div//para";
+
+void BM_DescendantQuery(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  int depth = static_cast<int>(state.range(1));
+  bool structural = state.range(2) != 0;
+  StoreFixture& f = FixtureFor(enc, depth, structural);
+
+  size_t results = 0;
+  for (auto _ : state) {
+    auto r = EvaluateXPathViaSql(f.store.get(), kQuery);
+    OXML_BENCH_OK(r);
+    results = r->size();
+    benchmark::DoNotOptimize(results);
+  }
+  // Every para sits under at least one div, so the distinct result set is
+  // all paras regardless of join strategy.
+  OXML_BENCH_CHECK(results ==
+                   static_cast<size_t>(Sections() * depth * kParasPerLevel));
+  // The slow variant must really have run nested loops, and the fast one
+  // structural merges — otherwise the A/B is measuring the same plan.
+  if (structural) {
+    OXML_BENCH_CHECK(f.db->stats()->joins_structural > 0);
+  } else {
+    OXML_BENCH_CHECK(f.db->stats()->joins_structural == 0);
+    OXML_BENCH_CHECK(f.db->stats()->joins_nested_loop > 0);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  ReportExecStats(state, f.db.get());
+  state.SetLabel(std::string(OrderEncodingToString(enc)) + "/depth=" +
+                 std::to_string(depth) +
+                 (structural ? "/structural" : "/nested_loop"));
+}
+
+// One-time differential check: both variants must return the identical
+// ordered node sequence (the bench would otherwise compare wrong answers).
+void BM_ResultEquivalence(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  int depth = static_cast<int>(state.range(1));
+  StoreFixture& fast = FixtureFor(enc, depth, /*structural=*/true);
+  StoreFixture& slow = FixtureFor(enc, depth, /*structural=*/false);
+  for (auto _ : state) {
+    auto a = EvaluateXPathViaSql(fast.store.get(), kQuery);
+    auto b = EvaluateXPathViaSql(slow.store.get(), kQuery);
+    OXML_BENCH_OK(a);
+    OXML_BENCH_OK(b);
+    OXML_BENCH_CHECK(a->size() == b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      OXML_BENCH_CHECK(NodeIdentity(enc, (*a)[i]) ==
+                       NodeIdentity(enc, (*b)[i]));
+    }
+  }
+  state.SetLabel(std::string(OrderEncodingToString(enc)) + "/depth=" +
+                 std::to_string(depth) + "/equivalence");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+// Global (0) and Dewey (2) only: Local cannot translate descendant steps
+// into a single SQL statement.
+BENCHMARK(oxml::bench::BM_DescendantQuery)
+    ->ArgsProduct({{0, 2}, {4, 6, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(oxml::bench::BM_ResultEquivalence)
+    ->ArgsProduct({{0, 2}, {6}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+OXML_BENCH_MAIN();

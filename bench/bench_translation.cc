@@ -18,14 +18,13 @@ namespace oxml {
 namespace bench {
 namespace {
 
-constexpr int kSections = 100;
-constexpr int kParagraphs = 15;
-
 StoreFixture& FixtureFor(OrderEncoding enc) {
   static auto* fixtures = new std::map<OrderEncoding, StoreFixture>();
   auto it = fixtures->find(enc);
   if (it == fixtures->end()) {
-    auto doc = NewsDoc(kSections, kParagraphs);
+    // Smoke keeps >= 55 sections so the s50 attribute filter still hits.
+    auto doc = NewsDoc(static_cast<int>(SmokeScaled(100, 55)),
+                       static_cast<int>(SmokeScaled(15, 3)));
     it = fixtures->emplace(enc, MakeLoadedStore(enc, *doc)).first;
   }
   return it->second;
@@ -87,4 +86,4 @@ BENCHMARK(oxml::bench::BM_TranslationMode)
     ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+OXML_BENCH_MAIN();

@@ -17,9 +17,10 @@ namespace {
 
 void BM_Append(benchmark::State& state) {
   OrderEncoding enc = EncodingFromIndex(state.range(0));
-  constexpr int kOpsPerIteration = 200;
+  const int kOpsPerIteration = static_cast<int>(SmokeScaled(200, 20));
 
-  auto doc = NewsDoc(50, 20);
+  auto doc = NewsDoc(static_cast<int>(SmokeScaled(50, 10)),
+                     static_cast<int>(SmokeScaled(20, 5)));
   auto para = ParseXml("<para>breaking news paragraph</para>");
   OXML_BENCH_OK(para);
   const XmlNode& subtree = *(*para)->root_element();
@@ -64,4 +65,4 @@ BENCHMARK(oxml::bench::BM_Append)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+OXML_BENCH_MAIN();

@@ -19,9 +19,9 @@ namespace {
 
 void BM_RandomInsert(benchmark::State& state) {
   OrderEncoding enc = EncodingFromIndex(state.range(0));
-  int sections = static_cast<int>(state.range(1));
-  constexpr int kParagraphs = 20;
-  constexpr int kOpsPerIteration = 100;
+  int sections = static_cast<int>(SmokeCapped(state.range(1), 50));
+  const int kParagraphs = static_cast<int>(SmokeScaled(20, 5));
+  const int kOpsPerIteration = static_cast<int>(SmokeScaled(100, 20));
 
   auto doc = NewsDoc(sections, kParagraphs);
   auto para = ParseXml("<para>freshly inserted paragraph text</para>");
@@ -76,4 +76,4 @@ BENCHMARK(oxml::bench::BM_RandomInsert)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+OXML_BENCH_MAIN();

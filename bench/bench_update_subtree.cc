@@ -32,11 +32,11 @@ std::unique_ptr<XmlNode> MakeFragment(int paragraphs) {
 
 void BM_SubtreeInsert(benchmark::State& state) {
   OrderEncoding enc = EncodingFromIndex(state.range(0));
-  int fragment_paras = static_cast<int>(state.range(1));
-  constexpr int kSections = 100;
-  constexpr int kOpsPerIteration = 25;
+  int fragment_paras = static_cast<int>(SmokeCapped(state.range(1), 25));
+  const int kSections = static_cast<int>(SmokeScaled(100, 20));
+  const int kOpsPerIteration = static_cast<int>(SmokeScaled(25, 5));
 
-  auto doc = NewsDoc(kSections, 15);
+  auto doc = NewsDoc(kSections, static_cast<int>(SmokeScaled(15, 5)));
   auto fragment = MakeFragment(fragment_paras);
 
   int64_t renumbered = 0;
@@ -85,4 +85,4 @@ BENCHMARK(oxml::bench::BM_SubtreeInsert)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 
-BENCHMARK_MAIN();
+OXML_BENCH_MAIN();

@@ -7,10 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/core/ordered_store.h"
 #include "src/core/xpath_eval.h"
@@ -18,6 +21,25 @@
 
 namespace oxml {
 namespace bench {
+
+/// True when the binary was invoked with --smoke (see OXML_BENCH_MAIN).
+/// Smoke mode is a CI-oriented crash check: benchmarks shrink their
+/// datasets and iteration counts so every binary finishes in seconds while
+/// still exercising the full code path.
+inline bool& SmokeMode() {
+  static bool smoke = false;
+  return smoke;
+}
+
+/// Picks the full-size or smoke-size value for a dataset knob.
+inline int64_t SmokeScaled(int64_t full, int64_t smoke) {
+  return SmokeMode() ? smoke : full;
+}
+
+/// Caps an externally supplied size (e.g. a benchmark Arg) under smoke.
+inline int64_t SmokeCapped(int64_t value, int64_t cap) {
+  return SmokeMode() ? std::min(value, cap) : value;
+}
 
 /// Aborts the benchmark binary on an unexpected error (benchmarks must not
 /// silently measure failure paths).
@@ -87,6 +109,20 @@ inline StoreFixture MakeLoadedStore(OrderEncoding encoding,
 inline void ReportExecStats(benchmark::State& state, const ExecStats& s) {
   state.counters["plan_hit_rate"] = s.PlanCacheHitRate();
   state.counters["rows_scanned"] = static_cast<double>(s.rows_scanned);
+  // Join-strategy mix and sort behaviour: which physical join the planner
+  // chose (counted per Open) and how many ORDER BY clauses were satisfied
+  // by input order instead of a sort. Zero-valued join counters are
+  // omitted to keep the report lines readable.
+  auto join = [&state](const char* name, uint64_t n) {
+    if (n > 0) state.counters[name] = static_cast<double>(n);
+  };
+  join("joins_nlj", s.joins_nested_loop);
+  join("joins_hash", s.joins_hash);
+  join("joins_inlj", s.joins_index_nested_loop);
+  join("joins_merge", s.joins_merge);
+  join("joins_structural", s.joins_structural);
+  state.counters["sorts_performed"] = static_cast<double>(s.sorts_performed);
+  state.counters["sorts_elided"] = static_cast<double>(s.sorts_elided);
 }
 
 inline void ReportExecStats(benchmark::State& state, Database* db) {
@@ -106,5 +142,30 @@ inline std::unique_ptr<XmlDocument> NewsDoc(int sections, int paragraphs,
 
 }  // namespace bench
 }  // namespace oxml
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands --smoke:
+/// strips the flag, flips SmokeMode(), and caps per-benchmark wall time so
+/// CI can run every bench binary as a fast crash/liveness check. All other
+/// arguments pass through to the benchmark library untouched.
+#define OXML_BENCH_MAIN()                                                  \
+  int main(int argc, char** argv) {                                        \
+    std::vector<char*> args;                                               \
+    static char smoke_min_time[] = "--benchmark_min_time=0.01";            \
+    for (int i = 0; i < argc; ++i) {                                       \
+      if (std::string(argv[i]) == "--smoke") {                             \
+        ::oxml::bench::SmokeMode() = true;                                 \
+      } else {                                                             \
+        args.push_back(argv[i]);                                           \
+      }                                                                    \
+    }                                                                      \
+    if (::oxml::bench::SmokeMode()) args.push_back(smoke_min_time);        \
+    int bench_argc = static_cast<int>(args.size());                        \
+    ::benchmark::Initialize(&bench_argc, args.data());                     \
+    if (::benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) \
+      return 1;                                                            \
+    ::benchmark::RunSpecifiedBenchmarks();                                 \
+    ::benchmark::Shutdown();                                               \
+    return 0;                                                              \
+  }
 
 #endif  // OXML_BENCH_BENCH_UTIL_H_

@@ -34,6 +34,10 @@ StoredNode DeweyStore::NodeFromRow(const Row& row) const {
   return FromDeweyRow(row);
 }
 
+// Index column order doubles as a sort-order claim the planner exploits:
+// (tag, path) means "an equality probe on tag yields rows in path order",
+// and encoded Dewey paths compare in document order — so tag scans feed
+// structural joins pre-sorted and the translator's ORDER BY path elides.
 Status DeweyStore::CreateTableAndIndexes() {
   const std::string& t = table_name();
   OXML_RETURN_NOT_OK(db_->Execute("CREATE TABLE " + t +

@@ -29,6 +29,10 @@ StoredNode GlobalStore::NodeFromRow(const Row& row) const {
   return FromGlobalRow(row);
 }
 
+// Index column order doubles as a sort-order claim the planner exploits:
+// (tag, ord) means "an equality probe on tag yields rows in ord order" —
+// document order for free, which is what lets descendant containment run
+// as a structural join and the translator's ORDER BY ord be elided.
 Status GlobalStore::CreateTableAndIndexes() {
   const std::string& t = table_name();
   OXML_RETURN_NOT_OK(db_->Execute("CREATE TABLE " + t +

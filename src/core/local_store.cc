@@ -31,6 +31,10 @@ StoredNode LocalStore::NodeFromRow(const Row& row) const {
   return FromLocalRow(row);
 }
 
+// Index column order doubles as a sort-order claim the planner exploits:
+// (pid, sord) means "an equality probe on pid yields children in sibling
+// order". No Local index yields document order — ordered output needs an
+// explicit sort, which is part of this encoding's measured query tax.
 Status LocalStore::CreateTableAndIndexes() {
   const std::string& t = table_name();
   OXML_RETURN_NOT_OK(db_->Execute("CREATE TABLE " + t +

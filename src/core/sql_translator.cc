@@ -146,6 +146,15 @@ class Translator {
 
   /// Join predicate placing `alias` on the child/descendant axis of `prev`
   /// (empty prev = the document node).
+  ///
+  /// The containment pairs emitted here (Global:
+  /// `a.ord > p.ord AND a.ord <= p.eord`; Dewey:
+  /// `a.path > p.path AND a.path < SUCC(p.path)`) are the canonical shapes
+  /// the planner's interval-join detector lowers to StructuralJoinOp —
+  /// keep them as two top-level AND conjuncts comparing a bare column of
+  /// one alias against expressions over the other. Extra conjuncts (e.g.
+  /// the Dewey child-axis depth equality) are fine: they survive as a
+  /// residual filter above the structural join.
   Result<std::string> AxisJoin(const std::string& alias,
                                const std::string& prev, bool descendant) {
     switch (encoding()) {

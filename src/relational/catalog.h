@@ -26,6 +26,20 @@ struct ExecStats {
   uint64_t plan_cache_misses = 0;  // statements that paid parse + plan
   uint64_t parse_plan_ns = 0;      // wall time spent lexing/parsing/planning
 
+  // Join-strategy counters, bumped once per join operator Open() so that a
+  // benchmark (or test) can see which physical join the planner picked.
+  uint64_t joins_nested_loop = 0;
+  uint64_t joins_hash = 0;
+  uint64_t joins_index_nested_loop = 0;
+  uint64_t joins_merge = 0;
+  uint64_t joins_structural = 0;
+
+  // Sort accounting: `sorts_performed` counts SortOp::Open() calls (a full
+  // materialize + sort); `sorts_elided` counts ORDER BY clauses the planner
+  // dropped because the input order already satisfied them.
+  uint64_t sorts_performed = 0;
+  uint64_t sorts_elided = 0;
+
   /// Fraction of statement compilations avoided by the plan cache.
   double PlanCacheHitRate() const {
     uint64_t total = plan_cache_hits + plan_cache_misses;

@@ -38,6 +38,7 @@ Result<std::unique_ptr<Database>> Database::Open(
   auto pool = std::make_unique<BufferPool>(std::move(backend),
                                            options.buffer_capacity);
   auto db = std::unique_ptr<Database>(new Database(std::move(pool)));
+  db->options_ = options;
   db->plan_cache_capacity_ = options.plan_cache_capacity;
   if (options.open_existing && have_pages) {
     OXML_RETURN_NOT_OK(db->LoadCatalog());

@@ -33,6 +33,16 @@ struct DatabaseOptions {
   /// caching entirely: every statement — prepared or ad-hoc — pays a fresh
   /// parse + plan.
   size_t plan_cache_capacity = 128;
+  /// Lower interval-containment conjunct pairs (the ancestor–descendant
+  /// patterns emitted by the XPath translator) to the stack-based
+  /// StructuralJoinOp. Off = generic nested-loop + filter (the pre-PR2
+  /// behavior), kept as a toggle for differential testing.
+  bool enable_structural_join = true;
+  /// Use MergeJoinOp for equi-joins whose inputs are already sorted on the
+  /// join key (as reported by the operators' order properties).
+  bool enable_merge_join = true;
+  /// Drop the SortOp for an ORDER BY already satisfied by the input order.
+  bool enable_sort_elision = true;
 };
 
 /// Aggregate storage numbers (per database), used by the loading/storage
@@ -147,6 +157,7 @@ class Database {
   // ------------------------------------------------------------- accounting
 
   ExecStats* stats() { return &stats_; }
+  const DatabaseOptions& options() const { return options_; }
   BufferPool* buffer_pool() { return pool_.get(); }
   StorageStats GetStorageStats() const;
 
@@ -187,6 +198,7 @@ class Database {
   void InvalidatePlans();
 
   std::unique_ptr<BufferPool> pool_;
+  DatabaseOptions options_;
   std::map<std::string, std::unique_ptr<TableInfo>> tables_;
   ExecStats stats_;
 

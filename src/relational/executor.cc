@@ -7,9 +7,32 @@
 
 namespace oxml {
 
+bool OrderSatisfies(const std::vector<OrderKey>& have,
+                    const std::vector<OrderKey>& want) {
+  if (want.size() > have.size()) return false;
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (!(have[i] == want[i])) return false;
+  }
+  return true;
+}
+
 void Operator::Describe(int indent, std::string* out) const {
   out->append(static_cast<size_t>(indent) * 2, ' ');
   out->append(Name());
+  if (!order_.empty()) {
+    out->append(" [order:");
+    for (size_t i = 0; i < order_.size(); ++i) {
+      out->append(i == 0 ? " " : ", ");
+      int c = order_[i].column;
+      if (c >= 0 && static_cast<size_t>(c) < schema_.size()) {
+        out->append(schema_.column(c).name);
+      } else {
+        out->append("#" + std::to_string(c));
+      }
+      if (order_[i].desc) out->append(" DESC");
+    }
+    out->push_back(']');
+  }
   out->push_back('\n');
 }
 
@@ -110,16 +133,34 @@ std::string SeqScanOp::Name() const {
 
 // ---------------------------------------------------------------- IndexScan
 
+namespace {
+
+/// The order an index scan emits: the index-column suffix past the pinned
+/// equality prefix. Index column positions refer to the table schema, which
+/// coincides positionally with the qualified scan schema.
+std::vector<OrderKey> IndexScanOrder(const TableIndex& index,
+                                     size_t eq_prefix) {
+  std::vector<OrderKey> order;
+  for (size_t k = eq_prefix; k < index.column_indices.size(); ++k) {
+    order.push_back({index.column_indices[k], false});
+  }
+  return order;
+}
+
+}  // namespace
+
 IndexScanOp::IndexScanOp(TableInfo* table, TableIndex* index,
                          Schema qualified_schema,
                          std::optional<std::string> lower,
-                         std::optional<std::string> upper, ExecStats* stats)
+                         std::optional<std::string> upper, size_t eq_prefix,
+                         ExecStats* stats)
     : table_(table),
       index_(index),
       lower_(std::move(lower)),
       upper_(std::move(upper)),
       stats_(stats) {
   schema_ = std::move(qualified_schema);
+  order_ = IndexScanOrder(*index, eq_prefix);
 }
 
 IndexScanOp::IndexScanOp(TableInfo* table, TableIndex* index,
@@ -130,6 +171,10 @@ IndexScanOp::IndexScanOp(TableInfo* table, TableIndex* index,
       dynamic_(std::move(dynamic)),
       stats_(stats) {
   schema_ = std::move(qualified_schema);
+  // Dynamic plans keep bound conjuncts in the residual filter, so the order
+  // claim past the eq prefix survives even a NULL binding (the filter then
+  // drops every row, or restores the single-prefix-value invariant).
+  order_ = IndexScanOrder(*index, dynamic_->eq.size());
 }
 
 Status IndexScanOp::Open() {
@@ -172,6 +217,7 @@ std::string IndexScanOp::Name() const {
 FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {
   schema_ = child_->schema();
+  order_ = child_->output_order();
 }
 
 Status FilterOp::Open() { return child_->Open(); }
@@ -200,6 +246,21 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
                      Schema out_schema)
     : child_(std::move(child)), exprs_(std::move(exprs)) {
   schema_ = std::move(out_schema);
+  // The child's order survives projection for the prefix of order columns
+  // that are still present in the output.
+  for (const OrderKey& k : child_->output_order()) {
+    int mapped = -1;
+    for (size_t j = 0; j < exprs_.size(); ++j) {
+      if (exprs_[j]->kind() == Expr::Kind::kColumn &&
+          static_cast<const ColumnExpr*>(exprs_[j].get())->index() ==
+              k.column) {
+        mapped = static_cast<int>(j);
+        break;
+      }
+    }
+    if (mapped < 0) break;
+    order_.push_back({mapped, k.desc});
+  }
 }
 
 Status ProjectOp::Open() { return child_->Open(); }
@@ -234,15 +295,18 @@ void ProjectOp::Describe(int indent, std::string* out) const {
 // --------------------------------------------------------- NestedLoopJoin
 
 NestedLoopJoinOp::NestedLoopJoinOp(OperatorPtr left, OperatorPtr right,
-                                   ExprPtr predicate)
+                                   ExprPtr predicate, ExecStats* stats)
     : left_(std::move(left)),
       right_(std::move(right)),
-      predicate_(std::move(predicate)) {
+      predicate_(std::move(predicate)),
+      stats_(stats) {
   schema_ = left_->schema();
   schema_.Append(right_->schema());
+  order_ = left_->output_order();  // left-major iteration
 }
 
 Status NestedLoopJoinOp::Open() {
+  if (stats_ != nullptr) ++stats_->joins_nested_loop;
   OXML_RETURN_NOT_OK(left_->Open());
   OXML_RETURN_NOT_OK(right_->Open());
   right_rows_.clear();
@@ -298,13 +362,15 @@ void NestedLoopJoinOp::Describe(int indent, std::string* out) const {
 
 HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right,
                        std::vector<ExprPtr> left_keys,
-                       std::vector<ExprPtr> right_keys)
+                       std::vector<ExprPtr> right_keys, ExecStats* stats)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_keys_(std::move(left_keys)),
-      right_keys_(std::move(right_keys)) {
+      right_keys_(std::move(right_keys)),
+      stats_(stats) {
   schema_ = left_->schema();
   schema_.Append(right_->schema());
+  order_ = left_->output_order();  // probes stream in left order
 }
 
 namespace {
@@ -326,6 +392,7 @@ Result<std::optional<std::string>> EvalKey(const std::vector<ExprPtr>& exprs,
 }  // namespace
 
 Status HashJoinOp::Open() {
+  if (stats_ != nullptr) ++stats_->joins_hash;
   OXML_RETURN_NOT_OK(left_->Open());
   OXML_RETURN_NOT_OK(right_->Open());
   hash_.clear();
@@ -400,9 +467,13 @@ IndexNestedLoopJoinOp::IndexNestedLoopJoinOp(OperatorPtr outer,
       stats_(stats) {
   schema_ = outer_->schema();
   schema_.Append(inner_schema_);
+  // Only the outer order survives: equal-outer-key runs restart the inner
+  // index sequence, so inner columns cannot extend the order claim.
+  order_ = outer_->output_order();
 }
 
 Status IndexNestedLoopJoinOp::Open() {
+  if (stats_ != nullptr) ++stats_->joins_index_nested_loop;
   have_outer_ = false;
   return outer_->Open();
 }
@@ -445,17 +516,271 @@ void IndexNestedLoopJoinOp::Describe(int indent, std::string* out) const {
   outer_->Describe(indent + 1, out);
 }
 
+// ---------------------------------------------------------------- MergeJoin
+
+MergeJoinOp::MergeJoinOp(OperatorPtr left, OperatorPtr right,
+                         std::vector<ExprPtr> left_keys,
+                         std::vector<ExprPtr> right_keys, ExecStats* stats)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      stats_(stats) {
+  schema_ = left_->schema();
+  schema_.Append(right_->schema());
+  order_ = left_->output_order();
+}
+
+int MergeJoinOp::CompareKeys(const std::vector<Value>& lk, size_t idx) const {
+  const std::vector<Value>& rk = right_rows_[idx].keys;
+  for (size_t i = 0; i < lk.size(); ++i) {
+    int c = lk[i].Compare(rk[i]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+Status MergeJoinOp::Open() {
+  if (stats_ != nullptr) ++stats_->joins_merge;
+  OXML_RETURN_NOT_OK(left_->Open());
+  OXML_RETURN_NOT_OK(right_->Open());
+  right_rows_.clear();
+  Row row;
+  while (true) {
+    OXML_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
+    if (!has) break;
+    KeyedRow kr;
+    kr.keys.reserve(right_keys_.size());
+    for (const auto& e : right_keys_) {
+      OXML_ASSIGN_OR_RETURN(Value v, e->Eval(row));
+      if (v.is_null()) kr.has_null = true;  // NULL keys never join
+      kr.keys.push_back(std::move(v));
+    }
+    kr.row = std::move(row);
+    right_rows_.push_back(std::move(kr));
+  }
+  right_->Close();
+  have_left_ = false;
+  scan_ = group_begin_ = group_end_ = group_pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> MergeJoinOp::Next(Row* row) {
+  while (true) {
+    if (!have_left_) {
+      OXML_ASSIGN_OR_RETURN(bool has, left_->Next(&left_row_));
+      if (!has) return false;
+      left_key_values_.clear();
+      bool null_key = false;
+      for (const auto& e : left_keys_) {
+        OXML_ASSIGN_OR_RETURN(Value v, e->Eval(left_row_));
+        if (v.is_null()) null_key = true;
+        left_key_values_.push_back(std::move(v));
+      }
+      if (null_key) continue;
+      // Left keys arrive ascending, so the equal-key window only ever
+      // moves forward; a repeated left key re-reads the same window.
+      while (scan_ < right_rows_.size() &&
+             (right_rows_[scan_].has_null ||
+              CompareKeys(left_key_values_, scan_) > 0)) {
+        ++scan_;
+      }
+      group_begin_ = scan_;
+      group_end_ = group_begin_;
+      while (group_end_ < right_rows_.size() &&
+             !right_rows_[group_end_].has_null &&
+             CompareKeys(left_key_values_, group_end_) == 0) {
+        ++group_end_;
+      }
+      group_pos_ = group_begin_;
+      have_left_ = true;
+    }
+    if (group_pos_ < group_end_) {
+      *row = left_row_;
+      const Row& r = right_rows_[group_pos_++].row;
+      row->insert(row->end(), r.begin(), r.end());
+      return true;
+    }
+    have_left_ = false;
+  }
+}
+
+void MergeJoinOp::Close() {
+  left_->Close();
+  right_rows_.clear();
+}
+
+std::string MergeJoinOp::Name() const {
+  std::string keys;
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) keys += ", ";
+    keys += left_keys_[i]->ToString() + "=" + right_keys_[i]->ToString();
+  }
+  return "MergeJoin(" + keys + ")";
+}
+
+void MergeJoinOp::Describe(int indent, std::string* out) const {
+  Operator::Describe(indent, out);
+  left_->Describe(indent + 1, out);
+  right_->Describe(indent + 1, out);
+}
+
+// ----------------------------------------------------------- StructuralJoin
+
+StructuralJoinOp::StructuralJoinOp(OperatorPtr ancestors,
+                                   OperatorPtr descendants, ExprPtr anc_start,
+                                   ExprPtr anc_end, ExprPtr desc_start,
+                                   bool lower_strict, bool upper_inclusive,
+                                   ExecStats* stats)
+    : anc_(std::move(ancestors)),
+      desc_(std::move(descendants)),
+      anc_start_(std::move(anc_start)),
+      anc_end_(std::move(anc_end)),
+      desc_start_(std::move(desc_start)),
+      lower_strict_(lower_strict),
+      upper_inclusive_(upper_inclusive),
+      stats_(stats) {
+  schema_ = anc_->schema();
+  schema_.Append(desc_->schema());
+  // Descendants drive the merge, so the output is sorted on the descendant
+  // start column (all pairs for one descendant are contiguous, ancestors
+  // within a group in start order).
+  if (desc_start_->kind() == Expr::Kind::kColumn) {
+    int c = static_cast<const ColumnExpr*>(desc_start_.get())->index();
+    if (c >= 0) {
+      order_.push_back({static_cast<int>(anc_->schema().size()) + c, false});
+    }
+  }
+}
+
+bool StructuralJoinOp::Contains(const StackEntry& e,
+                                const Value& start) const {
+  if (e.start.is_null() || e.end.is_null() || start.is_null()) return false;
+  int lo = start.Compare(e.start);
+  if (lower_strict_ ? lo <= 0 : lo < 0) return false;
+  int hi = start.Compare(e.end);
+  return upper_inclusive_ ? hi <= 0 : hi < 0;
+}
+
+Status StructuralJoinOp::AdvanceAncestors(const Value& start) {
+  while (!anc_done_ || have_pending_) {
+    if (!have_pending_) {
+      OXML_ASSIGN_OR_RETURN(bool has, anc_->Next(&pending_anc_));
+      if (!has) {
+        anc_done_ = true;
+        return Status::OK();
+      }
+      OXML_ASSIGN_OR_RETURN(pending_start_, anc_start_->Eval(pending_anc_));
+      have_pending_ = true;
+    }
+    if (pending_start_.is_null()) {  // a NULL interval contains nothing
+      have_pending_ = false;
+      continue;
+    }
+    int c = pending_start_.Compare(start);
+    if (!(lower_strict_ ? c < 0 : c <= 0)) return Status::OK();
+    StackEntry e;
+    OXML_ASSIGN_OR_RETURN(e.end, anc_end_->Eval(pending_anc_));
+    e.start = std::move(pending_start_);
+    e.row = std::move(pending_anc_);
+    stack_.push_back(std::move(e));
+    have_pending_ = false;
+  }
+  return Status::OK();
+}
+
+Result<bool> StructuralJoinOp::Next(Row* row) {
+  while (true) {
+    if (!have_desc_) {
+      OXML_ASSIGN_OR_RETURN(bool has, desc_->Next(&desc_row_));
+      if (!has) return false;
+      OXML_ASSIGN_OR_RETURN(desc_start_value_, desc_start_->Eval(desc_row_));
+      if (desc_start_value_.is_null()) continue;  // never contained
+      OXML_RETURN_NOT_OK(AdvanceAncestors(desc_start_value_));
+      // Retire ancestors whose interval ended before this start: later
+      // descendants only have larger starts, so the entries can never
+      // match again. Popping from the top is exact for properly nested
+      // intervals; for overlapping inputs the per-emit Contains() check
+      // below keeps the join correct regardless.
+      while (!stack_.empty()) {
+        const StackEntry& top = stack_.back();
+        bool expired =
+            top.end.is_null() ||
+            (upper_inclusive_
+                 ? top.end.Compare(desc_start_value_) < 0
+                 : top.end.Compare(desc_start_value_) <= 0);
+        if (!expired) break;
+        stack_.pop_back();
+      }
+      have_desc_ = true;
+      emit_pos_ = 0;
+    }
+    while (emit_pos_ < stack_.size()) {
+      const StackEntry& e = stack_[emit_pos_++];
+      if (!Contains(e, desc_start_value_)) continue;
+      row->clear();
+      row->reserve(e.row.size() + desc_row_.size());
+      row->insert(row->end(), e.row.begin(), e.row.end());
+      row->insert(row->end(), desc_row_.begin(), desc_row_.end());
+      return true;
+    }
+    have_desc_ = false;
+  }
+}
+
+Status StructuralJoinOp::Open() {
+  if (stats_ != nullptr) ++stats_->joins_structural;
+  OXML_RETURN_NOT_OK(anc_->Open());
+  OXML_RETURN_NOT_OK(desc_->Open());
+  stack_.clear();
+  have_pending_ = false;
+  anc_done_ = false;
+  have_desc_ = false;
+  emit_pos_ = 0;
+  return Status::OK();
+}
+
+void StructuralJoinOp::Close() {
+  anc_->Close();
+  desc_->Close();
+  stack_.clear();
+}
+
+std::string StructuralJoinOp::Name() const {
+  return "StructuralJoin(" + desc_start_->ToString() +
+         (lower_strict_ ? " > " : " >= ") + anc_start_->ToString() + " AND " +
+         desc_start_->ToString() + (upper_inclusive_ ? " <= " : " < ") +
+         anc_end_->ToString() + ")";
+}
+
+void StructuralJoinOp::Describe(int indent, std::string* out) const {
+  Operator::Describe(indent, out);
+  anc_->Describe(indent + 1, out);
+  desc_->Describe(indent + 1, out);
+}
+
 // --------------------------------------------------------------------- Sort
 
 SortOp::SortOp(OperatorPtr child, std::vector<ExprPtr> order_exprs,
-               std::vector<bool> desc)
+               std::vector<bool> desc, ExecStats* stats)
     : child_(std::move(child)),
       order_exprs_(std::move(order_exprs)),
-      desc_(std::move(desc)) {
+      desc_(std::move(desc)),
+      stats_(stats) {
   schema_ = child_->schema();
+  // Report the column-expression prefix of the sort keys as the output
+  // order (an expression key still sorts the stream, but cannot be named
+  // as an order property).
+  for (size_t i = 0; i < order_exprs_.size(); ++i) {
+    if (order_exprs_[i]->kind() != Expr::Kind::kColumn) break;
+    int c = static_cast<const ColumnExpr*>(order_exprs_[i].get())->index();
+    if (c < 0) break;
+    order_.push_back({c, desc_[i]});
+  }
 }
 
 Status SortOp::Open() {
+  if (stats_ != nullptr) ++stats_->sorts_performed;
   OXML_RETURN_NOT_OK(child_->Open());
   rows_.clear();
   pos_ = 0;
@@ -481,6 +806,10 @@ Status SortOp::Open() {
       keyed[i].keys.push_back(std::move(v));
     }
   }
+  // stable_sort + a strict-weak comparator that returns false on ties:
+  // rows with equal keys keep their input order. XPath results rely on
+  // this — sibling nodes tie on every key the encodings expose (e.g. a
+  // shared sord chain position), and their document order must survive.
   std::stable_sort(keyed.begin(), keyed.end(),
                    [this](const Keyed& a, const Keyed& b) {
                      for (size_t k = 0; k < a.keys.size(); ++k) {
@@ -526,6 +855,7 @@ void SortOp::Describe(int indent, std::string* out) const {
 LimitOp::LimitOp(OperatorPtr child, int64_t limit)
     : child_(std::move(child)), limit_(limit) {
   schema_ = child_->schema();
+  order_ = child_->output_order();
 }
 
 Status LimitOp::Open() {
@@ -554,6 +884,7 @@ void LimitOp::Describe(int indent, std::string* out) const {
 
 DistinctOp::DistinctOp(OperatorPtr child) : child_(std::move(child)) {
   schema_ = child_->schema();
+  order_ = child_->output_order();  // streaming dedup keeps input order
 }
 
 Status DistinctOp::Open() {

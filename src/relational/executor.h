@@ -14,6 +14,24 @@
 
 namespace oxml {
 
+/// One component of an operator's output sort order: rows are non-decreasing
+/// (non-increasing when `desc`) on this output column, with ties ordered by
+/// the next key in the list.
+struct OrderKey {
+  int column = -1;  // position in the operator's output schema
+  bool desc = false;
+
+  bool operator==(const OrderKey& o) const {
+    return column == o.column && desc == o.desc;
+  }
+};
+
+/// True when a stream sorted on `have` is also sorted on `want`, i.e. `want`
+/// is a prefix of `have`. (An empty `want` is satisfied by anything; an
+/// empty `have` satisfies only an empty `want`.)
+bool OrderSatisfies(const std::vector<OrderKey>& have,
+                    const std::vector<OrderKey>& want);
+
 /// Volcano-style pull iterator. Lifecycle: Open, then Next until it yields
 /// false, then Close. `schema()` is valid after construction.
 class Operator {
@@ -26,12 +44,18 @@ class Operator {
 
   const Schema& schema() const { return schema_; }
 
+  /// The sort order this operator guarantees for its output (empty = no
+  /// guarantee). Set at construction; the planner reads it to elide sorts
+  /// and to pick merge-based joins.
+  const std::vector<OrderKey>& output_order() const { return order_; }
+
   /// One-line plan description; `Describe` renders the whole subtree.
   virtual std::string Name() const = 0;
   virtual void Describe(int indent, std::string* out) const;
 
  protected:
   Schema schema_;
+  std::vector<OrderKey> order_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -89,11 +113,20 @@ class SeqScanOp : public Operator {
 /// inclusive lower bound key (empty optional = from the start); `upper` is
 /// the exclusive upper bound (empty = to the end). Rows are produced in key
 /// order.
+///
+/// `eq_prefix` is the number of leading index columns pinned to a single
+/// value by the scan bounds; the reported output order is the remaining
+/// index-column suffix (a scan with `tag` fixed emits rows sorted by `ord`
+/// for a `(tag, ord)` index). For dynamic bounds the prefix length comes
+/// from the bound terms; a NULL binding degrades the scan to an unbounded
+/// range, which is safe because dynamic plans keep every bound conjunct in
+/// the residual filter — rows escaping the filter still honor the order.
 class IndexScanOp : public Operator {
  public:
   IndexScanOp(TableInfo* table, TableIndex* index, Schema qualified_schema,
               std::optional<std::string> lower,
-              std::optional<std::string> upper, ExecStats* stats);
+              std::optional<std::string> upper, size_t eq_prefix,
+              ExecStats* stats);
   /// Parameter-dependent bounds, re-resolved on every Open() so a cached
   /// plan picks up fresh bindings.
   IndexScanOp(TableInfo* table, TableIndex* index, Schema qualified_schema,
@@ -144,10 +177,11 @@ class ProjectOp : public Operator {
 
 /// Block nested-loop join: materializes the right input, then streams the
 /// left input against it. The optional predicate is evaluated on the
-/// concatenated row.
+/// concatenated row. Output preserves the left input's order.
 class NestedLoopJoinOp : public Operator {
  public:
-  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate);
+  NestedLoopJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr predicate,
+                   ExecStats* stats = nullptr);
   Status Open() override;
   Result<bool> Next(Row* row) override;
   void Close() override;
@@ -158,6 +192,7 @@ class NestedLoopJoinOp : public Operator {
   OperatorPtr left_;
   OperatorPtr right_;
   ExprPtr predicate_;  // may be null (cross product)
+  ExecStats* stats_;
   std::vector<Row> right_rows_;
   Row left_row_;
   bool have_left_ = false;
@@ -165,11 +200,12 @@ class NestedLoopJoinOp : public Operator {
 };
 
 /// Hash equi-join: builds a hash table on the right input keyed by
-/// `right_keys`, probes with `left_keys`.
+/// `right_keys`, probes with `left_keys`. Output preserves the left input's
+/// order (each left row's matches are emitted before the next left row).
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(OperatorPtr left, OperatorPtr right, std::vector<ExprPtr> left_keys,
-             std::vector<ExprPtr> right_keys);
+             std::vector<ExprPtr> right_keys, ExecStats* stats = nullptr);
   Status Open() override;
   Result<bool> Next(Row* row) override;
   void Close() override;
@@ -181,12 +217,123 @@ class HashJoinOp : public Operator {
   OperatorPtr right_;
   std::vector<ExprPtr> left_keys_;
   std::vector<ExprPtr> right_keys_;
+  ExecStats* stats_;
   std::unordered_multimap<std::string, Row> hash_;
   Row left_row_;
   bool have_left_ = false;
   std::pair<std::unordered_multimap<std::string, Row>::iterator,
             std::unordered_multimap<std::string, Row>::iterator>
       matches_;
+};
+
+/// Sort-merge equi-join: materializes the right input (with precomputed
+/// keys), then streams the left input against a sliding window of
+/// equal-key right rows. Both inputs must already be sorted ascending on
+/// their join keys — the planner only picks this operator when the
+/// operators' order properties guarantee it. NULL keys never join.
+/// Output preserves the left input's order.
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(OperatorPtr left, OperatorPtr right,
+              std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
+              ExecStats* stats);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  std::string Name() const override;
+  void Describe(int indent, std::string* out) const override;
+
+ private:
+  struct KeyedRow {
+    Row row;
+    std::vector<Value> keys;
+    bool has_null = false;
+  };
+
+  /// -1/0/+1 comparison of the current left keys against right_rows_[idx].
+  int CompareKeys(const std::vector<Value>& lk, size_t idx) const;
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  ExecStats* stats_;
+  std::vector<KeyedRow> right_rows_;
+  Row left_row_;
+  std::vector<Value> left_key_values_;
+  bool have_left_ = false;
+  size_t scan_ = 0;       // first right row not known to be < current left key
+  size_t group_begin_ = 0;  // current equal-key window in right_rows_
+  size_t group_end_ = 0;
+  size_t group_pos_ = 0;
+};
+
+/// Stack-based structural (interval containment) join, after the Stack-Tree
+/// family of algorithms: consumes an ancestor input sorted on its interval
+/// start and a descendant input sorted on its start, and emits every
+/// (ancestor, descendant) pair with
+///     d.start >OP a.start  AND  d.start <OP a.end
+/// in one pass over both inputs. OP strictness is configurable to cover
+/// both the Global-encoding pattern (`d.ord > a.ord AND d.ord <= a.eord`)
+/// and the Dewey prefix-range pattern (`d.path > a.path AND
+/// d.path < SUCC(a.path)`).
+///
+/// Algorithm: descendants are consumed in start order; every ancestor whose
+/// start precedes the current descendant's start is pushed onto a stack
+/// (with its end precomputed), ancestors whose interval provably ended
+/// before the current start are popped, and the surviving stack entries are
+/// emitted bottom-to-top — ancestor-start order — for this descendant.
+/// Each emission re-checks containment, so the operator stays *correct*
+/// (merely slower) on arbitrary overlapping intervals; on properly nested
+/// XML region intervals the stack never holds a non-matching entry and the
+/// check never fails. NULL starts/ends never match. Output order: sorted on
+/// the descendant start column (pairs for one descendant are contiguous).
+class StructuralJoinOp : public Operator {
+ public:
+  /// `anc_start` and `desc_start` are columns bound to the ancestor /
+  /// descendant input schemas; `anc_end` is an expression over the ancestor
+  /// schema (a column, or SUCC(path) for Dewey). `lower_strict` selects
+  /// `>` vs `>=` for the start comparison, `upper_inclusive` selects `<=`
+  /// vs `<` for the end comparison.
+  StructuralJoinOp(OperatorPtr ancestors, OperatorPtr descendants,
+                   ExprPtr anc_start, ExprPtr anc_end, ExprPtr desc_start,
+                   bool lower_strict, bool upper_inclusive, ExecStats* stats);
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+  std::string Name() const override;
+  void Describe(int indent, std::string* out) const override;
+
+ private:
+  struct StackEntry {
+    Row row;
+    Value start;
+    Value end;
+  };
+
+  /// True when `start` falls inside (start, end] / [start, end) / ... of
+  /// `e` per the configured strictness.
+  bool Contains(const StackEntry& e, const Value& start) const;
+  /// Pulls ancestor rows onto the stack while their start precedes `start`.
+  Status AdvanceAncestors(const Value& start);
+
+  OperatorPtr anc_;
+  OperatorPtr desc_;
+  ExprPtr anc_start_;
+  ExprPtr anc_end_;
+  ExprPtr desc_start_;
+  bool lower_strict_;
+  bool upper_inclusive_;
+  ExecStats* stats_;
+  std::vector<StackEntry> stack_;
+  Row pending_anc_;        // next ancestor row not yet pushed
+  Value pending_start_;    // its start value
+  bool have_pending_ = false;
+  bool anc_done_ = false;
+  Row desc_row_;
+  Value desc_start_value_;
+  bool have_desc_ = false;
+  size_t emit_pos_ = 0;    // next stack entry to test for the current desc
 };
 
 /// Index nested-loop join: for each outer row, evaluates `outer_keys`
@@ -217,11 +364,13 @@ class IndexNestedLoopJoinOp : public Operator {
 };
 
 /// Full sort (materializing). Order expressions are bound to the child
-/// schema; `desc[i]` flips the i-th direction.
+/// schema; `desc[i]` flips the i-th direction. The sort is stable: rows
+/// with equal keys keep their input order, which is what makes XPath
+/// sibling order deterministic across encodings.
 class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<ExprPtr> order_exprs,
-         std::vector<bool> desc);
+         std::vector<bool> desc, ExecStats* stats = nullptr);
   Status Open() override;
   Result<bool> Next(Row* row) override;
   void Close() override;
@@ -232,6 +381,7 @@ class SortOp : public Operator {
   OperatorPtr child_;
   std::vector<ExprPtr> order_exprs_;
   std::vector<bool> desc_;
+  ExecStats* stats_;
   std::vector<Row> rows_;
   size_t pos_ = 0;
 };

@@ -182,6 +182,7 @@ AccessPath ChooseAccessPath(const TableInfo& table,
     AccessPath path;
     path.index = index.get();
     path.consumed.assign(conjuncts.size(), false);
+    path.eq_prefix = eq_sargs.size();
 
     if (any_param) {
       // Defer bound encoding to execution time; leave `consumed` all-false
@@ -330,10 +331,9 @@ Result<OperatorPtr> PlanTableAccess(TableInfo* table, Schema qualified,
                                          std::move(qualified),
                                          std::move(*path.dynamic), stats);
   } else if (path.index != nullptr) {
-    scan = std::make_unique<IndexScanOp>(table, path.index,
-                                         std::move(qualified),
-                                         std::move(path.lower),
-                                         std::move(path.upper), stats);
+    scan = std::make_unique<IndexScanOp>(
+        table, path.index, std::move(qualified), std::move(path.lower),
+        std::move(path.upper), path.eq_prefix, stats);
   } else {
     scan = std::make_unique<SeqScanOp>(table, std::move(qualified), stats);
   }
@@ -350,6 +350,119 @@ Result<OperatorPtr> PlanTableAccess(TableInfo* table, Schema qualified,
     scan = std::make_unique<FilterOp>(std::move(scan), std::move(filter));
   }
   return scan;
+}
+
+/// A detected interval-containment join pair: the inner table's "start"
+/// column bounded below by one conjunct and above by another, both against
+/// expressions over the already-joined tables.
+struct IntervalJoin {
+  size_t lower_conjunct = 0;
+  size_t upper_conjunct = 0;
+  bool lower_flipped = false;  // the column sat on the right-hand side
+  bool upper_flipped = false;
+  bool lower_strict = false;    // normalized lower op was '>' (vs '>=')
+  bool upper_inclusive = false;  // normalized upper op was '<=' (vs '<')
+};
+
+/// Looks for the ancestor–descendant containment pattern the XPath
+/// translator emits:
+///   d.start > a.start AND d.start <= a.end          (Global regions)
+///   d.path  > a.path  AND d.path  <  SUCC(a.path)   (Dewey prefix ranges)
+/// The start column must be a bare column resolving only in the inner
+/// table; the lower bound must be a bare column of the outer side (it
+/// doubles as the merge key) and the upper bound any expression over the
+/// outer side. Bind() calls mutate resolved positions during probing, which
+/// is safe because every consumer re-binds expressions to its final input
+/// schema before use.
+bool DetectIntervalJoin(const std::vector<ExprPtr>& conjuncts,
+                        const Schema& inner, const Schema& outer,
+                        IntervalJoin* out) {
+  struct Candidate {
+    size_t conjunct = 0;
+    bool flipped = false;
+    bool strict = false;
+    int start_col = -1;  // position in the inner schema
+  };
+  std::vector<Candidate> lowers, uppers;
+
+  for (size_t ci = 0; ci < conjuncts.size(); ++ci) {
+    Expr* e = conjuncts[ci].get();
+    if (e == nullptr || e->kind() != Expr::Kind::kBinary) continue;
+    auto* bin = static_cast<BinaryExpr*>(e);
+    BinaryOp op = bin->op();
+    if (op != BinaryOp::kGt && op != BinaryOp::kGe && op != BinaryOp::kLt &&
+        op != BinaryOp::kLe) {
+      continue;
+    }
+    for (int flip = 0; flip < 2; ++flip) {
+      Expr* col_side = flip ? bin->right() : bin->left();
+      Expr* bound_side = flip ? bin->left() : bin->right();
+      BinaryOp norm = flip ? FlipComparison(op) : op;
+      if (col_side->kind() != Expr::Kind::kColumn) continue;
+      bool is_lower = norm == BinaryOp::kGt || norm == BinaryOp::kGe;
+      // The lower bound doubles as the ancestor-side sort key, so it must
+      // be a bare column; the upper bound may be any outer expression
+      // (SUCC(path) for Dewey).
+      if (is_lower && bound_side->kind() != Expr::Kind::kColumn) continue;
+      if (TryBind(col_side, outer)) continue;    // ambiguous or outer column
+      if (!TryBind(col_side, inner)) continue;
+      if (TryBind(bound_side, inner)) continue;  // not a cross-table bound
+      if (!TryBind(bound_side, outer)) continue;
+      Candidate c;
+      c.conjunct = ci;
+      c.flipped = flip != 0;
+      c.strict = norm == BinaryOp::kGt || norm == BinaryOp::kLt;
+      c.start_col = static_cast<ColumnExpr*>(col_side)->index();
+      (is_lower ? lowers : uppers).push_back(c);
+      break;
+    }
+  }
+
+  for (const Candidate& lo : lowers) {
+    for (const Candidate& up : uppers) {
+      if (lo.start_col != up.start_col || lo.conjunct == up.conjunct) {
+        continue;
+      }
+      out->lower_conjunct = lo.conjunct;
+      out->upper_conjunct = up.conjunct;
+      out->lower_flipped = lo.flipped;
+      out->upper_flipped = up.flipped;
+      out->lower_strict = lo.strict;
+      out->upper_inclusive = !up.strict;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True when `plan` already emits rows in the requested order: every ORDER
+/// BY expression is a resolved column and the plan's order property covers
+/// the list as a prefix. Bumps the elision counter on success.
+bool MaybeElideSort(Database* db, const Operator& plan,
+                    const std::vector<ExprPtr>& order_exprs,
+                    const std::vector<bool>& desc) {
+  if (!db->options().enable_sort_elision) return false;
+  std::vector<OrderKey> want;
+  for (size_t i = 0; i < order_exprs.size(); ++i) {
+    if (order_exprs[i]->kind() != Expr::Kind::kColumn) return false;
+    int c = static_cast<const ColumnExpr*>(order_exprs[i].get())->index();
+    if (c < 0) return false;
+    want.push_back({c, desc[i]});
+  }
+  if (!OrderSatisfies(plan.output_order(), want)) return false;
+  ++db->stats()->sorts_elided;
+  return true;
+}
+
+/// Wraps `op` in a sort on a single ascending column unless its reported
+/// order already starts with that column (used to feed merge-based joins).
+OperatorPtr EnsureSortedOn(OperatorPtr op, const std::string& column_name,
+                           int column, ExecStats* stats) {
+  if (OrderSatisfies(op->output_order(), {{column, false}})) return op;
+  std::vector<ExprPtr> keys;
+  keys.push_back(std::make_unique<ColumnExpr>(column_name, column));
+  return std::make_unique<SortOp>(std::move(op), std::move(keys),
+                                  std::vector<bool>{false}, stats);
 }
 
 }  // namespace
@@ -394,6 +507,64 @@ Result<OperatorPtr> PlanSelect(Database* db, SelectStmt* stmt) {
 
   for (size_t i = 1; i < tables.size(); ++i) {
     std::vector<ExprPtr> inner_conjuncts = claim_for(qualified[i]);
+
+    // Structural join: a pair of interval-containment conjuncts (the
+    // ancestor–descendant pattern from the XPath translator) beats any
+    // generic join — one merge pass instead of |A|·|D| predicate checks.
+    IntervalJoin ij;
+    if (db->options().enable_structural_join &&
+        DetectIntervalJoin(conjuncts, qualified[i], combined, &ij)) {
+      auto* lbin = static_cast<BinaryExpr*>(conjuncts[ij.lower_conjunct].get());
+      ExprPtr desc_start =
+          ij.lower_flipped ? lbin->TakeRight() : lbin->TakeLeft();
+      ExprPtr anc_start =
+          ij.lower_flipped ? lbin->TakeLeft() : lbin->TakeRight();
+      auto* ubin = static_cast<BinaryExpr*>(conjuncts[ij.upper_conjunct].get());
+      ExprPtr anc_end = ij.upper_flipped ? ubin->TakeLeft() : ubin->TakeRight();
+      conjuncts[ij.lower_conjunct] = nullptr;
+      conjuncts[ij.upper_conjunct] = nullptr;
+      std::erase(conjuncts, nullptr);
+
+      OXML_ASSIGN_OR_RETURN(
+          OperatorPtr inner,
+          PlanTableAccess(tables[i], qualified[i], std::move(inner_conjuncts),
+                          db->stats()));
+      OXML_RETURN_NOT_OK(anc_start->Bind(plan->schema()));
+      OXML_RETURN_NOT_OK(anc_end->Bind(plan->schema()));
+      OXML_RETURN_NOT_OK(desc_start->Bind(inner->schema()));
+
+      // Both inputs must stream in interval-start order; sort a side only
+      // when its reported order is insufficient (index scans over the
+      // start column and chained structural joins already qualify).
+      auto* anc_col = static_cast<ColumnExpr*>(anc_start.get());
+      plan = EnsureSortedOn(std::move(plan), anc_col->name(),
+                            anc_col->index(), db->stats());
+      auto* desc_col = static_cast<ColumnExpr*>(desc_start.get());
+      inner = EnsureSortedOn(std::move(inner), desc_col->name(),
+                             desc_col->index(), db->stats());
+
+      plan = std::make_unique<StructuralJoinOp>(
+          std::move(plan), std::move(inner), std::move(anc_start),
+          std::move(anc_end), std::move(desc_start), ij.lower_strict,
+          ij.upper_inclusive, db->stats());
+      combined.Append(qualified[i]);
+
+      // Leftover conjuncts (e.g. the Dewey child-axis depth check) attach
+      // below as ordinary filters over the combined schema.
+      std::vector<ExprPtr> evaluable;
+      for (auto& c : conjuncts) {
+        if (c != nullptr && TryBind(c.get(), combined)) {
+          evaluable.push_back(std::move(c));
+        }
+      }
+      std::erase(conjuncts, nullptr);
+      ExprPtr filter = CombineConjuncts(std::move(evaluable));
+      if (filter != nullptr) {
+        OXML_RETURN_NOT_OK(filter->Bind(plan->schema()));
+        plan = std::make_unique<FilterOp>(std::move(plan), std::move(filter));
+      }
+      continue;
+    }
 
     // Find an equi-join conjunct linking `combined` and table i.
     ExprPtr join_pred;
@@ -467,8 +638,26 @@ Result<OperatorPtr> PlanSelect(Database* db, SelectStmt* stmt) {
         // Rebind the inner key against the inner plan's schema.
         OXML_RETURN_NOT_OK(rk[0]->Bind(inner->schema()));
         OXML_RETURN_NOT_OK(lk[0]->Bind(plan->schema()));
-        plan = std::make_unique<HashJoinOp>(std::move(plan), std::move(inner),
-                                            std::move(lk), std::move(rk));
+        // When both inputs already stream in join-key order (e.g. index
+        // scans with an equality prefix ending at the key), a merge join
+        // avoids building the hash table.
+        bool can_merge = db->options().enable_merge_join;
+        if (can_merge) {
+          int lcol = static_cast<ColumnExpr*>(lk[0].get())->index();
+          int rcol = static_cast<ColumnExpr*>(rk[0].get())->index();
+          can_merge =
+              OrderSatisfies(plan->output_order(), {{lcol, false}}) &&
+              OrderSatisfies(inner->output_order(), {{rcol, false}});
+        }
+        if (can_merge) {
+          plan = std::make_unique<MergeJoinOp>(std::move(plan),
+                                               std::move(inner), std::move(lk),
+                                               std::move(rk), db->stats());
+        } else {
+          plan = std::make_unique<HashJoinOp>(std::move(plan),
+                                              std::move(inner), std::move(lk),
+                                              std::move(rk), db->stats());
+        }
         combined.Append(qualified[i]);
       }
     } else {
@@ -476,8 +665,8 @@ Result<OperatorPtr> PlanSelect(Database* db, SelectStmt* stmt) {
           OperatorPtr inner,
           PlanTableAccess(tables[i], qualified[i], std::move(inner_conjuncts),
                           db->stats()));
-      plan = std::make_unique<NestedLoopJoinOp>(std::move(plan),
-                                                std::move(inner), nullptr);
+      plan = std::make_unique<NestedLoopJoinOp>(
+          std::move(plan), std::move(inner), nullptr, db->stats());
       combined.Append(qualified[i]);
     }
 
@@ -522,8 +711,11 @@ Result<OperatorPtr> PlanSelect(Database* db, SelectStmt* stmt) {
         order_exprs.push_back(std::move(o.expr));
         desc.push_back(o.desc);
       }
-      plan = std::make_unique<SortOp>(std::move(plan), std::move(order_exprs),
-                                      std::move(desc));
+      if (!MaybeElideSort(db, *plan, order_exprs, desc)) {
+        plan = std::make_unique<SortOp>(std::move(plan),
+                                        std::move(order_exprs),
+                                        std::move(desc), db->stats());
+      }
     }
     // Projection ('*' expands to all columns).
     std::vector<ExprPtr> exprs;
@@ -648,8 +840,10 @@ Result<OperatorPtr> PlanSelect(Database* db, SelectStmt* stmt) {
       order_exprs.push_back(std::move(o.expr));
       desc.push_back(o.desc);
     }
-    plan = std::make_unique<SortOp>(std::move(plan), std::move(order_exprs),
-                                    std::move(desc));
+    if (!MaybeElideSort(db, *plan, order_exprs, desc)) {
+      plan = std::make_unique<SortOp>(std::move(plan), std::move(order_exprs),
+                                      std::move(desc), db->stats());
+    }
   }
 
   if (stmt->limit.has_value()) {

@@ -39,6 +39,9 @@ struct AccessPath {
   std::optional<std::string> upper;  // exclusive encoded key bound
   std::vector<bool> consumed;
   std::optional<DynamicIndexBounds> dynamic;
+  /// Leading index columns pinned to one value by the bounds; the scan's
+  /// output order is the index-column suffix past this prefix.
+  size_t eq_prefix = 0;
 };
 
 /// Rule-based access-path selection: picks the index that consumes the

@@ -1,0 +1,282 @@
+// Planner join-selection matrix: which physical join (nested-loop, hash,
+// index-nested-loop, merge, structural) is chosen per axis x encoding x
+// index availability, plus order-property-driven sort elision and the
+// SortOp stability guarantee the XPath layer relies on.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/sql_translator.h"
+#include "src/core/xpath_eval.h"
+#include "src/relational/database.h"
+#include "src/xml/xml_parser.h"
+
+namespace oxml {
+namespace {
+
+constexpr char kDoc[] =
+    "<a>"
+    "<b><c>one</c><c>two</c><d/></b>"
+    "<b><c>three</c></b>"
+    "<e><b><c>four</c></b></e>"
+    "</a>";
+
+struct LoadedStore {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<OrderedXmlStore> store;
+};
+
+LoadedStore Load(OrderEncoding enc, DatabaseOptions opts = {}) {
+  LoadedStore out;
+  auto db = Database::Open(opts);
+  EXPECT_TRUE(db.ok()) << db.status();
+  out.db = std::move(db).value();
+  auto store = OrderedXmlStore::Create(out.db.get(), enc, StoreOptions{});
+  EXPECT_TRUE(store.ok()) << store.status();
+  out.store = std::move(store).value();
+  auto doc = ParseXml(kDoc);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  EXPECT_TRUE(out.store->LoadDocument(**doc).ok());
+  return out;
+}
+
+std::string PlanFor(LoadedStore& ls, const std::string& xpath) {
+  auto sql = TranslateXPathToSql(*ls.store, xpath);
+  EXPECT_TRUE(sql.ok()) << sql.status();
+  auto plan = ls.db->Explain(*sql);
+  EXPECT_TRUE(plan.ok()) << *sql << " -> " << plan.status();
+  return plan.ok() ? *plan : std::string();
+}
+
+// ---------------------------------------------------------------- matrix
+
+TEST(PlannerJoinMatrixTest, GlobalDescendantUsesStructuralJoin) {
+  LoadedStore ls = Load(OrderEncoding::kGlobal);
+  std::string plan = PlanFor(ls, "//b//c");
+  EXPECT_NE(plan.find("StructuralJoin"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("NestedLoopJoin"), std::string::npos) << plan;
+}
+
+TEST(PlannerJoinMatrixTest, GlobalChildUsesIndexNestedLoopJoin) {
+  // child:: is an equi join (pord = ord) with a (pord, ord) index available.
+  LoadedStore ls = Load(OrderEncoding::kGlobal);
+  std::string plan = PlanFor(ls, "/a/b");
+  EXPECT_NE(plan.find("IndexNestedLoopJoin"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("StructuralJoin"), std::string::npos) << plan;
+}
+
+TEST(PlannerJoinMatrixTest, DeweyDescendantUsesStructuralJoin) {
+  LoadedStore ls = Load(OrderEncoding::kDewey);
+  std::string plan = PlanFor(ls, "//b//c");
+  EXPECT_NE(plan.find("StructuralJoin"), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("NestedLoopJoin"), std::string::npos) << plan;
+}
+
+TEST(PlannerJoinMatrixTest, DeweyChildUsesStructuralJoinWithDepthFilter) {
+  // The prefix range lowers to a structural join; the depth conjunct stays
+  // behind as a residual filter on the joined rows.
+  LoadedStore ls = Load(OrderEncoding::kDewey);
+  std::string plan = PlanFor(ls, "/a/b");
+  EXPECT_NE(plan.find("StructuralJoin"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("depth"), std::string::npos) << plan;
+}
+
+TEST(PlannerJoinMatrixTest, LocalChildUsesIndexNestedLoopJoin) {
+  LoadedStore ls = Load(OrderEncoding::kLocal);
+  std::string plan = PlanFor(ls, "/a/b");
+  EXPECT_NE(plan.find("IndexNestedLoopJoin"), std::string::npos) << plan;
+}
+
+TEST(PlannerJoinMatrixTest, LocalDescendantIsNotTranslatable) {
+  LoadedStore ls = Load(OrderEncoding::kLocal);
+  auto sql = TranslateXPathToSql(*ls.store, "//b//c");
+  EXPECT_FALSE(sql.ok());
+}
+
+TEST(PlannerJoinMatrixTest, ToggleOffFallsBackToNestedLoop) {
+  DatabaseOptions opts;
+  opts.enable_structural_join = false;
+  LoadedStore ls = Load(OrderEncoding::kGlobal, opts);
+  std::string plan = PlanFor(ls, "//b//c");
+  EXPECT_EQ(plan.find("StructuralJoin"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("NestedLoopJoin"), std::string::npos) << plan;
+}
+
+TEST(PlannerJoinMatrixTest, UnsortedInputsGetSortedBelowStructuralJoin) {
+  // Hand-written containment over a table with no index at all: the
+  // planner still lowers to a structural join but must sort both sides.
+  auto dbr = Database::Open();
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(dbr).value();
+  ASSERT_TRUE(db->Execute("CREATE TABLE iv (s INT, e INT)").ok());
+  auto plan = db->Explain(
+      "SELECT * FROM iv a, iv d WHERE d.s > a.s AND d.s <= a.e");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("StructuralJoin"), std::string::npos) << *plan;
+  // Both inputs are plain heap scans, so two sorts must appear.
+  size_t first = plan->find("Sort(");
+  ASSERT_NE(first, std::string::npos) << *plan;
+  EXPECT_NE(plan->find("Sort(", first + 1), std::string::npos) << *plan;
+}
+
+TEST(PlannerJoinMatrixTest, SortedEquiJoinUsesMergeJoin) {
+  auto dbr = Database::Open();
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(dbr).value();
+  ASSERT_TRUE(db->Execute("CREATE TABLE s (x INT, y INT)").ok());
+  ASSERT_TRUE(db->Execute("CREATE INDEX s_xy ON s (x, y)").ok());
+  // Both sides scan (x, y) with x pinned, so both stream sorted on y and
+  // y does not lead any index (no index-nested-loop applies).
+  auto plan = db->Explain(
+      "SELECT * FROM s a, s b WHERE a.x = 1 AND b.x = 2 AND a.y = b.y");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("MergeJoin"), std::string::npos) << *plan;
+  EXPECT_EQ(plan->find("HashJoin"), std::string::npos) << *plan;
+}
+
+TEST(PlannerJoinMatrixTest, MergeJoinToggleOffUsesHashJoin) {
+  DatabaseOptions opts;
+  opts.enable_merge_join = false;
+  auto dbr = Database::Open(opts);
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(dbr).value();
+  ASSERT_TRUE(db->Execute("CREATE TABLE s (x INT, y INT)").ok());
+  ASSERT_TRUE(db->Execute("CREATE INDEX s_xy ON s (x, y)").ok());
+  auto plan = db->Explain(
+      "SELECT * FROM s a, s b WHERE a.x = 1 AND b.x = 2 AND a.y = b.y");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("HashJoin"), std::string::npos) << *plan;
+  EXPECT_EQ(plan->find("MergeJoin"), std::string::npos) << *plan;
+}
+
+TEST(PlannerJoinMatrixTest, UnsortedEquiJoinFallsBackToHashJoin) {
+  auto dbr = Database::Open();
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(dbr).value();
+  ASSERT_TRUE(db->Execute("CREATE TABLE u (x INT, y INT)").ok());
+  auto plan = db->Explain("SELECT * FROM u a, u b WHERE a.y = b.y");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("HashJoin"), std::string::npos) << *plan;
+  EXPECT_EQ(plan->find("MergeJoin"), std::string::npos) << *plan;
+}
+
+// ----------------------------------------------------- results + counters
+
+TEST(PlannerJoinMatrixTest, StructuralJoinMatchesNestedLoopResults) {
+  LoadedStore on = Load(OrderEncoding::kGlobal);
+  DatabaseOptions off_opts;
+  off_opts.enable_structural_join = false;
+  off_opts.enable_sort_elision = false;
+  off_opts.enable_merge_join = false;
+  LoadedStore off = Load(OrderEncoding::kGlobal, off_opts);
+
+  for (const char* xpath : {"//b//c", "//c", "/a/b/c", "/a//c"}) {
+    auto a = EvaluateXPathViaSql(on.store.get(), xpath);
+    auto b = EvaluateXPathViaSql(off.store.get(), xpath);
+    ASSERT_TRUE(a.ok()) << xpath << " -> " << a.status();
+    ASSERT_TRUE(b.ok()) << xpath << " -> " << b.status();
+    ASSERT_EQ(a->size(), b->size()) << xpath;
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].ord, (*b)[i].ord) << xpath << " row " << i;
+    }
+  }
+  EXPECT_GT(on.db->stats()->joins_structural, 0u);
+  EXPECT_EQ(off.db->stats()->joins_structural, 0u);
+  EXPECT_GT(off.db->stats()->joins_nested_loop, 0u);
+}
+
+TEST(PlannerJoinMatrixTest, JoinStrategyCountersTrackOpens) {
+  auto dbr = Database::Open();
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(dbr).value();
+  ASSERT_TRUE(db->Execute("CREATE TABLE s (x INT, y INT)").ok());
+  ASSERT_TRUE(db->Execute("CREATE INDEX s_xy ON s (x, y)").ok());
+  ASSERT_TRUE(db->Execute("INSERT INTO s VALUES (1, 10)").ok());
+  ASSERT_TRUE(db->Execute("INSERT INTO s VALUES (2, 10)").ok());
+
+  ASSERT_TRUE(
+      db->Query("SELECT * FROM s a, s b WHERE a.x = 1 AND b.x = 2 AND "
+                "a.y = b.y")
+          .ok());
+  EXPECT_EQ(db->stats()->joins_merge, 1u);
+
+  ASSERT_TRUE(db->Query("SELECT * FROM s a, s b WHERE a.y = b.x").ok());
+  EXPECT_EQ(db->stats()->joins_index_nested_loop, 1u);
+
+  ASSERT_TRUE(db->Query("SELECT * FROM s a, s b WHERE a.x < b.y").ok());
+  EXPECT_EQ(db->stats()->joins_nested_loop, 1u);
+}
+
+// ------------------------------------------------------------ sort elision
+
+TEST(PlannerJoinMatrixTest, OrderByOnIndexOrderElidesSort) {
+  LoadedStore ls = Load(OrderEncoding::kGlobal);
+  const std::string& t = ls.store->table_name();
+  std::string sql =
+      "SELECT ord FROM " + t + " WHERE tag = 'c' ORDER BY ord";
+  auto plan = ls.db->Explain(sql);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // The (tag, ord) index with tag pinned already yields ord order.
+  EXPECT_EQ(plan->find("Sort("), std::string::npos) << *plan;
+
+  uint64_t before = ls.db->stats()->sorts_elided;
+  auto rs = ls.db->Query(sql);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GT(ls.db->stats()->sorts_elided, before);
+
+  // Same statement with elision disabled: identical rows, sort performed.
+  DatabaseOptions opts;
+  opts.enable_sort_elision = false;
+  LoadedStore ref = Load(OrderEncoding::kGlobal, opts);
+  auto ref_rs = ref.db->Query(sql);
+  ASSERT_TRUE(ref_rs.ok());
+  EXPECT_GT(ref.db->stats()->sorts_performed, 0u);
+  ASSERT_EQ(rs->rows.size(), ref_rs->rows.size());
+  for (size_t i = 0; i < rs->rows.size(); ++i) {
+    EXPECT_EQ(rs->rows[i][0].AsInt(), ref_rs->rows[i][0].AsInt());
+  }
+}
+
+TEST(PlannerJoinMatrixTest, MismatchedOrderByStillSorts) {
+  LoadedStore ls = Load(OrderEncoding::kGlobal);
+  const std::string& t = ls.store->table_name();
+  // A range on tag leaves the scan sorted on (tag, ord), which does NOT
+  // satisfy ORDER BY ord alone.
+  auto plan =
+      ls.db->Explain("SELECT ord FROM " + t + " WHERE tag > 'a' ORDER BY ord");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("Sort("), std::string::npos) << *plan;
+  // DESC never matches the ascending index order.
+  plan = ls.db->Explain(
+      "SELECT ord FROM " + t + " WHERE tag = 'c' ORDER BY ord DESC");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->find("Sort("), std::string::npos) << *plan;
+}
+
+// -------------------------------------------------------- SortOp stability
+
+TEST(SortStabilityTest, EqualKeysPreserveInputOrder) {
+  auto dbr = Database::Open();
+  ASSERT_TRUE(dbr.ok());
+  auto db = std::move(dbr).value();
+  ASSERT_TRUE(db->Execute("CREATE TABLE st (k INT, v INT)").ok());
+  // Insertion order within each key group must survive the sort.
+  const int kv[][2] = {{1, 1}, {0, 5}, {1, 2}, {0, 6}, {1, 3}, {0, 7}};
+  for (const auto& p : kv) {
+    ASSERT_TRUE(db->Execute("INSERT INTO st VALUES (" +
+                            std::to_string(p[0]) + ", " +
+                            std::to_string(p[1]) + ")")
+                    .ok());
+  }
+  auto rs = db->Query("SELECT v FROM st ORDER BY k");
+  ASSERT_TRUE(rs.ok());
+  std::vector<int64_t> got;
+  for (const Row& r : rs->rows) got.push_back(r[0].AsInt());
+  EXPECT_EQ(got, (std::vector<int64_t>{5, 6, 7, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace oxml
