@@ -1,0 +1,67 @@
+// E14 — differential fuzz harness throughput. Measures how fast one fuzz
+// case replays (DOM oracle + all three encodings, with per-mutation
+// Validate() and full reconstruction compare), which bounds how much
+// coverage the CI fuzz-smoke budget buys. Also isolates case generation
+// so harness overhead can be separated from engine time.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "tests/fuzz/fuzz_harness.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+void BM_FuzzGenerateCase(benchmark::State& state) {
+  const size_t ops = static_cast<size_t>(SmokeCapped(state.range(0), 20));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    fuzz::FuzzCase c = fuzz::GenerateCase(seed++, ops);
+    benchmark::DoNotOptimize(c.ops.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ops);
+  state.SetLabel("generate");
+}
+
+void BM_FuzzReplayCase(benchmark::State& state) {
+  const size_t ops = static_cast<size_t>(SmokeCapped(state.range(0), 20));
+  fuzz::FuzzCase c = fuzz::GenerateCase(7, ops);
+  for (auto _ : state) {
+    fuzz::FuzzCase copy = c;
+    auto failure = fuzz::RunCase(&copy);
+    OXML_BENCH_CHECK(!failure.has_value());
+  }
+  // Each executed op runs against the oracle plus three stores.
+  state.SetItemsProcessed(state.iterations() * ops);
+  state.SetLabel("oracle+3 encodings");
+}
+
+void BM_FuzzReproRoundTrip(benchmark::State& state) {
+  fuzz::FuzzCase c =
+      fuzz::GenerateCase(11, static_cast<size_t>(SmokeScaled(200, 20)));
+  for (auto _ : state) {
+    std::string text = fuzz::SerializeCase(c);
+    auto parsed = fuzz::ParseCase(text);
+    OXML_BENCH_CHECK(parsed.ok());
+    benchmark::DoNotOptimize(parsed->ops.data());
+  }
+  state.SetItemsProcessed(state.iterations() * c.ops.size());
+  state.SetLabel("serialize+parse");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_FuzzGenerateCase)
+    ->Arg(50)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(oxml::bench::BM_FuzzReplayCase)
+    ->Arg(25)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(oxml::bench::BM_FuzzReproRoundTrip)->Unit(benchmark::kMicrosecond);
+
+OXML_BENCH_MAIN();

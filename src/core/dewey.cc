@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 
 namespace oxml {
 
@@ -45,10 +46,12 @@ std::string DeweyKey::Encode() const {
   std::string out;
   out.reserve(components_.size() * 3);
   for (int64_t c : components_) {
+    // Internal invariant: keys built by the stores always carry positive
+    // ordinals. Untrusted inputs are validated in Decode() instead.
     assert(c >= 1 && "Dewey ordinals are positive");
     uint64_t v = static_cast<uint64_t>(c);
     int nbytes = 1;
-    while ((v >> (nbytes * 8)) != 0) ++nbytes;
+    while (nbytes < 8 && (v >> (nbytes * 8)) != 0) ++nbytes;
     out.push_back(static_cast<char>(nbytes));
     for (int shift = (nbytes - 1) * 8; shift >= 0; shift -= 8) {
       out.push_back(static_cast<char>((v >> shift) & 0xFF));
@@ -71,6 +74,15 @@ Result<DeweyKey> DeweyKey::Decode(std::string_view bytes) {
       v = (v << 8) | static_cast<unsigned char>(bytes[i + b]);
     }
     i += nbytes;
+    // Decode sees untrusted bytes (disk pages, repro files), so ordinal
+    // range violations must surface as a Status even in Release builds —
+    // the assert in Encode() vanishes under NDEBUG. An ordinal of 0 or one
+    // above INT64_MAX (the uint64 cast would go negative) breaks sibling
+    // ordering and renumbering arithmetic downstream.
+    if (v == 0 || v > static_cast<uint64_t>(INT64_MAX)) {
+      return Status::InvalidArgument(
+          "malformed Dewey key: ordinal out of range");
+    }
     components.push_back(static_cast<int64_t>(v));
   }
   return DeweyKey(std::move(components));

@@ -436,13 +436,19 @@ Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
   OXML_RETURN_NOT_OK(BulkInsert(rows, &stats));
 
   if (!have_right) {
-    // Extend the interval of the parent and of every ancestor that shared
-    // its right boundary.
+    // Extend the interval of the parent and of every ancestor whose
+    // interval falls short of the appended tail. Matching on
+    // `eord = parent.eord` alone is not enough: DeleteSubtree leaves
+    // ancestor eords as loose over-approximations, so an ancestor may end
+    // anywhere in (parent.eord, new_max) without any row sitting there.
+    // Ancestors-or-self of the parent are exactly the rows with
+    // ord <= parent.ord and eord >= parent.eord (interval nesting).
     OXML_ASSIGN_OR_RETURN(
         int64_t extended,
-        DmlP("UPDATE " + t + " SET eord = ? WHERE eord = ? AND ord <= ?",
-             {Value::Int(new_max), Value::Int(parent.eord),
-              Value::Int(parent.ord)},
+        DmlP("UPDATE " + t +
+                 " SET eord = ? WHERE ord <= ? AND eord >= ? AND eord < ?",
+             {Value::Int(new_max), Value::Int(parent.ord),
+              Value::Int(parent.eord), Value::Int(new_max)},
              &stats));
     stats.rows_renumbered += extended;
   }

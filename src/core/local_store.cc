@@ -399,12 +399,30 @@ Status LocalStore::Validate() {
     }
   }
   std::set<std::pair<int64_t, int64_t>> sibling_keys;
+  // Attributes and children share one per-parent ordinal space, with all
+  // attribute rows numbered before the first non-attribute child.
+  std::map<int64_t, int64_t> max_attr_sord;
+  std::map<int64_t, int64_t> min_child_sord;
   int roots = 0;
   for (const StoredNode& n : rows) {
     if (!sibling_keys.emplace(n.pid, n.sord).second) {
       return Status::Internal("duplicate (pid, sord) = (" +
                               std::to_string(n.pid) + ", " +
                               std::to_string(n.sord) + ")");
+    }
+    if (n.id < 1) {
+      return Status::Internal("non-positive id " + std::to_string(n.id));
+    }
+    if (n.sord < 1) {
+      return Status::Internal("non-positive sord at id " +
+                              std::to_string(n.id));
+    }
+    if (n.kind == XmlNodeKind::kAttribute) {
+      auto [it, inserted] = max_attr_sord.emplace(n.pid, n.sord);
+      if (!inserted) it->second = std::max(it->second, n.sord);
+    } else {
+      auto [it, inserted] = min_child_sord.emplace(n.pid, n.sord);
+      if (!inserted) it->second = std::min(it->second, n.sord);
     }
     if (n.pid == 0) {
       if (n.depth != 1) return Status::Internal("top-level depth != 1");
@@ -428,6 +446,13 @@ Status LocalStore::Validate() {
   if (roots != 1) {
     return Status::Internal("expected exactly 1 root element, found " +
                             std::to_string(roots));
+  }
+  for (const auto& [pid, attr_sord] : max_attr_sord) {
+    auto it = min_child_sord.find(pid);
+    if (it != min_child_sord.end() && it->second < attr_sord) {
+      return Status::Internal("attribute ordered after a child of id " +
+                              std::to_string(pid));
+    }
   }
   return Status::OK();
 }

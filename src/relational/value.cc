@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 
 #include "src/common/strings.h"
@@ -43,10 +44,47 @@ namespace {
 
 bool IsNumeric(TypeId t) { return t == TypeId::kInt || t == TypeId::kDouble; }
 
+/// Maps a double to a uint64 whose unsigned order is the IEEE-754 total
+/// order — the exact transform EncodeKeyValue applies before big-endian
+/// serialization, so Compare agrees byte-for-byte with index key order.
+/// In particular NaNs have a definite rank (-NaN below -inf, +NaN above
+/// +inf) instead of comparing "equal" to everything, which would break the
+/// strict weak ordering SortOp and MergeJoinOp rely on.
+uint64_t DoubleTotalOrderBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  if (bits & 0x8000000000000000ULL) return ~bits;
+  return bits ^ 0x8000000000000000ULL;
+}
+
 int CompareDouble(double a, double b) {
-  if (a < b) return -1;
-  if (a > b) return 1;
+  uint64_t ba = DoubleTotalOrderBits(a);
+  uint64_t bb = DoubleTotalOrderBits(b);
+  if (ba < bb) return -1;
+  if (ba > bb) return 1;
   return 0;
+}
+
+/// Exact int64 vs double comparison. Converting the int to double (the old
+/// behavior) collapses distinct values above 2^53 to "equal"; instead the
+/// double is split into integral and fractional parts and compared in
+/// integer space. Returns the sign of (i <=> d).
+int CompareIntDouble(int64_t i, double d) {
+  if (std::isnan(d)) return std::signbit(d) ? 1 : -1;
+  constexpr double kTwo63 = 9223372036854775808.0;  // 2^63, exact
+  if (d >= kTwo63) return -1;
+  if (d < -kTwo63) return 1;
+  // d is now in [-2^63, 2^63). If |d| >= 2^53 the double is an exact
+  // integer; otherwise trunc(d) fits in 53 bits. Either way the truncation
+  // and the cast back are exact.
+  int64_t t = static_cast<int64_t>(d);
+  if (i != t) return i < t ? -1 : 1;
+  double frac = d - static_cast<double>(t);
+  if (frac > 0) return -1;
+  if (frac < 0) return 1;
+  // Equal as reals; delegate so that int 0 vs -0.0 ranks like +0.0 vs -0.0
+  // (the total order distinguishes zero signs).
+  return CompareDouble(static_cast<double>(t), d);
 }
 
 }  // namespace
@@ -62,7 +100,11 @@ int Value::Compare(const Value& other) const {
       if (int_ > other.int_) return 1;
       return 0;
     }
-    return CompareDouble(AsDouble(), other.AsDouble());
+    if (type_ == TypeId::kInt) return CompareIntDouble(int_, other.double_);
+    if (other.type_ == TypeId::kInt) {
+      return -CompareIntDouble(other.int_, double_);
+    }
+    return CompareDouble(double_, other.double_);
   }
   if (type_ != other.type_) {
     return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;

@@ -159,7 +159,11 @@ class Parser {
     // Called just after consuming '&'.
     size_t start = pos_;
     while (!AtEnd() && Peek() != ';' && pos_ - start < 12) Advance();
-    if (AtEnd() || Peek() != ';') return Error("unterminated entity");
+    if (AtEnd()) return Error("unterminated entity");
+    // The scan is capped at 12 characters (longer than any reference we
+    // accept); hitting the cap with more input left is a length problem,
+    // not a missing terminator.
+    if (Peek() != ';') return Error("entity too long");
     std::string_view ref = input_.substr(start, pos_ - start);
     Advance();  // consume ';'
     if (ref == "lt") {
@@ -183,6 +187,13 @@ class Parser {
       long code = std::strtol(digits.c_str(), &end, base);
       if (digits.empty() || end == nullptr || *end != '\0') {
         return Error("bad character reference &" + std::string(ref) + ";");
+      }
+      // Unicode range checks: AppendUtf8 would otherwise emit byte
+      // sequences no conforming decoder accepts (planes above U+10FFFF,
+      // UTF-16 surrogate halves) or a stray NUL.
+      if (code <= 0 || code > 0x10FFFF || (code >= 0xD800 && code <= 0xDFFF)) {
+        return Error("character reference out of range &" + std::string(ref) +
+                     ";");
       }
       AppendUtf8(static_cast<uint32_t>(code), out);
     } else {

@@ -1,0 +1,356 @@
+#include "tests/fuzz/dom_oracle.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+#include "src/xml/xml_writer.h"
+
+namespace oxml {
+namespace fuzz {
+namespace {
+
+bool Matches(const NodeTest& test, const XmlNode* n) {
+  return test.Matches(n->kind(), n->name());
+}
+
+bool Cmp(XPathCmp op, int c) {
+  switch (op) {
+    case XPathCmp::kEq:
+      return c == 0;
+    case XPathCmp::kNe:
+      return c != 0;
+    case XPathCmp::kLt:
+      return c < 0;
+    case XPathCmp::kLe:
+      return c <= 0;
+    case XPathCmp::kGt:
+      return c > 0;
+    case XPathCmp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+/// Value comparison mirroring the store evaluator: numeric when both sides
+/// parse fully as numbers, bytewise otherwise.
+int CompareValues(const std::string& a, const std::string& b) {
+  char* ea = nullptr;
+  char* eb = nullptr;
+  double da = std::strtod(a.c_str(), &ea);
+  double db = std::strtod(b.c_str(), &eb);
+  if (!a.empty() && !b.empty() && *ea == '\0' && *eb == '\0') {
+    return da < db ? -1 : (da > db ? 1 : 0);
+  }
+  return a.compare(b);
+}
+
+}  // namespace
+
+DomOracle::DomOracle(const XmlDocument& doc)
+    : doc_(std::make_unique<XmlDocument>()) {
+  for (const auto& top : doc.root()->children()) {
+    doc_->root()->AppendChild(top->Clone());
+  }
+}
+
+XmlNode* DomOracle::ResolvePath(const std::vector<size_t>& path) const {
+  XmlNode* node = doc_->root_element();
+  for (size_t idx : path) {
+    if (node == nullptr || idx >= node->child_count()) return nullptr;
+    node = node->child(idx);
+  }
+  return node;
+}
+
+std::vector<size_t> DomOracle::PathOf(const XmlNode* node) const {
+  std::vector<size_t> out;
+  while (node->parent() != nullptr &&
+         node->parent()->kind() != XmlNodeKind::kDocument) {
+    out.push_back(node->IndexInParent());
+    node = node->parent();
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+void DomOracle::Renumber() {
+  order_.clear();
+  int counter = 0;
+  struct Rec {
+    std::map<const XmlNode*, int>* order;
+    int* counter;
+    void Visit(const XmlNode* n) {
+      (*order)[n] = (*counter)++;
+      for (const auto& c : n->children()) Visit(c.get());
+    }
+  } rec{&order_, &counter};
+  rec.Visit(doc_->root());
+}
+
+std::vector<OracleNode> DomOracle::Evaluate(const XPathQuery& q) {
+  Renumber();
+  // First step applies from the document node.
+  const XPathStep& first = q.steps[0];
+  std::vector<OracleNode> candidates;
+  for (const auto& top : doc_->root()->children()) {
+    if (first.axis == XPathStep::Axis::kChild) {
+      if (Matches(first.test, top.get())) candidates.push_back({top.get()});
+    } else {
+      CollectDescendantsOrSelf(top.get(), first.test, &candidates);
+    }
+  }
+  std::vector<OracleNode> context =
+      ApplyPredicates(first.predicates, candidates);
+
+  for (size_t s = 1; s < q.steps.size(); ++s) {
+    const XPathStep& step = q.steps[s];
+    std::vector<OracleNode> next;
+    std::set<OracleNode> seen;
+    for (const OracleNode& ctx : context) {
+      if (ctx.is_attribute()) continue;
+      std::vector<OracleNode> cands = Expand(ctx.node, step);
+      cands = ApplyPredicates(step.predicates, cands);
+      for (const OracleNode& c : cands) {
+        if (seen.insert(c).second) next.push_back(c);
+      }
+    }
+    SortDocOrder(&next);
+    context = std::move(next);
+  }
+  return context;
+}
+
+std::string DomOracle::Signature(const OracleNode& n) const {
+  if (n.is_attribute()) {
+    const XmlAttribute& a = n.node->attributes()[n.attr_index];
+    return "@" + a.name + "=" + a.value;
+  }
+  return WriteXml(*n.node);
+}
+
+std::string DomOracle::Serialize() const { return WriteXml(*doc_); }
+
+void DomOracle::CollectDescendantsOrSelf(
+    const XmlNode* node, const NodeTest& test,
+    std::vector<OracleNode>* out) const {
+  if (Matches(test, node)) out->push_back({node});
+  for (const auto& c : node->children()) {
+    CollectDescendantsOrSelf(c.get(), test, out);
+  }
+}
+
+std::vector<OracleNode> DomOracle::Expand(const XmlNode* node,
+                                          const XPathStep& step) const {
+  std::vector<OracleNode> out;
+  switch (step.axis) {
+    case XPathStep::Axis::kChild:
+      for (const auto& c : node->children()) {
+        if (Matches(step.test, c.get())) out.push_back({c.get()});
+      }
+      break;
+    case XPathStep::Axis::kDescendant:
+      for (const auto& c : node->children()) {
+        CollectDescendantsOrSelf(c.get(), step.test, &out);
+      }
+      break;
+    case XPathStep::Axis::kFollowingSibling: {
+      const XmlNode* parent = node->parent();
+      if (parent == nullptr) break;
+      size_t idx = node->IndexInParent();
+      for (size_t i = idx + 1; i < parent->child_count(); ++i) {
+        if (Matches(step.test, parent->child(i))) {
+          out.push_back({parent->child(i)});
+        }
+      }
+      break;
+    }
+    case XPathStep::Axis::kPrecedingSibling: {
+      const XmlNode* parent = node->parent();
+      if (parent == nullptr) break;
+      size_t idx = node->IndexInParent();
+      for (size_t i = 0; i < idx; ++i) {
+        if (Matches(step.test, parent->child(i))) {
+          out.push_back({parent->child(i)});
+        }
+      }
+      break;
+    }
+    case XPathStep::Axis::kAttribute:
+      for (size_t i = 0; i < node->attributes().size(); ++i) {
+        if (step.attribute_name.empty() ||
+            node->attributes()[i].name == step.attribute_name) {
+          out.push_back({node, static_cast<int>(i)});
+        }
+      }
+      break;
+    case XPathStep::Axis::kParent: {
+      const XmlNode* p = node->parent();
+      if (p != nullptr && p->kind() != XmlNodeKind::kDocument &&
+          Matches(step.test, p)) {
+        out.push_back({p});
+      }
+      break;
+    }
+    case XPathStep::Axis::kAncestor: {
+      const XmlNode* p = node->parent();
+      while (p != nullptr && p->kind() != XmlNodeKind::kDocument) {
+        if (Matches(step.test, p)) out.push_back({p});
+        p = p->parent();
+      }
+      std::reverse(out.begin(), out.end());
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<OracleNode> DomOracle::ApplyPredicates(
+    const std::vector<XPathPredicate>& preds,
+    std::vector<OracleNode> candidates) const {
+  for (const XPathPredicate& pred : preds) {
+    std::vector<OracleNode> kept;
+    int64_t size = static_cast<int64_t>(candidates.size());
+    for (int64_t i = 0; i < size; ++i) {
+      const OracleNode& cand = candidates[i];
+      bool keep = false;
+      switch (pred.kind) {
+        case XPathPredicate::Kind::kPosition:
+          keep = Cmp(pred.op, i + 1 < pred.position
+                                  ? -1
+                                  : (i + 1 > pred.position ? 1 : 0));
+          break;
+        case XPathPredicate::Kind::kLast:
+          keep = (i + 1 == size);
+          break;
+        case XPathPredicate::Kind::kAttribute: {
+          const std::string* v = cand.node->attribute(pred.name);
+          keep =
+              v != nullptr && Cmp(pred.op, CompareValues(*v, pred.literal));
+          break;
+        }
+        case XPathPredicate::Kind::kHasAttribute:
+          keep = cand.node->attribute(pred.name) != nullptr;
+          break;
+        case XPathPredicate::Kind::kChildValue:
+          for (const auto& c : cand.node->children()) {
+            if (c->is_element() && c->name() == pred.name &&
+                Cmp(pred.op, CompareValues(c->InnerText(), pred.literal))) {
+              keep = true;
+              break;
+            }
+          }
+          break;
+        case XPathPredicate::Kind::kSelfValue:
+          keep = Cmp(pred.op,
+                     CompareValues(cand.node->InnerText(), pred.literal));
+          break;
+      }
+      if (keep) kept.push_back(cand);
+    }
+    candidates = std::move(kept);
+  }
+  return candidates;
+}
+
+void DomOracle::SortDocOrder(std::vector<OracleNode>* nodes) const {
+  std::stable_sort(nodes->begin(), nodes->end(),
+                   [this](const OracleNode& a, const OracleNode& b) {
+                     int oa = order_.at(a.node);
+                     int ob = order_.at(b.node);
+                     if (oa != ob) return oa < ob;
+                     return a.attr_index < b.attr_index;
+                   });
+}
+
+bool DomOracle::InSubtree(const XmlNode* node, const XmlNode* ancestor) {
+  for (; node != nullptr; node = node->parent()) {
+    if (node == ancestor) return true;
+  }
+  return false;
+}
+
+bool DomOracle::Insert(XmlNode* ref, InsertPosition pos,
+                       std::unique_ptr<XmlNode> subtree) {
+  switch (pos) {
+    case InsertPosition::kBefore:
+    case InsertPosition::kAfter: {
+      XmlNode* parent = ref->parent();
+      // Top-level siblings (= siblings of the root element) are rejected
+      // by every store; the oracle mirrors that.
+      if (parent == nullptr || parent->kind() == XmlNodeKind::kDocument) {
+        return false;
+      }
+      size_t idx = ref->IndexInParent();
+      parent->InsertChild(pos == InsertPosition::kBefore ? idx : idx + 1,
+                          std::move(subtree));
+      return true;
+    }
+    case InsertPosition::kFirstChild:
+      if (!ref->is_element()) return false;
+      ref->InsertChild(0, std::move(subtree));
+      return true;
+    case InsertPosition::kLastChild:
+      if (!ref->is_element()) return false;
+      ref->AppendChild(std::move(subtree));
+      return true;
+  }
+  return false;
+}
+
+bool DomOracle::Delete(XmlNode* target) {
+  XmlNode* parent = target->parent();
+  if (parent == nullptr || parent->kind() == XmlNodeKind::kDocument) {
+    return false;  // never delete the root element
+  }
+  parent->RemoveChild(target->IndexInParent());
+  return true;
+}
+
+bool DomOracle::Move(XmlNode* source, XmlNode* ref, InsertPosition pos) {
+  if (source == ref || InSubtree(ref, source)) return false;
+  XmlNode* src_parent = source->parent();
+  if (src_parent == nullptr || src_parent->kind() == XmlNodeKind::kDocument) {
+    return false;
+  }
+  // Validate the destination before detaching.
+  if (pos == InsertPosition::kBefore || pos == InsertPosition::kAfter) {
+    XmlNode* ref_parent = ref->parent();
+    if (ref_parent == nullptr ||
+        ref_parent->kind() == XmlNodeKind::kDocument) {
+      return false;
+    }
+  } else if (!ref->is_element()) {
+    return false;
+  }
+  std::unique_ptr<XmlNode> detached =
+      src_parent->RemoveChild(source->IndexInParent());
+  bool ok = Insert(ref, pos, std::move(detached));
+  return ok;
+}
+
+bool DomOracle::SetValue(XmlNode* target, const std::string& value) {
+  switch (target->kind()) {
+    case XmlNodeKind::kText:
+    case XmlNodeKind::kComment:
+    case XmlNodeKind::kProcessingInstruction:
+      break;
+    default:
+      return false;
+  }
+  target->set_value(value);
+  return true;
+}
+
+bool DomOracle::SetExistingAttribute(XmlNode* element,
+                                     const std::string& name,
+                                     const std::string& value) {
+  if (!element->is_element() || element->attribute(name) == nullptr) {
+    return false;
+  }
+  element->SetAttribute(name, value);
+  return true;
+}
+
+}  // namespace fuzz
+}  // namespace oxml

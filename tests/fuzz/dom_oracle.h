@@ -1,0 +1,93 @@
+#ifndef OXML_TESTS_FUZZ_DOM_ORACLE_H_
+#define OXML_TESTS_FUZZ_DOM_ORACLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/xpath.h"
+#include "src/xml/xml_node.h"
+
+namespace oxml {
+namespace fuzz {
+
+/// A DOM node or attribute reference produced by the oracle.
+struct OracleNode {
+  const XmlNode* node = nullptr;
+  int attr_index = -1;  // >= 0: the attr_index-th attribute of `node`
+
+  bool is_attribute() const { return attr_index >= 0; }
+  bool operator<(const OracleNode& o) const {
+    if (node != o.node) return node < o.node;
+    return attr_index < o.attr_index;
+  }
+};
+
+/// In-memory reference implementation of the engine's ordered-XML
+/// semantics: XPath evaluation by direct tree walking plus structural
+/// updates applied straight to the DOM. Entirely independent of the
+/// relational stores — this is the differential fuzzer's ground truth.
+class DomOracle {
+ public:
+  /// Takes ownership of (a deep copy of) `doc`'s tree.
+  explicit DomOracle(const XmlDocument& doc);
+
+  XmlDocument* doc() { return doc_.get(); }
+  XmlNode* root_element() const { return doc_->root_element(); }
+
+  /// Resolves a child-index path from the root element (indexes over all
+  /// non-attribute children, matching OrderedXmlStore::NodeAtPath). An
+  /// empty path is the root element itself. Null when out of range.
+  XmlNode* ResolvePath(const std::vector<size_t>& path) const;
+
+  /// Child-index path of `node` (which must be in this tree).
+  std::vector<size_t> PathOf(const XmlNode* node) const;
+
+  /// Evaluates the XPath subset over the DOM; results in document order,
+  /// duplicates removed.
+  std::vector<OracleNode> Evaluate(const XPathQuery& query);
+
+  /// Comparable signature of a result (serialized subtree, or @name=value
+  /// for attributes) — must agree with the stores' signature for the same
+  /// logical node.
+  std::string Signature(const OracleNode& n) const;
+
+  /// Compact serialization of the whole document.
+  std::string Serialize() const;
+
+  // ---------------------------------------------------------- mutations
+  // All return false when the operation is inapplicable (the harness then
+  // skips the op on every store as well).
+
+  bool Insert(XmlNode* ref, InsertPosition pos,
+              std::unique_ptr<XmlNode> subtree);
+  bool Delete(XmlNode* target);
+  bool Move(XmlNode* source, XmlNode* ref, InsertPosition pos);
+  bool SetValue(XmlNode* target, const std::string& value);
+  bool SetExistingAttribute(XmlNode* element, const std::string& name,
+                            const std::string& value);
+
+  /// True if `node` lies in the subtree rooted at `ancestor` (inclusive).
+  static bool InSubtree(const XmlNode* node, const XmlNode* ancestor);
+
+ private:
+  void Renumber();
+  void CollectDescendantsOrSelf(const XmlNode* node, const NodeTest& test,
+                                std::vector<OracleNode>* out) const;
+  std::vector<OracleNode> Expand(const XmlNode* node,
+                                 const XPathStep& step) const;
+  std::vector<OracleNode> ApplyPredicates(
+      const std::vector<XPathPredicate>& preds,
+      std::vector<OracleNode> candidates) const;
+  void SortDocOrder(std::vector<OracleNode>* nodes) const;
+
+  std::unique_ptr<XmlDocument> doc_;
+  std::map<const XmlNode*, int> order_;  // rebuilt per Evaluate
+};
+
+}  // namespace fuzz
+}  // namespace oxml
+
+#endif  // OXML_TESTS_FUZZ_DOM_ORACLE_H_

@@ -1,0 +1,35 @@
+// Replays fuzz repro files produced by oxml_fuzz. A repro passes when the
+// case runs clean — checked-in repros for fixed bugs must all pass. Exit
+// status 1 when any repro still diverges (or fails to parse).
+//
+// Usage: oxml_fuzz_repro FILE...
+
+#include <cstdio>
+
+#include "tests/fuzz/fuzz_harness.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    auto c = oxml::fuzz::LoadCaseFile(argv[i]);
+    if (!c.ok()) {
+      std::printf("%s: PARSE ERROR %s\n", argv[i],
+                  c.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    auto failure = oxml::fuzz::RunCase(&c.value());
+    if (failure.has_value()) {
+      std::printf("%s: FAIL %s\n", argv[i], failure->Describe().c_str());
+      ++failures;
+    } else {
+      std::printf("%s: pass (%zu ops, %zu skipped)\n", argv[i],
+                  c->ops.size(), c->skipped_ops);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Tier-1 gate for the differential fuzz harness (tests/fuzz/): a bounded,
+// fixed-seed run must complete with zero divergences across all three
+// encodings, and every checked-in repro for a previously-fixed bug must
+// replay clean. CI additionally runs a larger range under ASan/UBSan (the
+// fuzz-smoke job); this test keeps the harness itself honest on every
+// ctest invocation.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "tests/fuzz/fuzz_harness.h"
+
+namespace oxml {
+namespace fuzz {
+namespace {
+
+TEST(FuzzSmokeTest, FixedSeedsRunClean) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    FuzzCase c = GenerateCase(seed, 40);
+    auto failure = RunCase(&c);
+    EXPECT_FALSE(failure.has_value())
+        << "seed " << seed << ": " << failure->Describe() << "\nrepro:\n"
+        << SerializeCase(c);
+  }
+}
+
+TEST(FuzzSmokeTest, CasesRoundTripThroughReproFormat) {
+  FuzzCase c = GenerateCase(3, 30);
+  std::string text = SerializeCase(c);
+  auto parsed = ParseCase(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(SerializeCase(*parsed), text);
+  ASSERT_EQ(parsed->ops.size(), c.ops.size());
+  for (size_t i = 0; i < c.ops.size(); ++i) {
+    EXPECT_EQ(parsed->ops[i].ToString(), c.ops[i].ToString()) << i;
+  }
+}
+
+TEST(FuzzSmokeTest, CheckedInReprosReplayClean) {
+  // Each file under tests/fuzz/repros/ is the minimized repro of a bug
+  // fixed in this repo; it failed before the fix and must pass forever
+  // after.
+  std::filesystem::path dir(OXML_FUZZ_REPRO_DIR);
+  ASSERT_TRUE(std::filesystem::exists(dir)) << dir;
+  size_t count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".txt") continue;
+    ++count;
+    auto c = LoadCaseFile(entry.path().string());
+    ASSERT_TRUE(c.ok()) << entry.path() << ": " << c.status().ToString();
+    auto failure = RunCase(&c.value());
+    EXPECT_FALSE(failure.has_value())
+        << entry.path() << ": " << failure->Describe();
+  }
+  EXPECT_GT(count, 0u) << "no repro files found in " << dir;
+}
+
+TEST(FuzzSmokeTest, ShrinkerIsIdempotentOnPassingCases) {
+  // ShrinkCase must never "shrink" a case that does not fail.
+  FuzzCase c = GenerateCase(5, 20);
+  FuzzCase shrunk = ShrinkCase(c);
+  EXPECT_EQ(shrunk.ops.size(), c.ops.size());
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace oxml

@@ -1,0 +1,194 @@
+// Regression tests for ordering-correctness bugs flushed out by the
+// differential fuzz harness (tests/fuzz/): NaN key ordering, lossy
+// int64/double mixed comparison, malformed Dewey ordinals in Release
+// builds, and XML character-reference validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/core/dewey.h"
+#include "src/relational/btree.h"
+#include "src/relational/key_codec.h"
+#include "src/relational/value.h"
+#include "src/xml/xml_parser.h"
+
+namespace oxml {
+namespace {
+
+// ------------------------------------------------- NaN total order (keys)
+
+double QNaN() { return std::numeric_limits<double>::quiet_NaN(); }
+double NegNaN() { return std::copysign(QNaN(), -1.0); }
+double Inf() { return std::numeric_limits<double>::infinity(); }
+
+TEST(NanOrderingTest, CompareImplementsTotalOrder) {
+  // IEEE-754 total order: -NaN < -inf < ... < -0.0 < +0.0 < ... < +inf
+  // < +NaN. The old comparator returned 0 for any NaN operand, which made
+  // NaN "equal" to everything and broke B+tree invariants.
+  std::vector<double> ordered = {NegNaN(), -Inf(), -1e300, -1.0, -0.0,
+                                 0.0,      1.0,    1e300,  Inf(), QNaN()};
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    for (size_t j = 0; j < ordered.size(); ++j) {
+      int expected = i < j ? -1 : (i > j ? 1 : 0);
+      EXPECT_EQ(Value::Double(ordered[i]).Compare(Value::Double(ordered[j])),
+                expected)
+          << ordered[i] << " vs " << ordered[j];
+    }
+  }
+}
+
+TEST(NanOrderingTest, CompareAgreesWithKeyEncodingBytes) {
+  std::vector<double> vals = {NegNaN(), -Inf(), -3.5, -0.0, 0.0,
+                              1e-300,   2.25,   Inf(), QNaN()};
+  for (double a : vals) {
+    for (double b : vals) {
+      int logical = Value::Double(a).Compare(Value::Double(b));
+      int physical =
+          EncodeKey(Value::Double(a)).compare(EncodeKey(Value::Double(b)));
+      int norm = physical < 0 ? -1 : (physical > 0 ? 1 : 0);
+      EXPECT_EQ(logical, norm) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(NanOrderingTest, IndexScanWithNanKeysMatchesCompareOrder) {
+  // Insert NaN (and friends) as index keys; a full scan must come back in
+  // exactly Value::Compare order.
+  std::vector<double> vals = {1.0,  QNaN(), -Inf(), 0.0,   NegNaN(),
+                              -0.0, Inf(),  -2.5,   1e300, -1e-300};
+  BPlusTree tree;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    tree.Insert(EncodeKey(Value::Double(vals[i])),
+                Rid{static_cast<uint32_t>(i), 0});
+  }
+  std::vector<size_t> by_compare(vals.size());
+  for (size_t i = 0; i < by_compare.size(); ++i) by_compare[i] = i;
+  std::sort(by_compare.begin(), by_compare.end(), [&](size_t a, size_t b) {
+    return Value::Double(vals[a]).Compare(Value::Double(vals[b])) < 0;
+  });
+  std::vector<size_t> by_scan;
+  for (auto it = tree.Begin(); it.valid(); it.Next()) {
+    by_scan.push_back(it.rid().page_id);
+  }
+  EXPECT_EQ(by_scan, by_compare);
+}
+
+// ------------------------------------- exact int64/double mixed compare
+
+TEST(IntDoubleCompareTest, ExactAt2To53Boundary) {
+  // 2^53 + 1 is not representable as a double; casting the int64 side to
+  // double (the old implementation) collapsed it onto 2^53.
+  const int64_t k53 = int64_t{1} << 53;  // 9007199254740992
+  const double d53 = 9007199254740992.0;
+  EXPECT_EQ(Value::Int(k53).Compare(Value::Double(d53)), 0);
+  EXPECT_GT(Value::Int(k53 + 1).Compare(Value::Double(d53)), 0);
+  EXPECT_LT(Value::Int(k53 - 1).Compare(Value::Double(d53)), 0);
+  EXPECT_LT(Value::Double(d53).Compare(Value::Int(k53 + 1)), 0);
+  EXPECT_GT(Value::Double(d53).Compare(Value::Int(k53 - 1)), 0);
+}
+
+TEST(IntDoubleCompareTest, ExtremesAndFractions) {
+  const double two63 = 9223372036854775808.0;  // 2^63, exact
+  EXPECT_LT(Value::Int(INT64_MAX).Compare(Value::Double(two63)), 0);
+  EXPECT_GT(Value::Int(INT64_MIN).Compare(Value::Double(-two63 * 2)), 0);
+  // INT64_MIN == -2^63 is exactly representable.
+  EXPECT_EQ(Value::Int(INT64_MIN).Compare(Value::Double(-two63)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Int(4).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Int(-3).Compare(Value::Double(-3.5)), 0);
+  EXPECT_GT(Value::Int(0).Compare(Value::Double(-Inf())), 0);
+  EXPECT_LT(Value::Int(0).Compare(Value::Double(Inf())), 0);
+  // NaN sits at the far ends of the total order, never "equal".
+  EXPECT_LT(Value::Int(INT64_MAX).Compare(Value::Double(QNaN())), 0);
+  EXPECT_GT(Value::Int(INT64_MIN).Compare(Value::Double(NegNaN())), 0);
+}
+
+TEST(IntDoubleCompareTest, AntisymmetricAcrossTypes) {
+  const int64_t probes_i[] = {0,  1,  -1, (int64_t{1} << 53) + 1,
+                              INT64_MAX, INT64_MIN};
+  const double probes_d[] = {0.0,   -0.0, 0.5,   9007199254740993.0,
+                             QNaN(), NegNaN(), Inf(), -Inf()};
+  for (int64_t i : probes_i) {
+    for (double d : probes_d) {
+      EXPECT_EQ(Value::Int(i).Compare(Value::Double(d)),
+                -Value::Double(d).Compare(Value::Int(i)))
+          << i << " vs " << d;
+    }
+  }
+}
+
+// ---------------------------------------- Dewey decode of untrusted bytes
+
+TEST(DeweyDecodeTest, RejectsZeroOrdinalInReleaseBuilds) {
+  // Ordinal 0 encoded as {len=1, 0x00}. The old code relied on an assert
+  // in Encode(), which is compiled out under NDEBUG; Decode() must reject
+  // malformed ordinals with a Status regardless of build type.
+  std::string bytes("\x01\x00", 2);
+  auto key = DeweyKey::Decode(bytes);
+  ASSERT_FALSE(key.ok());
+  EXPECT_TRUE(key.status().IsInvalidArgument());
+}
+
+TEST(DeweyDecodeTest, RejectsOrdinalAboveInt64Max) {
+  // 8-byte component 0xFFFFFFFFFFFFFFFF would wrap negative when cast.
+  std::string bytes = "\x08";
+  bytes.append(8, '\xFF');
+  auto key = DeweyKey::Decode(bytes);
+  ASSERT_FALSE(key.ok());
+  EXPECT_TRUE(key.status().IsInvalidArgument());
+}
+
+TEST(DeweyDecodeTest, RoundTripsValidKeys) {
+  DeweyKey key({1, 300, 7, (int64_t{1} << 56) + 9});
+  auto decoded = DeweyKey::Decode(key.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->Compare(key), 0);
+  EXPECT_EQ(decoded->ToString(), key.ToString());
+}
+
+// ----------------------------------------- XML character-reference limits
+
+TEST(XmlEntityTest, RejectsCodePointAboveUnicodeRange) {
+  auto doc = ParseXml("<a>&#x110000;</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("out of range"), std::string::npos)
+      << doc.status().ToString();
+}
+
+TEST(XmlEntityTest, RejectsSurrogateCodePoints) {
+  for (const char* body : {"&#xD800;", "&#xDC00;", "&#xDFFF;", "&#55296;"}) {
+    auto doc = ParseXml(std::string("<a>") + body + "</a>");
+    EXPECT_FALSE(doc.ok()) << body;
+  }
+  // Boundary neighbours stay accepted.
+  EXPECT_TRUE(ParseXml("<a>&#xD7FF;</a>").ok());
+  EXPECT_TRUE(ParseXml("<a>&#xE000;</a>").ok());
+  EXPECT_TRUE(ParseXml("<a>&#x10FFFF;</a>").ok());
+}
+
+TEST(XmlEntityTest, RejectsZeroAndNegativeCodePoints) {
+  EXPECT_FALSE(ParseXml("<a>&#0;</a>").ok());
+  EXPECT_FALSE(ParseXml("<a>&#x0;</a>").ok());
+}
+
+TEST(XmlEntityTest, DistinguishesTooLongFromUnterminated) {
+  // A reference that never closes before the scan cap is "too long"...
+  auto too_long = ParseXml("<a>&aaaaaaaaaaaaaaaaaaaaaaaa;</a>");
+  ASSERT_FALSE(too_long.ok());
+  EXPECT_NE(too_long.status().message().find("entity too long"),
+            std::string::npos)
+      << too_long.status().ToString();
+  // ...while one cut off by end-of-input is "unterminated".
+  auto unterminated = ParseXml("<a>&amp");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_NE(unterminated.status().message().find("unterminated entity"),
+            std::string::npos)
+      << unterminated.status().ToString();
+}
+
+}  // namespace
+}  // namespace oxml
