@@ -1,0 +1,209 @@
+// Experiment 15: the price of durability. Measures (a) commit throughput of
+// small write transactions under the WAL sync policies — fsync per commit,
+// group commit, write-without-sync, and no WAL at all; (b) the same sweep on
+// an ordered-store subtree insert, the paper's update workload; and (c)
+// recovery time as a function of WAL length. Feeds EXPERIMENTS.md E15.
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/relational/wal.h"
+#include "src/xml/xml_parser.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+std::string BenchPath(const std::string& name) {
+  const char* base = std::getenv("TMPDIR");
+  return std::string(base != nullptr ? base : "/tmp") + "/oxml_bench_dur_" +
+         std::to_string(static_cast<long long>(::getpid())) + "_" + name +
+         ".db";
+}
+
+void RemoveDb(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+}
+
+// Sync-policy axis shared by the commit benchmarks.
+constexpr int64_t kPolicyCount = 5;
+
+DatabaseOptions PolicyOptions(int64_t policy, const std::string& path) {
+  DatabaseOptions o;
+  o.file_path = path;
+  switch (policy) {
+    case 0:  // fsync on every commit (the default, full durability)
+      break;
+    case 1:
+      o.wal_group_commit_every = 8;
+      break;
+    case 2:
+      o.wal_group_commit_every = 64;
+      break;
+    case 3:  // write the log, let the OS decide when it hits disk
+      o.wal_sync_on_commit = false;
+      break;
+    default:  // no WAL: page writes only at checkpoint/eviction
+      o.enable_wal = false;
+      break;
+  }
+  return o;
+}
+
+const char* PolicyName(int64_t policy) {
+  switch (policy) {
+    case 0:
+      return "fsync_each";
+    case 1:
+      return "group_8";
+    case 2:
+      return "group_64";
+    case 3:
+      return "nosync";
+    default:
+      return "no_wal";
+  }
+}
+
+void ReportWal(benchmark::State& state, Database* db) {
+  if (db->wal() != nullptr) {
+    state.counters["wal_syncs"] =
+        static_cast<double>(db->wal()->syncs());
+    state.counters["wal_mb"] =
+        static_cast<double>(db->wal()->bytes_appended()) / (1024.0 * 1024.0);
+  }
+  state.SetLabel(PolicyName(state.range(0)));
+}
+
+// (a) One single-row INSERT per transaction: the commit path laid bare.
+void BM_CommitSingleRow(benchmark::State& state) {
+  std::string path = BenchPath("commit");
+  RemoveDb(path);
+  auto dbr = Database::Open(PolicyOptions(state.range(0), path));
+  OXML_BENCH_CHECK(dbr.ok());
+  std::unique_ptr<Database> db = std::move(dbr).value();
+  OXML_BENCH_OK(db->Execute("CREATE TABLE t (id INT, body TEXT)"));
+  auto ps = db->Prepare("INSERT INTO t VALUES (?, ?)");
+  OXML_BENCH_OK(ps);
+  int64_t id = 0;
+  for (auto _ : state) {
+    OXML_BENCH_CHECK(ps->BindAll(
+        {Value::Int(id++), Value::Text("forty bytes of payload for the row")}).ok());
+    OXML_BENCH_OK(ps->Execute());
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportWal(state, db.get());
+  OXML_BENCH_CHECK(db->Close().ok());
+  db.reset();
+  RemoveDb(path);
+}
+
+// (b) The paper's update workload under durability: one subtree insert (a
+// multi-statement renumbering transaction) per commit, Dewey encoding.
+void BM_CommitSubtreeInsert(benchmark::State& state) {
+  std::string path = BenchPath("subtree");
+  RemoveDb(path);
+  auto dbr = Database::Open(PolicyOptions(state.range(0), path));
+  OXML_BENCH_CHECK(dbr.ok());
+  std::unique_ptr<Database> db = std::move(dbr).value();
+  StoreOptions sopts;
+  sopts.gap = 8;
+  auto sr = OrderedXmlStore::Create(db.get(), OrderEncoding::kDewey, sopts);
+  OXML_BENCH_CHECK(sr.ok());
+  std::unique_ptr<OrderedXmlStore> store = std::move(sr).value();
+  auto doc = NewsDoc(static_cast<int>(SmokeScaled(20, 4)), 5);
+  OXML_BENCH_CHECK(store->LoadDocument(*doc).ok());
+  auto frag = ParseXml("<section id=\"bench\"><para>inserted text</para>"
+                       "</section>");
+  OXML_BENCH_CHECK(frag.ok());
+  const XmlNode* payload = (*frag)->root_element();
+  for (auto _ : state) {
+    auto sections = EvaluateXPath(store.get(), "/nitf/body/section");
+    OXML_BENCH_CHECK(sections.ok() && !sections->empty());
+    auto stats = store->InsertSubtree(
+        (*sections)[sections->size() / 2], InsertPosition::kBefore, *payload);
+    OXML_BENCH_CHECK(stats.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  ReportWal(state, db.get());
+  OXML_BENCH_CHECK(db->Close().ok());
+  store.reset();
+  db.reset();
+  RemoveDb(path);
+}
+
+// (c) Recovery: reopen a database that crashed with N committed
+// transactions in its WAL and no checkpoint since.
+void BM_Recovery(benchmark::State& state) {
+  int64_t commits = SmokeCapped(state.range(0), 64);
+  std::string path = BenchPath("recover");
+  std::string gold = path + ".gold";
+  std::string gold_wal = path + ".wal.gold";
+  RemoveDb(path);
+  {
+    DatabaseOptions o;
+    o.file_path = path;
+    o.wal_checkpoint_threshold_bytes = 0;  // let the log grow
+    auto dbr = Database::Open(o);
+    OXML_BENCH_CHECK(dbr.ok());
+    std::unique_ptr<Database> db = std::move(dbr).value();
+    OXML_BENCH_OK(db->Execute("CREATE TABLE t (id INT, body TEXT)"));
+    auto ps = db->Prepare("INSERT INTO t VALUES (?, ?)");
+    OXML_BENCH_OK(ps);
+    for (int64_t i = 0; i < commits; ++i) {
+      OXML_BENCH_CHECK(ps->BindAll(
+          {Value::Int(i), Value::Text("row payload to be replayed")}).ok());
+      OXML_BENCH_OK(ps->Execute());
+    }
+    state.counters["wal_mb"] =
+        static_cast<double>(db->wal()->size_bytes()) / (1024.0 * 1024.0);
+    db->SimulateCrashForTesting();
+  }
+  std::filesystem::copy_file(path, gold,
+                             std::filesystem::copy_options::overwrite_existing);
+  std::filesystem::copy_file(path + ".wal", gold_wal,
+                             std::filesystem::copy_options::overwrite_existing);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::copy_file(
+        gold, path, std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::copy_file(
+        gold_wal, path + ".wal",
+        std::filesystem::copy_options::overwrite_existing);
+    state.ResumeTiming();
+
+    DatabaseOptions o;
+    o.file_path = path;
+    o.open_existing = true;
+    auto dbr = Database::Open(o);  // replays + truncates the log
+    OXML_BENCH_CHECK(dbr.ok());
+
+    state.PauseTiming();
+    (*dbr)->SimulateCrashForTesting();  // skip the checkpoint on destroy
+    dbr->reset();
+    state.ResumeTiming();
+  }
+  state.counters["commits_replayed"] = static_cast<double>(commits);
+  RemoveDb(path);
+  std::remove(gold.c_str());
+  std::remove(gold_wal.c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_CommitSingleRow)->DenseRange(0, oxml::bench::kPolicyCount - 1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(oxml::bench::BM_CommitSubtreeInsert)->DenseRange(0, oxml::bench::kPolicyCount - 1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(oxml::bench::BM_Recovery)->Arg(64)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+OXML_BENCH_MAIN()

@@ -57,16 +57,29 @@ Result<OrderedXmlStore*> DocumentCollection::AddDocument(
   int64_t doc_id = next_doc_id_++;
   StoreOptions options = base_options_;
   options.table_name = prefix_ + "_" + std::to_string(doc_id);
+  // The CREATE TABLE/INDEX commit on their own (DDL cannot nest in a
+  // transaction); until the catalog row commits below, a crash leaves only
+  // an orphaned empty table that Attach never looks at.
   OXML_ASSIGN_OR_RETURN(std::unique_ptr<OrderedXmlStore> store,
                         OrderedXmlStore::Create(db_, encoding_, options));
-  OXML_RETURN_NOT_OK(store->LoadDocument(doc));
-  OXML_ASSIGN_OR_RETURN(int64_t nodes, store->NodeCount());
-  OXML_RETURN_NOT_OK(
-      db_->Execute("INSERT INTO " + catalog_table() + " VALUES (" +
-                   std::to_string(doc_id) + ", " + SqlQuote(name) + ", " +
-                   SqlQuote(options.table_name) + ", " +
-                   std::to_string(nodes) + ")")
-          .status());
+  auto load_and_register = [&]() -> Status {
+    TxnScope txn(db_);
+    OXML_RETURN_NOT_OK(txn.begin_status());
+    OXML_RETURN_NOT_OK(store->LoadDocument(doc));
+    OXML_ASSIGN_OR_RETURN(int64_t nodes, store->NodeCount());
+    OXML_RETURN_NOT_OK(
+        db_->Execute("INSERT INTO " + catalog_table() + " VALUES (" +
+                     std::to_string(doc_id) + ", " + SqlQuote(name) + ", " +
+                     SqlQuote(options.table_name) + ", " +
+                     std::to_string(nodes) + ")")
+            .status());
+    return txn.Commit();
+  };
+  Status st = load_and_register();
+  if (!st.ok()) {
+    (void)db_->DropTable(options.table_name);
+    return st;
+  }
   OrderedXmlStore* raw = store.get();
   stores_[name] = std::move(store);
   return raw;
@@ -86,12 +99,15 @@ Status DocumentCollection::RemoveDocument(const std::string& name) {
   if (it == stores_.end()) {
     return Status::NotFound("no document named '" + name + "'");
   }
-  OXML_RETURN_NOT_OK(db_->DropTable(it->second->table_name()));
+  // Deregister before dropping: a crash between the two commits leaves an
+  // orphaned node table (harmless), never a catalog row pointing at a
+  // table that no longer exists (which would fail the next Attach).
   OXML_RETURN_NOT_OK(db_->Execute("DELETE FROM " + catalog_table() +
                                   " WHERE name = " + SqlQuote(name))
                          .status());
-  stores_.erase(it);
-  return Status::OK();
+  Status dropped = db_->DropTable(it->second->table_name());
+  stores_.erase(it);  // the catalog row is gone either way
+  return dropped;
 }
 
 std::vector<std::string> DocumentCollection::DocumentNames() const {

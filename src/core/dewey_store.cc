@@ -89,7 +89,7 @@ Status DeweyStore::BulkInsert(const std::vector<Row>& rows,
   return Status::OK();
 }
 
-Status DeweyStore::LoadDocument(const XmlDocument& doc) {
+Status DeweyStore::DoLoadDocument(const XmlDocument& doc) {
   std::vector<Row> rows;
   int64_t comp = 0;
   for (const auto& top : doc.root()->children()) {
@@ -292,7 +292,7 @@ Status DeweyStore::Validate() {
   return Status::OK();
 }
 
-Result<UpdateStats> DeweyStore::InsertSubtree(const StoredNode& ref,
+Result<UpdateStats> DeweyStore::DoInsertSubtree(const StoredNode& ref,
                                               InsertPosition pos,
                                               const XmlNode& subtree) {
   if (ref.kind == XmlNodeKind::kAttribute) {
@@ -454,7 +454,7 @@ Result<UpdateStats> DeweyStore::InsertSubtree(const StoredNode& ref,
   return stats;
 }
 
-Result<UpdateStats> DeweyStore::DeleteSubtree(const StoredNode& node) {
+Result<UpdateStats> DeweyStore::DoDeleteSubtree(const StoredNode& node) {
   UpdateStats stats;
   OXML_ASSIGN_OR_RETURN(
       int64_t deleted,

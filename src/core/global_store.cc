@@ -93,7 +93,7 @@ Status GlobalStore::BulkInsert(const std::vector<Row>& rows,
   return Status::OK();
 }
 
-Status GlobalStore::LoadDocument(const XmlDocument& doc) {
+Status GlobalStore::DoLoadDocument(const XmlDocument& doc) {
   std::vector<Row> rows;
   int64_t counter = 0;
   for (const auto& top : doc.root()->children()) {
@@ -296,7 +296,7 @@ Status GlobalStore::Validate() {
   return Status::OK();
 }
 
-Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
+Result<UpdateStats> GlobalStore::DoInsertSubtree(const StoredNode& ref,
                                                InsertPosition pos,
                                                const XmlNode& subtree) {
   if (ref.kind == XmlNodeKind::kAttribute) {
@@ -455,7 +455,7 @@ Result<UpdateStats> GlobalStore::InsertSubtree(const StoredNode& ref,
   return stats;
 }
 
-Result<UpdateStats> GlobalStore::DeleteSubtree(const StoredNode& node) {
+Result<UpdateStats> GlobalStore::DoDeleteSubtree(const StoredNode& node) {
   UpdateStats stats;
   OXML_ASSIGN_OR_RETURN(
       int64_t deleted,

@@ -101,7 +101,7 @@ Status LocalStore::BulkInsert(const std::vector<Row>& rows,
   return Status::OK();
 }
 
-Status LocalStore::LoadDocument(const XmlDocument& doc) {
+Status LocalStore::DoLoadDocument(const XmlDocument& doc) {
   std::vector<Row> rows;
   int64_t sord = 0;
   for (const auto& top : doc.root()->children()) {
@@ -457,7 +457,7 @@ Status LocalStore::Validate() {
   return Status::OK();
 }
 
-Result<UpdateStats> LocalStore::InsertSubtree(const StoredNode& ref,
+Result<UpdateStats> LocalStore::DoInsertSubtree(const StoredNode& ref,
                                               InsertPosition pos,
                                               const XmlNode& subtree) {
   if (ref.kind == XmlNodeKind::kAttribute) {
@@ -573,7 +573,7 @@ Result<UpdateStats> LocalStore::InsertSubtree(const StoredNode& ref,
   return stats;
 }
 
-Result<UpdateStats> LocalStore::DeleteSubtree(const StoredNode& node) {
+Result<UpdateStats> LocalStore::DoDeleteSubtree(const StoredNode& node) {
   UpdateStats stats;
   // Collect the subtree ids level by level (no closure in the schema).
   std::vector<int64_t> frontier{node.id};

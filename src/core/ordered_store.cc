@@ -192,6 +192,31 @@ Result<int64_t> OrderedXmlStore::DmlP(const std::string& sql, Row params,
   return ps.Execute();
 }
 
+Status OrderedXmlStore::LoadDocument(const XmlDocument& doc) {
+  TxnScope txn(db_);
+  OXML_RETURN_NOT_OK(txn.begin_status());
+  OXML_RETURN_NOT_OK(DoLoadDocument(doc));
+  return txn.Commit();
+}
+
+Result<UpdateStats> OrderedXmlStore::InsertSubtree(const StoredNode& ref,
+                                                   InsertPosition pos,
+                                                   const XmlNode& subtree) {
+  TxnScope txn(db_);
+  OXML_RETURN_NOT_OK(txn.begin_status());
+  OXML_ASSIGN_OR_RETURN(UpdateStats stats, DoInsertSubtree(ref, pos, subtree));
+  OXML_RETURN_NOT_OK(txn.Commit());
+  return stats;
+}
+
+Result<UpdateStats> OrderedXmlStore::DeleteSubtree(const StoredNode& node) {
+  TxnScope txn(db_);
+  OXML_RETURN_NOT_OK(txn.begin_status());
+  OXML_ASSIGN_OR_RETURN(UpdateStats stats, DoDeleteSubtree(node));
+  OXML_RETURN_NOT_OK(txn.Commit());
+  return stats;
+}
+
 Result<UpdateStats> OrderedXmlStore::UpdateNodeValue(
     const StoredNode& node, std::string_view new_value) {
   switch (node.kind) {
@@ -223,13 +248,17 @@ Result<UpdateStats> OrderedXmlStore::UpdateAttributeValue(
   if (element.kind != XmlNodeKind::kElement) {
     return Status::InvalidArgument("attributes belong to elements");
   }
+  TxnScope txn(db_);
+  OXML_RETURN_NOT_OK(txn.begin_status());
   OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> attrs,
                         Attributes(element, name));
   if (attrs.empty()) {
     return Status::NotFound("element has no attribute '" +
                             std::string(name) + "'");
   }
-  return UpdateNodeValue(attrs[0], new_value);
+  OXML_ASSIGN_OR_RETURN(UpdateStats stats, UpdateNodeValue(attrs[0], new_value));
+  OXML_RETURN_NOT_OK(txn.Commit());
+  return stats;
 }
 
 Result<UpdateStats> OrderedXmlStore::MoveSubtree(const StoredNode& source,
@@ -247,6 +276,11 @@ Result<UpdateStats> OrderedXmlStore::MoveSubtree(const StoredNode& source,
   }
   OXML_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> subtree,
                         ReconstructSubtree(source));
+  // One transaction around delete + insert: recovery can never land on the
+  // intermediate state where the subtree has left its old position but not
+  // yet arrived at the new one.
+  TxnScope txn(db_);
+  OXML_RETURN_NOT_OK(txn.begin_status());
   UpdateStats total;
   OXML_ASSIGN_OR_RETURN(UpdateStats del, DeleteSubtree(source));
   total.Add(del);
@@ -254,6 +288,7 @@ Result<UpdateStats> OrderedXmlStore::MoveSubtree(const StoredNode& source,
   // renumber under any encoding.
   OXML_ASSIGN_OR_RETURN(UpdateStats ins, InsertSubtree(ref, pos, *subtree));
   total.Add(ins);
+  OXML_RETURN_NOT_OK(txn.Commit());
   return total;
 }
 

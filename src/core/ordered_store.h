@@ -75,8 +75,9 @@ class OrderedXmlStore {
   // ------------------------------------------------------------ bulk load
 
   /// Shreds `doc` into the node table (document must be loaded into an
-  /// empty store).
-  virtual Status LoadDocument(const XmlDocument& doc) = 0;
+  /// empty store). Runs as one transaction: a crash mid-load leaves the
+  /// store empty, never partially shredded.
+  Status LoadDocument(const XmlDocument& doc);
 
   /// Rebuilds the complete document from the relations.
   virtual Result<std::unique_ptr<XmlDocument>> ReconstructDocument() = 0;
@@ -125,13 +126,14 @@ class OrderedXmlStore {
 
   /// Inserts `subtree` at the given position relative to `ref`, preserving
   /// document order; renumbers existing rows when the sparse numbering has
-  /// no free ordinal (cost reported in UpdateStats).
-  virtual Result<UpdateStats> InsertSubtree(const StoredNode& ref,
-                                            InsertPosition pos,
-                                            const XmlNode& subtree) = 0;
+  /// no free ordinal (cost reported in UpdateStats). The whole operation —
+  /// renumbering sweep included — is one transaction: it is atomic under
+  /// crashes and rolled back entirely on failure.
+  Result<UpdateStats> InsertSubtree(const StoredNode& ref, InsertPosition pos,
+                                    const XmlNode& subtree);
 
-  /// Removes the subtree rooted at `node`.
-  virtual Result<UpdateStats> DeleteSubtree(const StoredNode& node) = 0;
+  /// Removes the subtree rooted at `node`, atomically (one transaction).
+  Result<UpdateStats> DeleteSubtree(const StoredNode& node);
 
   /// Replaces the value of a text, comment, PI or attribute node. Value
   /// updates never touch order keys — under every encoding they are a
@@ -201,6 +203,16 @@ class OrderedXmlStore {
  protected:
   OrderedXmlStore(Database* db, OrderEncoding encoding, StoreOptions options)
       : db_(db), encoding_(encoding), options_(std::move(options)) {}
+
+  /// Encoding-specific bodies of the public mutation entry points, which
+  /// wrap them in a TxnScope (template method). When the caller already
+  /// opened a transaction, the scope nests flatly and the outer transaction
+  /// decides the outcome.
+  virtual Status DoLoadDocument(const XmlDocument& doc) = 0;
+  virtual Result<UpdateStats> DoInsertSubtree(const StoredNode& ref,
+                                              InsertPosition pos,
+                                              const XmlNode& subtree) = 0;
+  virtual Result<UpdateStats> DoDeleteSubtree(const StoredNode& node) = 0;
 
   /// Runs a SELECT, counting it into `stats` when provided.
   Result<ResultSet> Sql(const std::string& sql, UpdateStats* stats = nullptr);

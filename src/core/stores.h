@@ -44,7 +44,6 @@ class GlobalStore : public StoreBase {
       : StoreBase(db, OrderEncoding::kGlobal, std::move(options)) {}
 
   Status CreateTableAndIndexes() override;
-  Status LoadDocument(const XmlDocument& doc) override;
   Result<std::unique_ptr<XmlDocument>> ReconstructDocument() override;
   Result<std::unique_ptr<XmlNode>> ReconstructSubtree(
       const StoredNode& node) override;
@@ -62,9 +61,6 @@ class GlobalStore : public StoreBase {
   Result<StoredNode> Parent(const StoredNode& node) override;
   Status SortDocumentOrder(std::vector<StoredNode>* nodes) override;
   Result<std::string> StringValue(const StoredNode& node) override;
-  Result<UpdateStats> InsertSubtree(const StoredNode& ref, InsertPosition pos,
-                                    const XmlNode& subtree) override;
-  Result<UpdateStats> DeleteSubtree(const StoredNode& node) override;
   const char* NodeColumns() const override;
   StoredNode NodeFromRow(const Row& row) const override;
   Status Validate() override;
@@ -73,6 +69,13 @@ class GlobalStore : public StoreBase {
   std::string KeyCondition(const StoredNode& node) const override;
   std::string KeyConditionP(const StoredNode& node,
                             Row* params) const override;
+
+ protected:
+  Status DoLoadDocument(const XmlDocument& doc) override;
+  Result<UpdateStats> DoInsertSubtree(const StoredNode& ref,
+                                      InsertPosition pos,
+                                      const XmlNode& subtree) override;
+  Result<UpdateStats> DoDeleteSubtree(const StoredNode& node) override;
 
  private:
   /// `where` may contain '?' markers bound from `params`; the generated
@@ -106,7 +109,6 @@ class LocalStore : public StoreBase {
 
   Status CreateTableAndIndexes() override;
   Status InitializeExisting() override;
-  Status LoadDocument(const XmlDocument& doc) override;
   Result<std::unique_ptr<XmlDocument>> ReconstructDocument() override;
   Result<std::unique_ptr<XmlNode>> ReconstructSubtree(
       const StoredNode& node) override;
@@ -124,9 +126,6 @@ class LocalStore : public StoreBase {
   Result<StoredNode> Parent(const StoredNode& node) override;
   Status SortDocumentOrder(std::vector<StoredNode>* nodes) override;
   Result<std::string> StringValue(const StoredNode& node) override;
-  Result<UpdateStats> InsertSubtree(const StoredNode& ref, InsertPosition pos,
-                                    const XmlNode& subtree) override;
-  Result<UpdateStats> DeleteSubtree(const StoredNode& node) override;
   const char* NodeColumns() const override;
   StoredNode NodeFromRow(const Row& row) const override;
   Status Validate() override;
@@ -135,6 +134,13 @@ class LocalStore : public StoreBase {
   std::string KeyCondition(const StoredNode& node) const override;
   std::string KeyConditionP(const StoredNode& node,
                             Row* params) const override;
+
+ protected:
+  Status DoLoadDocument(const XmlDocument& doc) override;
+  Result<UpdateStats> DoInsertSubtree(const StoredNode& ref,
+                                      InsertPosition pos,
+                                      const XmlNode& subtree) override;
+  Result<UpdateStats> DoDeleteSubtree(const StoredNode& node) override;
 
  private:
   Result<std::vector<StoredNode>> Select(const std::string& where,
@@ -166,7 +172,6 @@ class DeweyStore : public StoreBase {
       : StoreBase(db, OrderEncoding::kDewey, std::move(options)) {}
 
   Status CreateTableAndIndexes() override;
-  Status LoadDocument(const XmlDocument& doc) override;
   Result<std::unique_ptr<XmlDocument>> ReconstructDocument() override;
   Result<std::unique_ptr<XmlNode>> ReconstructSubtree(
       const StoredNode& node) override;
@@ -184,9 +189,6 @@ class DeweyStore : public StoreBase {
   Result<StoredNode> Parent(const StoredNode& node) override;
   Status SortDocumentOrder(std::vector<StoredNode>* nodes) override;
   Result<std::string> StringValue(const StoredNode& node) override;
-  Result<UpdateStats> InsertSubtree(const StoredNode& ref, InsertPosition pos,
-                                    const XmlNode& subtree) override;
-  Result<UpdateStats> DeleteSubtree(const StoredNode& node) override;
   const char* NodeColumns() const override;
   StoredNode NodeFromRow(const Row& row) const override;
   Status Validate() override;
@@ -195,6 +197,13 @@ class DeweyStore : public StoreBase {
   std::string KeyCondition(const StoredNode& node) const override;
   std::string KeyConditionP(const StoredNode& node,
                             Row* params) const override;
+
+ protected:
+  Status DoLoadDocument(const XmlDocument& doc) override;
+  Result<UpdateStats> DoInsertSubtree(const StoredNode& ref,
+                                      InsertPosition pos,
+                                      const XmlNode& subtree) override;
+  Result<UpdateStats> DoDeleteSubtree(const StoredNode& node) override;
 
  private:
   Result<std::vector<StoredNode>> Select(const std::string& where,

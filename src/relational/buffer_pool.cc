@@ -3,8 +3,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <vector>
+
+#include "src/relational/wal.h"
 
 namespace oxml {
 
@@ -64,19 +68,48 @@ Result<uint32_t> FileBackend::AllocatePage() {
 }
 
 Status FileBackend::ReadPage(uint32_t id, char* buf) {
-  ssize_t n = ::pread(fd_, buf, kPageSize,
-                      static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("pread failed for page " + std::to_string(id));
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pread(fd_, buf + done, kPageSize - done,
+                        static_cast<off_t>(id) * kPageSize +
+                            static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread(" + path_ + ", page " +
+                             std::to_string(id) +
+                             "): " + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("pread(" + path_ + ", page " +
+                             std::to_string(id) + "): unexpected EOF at byte " +
+                             std::to_string(done));
+    }
+    done += static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
 Status FileBackend::WritePage(uint32_t id, const char* buf) {
-  ssize_t n = ::pwrite(fd_, buf, kPageSize,
-                       static_cast<off_t>(id) * kPageSize);
-  if (n != static_cast<ssize_t>(kPageSize)) {
-    return Status::IOError("pwrite failed for page " + std::to_string(id));
+  size_t done = 0;
+  while (done < kPageSize) {
+    ssize_t n = ::pwrite(fd_, buf + done, kPageSize - done,
+                         static_cast<off_t>(id) * kPageSize +
+                             static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite(" + path_ + ", page " +
+                             std::to_string(id) +
+                             "): " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status FileBackend::Sync() {
+  while (::fsync(fd_) != 0) {
+    if (errno == EINTR) continue;
+    return Status::IOError("fsync(" + path_ + "): " + std::strerror(errno));
   }
   return Status::OK();
 }
@@ -124,16 +157,25 @@ BufferPool::BufferPool(std::unique_ptr<StorageBackend> backend,
                        size_t capacity)
     : backend_(std::move(backend)), capacity_(capacity) {}
 
-BufferPool::~BufferPool() { (void)FlushAll(); }
+BufferPool::~BufferPool() {
+  if (!discard_on_destroy_) (void)FlushAll();
+}
 
 Status BufferPool::EnsureCapacity() {
   if (capacity_ == 0 || frames_.size() < capacity_) return Status::OK();
-  // Evict the least recently used unpinned frame.
+  // Evict the least recently used unpinned frame. Frames dirtied by the
+  // open transaction are not eligible (no-steal): writing them back would
+  // put uncommitted bytes in the data file.
+  bool saw_txn_dirty = false;
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
     uint32_t victim = *it;
     auto fit = frames_.find(victim);
     if (fit == frames_.end() || fit->second.pin_count > 0) continue;
     Frame& f = fit->second;
+    if (f.txn_dirty) {
+      saw_txn_dirty = true;
+      continue;
+    }
     if (f.dirty) {
       OXML_RETURN_NOT_OK(backend_->WritePage(victim, f.data.get()));
     }
@@ -141,7 +183,21 @@ Status BufferPool::EnsureCapacity() {
     frames_.erase(fit);
     return Status::OK();
   }
+  if (saw_txn_dirty) {
+    // Every evictable frame belongs to the open transaction; grow the pool
+    // past its capacity for the transaction's lifetime rather than steal.
+    return Status::OK();
+  }
   return Status::Internal("buffer pool exhausted: all frames pinned");
+}
+
+void BufferPool::CaptureUndo(uint32_t page_id, const Frame& frame) {
+  if (!in_txn_ || undo_.count(page_id) > 0) return;
+  TxnUndo u;
+  u.before = std::make_unique<char[]>(kPageSize);
+  std::memcpy(u.before.get(), frame.data.get(), kPageSize);
+  u.was_dirty = frame.dirty;
+  undo_.emplace(page_id, std::move(u));
 }
 
 Result<PageHandle> BufferPool::NewPage() {
@@ -153,6 +209,13 @@ Result<PageHandle> BufferPool::NewPage() {
   frame.page_id = id;
   frame.pin_count = 1;
   frame.dirty = true;  // a fresh page must eventually reach the backend
+  if (in_txn_) {
+    frame.txn_dirty = true;
+    ++txn_dirty_count_;
+    TxnUndo u;
+    u.is_new = true;  // rollback zeroes the page instead of restoring
+    undo_.emplace(id, std::move(u));
+  }
   char* data = frame.data.get();
   frames_.emplace(id, std::move(frame));
   return PageHandle(this, id, data);
@@ -163,6 +226,7 @@ Result<PageHandle> BufferPool::FetchPage(uint32_t page_id) {
   if (it != frames_.end()) {
     ++hits_;
     Frame& f = it->second;
+    CaptureUndo(page_id, f);
     ++f.pin_count;
     if (f.in_lru) {
       lru_.erase(f.lru_pos);
@@ -177,6 +241,7 @@ Result<PageHandle> BufferPool::FetchPage(uint32_t page_id) {
   OXML_RETURN_NOT_OK(backend_->ReadPage(page_id, frame.data.get()));
   frame.page_id = page_id;
   frame.pin_count = 1;
+  CaptureUndo(page_id, frame);
   char* data = frame.data.get();
   frames_.emplace(page_id, std::move(frame));
   return PageHandle(this, page_id, data);
@@ -188,6 +253,10 @@ void BufferPool::Unpin(uint32_t page_id, bool dirty) {
   Frame& f = it->second;
   if (dirty) {
     f.dirty = true;
+    if (in_txn_ && !f.txn_dirty) {
+      f.txn_dirty = true;
+      ++txn_dirty_count_;
+    }
     return;  // MarkDirty does not drop the pin
   }
   if (f.pin_count > 0) --f.pin_count;
@@ -200,11 +269,90 @@ void BufferPool::Unpin(uint32_t page_id, bool dirty) {
 
 Status BufferPool::FlushAll() {
   for (auto& [id, frame] : frames_) {
-    if (frame.dirty) {
+    if (frame.dirty && !frame.txn_dirty) {
       OXML_RETURN_NOT_OK(backend_->WritePage(id, frame.data.get()));
       frame.dirty = false;
     }
   }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ transactions
+
+Status BufferPool::BeginTxn() {
+  if (in_txn_) {
+    return Status::InvalidArgument("a transaction is already open");
+  }
+  in_txn_ = true;
+  txn_dirty_count_ = 0;
+  undo_.clear();
+  return Status::OK();
+}
+
+Status BufferPool::CommitTxn() {
+  if (!in_txn_) {
+    return Status::InvalidArgument("no transaction is open");
+  }
+  if (txn_dirty_count_ == 0) {
+    // Read-only transaction: nothing to log, nothing to make durable.
+    in_txn_ = false;
+    undo_.clear();
+    return Status::OK();
+  }
+  if (wal_ != nullptr) {
+    // Log images in page order so replay and crash tests are deterministic.
+    std::vector<uint32_t> ids;
+    ids.reserve(txn_dirty_count_);
+    for (const auto& [id, frame] : frames_) {
+      if (frame.txn_dirty) ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (uint32_t id : ids) {
+      OXML_RETURN_NOT_OK(wal_->AppendPageImage(id, frames_[id].data.get()));
+    }
+    // The commit record makes the transaction real. On failure the txn is
+    // left open so the caller can roll back — recovery will ignore the
+    // orphaned images above.
+    OXML_RETURN_NOT_OK(wal_->Commit());
+  }
+  for (auto& [id, frame] : frames_) {
+    frame.txn_dirty = false;
+  }
+  in_txn_ = false;
+  txn_dirty_count_ = 0;
+  undo_.clear();
+  return Status::OK();
+}
+
+Status BufferPool::RollbackTxn() {
+  if (!in_txn_) {
+    return Status::InvalidArgument("no transaction is open");
+  }
+  for (auto& [id, u] : undo_) {
+    auto it = frames_.find(id);
+    if (it == frames_.end()) {
+      // An undo-tracked clean frame may have been evicted (it was read, not
+      // written, inside the txn — the backend still holds its last committed
+      // image). Nothing to restore.
+      continue;
+    }
+    Frame& f = it->second;
+    if (u.is_new) {
+      // The page did not exist before the transaction. The backend already
+      // allocated it (zeroed); zero the frame and mark it clean so nothing
+      // is written back. The page id is leaked until reuse, never exposed.
+      std::memset(f.data.get(), 0, kPageSize);
+      f.dirty = false;
+      f.txn_dirty = false;
+      continue;
+    }
+    std::memcpy(f.data.get(), u.before.get(), kPageSize);
+    f.dirty = u.was_dirty;
+    f.txn_dirty = false;
+  }
+  in_txn_ = false;
+  txn_dirty_count_ = 0;
+  undo_.clear();
   return Status::OK();
 }
 

@@ -13,6 +13,8 @@
 
 namespace oxml {
 
+class WriteAheadLog;
+
 /// Abstract page store underneath the buffer pool.
 class StorageBackend {
  public:
@@ -21,6 +23,9 @@ class StorageBackend {
   virtual Result<uint32_t> AllocatePage() = 0;
   virtual Status ReadPage(uint32_t id, char* buf) = 0;
   virtual Status WritePage(uint32_t id, const char* buf) = 0;
+  /// Forces previously written pages to stable storage. A no-op for
+  /// memory-resident backends.
+  virtual Status Sync() { return Status::OK(); }
   virtual uint32_t page_count() const = 0;
 };
 
@@ -39,6 +44,7 @@ class MemoryBackend : public StorageBackend {
 };
 
 /// Stores pages in a file via pread/pwrite (a disk-resident configuration).
+/// All transfers retry on EINTR and loop on short reads/writes.
 class FileBackend : public StorageBackend {
  public:
   /// Opens the file. With `truncate` (the default) any existing content is
@@ -51,6 +57,7 @@ class FileBackend : public StorageBackend {
   Result<uint32_t> AllocatePage() override;
   Status ReadPage(uint32_t id, char* buf) override;
   Status WritePage(uint32_t id, const char* buf) override;
+  Status Sync() override;
   uint32_t page_count() const override { return page_count_; }
 
  private:
@@ -87,11 +94,28 @@ class PageHandle {
   char* data_ = nullptr;
 };
 
-/// A pin-counted LRU buffer pool over a StorageBackend.
+/// A pin-counted LRU buffer pool over a StorageBackend, with single-level
+/// transaction support.
+///
+/// Transaction discipline (no-steal, redo-only WAL):
+///  - While a transaction is open, every page it dirties is marked
+///    `txn_dirty`, its pre-image is retained for rollback, and the frame is
+///    exempt from eviction and FlushAll — uncommitted bytes never reach the
+///    data file.
+///  - CommitTxn appends the full image of every txn-dirty page to the WAL
+///    (when one is attached) followed by a commit record; only then do the
+///    frames become ordinary dirty frames, eligible for write-back.
+///  - RollbackTxn restores the pre-images, leaving the pool byte-identical
+///    to the last committed state.
+/// BeginTxn must not be called while mutable page handles are outstanding:
+/// pre-images are captured on the first fetch of a page inside the
+/// transaction.
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames; 0 means unbounded
-  /// (sensible with MemoryBackend).
+  /// (sensible with MemoryBackend). A transaction whose footprint exceeds
+  /// the capacity temporarily grows the pool past it (no-steal forbids
+  /// evicting its pages).
   BufferPool(std::unique_ptr<StorageBackend> backend, size_t capacity = 0);
   ~BufferPool();
 
@@ -104,8 +128,32 @@ class BufferPool {
   /// Returns the page pinned, faulting it in from the backend if needed.
   Result<PageHandle> FetchPage(uint32_t page_id);
 
-  /// Writes back all dirty frames.
+  /// Writes back all dirty frames except those of an open transaction.
   Status FlushAll();
+
+  /// fsyncs the backend (data file durability point of a checkpoint).
+  Status SyncBackend() { return backend_->Sync(); }
+
+  // ------------------------------------------------------------ transactions
+
+  /// Attaches the WAL that CommitTxn writes redo records to (may be null:
+  /// transactions then provide in-memory atomicity only).
+  void SetWal(WriteAheadLog* wal) { wal_ = wal; }
+
+  Status BeginTxn();
+  /// Logs every txn-dirty page image + a commit record to the attached WAL
+  /// and retires the transaction. On failure the transaction stays open so
+  /// the caller can roll it back.
+  Status CommitTxn();
+  /// Restores the pre-images of every page the transaction dirtied.
+  Status RollbackTxn();
+  bool InTxn() const { return in_txn_; }
+  /// Number of pages dirtied by the open transaction.
+  size_t TxnDirtyCount() const { return txn_dirty_count_; }
+
+  /// When set, the destructor discards dirty pages instead of flushing them
+  /// (used to simulate a crash in tests).
+  void set_discard_on_destroy(bool v) { discard_on_destroy_ = v; }
 
   uint32_t page_count() const { return backend_->page_count(); }
   uint64_t hit_count() const { return hits_; }
@@ -119,13 +167,25 @@ class BufferPool {
     uint32_t page_id = kInvalidPageId;
     int pin_count = 0;
     bool dirty = false;
+    bool txn_dirty = false;  // dirtied by the open transaction
     std::list<uint32_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
+  /// Rollback state for one page touched inside the open transaction.
+  struct TxnUndo {
+    std::unique_ptr<char[]> before;  // null for pages born in this txn
+    bool was_dirty = false;
+    bool is_new = false;
+  };
+
   void Unpin(uint32_t page_id, bool dirty);
-  /// Evicts one unpinned frame if at capacity. Returns error if all pinned.
+  /// Evicts one unpinned, non-txn-dirty frame if at capacity. Grows past
+  /// capacity when only txn-dirty frames remain; errors if all are pinned.
   Status EnsureCapacity();
+  /// Records the pre-image of `frame` if the open transaction has not
+  /// touched this page yet.
+  void CaptureUndo(uint32_t page_id, const Frame& frame);
 
   std::unique_ptr<StorageBackend> backend_;
   size_t capacity_;
@@ -133,6 +193,12 @@ class BufferPool {
   std::list<uint32_t> lru_;  // front = most recently used
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+
+  WriteAheadLog* wal_ = nullptr;
+  bool in_txn_ = false;
+  size_t txn_dirty_count_ = 0;
+  std::unordered_map<uint32_t, TxnUndo> undo_;
+  bool discard_on_destroy_ = false;
 };
 
 }  // namespace oxml

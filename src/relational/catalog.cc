@@ -34,6 +34,18 @@ Result<TableIndex*> TableInfo::CreateIndex(std::string index_name,
   return raw;
 }
 
+Status TableInfo::RebuildIndexes() {
+  std::vector<std::unique_ptr<TableIndex>> old = std::move(indexes_);
+  indexes_.clear();
+  for (const auto& idx : old) {
+    // Re-bulk-load from the (restored) heap. Uniqueness held before the
+    // rolled-back transaction, so it holds again now.
+    OXML_RETURN_NOT_OK(
+        CreateIndex(idx->name, idx->column_indices, idx->unique).status());
+  }
+  return Status::OK();
+}
+
 TableIndex* TableInfo::FindIndex(const std::string& index_name) const {
   for (const auto& idx : indexes_) {
     if (idx->name == index_name) return idx.get();

@@ -92,6 +92,13 @@ class TableInfo {
 
   TableIndex* FindIndex(const std::string& index_name) const;
 
+  /// Discards every index and rebuilds it by rescanning the heap. Used by
+  /// transaction rollback after the heap pages were restored: the memory-
+  /// resident B+trees have no pre-images, so they are recomputed the same
+  /// way Database::Open recomputes them. Invalidates raw TableIndex*
+  /// pointers held elsewhere (cached plans must be dropped by the caller).
+  Status RebuildIndexes();
+
   /// Inserts a row, maintaining all indexes; enforces unique constraints.
   Result<Rid> InsertRow(const Row& row, ExecStats* stats);
 

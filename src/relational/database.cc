@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "src/relational/fault_injection.h"
 #include "src/relational/planner.h"
 #include "src/relational/sql_parser.h"
+#include "src/relational/wal.h"
 
 namespace oxml {
 
@@ -25,12 +28,43 @@ struct CachedPlan {
 Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
   std::unique_ptr<StorageBackend> backend;
+  std::unique_ptr<WriteAheadLog> wal;
   if (!options.file_path.empty()) {
     OXML_ASSIGN_OR_RETURN(
         std::unique_ptr<FileBackend> fb,
         FileBackend::Open(options.file_path,
                           /*truncate=*/!options.open_existing));
     backend = std::move(fb);
+    if (options.fault_plan != nullptr) {
+      backend = std::make_unique<FaultInjectingBackend>(std::move(backend),
+                                                        options.fault_plan);
+    }
+    if (options.enable_wal) {
+      const std::string wal_path = options.file_path + ".wal";
+      if (options.open_existing) {
+        // Crash recovery: apply the last committed image of every page the
+        // log mentions to the data file before anything reads it. The scan
+        // tolerates a torn tail — that is the expected shape of a crash.
+        OXML_ASSIGN_OR_RETURN(WalRecovery rec,
+                              WriteAheadLog::Recover(wal_path));
+        for (const auto& [page_id, image] : rec.pages) {
+          while (backend->page_count() <= page_id) {
+            OXML_RETURN_NOT_OK(backend->AllocatePage().status());
+          }
+          OXML_RETURN_NOT_OK(backend->WritePage(page_id, image.data()));
+        }
+        if (!rec.pages.empty()) OXML_RETURN_NOT_OK(backend->Sync());
+      }
+      WalOptions wopts;
+      wopts.sync_on_commit = options.wal_sync_on_commit;
+      wopts.group_commit_every = options.wal_group_commit_every;
+      OXML_ASSIGN_OR_RETURN(
+          wal, WriteAheadLog::Open(wal_path, wopts, options.fault_plan));
+      // The data file is now current (fresh database, or recovery just made
+      // it so — and fsynced it above); start from an empty log. Replay is
+      // idempotent, so a crash before this truncation merely replays again.
+      OXML_RETURN_NOT_OK(wal->Reset());
+    }
   } else {
     backend = std::make_unique<MemoryBackend>();
   }
@@ -40,6 +74,8 @@ Result<std::unique_ptr<Database>> Database::Open(
   auto db = std::unique_ptr<Database>(new Database(std::move(pool)));
   db->options_ = options;
   db->plan_cache_capacity_ = options.plan_cache_capacity;
+  db->wal_ = std::move(wal);
+  db->pool_->SetWal(db->wal_.get());
   if (options.open_existing && have_pages) {
     OXML_RETURN_NOT_OK(db->LoadCatalog());
   } else {
@@ -49,11 +85,53 @@ Result<std::unique_ptr<Database>> Database::Open(
       return Status::Internal("catalog page is not page 0");
     }
     page.MarkDirty();
+    if (db->wal_ != nullptr) {
+      // Commit the empty catalog so a crash at any later point recovers to
+      // a valid (if empty) database rather than a zeroed page 0.
+      db->catalog_dirty_ = true;
+      OXML_RETURN_NOT_OK(db->Begin());
+      OXML_RETURN_NOT_OK(db->Commit());
+    }
   }
   return db;
 }
 
-Database::~Database() { (void)Checkpoint(); }
+Database::~Database() {
+  if (closed_) return;
+  Status st = Close();
+  if (!st.ok()) {
+    std::fprintf(stderr,
+                 "oxml: Database close failed (the WAL, if any, still holds "
+                 "the committed history): %s\n",
+                 st.ToString().c_str());
+  }
+}
+
+Status Database::Close() {
+  if (closed_) return Status::OK();
+  Status st = Status::OK();
+  if (pool_->InTxn()) {
+    // An abandoned open transaction is discarded, exactly as a crash
+    // would discard it.
+    st = Rollback();
+  }
+  Status cp = Checkpoint();
+  if (st.ok()) st = cp;
+  closed_ = true;
+  wal_.reset();
+  pool_->SetWal(nullptr);
+  return st;
+}
+
+void Database::SimulateCrashForTesting() {
+  // Nothing is flushed from here on: the destructor discards the pool, the
+  // WAL fd closes without a truncation, and the data file keeps whatever
+  // the last checkpoint (plus eviction write-backs) put there.
+  pool_->set_discard_on_destroy(true);
+  pool_->SetWal(nullptr);
+  wal_.reset();
+  closed_ = true;
+}
 
 namespace {
 
@@ -224,30 +302,121 @@ Status Database::LoadCatalog() {
 }
 
 Status Database::Checkpoint() {
+  if (closed_) return Status::InvalidArgument("database is closed");
+  if (pool_->InTxn()) {
+    return Status::InvalidArgument("cannot checkpoint inside a transaction");
+  }
   OXML_RETURN_NOT_OK(SaveCatalog());
-  return pool_->FlushAll();
+  OXML_RETURN_NOT_OK(pool_->FlushAll());
+  if (wal_ != nullptr) {
+    // Only after the data file is durably current may the log be emptied.
+    // A crash anywhere before the Reset just replays the old log — replay
+    // is idempotent over the flushed pages.
+    OXML_RETURN_NOT_OK(pool_->SyncBackend());
+    OXML_RETURN_NOT_OK(wal_->Reset());
+  }
+  catalog_dirty_ = false;
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ transactions
+
+bool Database::InTransaction() const { return pool_->InTxn(); }
+
+Status Database::Begin() {
+  if (closed_) return Status::InvalidArgument("database is closed");
+  OXML_RETURN_NOT_OK(pool_->BeginTxn());  // rejects nesting
+  heap_snapshot_.clear();
+  for (const auto& [name, table] : tables_) {
+    heap_snapshot_[name] = table->heap()->SnapshotMetadata();
+  }
+  return Status::OK();
+}
+
+Status Database::Commit() {
+  if (!pool_->InTxn()) {
+    return Status::InvalidArgument("no transaction is open");
+  }
+  if (pool_->TxnDirtyCount() > 0 || catalog_dirty_) {
+    // The catalog page rides in every commit: heap metadata (row counts,
+    // tail pages) lives only there, and recovery rebuilds tables from it.
+    OXML_RETURN_NOT_OK(SaveCatalog());
+  }
+  // On failure the transaction stays open for the caller to roll back.
+  OXML_RETURN_NOT_OK(pool_->CommitTxn());
+  catalog_dirty_ = false;
+  heap_snapshot_.clear();
+  if (wal_ != nullptr && options_.wal_checkpoint_threshold_bytes > 0 &&
+      wal_->size_bytes() > options_.wal_checkpoint_threshold_bytes) {
+    // The commit above is already durable; a failed auto-checkpoint only
+    // leaves the log longer than intended, so it must not fail the commit.
+    (void)Checkpoint();
+  }
+  return Status::OK();
+}
+
+Status Database::Rollback() {
+  if (!pool_->InTxn()) {
+    return Status::InvalidArgument("no transaction is open");
+  }
+  OXML_RETURN_NOT_OK(pool_->RollbackTxn());
+  for (const auto& [name, meta] : heap_snapshot_) {
+    TableInfo* t = GetTable(name);
+    if (t == nullptr) continue;  // unreachable: DDL is barred inside txns
+    t->heap()->RestoreMetadata(meta);
+    // The in-memory B+trees have no pre-images; recompute them from the
+    // restored heaps, the same way Open does.
+    OXML_RETURN_NOT_OK(t->RebuildIndexes());
+  }
+  heap_snapshot_.clear();
+  // Rebuilding invalidated every TableIndex* captured by cached plans.
+  InvalidatePlans();
+  return Status::OK();
 }
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table " + name);
   }
-  OXML_ASSIGN_OR_RETURN(std::unique_ptr<HeapTable> heap,
-                        HeapTable::Create(pool_.get(), schema));
+  if (pool_->InTxn()) {
+    return Status::InvalidArgument("DDL cannot run inside a transaction");
+  }
+  OXML_RETURN_NOT_OK(Begin());
+  auto heap = HeapTable::Create(pool_.get(), schema);
+  if (!heap.ok()) {
+    (void)Rollback();
+    return heap.status();
+  }
   tables_[name] = std::make_unique<TableInfo>(name, std::move(schema),
-                                              std::move(heap));
+                                              std::move(heap).value());
   InvalidatePlans();
+  Status c = Commit();
+  if (!c.ok()) {
+    tables_.erase(name);
+    (void)Rollback();
+    return c;
+  }
   return Status::OK();
 }
 
 Status Database::DropTable(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  if (pool_->InTxn()) {
+    return Status::InvalidArgument("DDL cannot run inside a transaction");
+  }
   // Pages are not reclaimed (no free list); the catalog entry goes away.
   // Cached plans hold raw TableInfo*/TableIndex* into the dropped table, so
   // every one of them must go before anything can execute again.
-  tables_.erase(it);
+  OXML_RETURN_NOT_OK(Begin());
+  auto node = tables_.extract(it);
   InvalidatePlans();
+  Status c = Commit();
+  if (!c.ok()) {
+    tables_.insert(std::move(node));
+    (void)Rollback();
+    return c;
+  }
   return Status::OK();
 }
 
@@ -257,6 +426,9 @@ Status Database::CreateIndex(const std::string& index_name,
                              bool unique) {
   TableInfo* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
+  if (pool_->InTxn()) {
+    return Status::InvalidArgument("DDL cannot run inside a transaction");
+  }
   std::vector<int> positions;
   for (const std::string& col : columns) {
     int idx = t->schema().IndexOf(col);
@@ -265,10 +437,24 @@ Status Database::CreateIndex(const std::string& index_name,
     }
     positions.push_back(idx);
   }
-  OXML_RETURN_NOT_OK(
-      t->CreateIndex(index_name, std::move(positions), unique).status());
+  // Building the index only reads the heap; the transaction exists to make
+  // the catalog entry durable.
+  OXML_RETURN_NOT_OK(Begin());
+  Status built =
+      t->CreateIndex(index_name, std::move(positions), unique).status();
+  if (!built.ok()) {
+    (void)Rollback();
+    return built;
+  }
   // Cached access paths were chosen without this index; recompile.
   InvalidatePlans();
+  Status c = Commit();
+  if (!c.ok()) {
+    // The in-memory index stays; catalog_dirty_ remains set, so the next
+    // successful commit persists its definition.
+    (void)Rollback();
+    return c;
+  }
   return Status::OK();
 }
 
@@ -280,13 +466,27 @@ TableInfo* Database::GetTable(const std::string& name) const {
 Result<Rid> Database::Insert(const std::string& table, const Row& row) {
   TableInfo* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
-  return t->InsertRow(row, &stats_);
+  if (pool_->InTxn()) return t->InsertRow(row, &stats_);
+  // Auto-commit: a single programmatic insert is its own transaction.
+  OXML_RETURN_NOT_OK(Begin());
+  Result<Rid> r = t->InsertRow(row, &stats_);
+  if (!r.ok()) {
+    (void)Rollback();
+    return r.status();
+  }
+  Status c = Commit();
+  if (!c.ok()) {
+    (void)Rollback();
+    return c;
+  }
+  return r;
 }
 
 void Database::InvalidatePlans() {
   ++catalog_generation_;
   plan_cache_.clear();
   lru_.clear();
+  catalog_dirty_ = true;
 }
 
 namespace {
@@ -349,6 +549,27 @@ Result<std::shared_ptr<CachedPlan>> Database::GetOrBuildPlan(
 }
 
 Result<int64_t> Database::ExecuteEntry(CachedPlan* entry) {
+  bool dml = entry->kind == StmtKind::kInsert ||
+             entry->kind == StmtKind::kUpdate ||
+             entry->kind == StmtKind::kDelete;
+  // Auto-commit: a standalone DML statement is its own transaction (DDL
+  // manages durability itself; SELECT mutates nothing).
+  if (!dml || pool_->InTxn()) return ExecuteEntryInner(entry);
+  OXML_RETURN_NOT_OK(Begin());
+  Result<int64_t> r = ExecuteEntryInner(entry);
+  if (!r.ok()) {
+    (void)Rollback();
+    return r.status();
+  }
+  Status c = Commit();
+  if (!c.ok()) {
+    (void)Rollback();
+    return c;
+  }
+  return r;
+}
+
+Result<int64_t> Database::ExecuteEntryInner(CachedPlan* entry) {
   switch (entry->kind) {
     case StmtKind::kSelect: {
       OXML_ASSIGN_OR_RETURN(
@@ -502,11 +723,31 @@ Result<int64_t> PreparedStatement::Execute() {
 
 Result<int64_t> PreparedStatement::ExecuteBatch(
     const std::vector<Row>& rows) {
+  if (rows.empty()) return 0;
+  OXML_RETURN_NOT_OK(Refresh());
+  bool dml = entry_->kind == StmtKind::kInsert ||
+             entry_->kind == StmtKind::kUpdate ||
+             entry_->kind == StmtKind::kDelete;
+  // One transaction (one WAL commit + fsync) for the whole batch: either
+  // every row lands or none does.
+  bool wrap = dml && !db_->InTransaction();
+  if (wrap) OXML_RETURN_NOT_OK(db_->Begin());
   int64_t total = 0;
   for (const Row& row : rows) {
-    OXML_RETURN_NOT_OK(BindAll(row));
-    OXML_ASSIGN_OR_RETURN(int64_t n, Execute());
-    total += n;
+    Status st = BindAll(row);
+    Result<int64_t> n = st.ok() ? Execute() : Result<int64_t>(st);
+    if (!n.ok()) {
+      if (wrap) (void)db_->Rollback();
+      return n.status();
+    }
+    total += *n;
+  }
+  if (wrap) {
+    Status c = db_->Commit();
+    if (!c.ok()) {
+      (void)db_->Rollback();
+      return c;
+    }
   }
   return total;
 }

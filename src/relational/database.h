@@ -14,8 +14,11 @@
 #include "src/relational/catalog.h"
 #include "src/relational/executor.h"
 #include "src/relational/sql_ast.h"
+#include "src/relational/wal.h"
 
 namespace oxml {
+
+struct FaultPlan;
 
 /// Configuration of a Database instance.
 struct DatabaseOptions {
@@ -43,6 +46,26 @@ struct DatabaseOptions {
   bool enable_merge_join = true;
   /// Drop the SortOp for an ORDER BY already satisfied by the input order.
   bool enable_sort_elision = true;
+
+  // ------------------------------------------------------------- durability
+
+  /// Write-ahead logging for file-backed databases (ignored when memory-
+  /// resident): every transaction appends the images of the pages it
+  /// dirtied plus a commit record to `<file_path>.wal` before any of them
+  /// may reach the data file. Reopening replays committed transactions, so
+  /// a crash at any point recovers the last committed state.
+  bool enable_wal = true;
+  /// fsync the WAL on commit (see WalOptions::sync_on_commit).
+  bool wal_sync_on_commit = true;
+  /// Group commit: fsync only every Nth commit (see WalOptions).
+  size_t wal_group_commit_every = 1;
+  /// Auto-checkpoint (flush data file + truncate the WAL) after a commit
+  /// leaves the log larger than this many bytes. 0 disables; the WAL then
+  /// grows until an explicit Checkpoint() or Close().
+  size_t wal_checkpoint_threshold_bytes = 4u << 20;
+  /// When set, every data-file and WAL I/O consults this fault schedule
+  /// (crash-point testing). Production opens leave it null.
+  std::shared_ptr<FaultPlan> fault_plan;
 };
 
 /// Aggregate storage numbers (per database), used by the loading/storage
@@ -116,10 +139,37 @@ class Database {
   Database& operator=(const Database&) = delete;
   ~Database();
 
-  /// Serializes the catalog into page 0 and flushes all dirty pages to the
-  /// backend. A no-op guarantee-wise for memory-resident databases. Called
-  /// automatically on destruction.
+  /// Serializes the catalog into page 0, flushes all dirty pages to the
+  /// backend and — for WAL-enabled databases — fsyncs the data file and
+  /// truncates the log. A no-op guarantee-wise for memory-resident
+  /// databases. Must not be called inside a transaction.
   Status Checkpoint();
+
+  /// Checkpoints and releases the WAL. Idempotent; called automatically by
+  /// the destructor, which logs (but must swallow) any failure — call
+  /// Close() directly to observe it. An open transaction is rolled back.
+  Status Close();
+
+  // ------------------------------------------------------------ transactions
+
+  /// Starts an explicit transaction. Every mutation until Commit/Rollback
+  /// becomes atomic: all of it or none of it survives a crash. Nested
+  /// transactions are rejected. DDL cannot run inside a transaction.
+  Status Begin();
+  /// Makes the open transaction durable (WAL page images + commit record +
+  /// fsync per the sync policy). On failure the transaction remains open
+  /// and should be rolled back.
+  Status Commit();
+  /// Undoes every page the open transaction touched, restores heap
+  /// metadata, and rebuilds the in-memory indexes from the restored heaps.
+  Status Rollback();
+  bool InTransaction() const;
+
+  /// Abandons all buffered state exactly as a process kill would: nothing
+  /// is flushed or checkpointed on destruction, and the WAL is left as-is
+  /// for the next open to replay. The object is unusable afterwards except
+  /// for destruction.
+  void SimulateCrashForTesting();
 
   // -------------------------------------------------------- programmatic API
 
@@ -159,6 +209,8 @@ class Database {
   ExecStats* stats() { return &stats_; }
   const DatabaseOptions& options() const { return options_; }
   BufferPool* buffer_pool() { return pool_.get(); }
+  /// The write-ahead log, or null (memory-resident / WAL disabled).
+  WriteAheadLog* wal() const { return wal_.get(); }
   StorageStats GetStorageStats() const;
 
   /// Monotone counter bumped by every CREATE/DROP TABLE and CREATE INDEX;
@@ -191,22 +243,76 @@ class Database {
   /// cacheable statement kinds) inserts the entry, evicting the least
   /// recently used one past capacity.
   Result<std::shared_ptr<CachedPlan>> GetOrBuildPlan(std::string_view sql);
-  /// Runs a compiled entry with its current parameter bindings.
+  /// Runs a compiled entry with its current parameter bindings, wrapping
+  /// DML in an auto-commit transaction when none is open.
   Result<int64_t> ExecuteEntry(CachedPlan* entry);
-  /// Drops all cached plans and bumps the catalog generation (called by
-  /// every DDL mutation).
+  Result<int64_t> ExecuteEntryInner(CachedPlan* entry);
+  /// Drops all cached plans, bumps the catalog generation and marks the
+  /// catalog page for inclusion in the next commit (called by every DDL
+  /// mutation and by Rollback, which rebuilds the indexes plans point at).
   void InvalidatePlans();
 
   std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<WriteAheadLog> wal_;
   DatabaseOptions options_;
   std::map<std::string, std::unique_ptr<TableInfo>> tables_;
   ExecStats stats_;
+  bool closed_ = false;
+  /// The catalog changed (DDL / rollback) since the last commit wrote it.
+  bool catalog_dirty_ = false;
+  /// Per-table heap bookkeeping captured at Begin, restored by Rollback.
+  std::map<std::string, HeapTable::Metadata> heap_snapshot_;
 
   // Plan cache: SQL text -> compiled entry, LRU-ordered (front = hottest).
   std::unordered_map<std::string, std::shared_ptr<CachedPlan>> plan_cache_;
   std::list<std::string> lru_;
   size_t plan_cache_capacity_ = 128;
   uint64_t catalog_generation_ = 0;
+};
+
+/// RAII transaction scope with flat nesting: opens a transaction unless one
+/// is already active (in which case Commit/destruction are no-ops and the
+/// enclosing scope decides the outcome). The destructor rolls back a scope
+/// that was never committed, so every early-error return is atomic.
+///
+///   TxnScope txn(db);
+///   OXML_RETURN_NOT_OK(txn.begin_status());
+///   ... mutations ...
+///   OXML_RETURN_NOT_OK(txn.Commit());
+class TxnScope {
+ public:
+  explicit TxnScope(Database* db) : db_(db) {
+    if (db_ != nullptr && !db_->InTransaction()) {
+      begin_status_ = db_->Begin();
+      owns_ = begin_status_.ok();
+    }
+  }
+  ~TxnScope() {
+    if (owns_ && !done_) (void)db_->Rollback();
+  }
+
+  TxnScope(const TxnScope&) = delete;
+  TxnScope& operator=(const TxnScope&) = delete;
+
+  /// Error from the Begin attempted in the constructor (OK when nested).
+  const Status& begin_status() const { return begin_status_; }
+  /// True when this scope opened (and will close) the transaction.
+  bool owns() const { return owns_; }
+
+  /// Commits if this scope owns the transaction; rolls back on failure.
+  Status Commit() {
+    if (!owns_ || done_) return Status::OK();
+    done_ = true;
+    Status st = db_->Commit();
+    if (!st.ok()) (void)db_->Rollback();
+    return st;
+  }
+
+ private:
+  Database* db_;
+  Status begin_status_;
+  bool owns_ = false;
+  bool done_ = false;
 };
 
 }  // namespace oxml

@@ -1,0 +1,62 @@
+#include "src/relational/fault_injection.h"
+
+#include <cstring>
+
+namespace oxml {
+
+Result<uint32_t> FaultInjectingBackend::AllocatePage() {
+  // Allocation extends the file with a zeroed page; a torn allocation still
+  // leaves zeros behind, so only the fail/crash outcomes are distinct.
+  switch (plan_->BeforeWrite()) {
+    case FaultPlan::Decision::kProceed:
+      return inner_->AllocatePage();
+    case FaultPlan::Decision::kTear: {
+      OXML_ASSIGN_OR_RETURN(uint32_t id, inner_->AllocatePage());
+      (void)id;
+      return FaultPlan::SimulatedError("torn write during page allocation");
+    }
+    case FaultPlan::Decision::kFail:
+      break;
+  }
+  return FaultPlan::SimulatedError("page allocation failed");
+}
+
+Status FaultInjectingBackend::ReadPage(uint32_t id, char* buf) {
+  if (plan_->BeforeRead() == FaultPlan::Decision::kFail) {
+    return FaultPlan::SimulatedError("read after simulated crash");
+  }
+  return inner_->ReadPage(id, buf);
+}
+
+Status FaultInjectingBackend::WritePage(uint32_t id, const char* buf) {
+  switch (plan_->BeforeWrite()) {
+    case FaultPlan::Decision::kProceed:
+      return inner_->WritePage(id, buf);
+    case FaultPlan::Decision::kTear: {
+      // Persist only the first half of the new image; the tail keeps
+      // whatever the backend held before (zeros for a never-written page).
+      char torn[kPageSize];
+      if (!inner_->ReadPage(id, torn).ok()) {
+        std::memset(torn, 0, kPageSize);
+      }
+      std::memcpy(torn, buf, FaultPlan::kTearBytes);
+      OXML_RETURN_NOT_OK(inner_->WritePage(id, torn));
+      return FaultPlan::SimulatedError("torn page write");
+    }
+    case FaultPlan::Decision::kFail:
+      break;
+  }
+  return FaultPlan::SimulatedError("page write failed");
+}
+
+Status FaultInjectingBackend::Sync() {
+  switch (plan_->BeforeSync()) {
+    case FaultPlan::Decision::kProceed:
+      return inner_->Sync();
+    default:
+      break;
+  }
+  return FaultPlan::SimulatedError("sync failed");
+}
+
+}  // namespace oxml

@@ -1,0 +1,116 @@
+#ifndef OXML_RELATIONAL_FAULT_INJECTION_H_
+#define OXML_RELATIONAL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/relational/buffer_pool.h"
+
+namespace oxml {
+
+/// A shared fault schedule consulted by every durable I/O operation — data
+/// file page reads/writes/syncs (via FaultInjectingBackend) and WAL
+/// appends/syncs/resets (WriteAheadLog takes the plan directly). The crash
+/// tests arm the plan to fire at the Nth counted I/O; once a crash-class
+/// fault fires, every subsequent operation fails with a "simulated crash"
+/// IOError, modelling a killed process whose files can no longer change.
+/// Single-threaded, like the rest of the engine.
+struct FaultPlan {
+  enum class Mode : uint8_t {
+    kNone = 0,    ///< count I/Os but never fire
+    kCrash,       ///< the Nth I/O does not happen; everything after fails
+    kTornPage,    ///< the Nth write persists only its first half, then crash
+    kEIO,         ///< the Nth I/O fails with EIO once; later I/Os proceed
+    kShortWrite,  ///< the Nth write persists half and fails once; no crash
+  };
+
+  /// What the instrumented operation should do, as decided by BeforeWrite /
+  /// BeforeRead / BeforeSync.
+  enum class Decision : uint8_t {
+    kProceed,   ///< perform the I/O normally
+    kFail,      ///< do nothing; return an IOError
+    kTear,      ///< persist only the first `kTearBytes` of the buffer, then
+                ///< return an IOError
+  };
+
+  static constexpr size_t kTearBytes = 4096;  // half a page
+
+  /// Arms the plan: the `nth` counted I/O (1-based) fires `mode`. Resets
+  /// counters and the crashed flag.
+  void Arm(uint64_t nth, Mode mode) {
+    trigger = nth;
+    this->mode = mode;
+    io_count = 0;
+    faults_fired = 0;
+    crashed = false;
+  }
+
+  /// Counts a write-class I/O (page write, WAL append) and decides its fate.
+  Decision BeforeWrite() { return Step(/*is_write=*/true); }
+  /// Counts a sync (fsync of data file or WAL).
+  Decision BeforeSync() { return Step(/*is_write=*/true); }
+  /// Reads are not counted toward the trigger, but fail after a crash.
+  Decision BeforeRead() { return crashed ? Decision::kFail : Decision::kProceed; }
+
+  /// IOError used for simulated failures.
+  static Status SimulatedError(const char* what) {
+    return Status::IOError(std::string("fault injection: ") + what);
+  }
+
+  uint64_t io_count = 0;      ///< write-class I/Os seen since Arm()
+  uint64_t trigger = 0;       ///< 1-based index of the faulted I/O (0 = off)
+  uint64_t faults_fired = 0;  ///< number of injected faults so far
+  Mode mode = Mode::kNone;
+  bool crashed = false;       ///< post-crash: every I/O fails
+
+ private:
+  Decision Step(bool is_write) {
+    if (crashed) return Decision::kFail;
+    ++io_count;
+    if (trigger == 0 || io_count != trigger || mode == Mode::kNone) {
+      return Decision::kProceed;
+    }
+    ++faults_fired;
+    switch (mode) {
+      case Mode::kCrash:
+        crashed = true;
+        return Decision::kFail;
+      case Mode::kTornPage:
+        crashed = true;
+        return is_write ? Decision::kTear : Decision::kFail;
+      case Mode::kEIO:
+        return Decision::kFail;
+      case Mode::kShortWrite:
+        return is_write ? Decision::kTear : Decision::kFail;
+      case Mode::kNone:
+        break;
+    }
+    return Decision::kProceed;
+  }
+};
+
+/// A StorageBackend decorator that routes every page operation through a
+/// FaultPlan. Wraps the real backend of a file-backed database in tests;
+/// production opens never pay for it.
+class FaultInjectingBackend : public StorageBackend {
+ public:
+  FaultInjectingBackend(std::unique_ptr<StorageBackend> inner,
+                        std::shared_ptr<FaultPlan> plan)
+      : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+  Result<uint32_t> AllocatePage() override;
+  Status ReadPage(uint32_t id, char* buf) override;
+  Status WritePage(uint32_t id, const char* buf) override;
+  Status Sync() override;
+  uint32_t page_count() const override { return inner_->page_count(); }
+
+ private:
+  std::unique_ptr<StorageBackend> inner_;
+  std::shared_ptr<FaultPlan> plan_;
+};
+
+}  // namespace oxml
+
+#endif  // OXML_RELATIONAL_FAULT_INJECTION_H_

@@ -42,6 +42,25 @@ class HeapTable {
   uint32_t first_page() const { return first_page_; }
   uint32_t last_page() const { return last_page_; }
 
+  /// The mutable bookkeeping that Insert/Delete/Update advance. Transaction
+  /// rollback snapshots it at Begin and restores it alongside the page
+  /// pre-images (first_page_ never changes after Create).
+  struct Metadata {
+    uint32_t last_page = kInvalidPageId;
+    uint64_t row_count = 0;
+    uint64_t page_chain_length = 0;
+    uint64_t data_bytes = 0;
+  };
+  Metadata SnapshotMetadata() const {
+    return {last_page_, row_count_, page_chain_length_, data_bytes_};
+  }
+  void RestoreMetadata(const Metadata& m) {
+    last_page_ = m.last_page;
+    row_count_ = m.row_count;
+    page_chain_length_ = m.page_chain_length;
+    data_bytes_ = m.data_bytes;
+  }
+
   Result<Rid> Insert(const Row& row);
   Result<Row> Get(const Rid& rid) const;
   Status Delete(const Rid& rid);

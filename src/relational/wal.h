@@ -1,0 +1,139 @@
+#ifndef OXML_RELATIONAL_WAL_H_
+#define OXML_RELATIONAL_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/relational/page.h"
+
+namespace oxml {
+
+struct FaultPlan;
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) over `data`. Exposed for tests.
+uint32_t Crc32(const char* data, size_t len, uint32_t seed = 0);
+
+/// Configuration of the write-ahead log.
+struct WalOptions {
+  /// fsync the log as part of Commit(). Turning this off trades the
+  /// durability of the most recent commits for throughput (the classic
+  /// "synchronous = off" mode); the log is still written, so recovery
+  /// replays whatever the OS persisted.
+  bool sync_on_commit = true;
+  /// Group commit: fsync only every Nth commit (1 = every commit). Commits
+  /// between syncs are buffered by the OS and may be lost on a crash, but
+  /// never torn across the durability boundary thanks to CRC framing.
+  size_t group_commit_every = 1;
+};
+
+/// What a tail-tolerant log scan recovered: the latest committed image of
+/// every page mentioned by a committed transaction, in log order.
+struct WalRecovery {
+  std::map<uint32_t, std::string> pages;  ///< page id -> last committed image
+  uint64_t committed_txns = 0;
+  uint64_t replayed_images = 0;   ///< page-image records inside committed txns
+  uint64_t discarded_records = 0; ///< records after the last commit (torn or
+                                  ///< uncommitted tail)
+  bool tail_damaged = false;      ///< scan stopped at a torn/corrupt record
+};
+
+/// An append-only, CRC32-framed write-ahead log of physical page images.
+///
+/// Record framing (little-endian):
+///   [u8 type][u64 txn_id][u32 page_id][u32 payload_len][payload][u32 crc]
+/// with crc computed over everything before it. A file begins with a
+/// 12-byte header: magic "OXWL", format version, zero padding.
+///
+/// Commit protocol: the committing transaction appends one page-image
+/// record per page it dirtied, then a commit record, then (by default)
+/// fsyncs. Replay applies page images of committed transactions in log
+/// order, so the last committed image of a page wins; anything after the
+/// last durable commit record — including torn tails — is ignored.
+class WriteAheadLog {
+ public:
+  static constexpr uint32_t kMagic = 0x4C57584Fu;  // "OXWL"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr size_t kHeaderSize = 12;
+
+  enum class RecordType : uint8_t {
+    kPageImage = 1,  ///< payload = kPageSize bytes, the page's full image
+    kCommit = 2,     ///< payload empty; everything since the previous commit
+                     ///< belongs to txn_id
+  };
+
+  /// Opens (creating or validating) the log at `path`. An existing log is
+  /// appended to — call Reset() after replaying it. `fault` (optional)
+  /// routes every log I/O through the fault-injection schedule.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, const WalOptions& options = {},
+      std::shared_ptr<FaultPlan> fault = nullptr);
+
+  ~WriteAheadLog();
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends a page-image redo record for the transaction being built.
+  Status AppendPageImage(uint32_t page_id, const char* data);
+
+  /// Appends the commit record and makes the transaction durable per the
+  /// sync policy. Returns only after the commit is on its way to disk
+  /// (fully fsynced when sync_on_commit && the group-commit quota is met).
+  Status Commit();
+
+  /// Forces an fsync of everything appended so far (flushes the group-
+  /// commit window).
+  Status Sync();
+
+  /// Truncates the log back to its header after a checkpoint made the data
+  /// file current, and fsyncs. All previously logged history is discarded.
+  Status Reset();
+
+  /// Scans the log at `path` without opening it for writing. A missing
+  /// file yields an empty recovery; a present file with a bad header is an
+  /// IOError (it is not a WAL). Torn or corrupt tails stop the scan
+  /// cleanly — that is the expected shape of a crash.
+  static Result<WalRecovery> Recover(const std::string& path);
+
+  // ------------------------------------------------------------ accounting
+
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+  uint64_t page_images() const { return page_images_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t syncs() const { return syncs_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WriteAheadLog(int fd, std::string path, WalOptions options,
+                std::shared_ptr<FaultPlan> fault)
+      : fd_(fd),
+        path_(std::move(path)),
+        options_(options),
+        fault_(std::move(fault)) {}
+
+  /// Appends one framed record (write-looped, EINTR-safe, fault-checked).
+  Status AppendRecord(RecordType type, uint64_t txn_id, uint32_t page_id,
+                      const char* payload, size_t payload_len);
+  Status WriteAll(const char* data, size_t len);
+
+  int fd_;
+  std::string path_;
+  WalOptions options_;
+  std::shared_ptr<FaultPlan> fault_;
+
+  uint64_t next_txn_id_ = 1;
+  uint64_t size_bytes_ = 0;  // current file size including header
+  uint64_t bytes_appended_ = 0;
+  uint64_t page_images_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t syncs_ = 0;
+  size_t unsynced_commits_ = 0;
+};
+
+}  // namespace oxml
+
+#endif  // OXML_RELATIONAL_WAL_H_

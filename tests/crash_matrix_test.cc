@@ -1,0 +1,298 @@
+// Crash-point matrix: for every write-class I/O a scripted update workload
+// performs, simulate a crash (or a torn write) at exactly that I/O, then
+// reopen the database and check that recovery lands on a transaction
+// boundary — the store validates cleanly and the reconstructed document is
+// byte-equal to the state after some prefix of the committed operations.
+// Runs on all three order encodings.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/ordered_store.h"
+#include "src/core/xpath_eval.h"
+#include "src/relational/fault_injection.h"
+#include "src/xml/xml_generator.h"
+#include "src/xml/xml_parser.h"
+#include "src/xml/xml_writer.h"
+
+namespace oxml {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name + "_" +
+         std::to_string(::getpid()) + ".db";
+}
+
+void CopyOver(const std::string& from, const std::string& to) {
+  std::filesystem::copy_file(from, to,
+                             std::filesystem::copy_options::overwrite_existing);
+}
+
+// One step of the scripted workload. Each op locates its targets afresh (the
+// previous op may have renumbered), mutates, and runs as one transaction via
+// the store's public entry points.
+using WorkloadOp = std::function<Status(OrderedXmlStore*)>;
+
+Status InsertSection(OrderedXmlStore* store, size_t at, InsertPosition pos,
+                     const std::string& id) {
+  OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> sections,
+                        EvaluateXPath(store, "/nitf/body/section"));
+  if (sections.size() <= at) return Status::Internal("workload: section gone");
+  OXML_ASSIGN_OR_RETURN(
+      auto frag, ParseXml("<section id=\"" + id + "\"><para>fresh text for " +
+                          id + "</para><para>second para</para></section>"));
+  return store->InsertSubtree(sections[at], pos, *frag->root_element())
+      .status();
+}
+
+std::vector<WorkloadOp> ScriptedWorkload() {
+  return {
+      // 1. Sibling insert in the middle: with gap=2 this renumbers.
+      [](OrderedXmlStore* s) {
+        return InsertSection(s, 1, InsertPosition::kBefore, "w1");
+      },
+      // 2. Delete a paragraph subtree.
+      [](OrderedXmlStore* s) -> Status {
+        OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> paras,
+                              EvaluateXPath(s, "/nitf/body/section/para"));
+        if (paras.empty()) return Status::Internal("workload: no paras");
+        return s->DeleteSubtree(paras.front()).status();
+      },
+      // 3. Rewrite a text node (single-row value update).
+      [](OrderedXmlStore* s) -> Status {
+        OXML_ASSIGN_OR_RETURN(
+            std::vector<StoredNode> texts,
+            EvaluateXPath(s, "/nitf/body/section/para/text()"));
+        if (texts.empty()) return Status::Internal("workload: no text");
+        return s->UpdateNodeValue(texts.front(), "rewritten after load")
+            .status();
+      },
+      // 4. Move the first section behind the last one (delete + insert as
+      // ONE transaction: recovery must never observe the halfway state).
+      [](OrderedXmlStore* s) -> Status {
+        OXML_ASSIGN_OR_RETURN(std::vector<StoredNode> sections,
+                              EvaluateXPath(s, "/nitf/body/section"));
+        if (sections.size() < 2) return Status::Internal("workload: sections");
+        return s->MoveSubtree(sections.front(), sections.back(),
+                              InsertPosition::kAfter)
+            .status();
+      },
+      // 5. Append another section at the end.
+      [](OrderedXmlStore* s) {
+        return InsertSection(s, 0, InsertPosition::kBefore, "w2");
+      },
+  };
+}
+
+Result<std::string> Snapshot(OrderedXmlStore* store) {
+  OXML_ASSIGN_OR_RETURN(auto doc, store->ReconstructDocument());
+  return WriteXml(*doc);
+}
+
+struct CrashFixture {
+  std::string path;       // data file; WAL lives at path + ".wal"
+  std::string base_data;  // pristine copies taken after the unfaulted setup
+  std::string base_wal;
+  std::vector<std::string> expected;  // expected[i] = doc after i committed ops
+  uint64_t workload_ios = 0;          // write-class I/Os of open + workload
+
+  DatabaseOptions OpenOptions(std::shared_ptr<FaultPlan> plan) const {
+    DatabaseOptions o;
+    o.file_path = path;
+    o.open_existing = true;
+    o.wal_checkpoint_threshold_bytes = 0;  // deterministic I/O schedule
+    o.fault_plan = std::move(plan);
+    return o;
+  }
+
+  void RestoreBaseline() const {
+    CopyOver(base_data, path);
+    CopyOver(base_wal, path + ".wal");
+  }
+};
+
+class CrashMatrixTest : public ::testing::TestWithParam<OrderEncoding> {
+ protected:
+  // Builds the baseline database (unfaulted), snapshots the expected state
+  // after every committed op by dry-running the workload, and counts the
+  // write-class I/Os the faulted runs will sweep over.
+  CrashFixture Setup(const std::string& tag) {
+    CrashFixture fx;
+    fx.path = TempPath("crash_" + tag + "_" +
+                       OrderEncodingToString(GetParam()));
+    NewsGeneratorOptions gen;
+    gen.seed = 42;
+    gen.sections = 3;
+    gen.paragraphs_per_section = 2;
+    auto doc = GenerateNewsXml(gen);
+    {
+      DatabaseOptions o;
+      o.file_path = fx.path;
+      o.wal_checkpoint_threshold_bytes = 0;
+      auto dbr = Database::Open(o);
+      EXPECT_TRUE(dbr.ok()) << dbr.status();
+      auto sr = OrderedXmlStore::Create(dbr->get(), GetParam(), {.gap = 2});
+      EXPECT_TRUE(sr.ok()) << sr.status();
+      EXPECT_TRUE((*sr)->LoadDocument(*doc).ok());
+      EXPECT_TRUE((*dbr)->Close().ok());
+    }
+    fx.base_data = fx.path + ".base";
+    fx.base_wal = fx.path + ".wal.base";
+    CopyOver(fx.path, fx.base_data);
+    CopyOver(fx.path + ".wal", fx.base_wal);
+
+    // Counting pass: same open options as the sweep, fault plan armed to
+    // count only. Records the expected snapshot after every committed op.
+    auto plan = std::make_shared<FaultPlan>();
+    plan->Arm(0, FaultPlan::Mode::kNone);
+    auto dbr = Database::Open(fx.OpenOptions(plan));
+    EXPECT_TRUE(dbr.ok()) << dbr.status();
+    auto sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    EXPECT_TRUE(sr.ok()) << sr.status();
+    auto snap = Snapshot(sr->get());
+    EXPECT_TRUE(snap.ok()) << snap.status();
+    fx.expected.push_back(*snap);
+    for (const WorkloadOp& op : ScriptedWorkload()) {
+      Status st = op(sr->get());
+      EXPECT_TRUE(st.ok()) << st;
+      snap = Snapshot(sr->get());
+      EXPECT_TRUE(snap.ok()) << snap.status();
+      fx.expected.push_back(*snap);
+    }
+    fx.workload_ios = plan->io_count;
+    (*dbr)->SimulateCrashForTesting();  // leave the baseline files untouched
+    return fx;
+  }
+
+  // Runs the workload against a database whose k-th write-class I/O fires
+  // `mode`; returns how many ops committed successfully (post-fault ops
+  // fail). Null result = the fault fired during Database::Open itself.
+  Result<size_t> FaultedRun(const CrashFixture& fx, uint64_t k,
+                            FaultPlan::Mode mode, uint64_t* faults_fired) {
+    fx.RestoreBaseline();
+    auto plan = std::make_shared<FaultPlan>();
+    plan->Arm(k, mode);
+    auto dbr = Database::Open(fx.OpenOptions(plan));
+    if (!dbr.ok()) {
+      *faults_fired = plan->faults_fired;
+      return dbr.status();
+    }
+    auto sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    size_t completed = 0;
+    if (sr.ok()) {
+      for (const WorkloadOp& op : ScriptedWorkload()) {
+        if (op(sr->get()).ok()) ++completed;
+      }
+    }
+    *faults_fired = plan->faults_fired;
+    (*dbr)->SimulateCrashForTesting();
+    return completed;
+  }
+
+  // Reopens without any fault plan; the store must validate and match one
+  // of the expected post-op snapshots in [lo, hi].
+  void VerifyRecovered(const CrashFixture& fx, size_t lo, size_t hi,
+                       const std::string& what) {
+    auto dbr = Database::Open(fx.OpenOptions(nullptr));
+    ASSERT_TRUE(dbr.ok()) << what << ": reopen failed: " << dbr.status();
+    auto sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok()) << what << ": attach failed: " << sr.status();
+    Status valid = (*sr)->Validate();
+    EXPECT_TRUE(valid.ok()) << what << ": " << valid;
+    auto snap = Snapshot(sr->get());
+    ASSERT_TRUE(snap.ok()) << what << ": " << snap.status();
+    bool matched = false;
+    for (size_t i = lo; i <= hi && i < fx.expected.size(); ++i) {
+      if (*snap == fx.expected[i]) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << what << ": recovered document matches no "
+                         << "committed prefix in [" << lo << ", " << hi
+                         << "]";
+  }
+};
+
+TEST_P(CrashMatrixTest, EveryCrashPointRecoversToACommittedState) {
+  CrashFixture fx = Setup("kill");
+  ASSERT_GT(fx.workload_ios, 0u);
+  for (uint64_t k = 1; k <= fx.workload_ios; ++k) {
+    uint64_t fired = 0;
+    auto run = FaultedRun(fx, k, FaultPlan::Mode::kCrash, &fired);
+    ASSERT_EQ(fired, 1u) << "crash point " << k << " never fired";
+    // A crash during Open recovers to the baseline; a crash mid-workload
+    // recovers to the last committed op — or one past it, when the commit
+    // record was durable but the process died before reporting success.
+    size_t completed = run.ok() ? *run : 0;
+    VerifyRecovered(fx, completed, completed + 1,
+                    "kill at I/O " + std::to_string(k));
+  }
+}
+
+TEST_P(CrashMatrixTest, EveryTornWriteRecoversToACommittedState) {
+  CrashFixture fx = Setup("torn");
+  ASSERT_GT(fx.workload_ios, 0u);
+  for (uint64_t k = 1; k <= fx.workload_ios; ++k) {
+    uint64_t fired = 0;
+    auto run = FaultedRun(fx, k, FaultPlan::Mode::kTornPage, &fired);
+    ASSERT_EQ(fired, 1u) << "torn write at I/O " << k << " never fired";
+    size_t completed = run.ok() ? *run : 0;
+    VerifyRecovered(fx, completed, completed + 1,
+                    "torn write at I/O " + std::to_string(k));
+  }
+}
+
+TEST_P(CrashMatrixTest, TransientEioRollsBackAndTheStoreStaysUsable) {
+  CrashFixture fx = Setup("eio");
+  ASSERT_GT(fx.workload_ios, 2u);
+  for (uint64_t k : {uint64_t{3}, fx.workload_ios / 2, fx.workload_ios}) {
+    fx.RestoreBaseline();
+    auto plan = std::make_shared<FaultPlan>();
+    plan->Arm(k, FaultPlan::Mode::kEIO);
+    auto dbr = Database::Open(fx.OpenOptions(plan));
+    if (!dbr.ok()) continue;  // EIO hit Open; covered by the sweeps above
+    auto sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+    size_t failed = 0;
+    for (const WorkloadOp& op : ScriptedWorkload()) {
+      if (!op(sr->get()).ok()) ++failed;
+    }
+    // One I/O error fails at most the one transaction it lands in; the
+    // rollback leaves the store valid and fully usable in-process.
+    EXPECT_LE(failed, 1u) << "EIO at I/O " << k;
+    Status valid = (*sr)->Validate();
+    EXPECT_TRUE(valid.ok()) << "EIO at I/O " << k << ": " << valid;
+    Status extra = InsertSection(sr->get(), 0, InsertPosition::kAfter, "eio");
+    EXPECT_TRUE(extra.ok()) << "EIO at I/O " << k << ": " << extra;
+    auto before = Snapshot(sr->get());
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE((*dbr)->Close().ok());
+
+    // Everything committed before Close survives a clean reopen.
+    dbr = Database::Open(fx.OpenOptions(nullptr));
+    ASSERT_TRUE(dbr.ok()) << dbr.status();
+    sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok());
+    auto after = Snapshot(sr->get());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*after, *before) << "EIO at I/O " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, CrashMatrixTest,
+                         ::testing::Values(OrderEncoding::kGlobal,
+                                           OrderEncoding::kLocal,
+                                           OrderEncoding::kDewey),
+                         [](const auto& info) {
+                           return OrderEncodingToString(info.param);
+                         });
+
+}  // namespace
+}  // namespace oxml

@@ -1,7 +1,11 @@
 #include "tests/fuzz/fuzz_harness.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -222,6 +226,8 @@ std::string FuzzOp::ToString() const {
     case Kind::kSetAttr:
       return "op setattr " + PathToString(path) + " " + attr_name + " " +
              Quote(text);
+    case Kind::kCrashRecover:
+      return "op crashrecover";
   }
   return "op ?";
 }
@@ -395,6 +401,10 @@ FuzzCase GenerateCase(uint64_t seed, size_t num_ops) {
     t.sort_elision = rng.Chance(0.5);
     t.plan_cache = rng.Chance(0.5);
   }
+  // A quarter of all cases run file-backed with the WAL on, so crash
+  // recovery and the no-steal buffer pool see the same op distribution the
+  // memory-resident path does.
+  c.durable = rng.Chance(0.25);
 
   XmlGeneratorOptions gopts;
   gopts.seed = c.doc.seed;
@@ -412,6 +422,11 @@ FuzzCase GenerateCase(uint64_t seed, size_t num_ops) {
     if (r < 0.45) {
       op.kind = FuzzOp::Kind::kQuery;
       op.xpath = GenQuery(&rng, c.doc);
+      c.ops.push_back(std::move(op));
+      continue;
+    }
+    if (c.durable && r < 0.50) {  // ~5% of a durable case's ops
+      op.kind = FuzzOp::Kind::kCrashRecover;
       c.ops.push_back(std::move(op));
       continue;
     }
@@ -518,6 +533,29 @@ struct StoreInstance {
   std::unique_ptr<Database> db;
   std::unique_ptr<OrderedXmlStore> store;
   const char* name = "";
+  OrderEncoding encoding = OrderEncoding::kGlobal;
+  DatabaseOptions dbopts;  // durable cases reopen from these after a crash
+};
+
+/// Unique per-case temp path for a durable store's database file.
+std::string FuzzTempPath(const char* enc_name) {
+  static uint64_t counter = 0;
+  const char* base = std::getenv("TMPDIR");
+  return std::string(base != nullptr ? base : "/tmp") + "/oxml_fuzz_" +
+         std::to_string(static_cast<long long>(::getpid())) + "_" +
+         std::to_string(++counter) + "_" + enc_name + ".db";
+}
+
+/// Removes a durable case's database + WAL files when the run ends
+/// (declared before the stores so the databases close first).
+struct FileCleanup {
+  std::vector<std::string> paths;
+  ~FileCleanup() {
+    for (const std::string& p : paths) {
+      std::remove(p.c_str());
+      std::remove((p + ".wal").c_str());
+    }
+  }
 };
 
 Result<std::string> StoreSignature(OrderedXmlStore* store,
@@ -567,14 +605,21 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
   auto doc = GenerateXml(gopts);
   DomOracle oracle(*doc);
 
+  FileCleanup cleanup;
   StoreInstance stores[3];
   for (int e = 0; e < 3; ++e) {
     OrderEncoding enc = kEncodings[e];
     stores[e].name = OrderEncodingToString(enc);
+    stores[e].encoding = enc;
     auto failure = [&](const std::string& msg) {
       return FuzzFailure{0, stores[e].name, msg};
     };
-    auto db = Database::Open(c->toggles[e].ToDatabaseOptions());
+    stores[e].dbopts = c->toggles[e].ToDatabaseOptions();
+    if (c->durable) {
+      stores[e].dbopts.file_path = FuzzTempPath(stores[e].name);
+      cleanup.paths.push_back(stores[e].dbopts.file_path);
+    }
+    auto db = Database::Open(stores[e].dbopts);
     if (!db.ok()) return failure("open: " + db.status().ToString());
     stores[e].db = std::move(db).value();
     StoreOptions sopts;
@@ -635,6 +680,54 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
       continue;
     }
 
+    if (op.kind == FuzzOp::Kind::kCrashRecover) {
+      if (!c->durable) {  // meaningless without a disk to recover from
+        ++c->skipped_ops;
+        continue;
+      }
+      std::string oracle_doc = oracle.Serialize();
+      for (StoreInstance& s : stores) {
+        auto fail = [&](const std::string& msg) {
+          return FuzzFailure{i, s.name, op.ToString() + ": " + msg};
+        };
+        // Kill the process state mid-run: nothing flushes, the WAL stays
+        // as-is, and the reopen must replay every committed mutation.
+        s.db->SimulateCrashForTesting();
+        s.store.reset();
+        s.db.reset();
+        DatabaseOptions ropts = s.dbopts;
+        ropts.open_existing = true;
+        auto db = Database::Open(ropts);
+        if (!db.ok()) {
+          return fail("reopen after crash: " + db.status().ToString());
+        }
+        s.db = std::move(db).value();
+        StoreOptions sopts;
+        sopts.gap = c->doc.gap;
+        auto store = OrderedXmlStore::Attach(s.db.get(), s.encoding, sopts);
+        if (!store.ok()) {
+          return fail("attach after crash: " + store.status().ToString());
+        }
+        s.store = std::move(store).value();
+        Status valid = s.store->Validate();
+        if (!valid.ok()) {
+          return fail("invariant violation after recovery: " +
+                      valid.ToString());
+        }
+        auto rec = s.store->ReconstructDocument();
+        if (!rec.ok()) {
+          return fail("reconstruction after recovery: " +
+                      rec.status().ToString());
+        }
+        std::string got = WriteXml(**rec);
+        if (got != oracle_doc) {
+          return fail("recovered document diverged from oracle: " +
+                      DiffContext(oracle_doc, got));
+        }
+      }
+      continue;
+    }
+
     // Mutation: check applicability and apply on the oracle first (path
     // resolution is against the pre-op tree on every side).
     bool applied = false;
@@ -677,6 +770,7 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
         break;
       }
       case FuzzOp::Kind::kQuery:
+      case FuzzOp::Kind::kCrashRecover:
         break;
     }
     if (!applied) {
@@ -721,6 +815,7 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
                   .status();
           break;
         case FuzzOp::Kind::kQuery:
+        case FuzzOp::Kind::kCrashRecover:
           break;
       }
       if (!applied_status.ok()) {
@@ -789,6 +884,7 @@ std::string SerializeCase(const FuzzCase& c) {
     out += std::string("toggles ") + OrderEncodingToString(kEncodings[e]) +
            " " + c.toggles[e].ToString() + "\n";
   }
+  if (c.durable) out += "durable\n";
   for (const FuzzOp& op : c.ops) out += op.ToString() + "\n";
   out += "end\n";
   return out;
@@ -852,6 +948,9 @@ Result<FuzzOp> ParseOp(const std::vector<std::string>& tok) {
     OXML_ASSIGN_OR_RETURN(op.path, PathFromString(tok[2]));
     op.attr_name = tok[3];
     op.text = tok[4];
+  } else if (kind == "crashrecover") {
+    OXML_RETURN_NOT_OK(need(2));
+    op.kind = FuzzOp::Kind::kCrashRecover;
   } else {
     return Status::ParseError("unknown op kind: " + kind);
   }
@@ -917,6 +1016,9 @@ Result<FuzzCase> ParseCase(std::string_view text) {
       OXML_ASSIGN_OR_RETURN(int64_t pc, ParseKeyedInt(tok[5], "pc"));
       c.toggles[enc] = {sj != 0, mj != 0, se != 0, pc != 0};
       ++toggle_count;
+    } else if (tok[0] == "durable") {
+      if (tok.size() != 1) return Status::ParseError("bad durable line");
+      c.durable = true;
     } else if (tok[0] == "op") {
       if (tok.size() < 2) return Status::ParseError("bad op line");
       OXML_ASSIGN_OR_RETURN(FuzzOp op, ParseOp(tok));

@@ -48,6 +48,9 @@ struct FuzzOp {
     kMove,     // move subtree at `path` to `pos` relative to `ref_path`
     kSetText,  // replace the value of the text node at `path`
     kSetAttr,  // update attribute `attr_name` of the element at `path`
+    kCrashRecover,  // durable cases only: kill every store's database
+                    // mid-run, reopen it, replay the WAL and re-verify the
+                    // full document against the oracle
   };
 
   Kind kind = Kind::kQuery;
@@ -68,6 +71,11 @@ struct FuzzOp {
 struct FuzzCase {
   DocParams doc;
   DbToggles toggles[3];  // indexed by static_cast<int>(OrderEncoding)
+  /// Durable mode: every store runs on a file-backed, WAL-enabled database
+  /// in a temp directory instead of memory-resident, and the op stream may
+  /// contain kCrashRecover steps — each one kills and recovers all three
+  /// databases, checking that every committed mutation survived.
+  bool durable = false;
   std::vector<FuzzOp> ops;
   size_t skipped_ops = 0;  // filled by RunCase: ops inapplicable on replay
 };

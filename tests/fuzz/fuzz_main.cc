@@ -5,6 +5,10 @@
 //
 // Usage:
 //   oxml_fuzz [--seed_start=N] [--seed_count=N] [--ops=N] [--repro_dir=DIR]
+//             [--durable=0|1]
+//
+// --durable forces every case on or off the file-backed/WAL path (the
+// default lets the generator pick ~25% durable cases).
 
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +40,7 @@ int main(int argc, char** argv) {
   long long seed_start = 1;
   long long seed_count = 25;
   long long ops = 100;
+  long long durable = -1;  // -1 = generator's choice
   std::string repro_dir = ".";
   for (int i = 1; i < argc; ++i) {
     long long* unused = nullptr;
@@ -43,6 +48,7 @@ int main(int argc, char** argv) {
     if (ParseFlag(argv[i], "--seed_start", &seed_start) ||
         ParseFlag(argv[i], "--seed_count", &seed_count) ||
         ParseFlag(argv[i], "--ops", &ops) ||
+        ParseFlag(argv[i], "--durable", &durable) ||
         ParseFlag(argv[i], "--repro_dir", &repro_dir)) {
       continue;
     }
@@ -56,6 +62,7 @@ int main(int argc, char** argv) {
     oxml::fuzz::FuzzCase c =
         oxml::fuzz::GenerateCase(static_cast<uint64_t>(s),
                                  static_cast<size_t>(ops));
+    if (durable >= 0) c.durable = durable != 0;
     auto failure = oxml::fuzz::RunCase(&c);
     total_ops += c.ops.size();
     total_skipped += c.skipped_ops;

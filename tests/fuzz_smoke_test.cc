@@ -35,6 +35,33 @@ TEST(FuzzSmokeTest, CasesRoundTripThroughReproFormat) {
   for (size_t i = 0; i < c.ops.size(); ++i) {
     EXPECT_EQ(parsed->ops[i].ToString(), c.ops[i].ToString()) << i;
   }
+  // Durable mode and crash points survive the round trip too.
+  c.durable = true;
+  FuzzOp crash;
+  crash.kind = FuzzOp::Kind::kCrashRecover;
+  c.ops.push_back(crash);
+  parsed = ParseCase(SerializeCase(c));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->durable);
+  EXPECT_EQ(parsed->ops.back().ToString(), "op crashrecover");
+}
+
+TEST(FuzzSmokeTest, DurableCasesCrashAndRecoverClean) {
+  // File-backed, WAL-enabled runs with forced crash points: every committed
+  // mutation must survive the kill + replay, on all three encodings.
+  FuzzOp crash;
+  crash.kind = FuzzOp::Kind::kCrashRecover;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    FuzzCase c = GenerateCase(seed, 30);
+    c.durable = true;
+    c.ops.insert(c.ops.begin() + static_cast<ptrdiff_t>(c.ops.size() / 2),
+                 crash);
+    c.ops.push_back(crash);
+    auto failure = RunCase(&c);
+    EXPECT_FALSE(failure.has_value())
+        << "seed " << seed << ": " << failure->Describe() << "\nrepro:\n"
+        << SerializeCase(c);
+  }
 }
 
 TEST(FuzzSmokeTest, CheckedInReprosReplayClean) {

@@ -155,6 +155,59 @@ TEST_P(StorePersistenceTest, OrderedStoreSurvivesReopen) {
   EXPECT_EQ(EvaluateXPath(store.get(), "/nitf/body/section")->size(), 7u);
 }
 
+TEST_P(StorePersistenceTest, SurvivesReopenUnderTinyBufferPool) {
+  // A 6-frame pool cannot hold the working set: loading and updating force
+  // evictions (write-backs mid-transaction are forbidden by the no-steal
+  // policy, so the pool must grow for txn-dirty pages and shrink back), and
+  // reopening with the same tiny pool re-reads everything from disk.
+  std::string path = TempPath(std::string("tinypool_") +
+                              OrderEncodingToString(GetParam()));
+  NewsGeneratorOptions gen;
+  gen.seed = 31;
+  gen.sections = 8;
+  gen.paragraphs_per_section = 5;
+  auto doc = GenerateNewsXml(gen);
+  std::string expected_xml;
+
+  {
+    auto dbr = Database::Open({.file_path = path, .buffer_capacity = 6});
+    ASSERT_TRUE(dbr.ok());
+    std::unique_ptr<Database> db = std::move(dbr).value();
+    auto sr = OrderedXmlStore::Create(db.get(), GetParam(), {.gap = 4});
+    ASSERT_TRUE(sr.ok());
+    std::unique_ptr<OrderedXmlStore> store = std::move(sr).value();
+    ASSERT_TRUE(store->LoadDocument(*doc).ok());
+    auto sections = EvaluateXPath(store.get(), "/nitf/body/section");
+    ASSERT_TRUE(sections.ok());
+    auto frag = ParseXml("<section id=\"evict\"><para>tiny pool</para>"
+                         "</section>");
+    ASSERT_TRUE(frag.ok());
+    ASSERT_TRUE(store
+                    ->InsertSubtree((*sections)[3], InsertPosition::kBefore,
+                                    *(*frag)->root_element())
+                    .ok());
+    ASSERT_TRUE(store->Validate().ok());
+    auto rebuilt = store->ReconstructDocument();
+    ASSERT_TRUE(rebuilt.ok());
+    expected_xml = WriteXml(**rebuilt);
+    ASSERT_TRUE(db->Checkpoint().ok());
+    ASSERT_TRUE(db->Close().ok());
+  }
+
+  auto dbr = Database::Open({.file_path = path,
+                             .buffer_capacity = 6,
+                             .open_existing = true});
+  ASSERT_TRUE(dbr.ok()) << dbr.status();
+  std::unique_ptr<Database> db = std::move(dbr).value();
+  auto sr = OrderedXmlStore::Attach(db.get(), GetParam(), {.gap = 4});
+  ASSERT_TRUE(sr.ok()) << sr.status();
+  std::unique_ptr<OrderedXmlStore> store = std::move(sr).value();
+  ASSERT_TRUE(store->Validate().ok()) << store->Validate();
+  auto rebuilt = store->ReconstructDocument();
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_EQ(WriteXml(**rebuilt), expected_xml);
+}
+
 TEST_P(StorePersistenceTest, AttachRejectsWrongEncoding) {
   std::string path = TempPath(std::string("wrongenc_") +
                               OrderEncodingToString(GetParam()));
@@ -234,6 +287,73 @@ TEST(PersistenceTest, CollectionSurvivesReopen) {
   auto late = coll->GetDocument("late");
   ASSERT_TRUE(late.ok());
   EXPECT_EQ((*late)->table_name(), "arch_4");
+}
+
+TEST(PersistenceTest, CloseReportsStatusAndIsIdempotent) {
+  std::string path = TempPath("close_status");
+  auto dbr = Database::Open({.file_path = path});
+  ASSERT_TRUE(dbr.ok());
+  std::unique_ptr<Database> db = std::move(dbr).value();
+  ASSERT_TRUE(db->Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_TRUE(db->Close().ok());
+  EXPECT_TRUE(db->Close().ok());  // idempotent
+  // A closed database refuses further work instead of corrupting anything.
+  EXPECT_FALSE(db->Execute("INSERT INTO t VALUES (2)").ok());
+  EXPECT_FALSE(db->Checkpoint().ok());
+  EXPECT_FALSE(db->Begin().ok());
+}
+
+TEST(PersistenceTest, CommitsSurviveACrashWithoutCheckpoint) {
+  // Nothing here ever checkpoints: the data file still holds the initial
+  // empty catalog when the process "dies", and every row must come back
+  // from WAL replay alone.
+  std::string path = TempPath("crash_no_checkpoint");
+  {
+    auto dbr = Database::Open({.file_path = path});
+    ASSERT_TRUE(dbr.ok());
+    std::unique_ptr<Database> db = std::move(dbr).value();
+    ASSERT_TRUE(db->Execute("CREATE TABLE t (id INT, name TEXT)").ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db
+                      ->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                                ", 'row" + std::to_string(i) + "')")
+                      .ok());
+    }
+    db->SimulateCrashForTesting();
+  }
+  auto dbr = Database::Open({.file_path = path, .open_existing = true});
+  ASSERT_TRUE(dbr.ok()) << dbr.status();
+  auto rs = (*dbr)->Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 100);
+  rs = (*dbr)->Query("SELECT name FROM t WHERE id = 57");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsString(), "row57");
+}
+
+TEST(PersistenceTest, RolledBackTransactionLeavesNoTrace) {
+  std::string path = TempPath("rollback_trace");
+  {
+    auto dbr = Database::Open({.file_path = path});
+    ASSERT_TRUE(dbr.ok());
+    std::unique_ptr<Database> db = std::move(dbr).value();
+    ASSERT_TRUE(db->Execute("CREATE TABLE t (a INT)").ok());
+    ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (1)").ok());
+    ASSERT_TRUE(db->Begin().ok());
+    ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (2)").ok());
+    ASSERT_TRUE(db->Execute("INSERT INTO t VALUES (3)").ok());
+    ASSERT_TRUE(db->Rollback().ok());
+    auto rs = db->Query("SELECT COUNT(*) FROM t");
+    ASSERT_TRUE(rs.ok());
+    EXPECT_EQ(rs->rows[0][0].AsInt(), 1);  // rolled back in-process
+  }
+  auto dbr = Database::Open({.file_path = path, .open_existing = true});
+  ASSERT_TRUE(dbr.ok());
+  auto rs = (*dbr)->Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 1);  // and on disk
 }
 
 TEST(PersistenceTest, AttachMissingCollectionFails) {

@@ -1,0 +1,296 @@
+// Unit tests of the write-ahead log: CRC framing, commit/replay, torn and
+// uncommitted tails, orphaned images of failed commits, group commit and
+// truncation. The end-to-end crash behavior of a whole database lives in
+// crash_matrix_test.cc.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/relational/fault_injection.h"
+#include "src/relational/wal.h"
+
+namespace oxml {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name + "_" +
+         std::to_string(::getpid()) + ".wal";
+}
+
+std::string PageOf(char fill) { return std::string(kPageSize, fill); }
+
+Result<std::unique_ptr<WriteAheadLog>> FreshWal(
+    const std::string& path, const WalOptions& options = {},
+    std::shared_ptr<FaultPlan> fault = nullptr) {
+  ::unlink(path.c_str());
+  return WriteAheadLog::Open(path, options, std::move(fault));
+}
+
+TEST(Crc32Test, KnownAnswer) {
+  // The standard IEEE 802.3 check value.
+  const char* msg = "123456789";
+  EXPECT_EQ(Crc32(msg, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementally) {
+  const char* msg = "hello, write-ahead log";
+  uint32_t whole = Crc32(msg, 22);
+  uint32_t part = Crc32(msg, 10);
+  EXPECT_EQ(Crc32(msg + 10, 12, part), whole);
+  EXPECT_NE(Crc32(msg, 21), whole);
+}
+
+TEST(WalTest, RecoverMissingFileIsEmpty) {
+  auto rec = WriteAheadLog::Recover(TempPath("missing_nonexistent"));
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_TRUE(rec->pages.empty());
+  EXPECT_EQ(rec->committed_txns, 0u);
+  EXPECT_FALSE(rec->tail_damaged);
+}
+
+TEST(WalTest, RecoverRejectsNonWalFiles) {
+  std::string path = TempPath("bad_magic");
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::string junk(64, 'j');
+  fwrite(junk.data(), 1, junk.size(), f);
+  fclose(f);
+  auto rec = WriteAheadLog::Recover(path);
+  EXPECT_FALSE(rec.ok());
+  EXPECT_TRUE(rec.status().IsIOError()) << rec.status();
+  auto wal = WriteAheadLog::Open(path);
+  EXPECT_FALSE(wal.ok());
+}
+
+TEST(WalTest, CommittedImagesReplayLastWins) {
+  std::string path = TempPath("replay");
+  auto wal = FreshWal(path);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  ASSERT_TRUE((*wal)->AppendPageImage(0, PageOf('a').data()).ok());
+  ASSERT_TRUE((*wal)->AppendPageImage(1, PageOf('b').data()).ok());
+  ASSERT_TRUE((*wal)->Commit().ok());
+  // A later transaction overwrites page 1: its image must win.
+  ASSERT_TRUE((*wal)->AppendPageImage(1, PageOf('c').data()).ok());
+  ASSERT_TRUE((*wal)->Commit().ok());
+
+  auto rec = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->committed_txns, 2u);
+  EXPECT_EQ(rec->replayed_images, 3u);
+  EXPECT_EQ(rec->discarded_records, 0u);
+  EXPECT_FALSE(rec->tail_damaged);
+  ASSERT_EQ(rec->pages.size(), 2u);
+  EXPECT_EQ(rec->pages.at(0), PageOf('a'));
+  EXPECT_EQ(rec->pages.at(1), PageOf('c'));
+}
+
+TEST(WalTest, UncommittedTailIsDiscarded) {
+  std::string path = TempPath("uncommitted");
+  auto wal = FreshWal(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->AppendPageImage(3, PageOf('x').data()).ok());
+  ASSERT_TRUE((*wal)->AppendPageImage(4, PageOf('y').data()).ok());
+  ASSERT_TRUE((*wal)->Sync().ok());  // durable but never committed
+
+  auto rec = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->pages.empty());
+  EXPECT_EQ(rec->committed_txns, 0u);
+  EXPECT_EQ(rec->discarded_records, 2u);
+  EXPECT_FALSE(rec->tail_damaged);  // well-formed records, just no commit
+}
+
+TEST(WalTest, TornTailAfterCommitIsTolerated) {
+  std::string path = TempPath("torn_tail");
+  uint64_t committed_size = 0;
+  {
+    auto wal = FreshWal(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendPageImage(0, PageOf('a').data()).ok());
+    ASSERT_TRUE((*wal)->Commit().ok());
+    committed_size = (*wal)->size_bytes();
+    ASSERT_TRUE((*wal)->AppendPageImage(1, PageOf('b').data()).ok());
+    ASSERT_TRUE((*wal)->Commit().ok());
+  }
+  // Cut the file in the middle of the second transaction's page image — the
+  // shape a torn append leaves behind.
+  ASSERT_EQ(::truncate(path.c_str(),
+                       static_cast<off_t>(committed_size + 100)),
+            0);
+
+  auto rec = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(rec.ok()) << rec.status();
+  EXPECT_EQ(rec->committed_txns, 1u);
+  EXPECT_TRUE(rec->tail_damaged);
+  ASSERT_EQ(rec->pages.size(), 1u);
+  EXPECT_EQ(rec->pages.at(0), PageOf('a'));
+}
+
+TEST(WalTest, CorruptRecordStopsTheScan) {
+  std::string path = TempPath("corrupt");
+  uint64_t first_txn_end = 0;
+  {
+    auto wal = FreshWal(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendPageImage(0, PageOf('a').data()).ok());
+    ASSERT_TRUE((*wal)->Commit().ok());
+    first_txn_end = (*wal)->size_bytes();
+    ASSERT_TRUE((*wal)->AppendPageImage(0, PageOf('z').data()).ok());
+    ASSERT_TRUE((*wal)->Commit().ok());
+  }
+  // Flip one payload byte inside the second transaction's image: its CRC no
+  // longer matches, so replay must stop before adopting any of it.
+  {
+    FILE* f = fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(fseek(f, static_cast<long>(first_txn_end) + 64, SEEK_SET), 0);
+    fputc('!', f);
+    fclose(f);
+  }
+
+  auto rec = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->committed_txns, 1u);
+  EXPECT_TRUE(rec->tail_damaged);
+  EXPECT_GE(rec->discarded_records, 1u);
+  ASSERT_EQ(rec->pages.size(), 1u);
+  EXPECT_EQ(rec->pages.at(0), PageOf('a'));  // not 'z'
+}
+
+TEST(WalTest, FailedCommitOrphansAreNeverAdopted) {
+  std::string path = TempPath("orphan");
+  auto plan = std::make_shared<FaultPlan>();
+  auto wal = FreshWal(path, {}, plan);
+  ASSERT_TRUE(wal.ok());
+  // I/O 1 = the page-image append, I/O 2 = the commit-record append: fail
+  // the commit exactly once, leaving a durable image with no commit.
+  plan->Arm(2, FaultPlan::Mode::kEIO);
+  ASSERT_TRUE((*wal)->AppendPageImage(7, PageOf('o').data()).ok());
+  EXPECT_FALSE((*wal)->Commit().ok());
+  // The retry is a new transaction: its commit must not adopt the orphan.
+  ASSERT_TRUE((*wal)->AppendPageImage(8, PageOf('n').data()).ok());
+  ASSERT_TRUE((*wal)->Commit().ok());
+
+  auto rec = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->committed_txns, 1u);
+  EXPECT_EQ(rec->replayed_images, 1u);
+  EXPECT_EQ(rec->discarded_records, 1u);  // the orphaned image of page 7
+  ASSERT_EQ(rec->pages.size(), 1u);
+  EXPECT_EQ(rec->pages.count(7), 0u);
+  EXPECT_EQ(rec->pages.at(8), PageOf('n'));
+}
+
+TEST(WalTest, TornAppendIsOverwrittenBySurvivingProcess) {
+  std::string path = TempPath("short_write");
+  auto plan = std::make_shared<FaultPlan>();
+  auto wal = FreshWal(path, {}, plan);
+  ASSERT_TRUE(wal.ok());
+  // A short write persists half the record and fails once; the process
+  // survives, so the next append must overwrite the torn bytes.
+  plan->Arm(1, FaultPlan::Mode::kShortWrite);
+  EXPECT_FALSE((*wal)->AppendPageImage(0, PageOf('t').data()).ok());
+  ASSERT_TRUE((*wal)->AppendPageImage(0, PageOf('g').data()).ok());
+  ASSERT_TRUE((*wal)->Commit().ok());
+
+  auto rec = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->committed_txns, 1u);
+  EXPECT_FALSE(rec->tail_damaged);
+  ASSERT_EQ(rec->pages.size(), 1u);
+  EXPECT_EQ(rec->pages.at(0), PageOf('g'));
+}
+
+TEST(WalTest, GroupCommitSyncsEveryNth) {
+  std::string path = TempPath("group_commit");
+  WalOptions opts;
+  opts.group_commit_every = 3;
+  auto wal = FreshWal(path, opts);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE((*wal)->AppendPageImage(0, PageOf('g').data()).ok());
+    ASSERT_TRUE((*wal)->Commit().ok());
+  }
+  EXPECT_EQ((*wal)->syncs(), 0u);  // window not full yet
+  ASSERT_TRUE((*wal)->AppendPageImage(0, PageOf('g').data()).ok());
+  ASSERT_TRUE((*wal)->Commit().ok());
+  EXPECT_EQ((*wal)->syncs(), 1u);  // third commit flushed the window
+  // An explicit Sync() resets the window.
+  ASSERT_TRUE((*wal)->AppendPageImage(0, PageOf('g').data()).ok());
+  ASSERT_TRUE((*wal)->Commit().ok());
+  ASSERT_TRUE((*wal)->Sync().ok());
+  EXPECT_EQ((*wal)->syncs(), 2u);
+  ASSERT_TRUE((*wal)->AppendPageImage(0, PageOf('g').data()).ok());
+  ASSERT_TRUE((*wal)->Commit().ok());
+  EXPECT_EQ((*wal)->syncs(), 2u);  // window restarted after the manual sync
+}
+
+TEST(WalTest, SyncOnCommitDisabledNeverSyncs) {
+  std::string path = TempPath("nosync");
+  WalOptions opts;
+  opts.sync_on_commit = false;
+  auto wal = FreshWal(path, opts);
+  ASSERT_TRUE(wal.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE((*wal)->AppendPageImage(0, PageOf('n').data()).ok());
+    ASSERT_TRUE((*wal)->Commit().ok());
+  }
+  EXPECT_EQ((*wal)->syncs(), 0u);
+  // The records are still written, so recovery replays what the OS kept.
+  auto rec = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->committed_txns, 5u);
+}
+
+TEST(WalTest, ResetTruncatesToHeaderAndLogRemainsUsable) {
+  std::string path = TempPath("reset");
+  auto wal = FreshWal(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->AppendPageImage(1, PageOf('r').data()).ok());
+  ASSERT_TRUE((*wal)->Commit().ok());
+  ASSERT_GT((*wal)->size_bytes(), WriteAheadLog::kHeaderSize);
+
+  ASSERT_TRUE((*wal)->Reset().ok());
+  EXPECT_EQ((*wal)->size_bytes(), WriteAheadLog::kHeaderSize);
+  auto rec = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->pages.empty());
+  EXPECT_EQ(rec->committed_txns, 0u);
+
+  // History is gone, the log is not: new commits append and replay fine.
+  ASSERT_TRUE((*wal)->AppendPageImage(2, PageOf('s').data()).ok());
+  ASSERT_TRUE((*wal)->Commit().ok());
+  rec = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->committed_txns, 1u);
+  EXPECT_EQ(rec->pages.at(2), PageOf('s'));
+}
+
+TEST(WalTest, ReopenAppendsAfterExistingRecords) {
+  std::string path = TempPath("reopen_append");
+  {
+    auto wal = FreshWal(path);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->AppendPageImage(0, PageOf('1').data()).ok());
+    ASSERT_TRUE((*wal)->Commit().ok());
+  }
+  {
+    auto wal = WriteAheadLog::Open(path);  // existing log, no unlink
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    ASSERT_TRUE((*wal)->AppendPageImage(1, PageOf('2').data()).ok());
+    ASSERT_TRUE((*wal)->Commit().ok());
+  }
+  auto rec = WriteAheadLog::Recover(path);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->committed_txns, 2u);
+  EXPECT_EQ(rec->pages.at(0), PageOf('1'));
+  EXPECT_EQ(rec->pages.at(1), PageOf('2'));
+}
+
+}  // namespace
+}  // namespace oxml
