@@ -143,20 +143,31 @@ inline std::unique_ptr<XmlDocument> NewsDoc(int sections, int paragraphs,
 }  // namespace bench
 }  // namespace oxml
 
-/// Drop-in replacement for BENCHMARK_MAIN() that understands --smoke:
-/// strips the flag, flips SmokeMode(), and caps per-benchmark wall time so
-/// CI can run every bench binary as a fast crash/liveness check. All other
-/// arguments pass through to the benchmark library untouched.
+/// Drop-in replacement for BENCHMARK_MAIN() that understands two extra
+/// flags:
+///   --smoke        CI crash check — flips SmokeMode() and caps per-
+///                  benchmark wall time so every binary finishes in seconds.
+///   --json <path>  shorthand for --benchmark_out=<path> with JSON format;
+///                  CI uses it to archive machine-readable results.
+/// All other arguments pass through to the benchmark library untouched.
 #define OXML_BENCH_MAIN()                                                  \
   int main(int argc, char** argv) {                                        \
     std::vector<char*> args;                                               \
     static char smoke_min_time[] = "--benchmark_min_time=0.01";            \
+    static char json_format[] = "--benchmark_out_format=json";             \
+    static std::string json_out;                                           \
     for (int i = 0; i < argc; ++i) {                                       \
       if (std::string(argv[i]) == "--smoke") {                             \
         ::oxml::bench::SmokeMode() = true;                                 \
+      } else if (std::string(argv[i]) == "--json" && i + 1 < argc) {       \
+        json_out = std::string("--benchmark_out=") + argv[++i];            \
       } else {                                                             \
         args.push_back(argv[i]);                                           \
       }                                                                    \
+    }                                                                      \
+    if (!json_out.empty()) {                                               \
+      args.push_back(json_out.data());                                     \
+      args.push_back(json_format);                                         \
     }                                                                      \
     if (::oxml::bench::SmokeMode()) args.push_back(smoke_min_time);        \
     int bench_argc = static_cast<int>(args.size());                        \

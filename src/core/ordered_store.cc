@@ -179,17 +179,16 @@ Result<int64_t> OrderedXmlStore::Dml(const std::string& sql,
 Result<ResultSet> OrderedXmlStore::SqlP(const std::string& sql, Row params,
                                         UpdateStats* stats) {
   if (stats != nullptr) ++stats->statements;
-  OXML_ASSIGN_OR_RETURN(PreparedStatement ps, db_->Prepare(sql));
-  OXML_RETURN_NOT_OK(ps.BindAll(std::move(params)));
-  return ps.Query();
+  // One-shot parameterized path: the plan cache dedupes by text and QueryP
+  // carries the bindings per-execution, so concurrent readers of the same
+  // store never clobber each other's parameters.
+  return db_->QueryP(sql, std::move(params));
 }
 
 Result<int64_t> OrderedXmlStore::DmlP(const std::string& sql, Row params,
                                       UpdateStats* stats) {
   if (stats != nullptr) ++stats->statements;
-  OXML_ASSIGN_OR_RETURN(PreparedStatement ps, db_->Prepare(sql));
-  OXML_RETURN_NOT_OK(ps.BindAll(std::move(params)));
-  return ps.Execute();
+  return db_->ExecuteP(sql, std::move(params));
 }
 
 Status OrderedXmlStore::LoadDocument(const XmlDocument& doc) {

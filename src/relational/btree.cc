@@ -232,6 +232,31 @@ BPlusTree::Iterator BPlusTree::UpperBound(std::string_view key) const {
   return it;
 }
 
+std::vector<std::string> BPlusTree::SplitKeys(size_t shards) const {
+  std::vector<std::string> seps;
+  if (shards < 2 || size_ == 0) return seps;
+  // One walk down the leftmost spine plus one leaf-chain traversal: collect
+  // the first key of every non-empty leaf, then pick evenly spaced ones.
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const Internal*>(node)->children.front();
+  }
+  std::vector<const std::string*> firsts;
+  for (const auto* l = static_cast<const Leaf*>(node); l != nullptr;
+       l = l->next) {
+    if (!l->keys.empty()) firsts.push_back(&l->keys.front());
+  }
+  if (firsts.size() < 2) return seps;
+  size_t parts = std::min(shards, firsts.size());
+  for (size_t i = 1; i < parts; ++i) {
+    seps.push_back(*firsts[i * firsts.size() / parts]);
+  }
+  // Duplicate keys can straddle a leaf boundary; collapse equal separators
+  // so every range is non-empty.
+  seps.erase(std::unique(seps.begin(), seps.end()), seps.end());
+  return seps;
+}
+
 BPlusTree::Iterator BPlusTree::Begin() const {
   const Node* node = root_;
   while (!node->is_leaf) {

@@ -65,6 +65,13 @@ class BPlusTree {
     size_t pos_ = 0;
   };
 
+  /// Up to `shards - 1` separator keys that cut the key space into roughly
+  /// equal ranges: [min, s0), [s0, s1), ..., [s_last, max]. Separators are
+  /// first-keys of leaves, so LowerBound(s) lands exactly on a leaf
+  /// boundary. Used by ParallelScanOp to fan a range scan out across
+  /// threads. Returns fewer (possibly zero) separators for small trees.
+  std::vector<std::string> SplitKeys(size_t shards) const;
+
   /// Iterator at the first entry with key >= `key` (end if none).
   Iterator LowerBound(std::string_view key) const;
   /// Iterator at the first entry with key > `key`.

@@ -161,16 +161,44 @@ BufferPool::~BufferPool() {
   if (!discard_on_destroy_) (void)FlushAll();
 }
 
+void BufferPool::LruRemove(Frame* f) {
+  if (capacity_ == 0) return;  // unbounded pools never evict
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  if (f->in_lru) {
+    lru_.erase(f->lru_pos);
+    f->in_lru = false;
+  }
+}
+
+void BufferPool::LruAdd(uint32_t page_id, Frame* f) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(lru_mu_);
+  // A concurrent reader may have re-pinned the frame between our pin-count
+  // decrement and this point; listing a pinned frame is harmless because
+  // eviction re-checks the pin count under the exclusive table latch.
+  if (!f->in_lru) {
+    lru_.push_front(page_id);
+    f->lru_pos = lru_.begin();
+    f->in_lru = true;
+  }
+}
+
 Status BufferPool::EnsureCapacity() {
   if (capacity_ == 0 || frames_.size() < capacity_) return Status::OK();
   // Evict the least recently used unpinned frame. Frames dirtied by the
   // open transaction are not eligible (no-steal): writing them back would
-  // put uncommitted bytes in the data file.
+  // put uncommitted bytes in the data file. The exclusive table latch held
+  // by the caller keeps every reader out of the page table, so pin counts
+  // cannot rise underneath the scan.
+  std::lock_guard<std::mutex> lock(lru_mu_);
   bool saw_txn_dirty = false;
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
     uint32_t victim = *it;
     auto fit = frames_.find(victim);
-    if (fit == frames_.end() || fit->second.pin_count > 0) continue;
+    if (fit == frames_.end() ||
+        fit->second.pin_count.load(std::memory_order_relaxed) > 0) {
+      continue;
+    }
     Frame& f = fit->second;
     if (f.txn_dirty) {
       saw_txn_dirty = true;
@@ -201,13 +229,15 @@ void BufferPool::CaptureUndo(uint32_t page_id, const Frame& frame) {
 }
 
 Result<PageHandle> BufferPool::NewPage() {
+  // Exclusive: allocation mutates both the backend and the page table.
+  std::unique_lock<std::shared_mutex> lock(table_mu_);
   OXML_ASSIGN_OR_RETURN(uint32_t id, backend_->AllocatePage());
   OXML_RETURN_NOT_OK(EnsureCapacity());
-  Frame frame;
+  Frame& frame = frames_[id];  // in-place: Frame holds an atomic
   frame.data = std::make_unique<char[]>(kPageSize);
   std::memset(frame.data.get(), 0, kPageSize);
   frame.page_id = id;
-  frame.pin_count = 1;
+  frame.pin_count.store(1, std::memory_order_relaxed);
   frame.dirty = true;  // a fresh page must eventually reach the backend
   if (in_txn_) {
     frame.txn_dirty = true;
@@ -216,42 +246,60 @@ Result<PageHandle> BufferPool::NewPage() {
     u.is_new = true;  // rollback zeroes the page instead of restoring
     undo_.emplace(id, std::move(u));
   }
-  char* data = frame.data.get();
-  frames_.emplace(id, std::move(frame));
-  return PageHandle(this, id, data);
+  return PageHandle(this, id, frame.data.get());
 }
 
 Result<PageHandle> BufferPool::FetchPage(uint32_t page_id) {
+  {
+    // Fast path: a resident page is pinned under the shared latch, so any
+    // number of readers fault-free pages in parallel. Frame addresses are
+    // stable across rehashes (unordered_map) and eviction only erases
+    // unpinned frames under the exclusive latch, so the returned data
+    // pointer stays valid for the life of the pin.
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
+    auto it = frames_.find(page_id);
+    if (it != frames_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      Frame& f = it->second;
+      // Undo capture only runs inside a transaction, which the statement
+      // latch makes single-threaded; concurrent readers see in_txn_ false.
+      CaptureUndo(page_id, f);
+      f.pin_count.fetch_add(1, std::memory_order_relaxed);
+      LruRemove(&f);
+      return PageHandle(this, page_id, f.data.get());
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(table_mu_);
+  // Another thread may have faulted the page in while we upgraded.
   auto it = frames_.find(page_id);
   if (it != frames_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     Frame& f = it->second;
     CaptureUndo(page_id, f);
-    ++f.pin_count;
-    if (f.in_lru) {
-      lru_.erase(f.lru_pos);
-      f.in_lru = false;
-    }
+    f.pin_count.fetch_add(1, std::memory_order_relaxed);
+    LruRemove(&f);
     return PageHandle(this, page_id, f.data.get());
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   OXML_RETURN_NOT_OK(EnsureCapacity());
-  Frame frame;
-  frame.data = std::make_unique<char[]>(kPageSize);
-  OXML_RETURN_NOT_OK(backend_->ReadPage(page_id, frame.data.get()));
+  auto data = std::make_unique<char[]>(kPageSize);
+  OXML_RETURN_NOT_OK(backend_->ReadPage(page_id, data.get()));
+  Frame& frame = frames_[page_id];
+  frame.data = std::move(data);
   frame.page_id = page_id;
-  frame.pin_count = 1;
+  frame.pin_count.store(1, std::memory_order_relaxed);
   CaptureUndo(page_id, frame);
-  char* data = frame.data.get();
-  frames_.emplace(page_id, std::move(frame));
-  return PageHandle(this, page_id, data);
+  return PageHandle(this, page_id, frame.data.get());
 }
 
 void BufferPool::Unpin(uint32_t page_id, bool dirty) {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
   auto it = frames_.find(page_id);
   if (it == frames_.end()) return;
   Frame& f = it->second;
   if (dirty) {
+    // Only writers mark pages dirty, and the statement latch serializes
+    // them against every reader, so these plain fields race with nothing.
     f.dirty = true;
     if (in_txn_ && !f.txn_dirty) {
       f.txn_dirty = true;
@@ -259,15 +307,15 @@ void BufferPool::Unpin(uint32_t page_id, bool dirty) {
     }
     return;  // MarkDirty does not drop the pin
   }
-  if (f.pin_count > 0) --f.pin_count;
-  if (f.pin_count == 0 && !f.in_lru) {
-    lru_.push_front(page_id);
-    f.lru_pos = lru_.begin();
-    f.in_lru = true;
+  int prev = f.pin_count.load(std::memory_order_relaxed);
+  while (prev > 0 && !f.pin_count.compare_exchange_weak(
+                         prev, prev - 1, std::memory_order_relaxed)) {
   }
+  if (prev == 1) LruAdd(page_id, &f);
 }
 
 Status BufferPool::FlushAll() {
+  std::unique_lock<std::shared_mutex> lock(table_mu_);
   for (auto& [id, frame] : frames_) {
     if (frame.dirty && !frame.txn_dirty) {
       OXML_RETURN_NOT_OK(backend_->WritePage(id, frame.data.get()));
@@ -280,6 +328,7 @@ Status BufferPool::FlushAll() {
 // ------------------------------------------------------------ transactions
 
 Status BufferPool::BeginTxn() {
+  std::unique_lock<std::shared_mutex> lock(table_mu_);
   if (in_txn_) {
     return Status::InvalidArgument("a transaction is already open");
   }
@@ -290,6 +339,7 @@ Status BufferPool::BeginTxn() {
 }
 
 Status BufferPool::CommitTxn() {
+  std::unique_lock<std::shared_mutex> lock(table_mu_);
   if (!in_txn_) {
     return Status::InvalidArgument("no transaction is open");
   }
@@ -325,6 +375,7 @@ Status BufferPool::CommitTxn() {
 }
 
 Status BufferPool::RollbackTxn() {
+  std::unique_lock<std::shared_mutex> lock(table_mu_);
   if (!in_txn_) {
     return Status::InvalidArgument("no transaction is open");
   }

@@ -1,9 +1,12 @@
 #ifndef OXML_RELATIONAL_BUFFER_POOL_H_
 #define OXML_RELATIONAL_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -110,6 +113,16 @@ class PageHandle {
 /// BeginTxn must not be called while mutable page handles are outstanding:
 /// pre-images are captured on the first fetch of a page inside the
 /// transaction.
+///
+/// Threading (see docs/INTERNALS.md §9): any number of threads may call
+/// FetchPage/Unpin concurrently. The page table is guarded by a
+/// reader–writer latch whose shared mode covers the hit fast path (lookup
+/// plus an atomic pin-count bump); misses, NewPage, eviction, FlushAll and
+/// the transaction entry points take it exclusively. LRU bookkeeping lives
+/// under its own small mutex and is skipped entirely for unbounded pools
+/// (capacity 0). Transactions and every other mutation are additionally
+/// serialized by the Database-level statement latch, so txn state
+/// (undo map, dirty flags) is only ever touched single-threaded.
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames; 0 means unbounded
@@ -155,9 +168,14 @@ class BufferPool {
   /// (used to simulate a crash in tests).
   void set_discard_on_destroy(bool v) { discard_on_destroy_ = v; }
 
-  uint32_t page_count() const { return backend_->page_count(); }
-  uint64_t hit_count() const { return hits_; }
-  uint64_t miss_count() const { return misses_; }
+  uint32_t page_count() const {
+    std::shared_lock<std::shared_mutex> lock(table_mu_);
+    return backend_->page_count();
+  }
+  uint64_t hit_count() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t miss_count() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class PageHandle;
@@ -165,7 +183,8 @@ class BufferPool {
   struct Frame {
     std::unique_ptr<char[]> data;
     uint32_t page_id = kInvalidPageId;
-    int pin_count = 0;
+    /// Atomic so concurrent readers can pin under the shared table latch.
+    std::atomic<int> pin_count{0};
     bool dirty = false;
     bool txn_dirty = false;  // dirtied by the open transaction
     std::list<uint32_t>::iterator lru_pos;
@@ -182,17 +201,29 @@ class BufferPool {
   void Unpin(uint32_t page_id, bool dirty);
   /// Evicts one unpinned, non-txn-dirty frame if at capacity. Grows past
   /// capacity when only txn-dirty frames remain; errors if all are pinned.
+  /// Caller must hold `table_mu_` exclusively.
   Status EnsureCapacity();
   /// Records the pre-image of `frame` if the open transaction has not
   /// touched this page yet.
   void CaptureUndo(uint32_t page_id, const Frame& frame);
+  /// Moves the frame off the LRU list (it just got pinned). No-op for
+  /// unbounded pools.
+  void LruRemove(Frame* f);
+  /// Makes an unpinned frame eviction-eligible. No-op for unbounded pools.
+  void LruAdd(uint32_t page_id, Frame* f);
 
   std::unique_ptr<StorageBackend> backend_;
   size_t capacity_;
+  /// Guards `frames_` (and the backend): shared for the hit fast path,
+  /// exclusive for misses / allocation / eviction / flush / txn entry
+  /// points.
+  mutable std::shared_mutex table_mu_;
   std::unordered_map<uint32_t, Frame> frames_;
+  /// Guards `lru_` plus the in_lru/lru_pos fields of every frame.
+  std::mutex lru_mu_;
   std::list<uint32_t> lru_;  // front = most recently used
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 
   WriteAheadLog* wal_ = nullptr;
   bool in_txn_ = false;

@@ -1,6 +1,8 @@
 #ifndef OXML_RELATIONAL_CATALOG_H_
 #define OXML_RELATIONAL_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,32 +15,87 @@
 
 namespace oxml {
 
+/// A relaxed-atomic counter that still behaves like the plain uint64_t it
+/// replaced: copyable (benchmarks snapshot whole ExecStats structs),
+/// incrementable with ++/+=, and implicitly convertible for comparisons and
+/// arithmetic. Relaxed ordering is sufficient — these are monotone tallies,
+/// never used to synchronize, and concurrent readers only need each bump to
+/// be free of torn writes and data races.
+class StatCounter {
+ public:
+  StatCounter(uint64_t v = 0) : v_(v) {}  // NOLINT: implicit by design
+  StatCounter(const StatCounter& o)
+      : v_(o.v_.load(std::memory_order_relaxed)) {}
+  StatCounter& operator=(const StatCounter& o) {
+    v_.store(o.v_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator=(uint64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator++() {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  StatCounter& operator+=(uint64_t n) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+  /// Raises the counter to at least `v` (high-water marks like
+  /// `threads_used`).
+  void UpdateMax(uint64_t v) {
+    uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v && !v_.compare_exchange_weak(cur, v,
+                                                std::memory_order_relaxed)) {
+    }
+  }
+  operator uint64_t() const {  // NOLINT: implicit by design
+    return v_.load(std::memory_order_relaxed);
+  }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
+
 /// Mutation counters shared by the executor and the storage layer; the
 /// ordered-XML benchmarks read these to report "rows touched" per update.
+/// Counters are relaxed atomics (see StatCounter): concurrent read-only
+/// statements bump them from many threads at once.
 struct ExecStats {
-  uint64_t rows_scanned = 0;    // rows produced by table/index scans
-  uint64_t index_probes = 0;    // index lookups / range scans started
-  uint64_t rows_inserted = 0;
-  uint64_t rows_deleted = 0;
-  uint64_t rows_updated = 0;
-  uint64_t statements = 0;
-  uint64_t plan_cache_hits = 0;    // statements served from the plan cache
-  uint64_t plan_cache_misses = 0;  // statements that paid parse + plan
-  uint64_t parse_plan_ns = 0;      // wall time spent lexing/parsing/planning
+  StatCounter rows_scanned = 0;    // rows produced by table/index scans
+  StatCounter index_probes = 0;    // index lookups / range scans started
+  StatCounter rows_inserted = 0;
+  StatCounter rows_deleted = 0;
+  StatCounter rows_updated = 0;
+  StatCounter statements = 0;
+  StatCounter plan_cache_hits = 0;    // statements served from the plan cache
+  StatCounter plan_cache_misses = 0;  // statements that paid parse + plan
+  StatCounter parse_plan_ns = 0;  // wall time spent lexing/parsing/planning
 
   // Join-strategy counters, bumped once per join operator Open() so that a
   // benchmark (or test) can see which physical join the planner picked.
-  uint64_t joins_nested_loop = 0;
-  uint64_t joins_hash = 0;
-  uint64_t joins_index_nested_loop = 0;
-  uint64_t joins_merge = 0;
-  uint64_t joins_structural = 0;
+  StatCounter joins_nested_loop = 0;
+  StatCounter joins_hash = 0;
+  StatCounter joins_index_nested_loop = 0;
+  StatCounter joins_merge = 0;
+  StatCounter joins_structural = 0;
 
   // Sort accounting: `sorts_performed` counts SortOp::Open() calls (a full
   // materialize + sort); `sorts_elided` counts ORDER BY clauses the planner
   // dropped because the input order already satisfied them.
-  uint64_t sorts_performed = 0;
-  uint64_t sorts_elided = 0;
+  StatCounter sorts_performed = 0;
+  StatCounter sorts_elided = 0;
+
+  // Intra-query parallelism (see DatabaseOptions::enable_parallel_execution):
+  // `threads_used` is the high-water worker count any parallel operator
+  // fanned out to, `morsels` counts scan/join partitions executed, and
+  // `parallel_joins` counts ParallelStructuralJoinOp::Open() calls.
+  StatCounter threads_used = 0;
+  StatCounter morsels = 0;
+  StatCounter parallel_joins = 0;
 
   /// Fraction of statement compilations avoided by the plan cache.
   double PlanCacheHitRate() const {

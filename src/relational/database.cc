@@ -9,21 +9,59 @@
 #include "src/relational/fault_injection.h"
 #include "src/relational/planner.h"
 #include "src/relational/sql_parser.h"
+#include "src/relational/thread_pool.h"
 #include "src/relational/wal.h"
 
 namespace oxml {
 
+/// One executable compilation of a SQL text. Operator trees are stateful
+/// (Open/Next cursors), so an instance can run on at most one thread at a
+/// time; `busy` marks it checked out (guarded by CachedPlan::mu).
+struct PlanInstance {
+  OperatorPtr plan;  // SELECT only: reusable physical plan
+  StmtPtr stmt;      // non-SELECT: parsed AST, re-executed per call
+  std::shared_ptr<Row> params;  // binding buffer read by this plan's
+                                // ParamExprs (private to the instance)
+  bool busy = false;
+};
+
 struct CachedPlan {
   std::string sql;
   StmtKind kind = StmtKind::kSelect;
-  OperatorPtr plan;  // SELECT only: reusable physical plan
-  StmtPtr stmt;      // non-SELECT: parsed AST, re-executed per call
-  std::shared_ptr<Row> params;  // binding buffer shared with ParamExprs
   size_t param_count = 0;
-  uint64_t generation = 0;    // catalog generation at compile time
-  size_t last_row_count = 0;  // SELECT materialization size hint
+  uint64_t generation = 0;  // catalog generation at compile time
+  /// Persistent bindings shared by every PreparedStatement handle on this
+  /// text (copied into an instance's buffer at execution). Not used by the
+  /// one-shot QueryP/ExecuteP path.
+  std::shared_ptr<Row> bindings;
+  /// SELECT materialization size hint (last execution's row count).
+  std::atomic<size_t> last_row_count{0};
+  /// Guards `instances` and each instance's busy flag.
+  std::mutex mu;
+  std::vector<std::unique_ptr<PlanInstance>> instances;
   std::list<std::string>::iterator lru_it;  // valid only while cached
 };
+
+namespace {
+
+/// RAII checkout of a plan instance (returns it to the entry's pool).
+class InstanceLease {
+ public:
+  InstanceLease(CachedPlan* entry, PlanInstance* inst)
+      : entry_(entry), inst_(inst) {}
+  ~InstanceLease() {
+    std::lock_guard<std::mutex> lock(entry_->mu);
+    inst_->busy = false;
+  }
+  InstanceLease(const InstanceLease&) = delete;
+  InstanceLease& operator=(const InstanceLease&) = delete;
+
+ private:
+  CachedPlan* entry_;
+  PlanInstance* inst_;
+};
+
+}  // namespace
 
 Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
@@ -74,6 +112,9 @@ Result<std::unique_ptr<Database>> Database::Open(
   auto db = std::unique_ptr<Database>(new Database(std::move(pool)));
   db->options_ = options;
   db->plan_cache_capacity_ = options.plan_cache_capacity;
+  if (options.enable_parallel_execution) {
+    db->exec_pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  }
   db->wal_ = std::move(wal);
   db->pool_->SetWal(db->wal_.get());
   if (options.open_existing && have_pages) {
@@ -96,6 +137,9 @@ Result<std::unique_ptr<Database>> Database::Open(
   return db;
 }
 
+Database::Database(std::unique_ptr<BufferPool> pool)
+    : pool_(std::move(pool)) {}
+
 Database::~Database() {
   if (closed_) return;
   Status st = Close();
@@ -108,6 +152,7 @@ Database::~Database() {
 }
 
 Status Database::Close() {
+  ExclusiveStatementGuard guard(&latch_);
   if (closed_) return Status::OK();
   Status st = Status::OK();
   if (pool_->InTxn()) {
@@ -124,6 +169,7 @@ Status Database::Close() {
 }
 
 void Database::SimulateCrashForTesting() {
+  ExclusiveStatementGuard guard(&latch_);
   // Nothing is flushed from here on: the destructor discards the pool, the
   // WAL fd closes without a truncation, and the data file keeps whatever
   // the last checkpoint (plus eviction write-backs) put there.
@@ -302,6 +348,7 @@ Status Database::LoadCatalog() {
 }
 
 Status Database::Checkpoint() {
+  ExclusiveStatementGuard guard(&latch_);
   if (closed_) return Status::InvalidArgument("database is closed");
   if (pool_->InTxn()) {
     return Status::InvalidArgument("cannot checkpoint inside a transaction");
@@ -324,16 +371,23 @@ Status Database::Checkpoint() {
 bool Database::InTransaction() const { return pool_->InTxn(); }
 
 Status Database::Begin() {
+  ExclusiveStatementGuard guard(&latch_);
   if (closed_) return Status::InvalidArgument("database is closed");
   OXML_RETURN_NOT_OK(pool_->BeginTxn());  // rejects nesting
   heap_snapshot_.clear();
   for (const auto& [name, table] : tables_) {
     heap_snapshot_[name] = table->heap()->SnapshotMetadata();
   }
+  // Writers exclude readers for the whole transaction: the exclusive hold
+  // taken here outlives the guard and is dropped by the Commit or Rollback
+  // that closes the transaction. Reentrancy keeps the owning thread's own
+  // statements (and nested guards) flowing.
+  latch_.LockExclusive();
   return Status::OK();
 }
 
 Status Database::Commit() {
+  ExclusiveStatementGuard guard(&latch_);
   if (!pool_->InTxn()) {
     return Status::InvalidArgument("no transaction is open");
   }
@@ -342,10 +396,12 @@ Status Database::Commit() {
     // tail pages) lives only there, and recovery rebuilds tables from it.
     OXML_RETURN_NOT_OK(SaveCatalog());
   }
-  // On failure the transaction stays open for the caller to roll back.
+  // On failure the transaction stays open for the caller to roll back (and
+  // Begin's exclusive hold stays in place with it).
   OXML_RETURN_NOT_OK(pool_->CommitTxn());
   catalog_dirty_ = false;
   heap_snapshot_.clear();
+  latch_.UnlockExclusive();  // drop Begin's hold: the transaction is over
   if (wal_ != nullptr && options_.wal_checkpoint_threshold_bytes > 0 &&
       wal_->size_bytes() > options_.wal_checkpoint_threshold_bytes) {
     // The commit above is already durable; a failed auto-checkpoint only
@@ -356,10 +412,12 @@ Status Database::Commit() {
 }
 
 Status Database::Rollback() {
+  ExclusiveStatementGuard guard(&latch_);
   if (!pool_->InTxn()) {
     return Status::InvalidArgument("no transaction is open");
   }
   OXML_RETURN_NOT_OK(pool_->RollbackTxn());
+  latch_.UnlockExclusive();  // drop Begin's hold: the transaction is over
   for (const auto& [name, meta] : heap_snapshot_) {
     TableInfo* t = GetTable(name);
     if (t == nullptr) continue;  // unreachable: DDL is barred inside txns
@@ -375,6 +433,7 @@ Status Database::Rollback() {
 }
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
+  ExclusiveStatementGuard guard(&latch_);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table " + name);
   }
@@ -400,6 +459,7 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
 }
 
 Status Database::DropTable(const std::string& name) {
+  ExclusiveStatementGuard guard(&latch_);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   if (pool_->InTxn()) {
@@ -424,6 +484,7 @@ Status Database::CreateIndex(const std::string& index_name,
                              const std::string& table,
                              const std::vector<std::string>& columns,
                              bool unique) {
+  ExclusiveStatementGuard guard(&latch_);
   TableInfo* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
   if (pool_->InTxn()) {
@@ -464,6 +525,7 @@ TableInfo* Database::GetTable(const std::string& name) const {
 }
 
 Result<Rid> Database::Insert(const std::string& table, const Row& row) {
+  ExclusiveStatementGuard guard(&latch_);
   TableInfo* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
   if (pool_->InTxn()) return t->InsertRow(row, &stats_);
@@ -483,6 +545,12 @@ Result<Rid> Database::Insert(const std::string& table, const Row& row) {
 }
 
 void Database::InvalidatePlans() {
+  // Callers hold the statement latch exclusively (DDL / rollback), so no
+  // reader is compiling concurrently; the cache mutex still guards against
+  // entries being spliced by a hit on another thread... which cannot exist
+  // under exclusivity, but the invariant "plan_cache_/lru_ only under
+  // plan_cache_mu_" is cheap to keep unconditional.
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
   ++catalog_generation_;
   plan_cache_.clear();
   lru_.clear();
@@ -505,38 +573,62 @@ bool IsCacheableKind(StmtKind kind) {
 
 }  // namespace
 
-Result<std::shared_ptr<CachedPlan>> Database::GetOrBuildPlan(
-    std::string_view sql) {
-  std::string key(sql);
-  auto it = plan_cache_.find(key);
-  if (it != plan_cache_.end()) {
-    ++stats_.plan_cache_hits;
-    lru_.splice(lru_.begin(), lru_, it->second->lru_it);
-    return it->second;
-  }
-  ++stats_.plan_cache_misses;
-
+Result<std::unique_ptr<PlanInstance>> Database::CompileInstance(
+    const std::string& sql, StmtKind* kind, size_t* param_count) {
   auto start = std::chrono::steady_clock::now();
-  OXML_ASSIGN_OR_RETURN(ParsedStatement parsed, ParseSqlWithParams(key));
-  auto entry = std::make_shared<CachedPlan>();
-  entry->sql = key;
-  entry->kind = parsed.stmt->kind;
-  entry->params = std::move(parsed.params);
-  entry->param_count = parsed.param_count;
-  entry->generation = catalog_generation_;
-  if (entry->kind == StmtKind::kSelect) {
+  OXML_ASSIGN_OR_RETURN(ParsedStatement parsed, ParseSqlWithParams(sql));
+  auto inst = std::make_unique<PlanInstance>();
+  inst->params = std::move(parsed.params);
+  if (kind != nullptr) *kind = parsed.stmt->kind;
+  if (param_count != nullptr) *param_count = parsed.param_count;
+  if (parsed.stmt->kind == StmtKind::kSelect) {
     OXML_ASSIGN_OR_RETURN(
-        entry->plan,
+        inst->plan,
         PlanSelect(this, static_cast<SelectStmt*>(parsed.stmt.get())));
   } else {
-    entry->stmt = std::move(parsed.stmt);
+    inst->stmt = std::move(parsed.stmt);
   }
   stats_.parse_plan_ns += static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+  return inst;
+}
+
+Result<std::shared_ptr<CachedPlan>> Database::GetOrBuildPlan(
+    std::string_view sql) {
+  std::string key(sql);
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      ++stats_.plan_cache_hits;
+      lru_.splice(lru_.begin(), lru_, it->second->lru_it);
+      return it->second;
+    }
+  }
+  ++stats_.plan_cache_misses;
+
+  // Compile outside the cache mutex: planning reads only the catalog
+  // (protected by the statement latch every caller already holds).
+  auto entry = std::make_shared<CachedPlan>();
+  entry->sql = key;
+  entry->generation = catalog_generation_;
+  OXML_ASSIGN_OR_RETURN(
+      std::unique_ptr<PlanInstance> inst,
+      CompileInstance(key, &entry->kind, &entry->param_count));
+  entry->bindings = std::make_shared<Row>(entry->param_count, Value::Null());
+  entry->instances.push_back(std::move(inst));
 
   if (plan_cache_capacity_ > 0 && IsCacheableKind(entry->kind)) {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      // Another reader compiled the same text while we were planning; keep
+      // the cached entry (ours is dropped) so all threads share one pool.
+      lru_.splice(lru_.begin(), lru_, it->second->lru_it);
+      return it->second;
+    }
     lru_.push_front(key);
     entry->lru_it = lru_.begin();
     plan_cache_[key] = entry;
@@ -548,15 +640,37 @@ Result<std::shared_ptr<CachedPlan>> Database::GetOrBuildPlan(
   return entry;
 }
 
-Result<int64_t> Database::ExecuteEntry(CachedPlan* entry) {
+Result<PlanInstance*> Database::AcquireInstance(CachedPlan* entry) {
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    for (auto& inst : entry->instances) {
+      if (!inst->busy) {
+        inst->busy = true;
+        return inst.get();
+      }
+    }
+  }
+  // Every instance is executing on another thread: compile one more. The
+  // pool grows to the peak concurrency on this text and is then reused.
+  OXML_ASSIGN_OR_RETURN(std::unique_ptr<PlanInstance> inst,
+                        CompileInstance(entry->sql, nullptr, nullptr));
+  inst->busy = true;
+  PlanInstance* raw = inst.get();
+  std::lock_guard<std::mutex> lock(entry->mu);
+  entry->instances.push_back(std::move(inst));
+  return raw;
+}
+
+Result<int64_t> Database::ExecuteEntry(CachedPlan* entry,
+                                       PlanInstance* inst) {
   bool dml = entry->kind == StmtKind::kInsert ||
              entry->kind == StmtKind::kUpdate ||
              entry->kind == StmtKind::kDelete;
   // Auto-commit: a standalone DML statement is its own transaction (DDL
   // manages durability itself; SELECT mutates nothing).
-  if (!dml || pool_->InTxn()) return ExecuteEntryInner(entry);
+  if (!dml || pool_->InTxn()) return ExecuteEntryInner(entry, inst);
   OXML_RETURN_NOT_OK(Begin());
-  Result<int64_t> r = ExecuteEntryInner(entry);
+  Result<int64_t> r = ExecuteEntryInner(entry, inst);
   if (!r.ok()) {
     (void)Rollback();
     return r.status();
@@ -569,34 +683,38 @@ Result<int64_t> Database::ExecuteEntry(CachedPlan* entry) {
   return r;
 }
 
-Result<int64_t> Database::ExecuteEntryInner(CachedPlan* entry) {
+Result<int64_t> Database::ExecuteEntryInner(CachedPlan* entry,
+                                            PlanInstance* inst) {
   switch (entry->kind) {
     case StmtKind::kSelect: {
       OXML_ASSIGN_OR_RETURN(
           ResultSet rs,
-          ExecuteToResultSet(entry->plan.get(), entry->last_row_count));
-      entry->last_row_count = rs.rows.size();
+          ExecuteToResultSet(
+              inst->plan.get(),
+              entry->last_row_count.load(std::memory_order_relaxed)));
+      entry->last_row_count.store(rs.rows.size(),
+                                  std::memory_order_relaxed);
       return static_cast<int64_t>(rs.rows.size());
     }
     case StmtKind::kInsert:
-      return ExecuteInsert(static_cast<InsertStmt*>(entry->stmt.get()));
+      return ExecuteInsert(static_cast<InsertStmt*>(inst->stmt.get()));
     case StmtKind::kUpdate:
-      return ExecuteUpdate(static_cast<UpdateStmt*>(entry->stmt.get()));
+      return ExecuteUpdate(static_cast<UpdateStmt*>(inst->stmt.get()));
     case StmtKind::kDelete:
-      return ExecuteDelete(static_cast<DeleteStmt*>(entry->stmt.get()));
+      return ExecuteDelete(static_cast<DeleteStmt*>(inst->stmt.get()));
     case StmtKind::kCreateTable: {
-      auto* ct = static_cast<CreateTableStmt*>(entry->stmt.get());
+      auto* ct = static_cast<CreateTableStmt*>(inst->stmt.get());
       OXML_RETURN_NOT_OK(CreateTable(ct->table, Schema(ct->columns)));
       return 0;
     }
     case StmtKind::kCreateIndex: {
-      auto* ci = static_cast<CreateIndexStmt*>(entry->stmt.get());
+      auto* ci = static_cast<CreateIndexStmt*>(inst->stmt.get());
       OXML_RETURN_NOT_OK(
           CreateIndex(ci->index, ci->table, ci->columns, ci->unique));
       return 0;
     }
     case StmtKind::kDropTable: {
-      auto* dt = static_cast<DropTableStmt*>(entry->stmt.get());
+      auto* dt = static_cast<DropTableStmt*>(inst->stmt.get());
       OXML_RETURN_NOT_OK(DropTable(dt->table));
       return 0;
     }
@@ -604,25 +722,47 @@ Result<int64_t> Database::ExecuteEntryInner(CachedPlan* entry) {
   return Status::Internal("unhandled statement kind");
 }
 
-Result<ResultSet> Database::Query(std::string_view sql) {
+Result<ResultSet> Database::QueryLocked(std::string_view sql, Row* params) {
   ++stats_.statements;
   OXML_ASSIGN_OR_RETURN(std::shared_ptr<CachedPlan> entry,
                         GetOrBuildPlan(sql));
   if (entry->kind != StmtKind::kSelect) {
     return Status::InvalidArgument("Query() requires a SELECT statement");
   }
-  if (entry->param_count > 0) {
+  if (params == nullptr) {
+    if (entry->param_count > 0) {
+      return Status::InvalidArgument(
+          "statement has '?' parameters; use QueryP() or Prepare()");
+    }
+  } else if (params->size() != entry->param_count) {
     return Status::InvalidArgument(
-        "statement has '?' parameters; use Prepare()");
+        "QueryP got " + std::to_string(params->size()) + " values for " +
+        std::to_string(entry->param_count) + " parameters");
   }
+  OXML_ASSIGN_OR_RETURN(PlanInstance * inst, AcquireInstance(entry.get()));
+  InstanceLease lease(entry.get(), inst);
+  if (params != nullptr) *inst->params = std::move(*params);
   OXML_ASSIGN_OR_RETURN(
       ResultSet rs,
-      ExecuteToResultSet(entry->plan.get(), entry->last_row_count));
-  entry->last_row_count = rs.rows.size();
+      ExecuteToResultSet(
+          inst->plan.get(),
+          entry->last_row_count.load(std::memory_order_relaxed)));
+  entry->last_row_count.store(rs.rows.size(), std::memory_order_relaxed);
   return rs;
 }
 
+Result<ResultSet> Database::Query(std::string_view sql) {
+  SharedStatementGuard guard(&latch_);
+  return QueryLocked(sql, nullptr);
+}
+
+Result<ResultSet> Database::QueryP(std::string_view sql, Row params) {
+  SharedStatementGuard guard(&latch_);
+  return QueryLocked(sql, &params);
+}
+
 Result<std::string> Database::Explain(std::string_view sql) {
+  SharedStatementGuard guard(&latch_);
   OXML_ASSIGN_OR_RETURN(ParsedStatement parsed, ParseSqlWithParams(sql));
   if (parsed.stmt->kind != StmtKind::kSelect) {
     return Status::InvalidArgument("Explain() requires a SELECT statement");
@@ -635,18 +775,38 @@ Result<std::string> Database::Explain(std::string_view sql) {
   return out;
 }
 
-Result<int64_t> Database::Execute(std::string_view sql) {
+Result<int64_t> Database::ExecuteLocked(std::string_view sql, Row* params) {
   ++stats_.statements;
   OXML_ASSIGN_OR_RETURN(std::shared_ptr<CachedPlan> entry,
                         GetOrBuildPlan(sql));
-  if (entry->param_count > 0) {
+  if (params == nullptr) {
+    if (entry->param_count > 0) {
+      return Status::InvalidArgument(
+          "statement has '?' parameters; use ExecuteP() or Prepare()");
+    }
+  } else if (params->size() != entry->param_count) {
     return Status::InvalidArgument(
-        "statement has '?' parameters; use Prepare()");
+        "ExecuteP got " + std::to_string(params->size()) + " values for " +
+        std::to_string(entry->param_count) + " parameters");
   }
-  return ExecuteEntry(entry.get());
+  OXML_ASSIGN_OR_RETURN(PlanInstance * inst, AcquireInstance(entry.get()));
+  InstanceLease lease(entry.get(), inst);
+  if (params != nullptr) *inst->params = std::move(*params);
+  return ExecuteEntry(entry.get(), inst);
+}
+
+Result<int64_t> Database::Execute(std::string_view sql) {
+  ExclusiveStatementGuard guard(&latch_);
+  return ExecuteLocked(sql, nullptr);
+}
+
+Result<int64_t> Database::ExecuteP(std::string_view sql, Row params) {
+  ExclusiveStatementGuard guard(&latch_);
+  return ExecuteLocked(sql, &params);
 }
 
 Result<PreparedStatement> Database::Prepare(std::string_view sql) {
+  SharedStatementGuard guard(&latch_);
   OXML_ASSIGN_OR_RETURN(std::shared_ptr<CachedPlan> entry,
                         GetOrBuildPlan(sql));
   return PreparedStatement(this, std::move(entry));
@@ -674,7 +834,7 @@ Status PreparedStatement::Bind(size_t index, Value v) {
         "parameter index " + std::to_string(index) + " out of range (" +
         std::to_string(entry_->param_count) + " parameters)");
   }
-  (*entry_->params)[index] = std::move(v);
+  (*entry_->bindings)[index] = std::move(v);
   return Status::OK();
 }
 
@@ -685,7 +845,7 @@ Status PreparedStatement::BindAll(Row values) {
         "BindAll got " + std::to_string(values.size()) + " values for " +
         std::to_string(entry_->param_count) + " parameters");
   }
-  *entry_->params = std::move(values);
+  *entry_->bindings = std::move(values);
   return Status::OK();
 }
 
@@ -694,36 +854,54 @@ Status PreparedStatement::Refresh() {
   if (entry_->generation == db_->catalog_generation_) return Status::OK();
   // The catalog changed since this plan was compiled: every TableInfo* in
   // it may dangle. Recompile from the SQL text, carrying bindings over.
-  Row saved = std::move(*entry_->params);
+  Row saved = std::move(*entry_->bindings);
   OXML_ASSIGN_OR_RETURN(std::shared_ptr<CachedPlan> fresh,
                         db_->GetOrBuildPlan(entry_->sql));
-  if (fresh->param_count == saved.size()) *fresh->params = std::move(saved);
+  if (fresh->param_count == saved.size()) {
+    *fresh->bindings = std::move(saved);
+  }
   entry_ = std::move(fresh);
   return Status::OK();
 }
 
 Result<ResultSet> PreparedStatement::Query() {
+  if (entry_ == nullptr) return Status::Internal("statement not prepared");
+  SharedStatementGuard guard(db_->statement_latch());
   OXML_RETURN_NOT_OK(Refresh());
   if (entry_->kind != StmtKind::kSelect) {
     return Status::InvalidArgument("Query() requires a SELECT statement");
   }
   ++db_->stats_.statements;
+  OXML_ASSIGN_OR_RETURN(PlanInstance * inst,
+                        db_->AcquireInstance(entry_.get()));
+  InstanceLease lease(entry_.get(), inst);
+  *inst->params = *entry_->bindings;
   OXML_ASSIGN_OR_RETURN(
       ResultSet rs,
-      ExecuteToResultSet(entry_->plan.get(), entry_->last_row_count));
-  entry_->last_row_count = rs.rows.size();
+      ExecuteToResultSet(
+          inst->plan.get(),
+          entry_->last_row_count.load(std::memory_order_relaxed)));
+  entry_->last_row_count.store(rs.rows.size(), std::memory_order_relaxed);
   return rs;
 }
 
 Result<int64_t> PreparedStatement::Execute() {
+  if (entry_ == nullptr) return Status::Internal("statement not prepared");
+  ExclusiveStatementGuard guard(db_->statement_latch());
   OXML_RETURN_NOT_OK(Refresh());
   ++db_->stats_.statements;
-  return db_->ExecuteEntry(entry_.get());
+  OXML_ASSIGN_OR_RETURN(PlanInstance * inst,
+                        db_->AcquireInstance(entry_.get()));
+  InstanceLease lease(entry_.get(), inst);
+  *inst->params = *entry_->bindings;
+  return db_->ExecuteEntry(entry_.get(), inst);
 }
 
 Result<int64_t> PreparedStatement::ExecuteBatch(
     const std::vector<Row>& rows) {
   if (rows.empty()) return 0;
+  if (entry_ == nullptr) return Status::Internal("statement not prepared");
+  ExclusiveStatementGuard guard(db_->statement_latch());
   OXML_RETURN_NOT_OK(Refresh());
   bool dml = entry_->kind == StmtKind::kInsert ||
              entry_->kind == StmtKind::kUpdate ||
@@ -949,6 +1127,7 @@ Result<int64_t> Database::ExecuteDelete(DeleteStmt* stmt) {
 }
 
 StorageStats Database::GetStorageStats() const {
+  SharedStatementGuard guard(&latch_);
   StorageStats s;
   for (const auto& [name, table] : tables_) {
     s.heap_pages += table->heap()->page_chain_length();

@@ -1,11 +1,15 @@
 #ifndef OXML_RELATIONAL_DATABASE_H_
 #define OXML_RELATIONAL_DATABASE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +23,7 @@
 namespace oxml {
 
 struct FaultPlan;
+class ThreadPool;
 
 /// Configuration of a Database instance.
 struct DatabaseOptions {
@@ -46,6 +51,24 @@ struct DatabaseOptions {
   bool enable_merge_join = true;
   /// Drop the SortOp for an ORDER BY already satisfied by the input order.
   bool enable_sort_elision = true;
+
+  // ------------------------------------------------------------- parallelism
+
+  /// Let the planner emit parallel operators (ParallelScanOp and the
+  /// parallel structural-join path) that fan single statements out over the
+  /// database's thread pool. Off by default: intra-query parallelism only
+  /// pays off on large inputs, and serial plans keep EXPLAIN output and
+  /// operator-level tests deterministic. Inter-query concurrency — many
+  /// threads calling Query() at once — is always available and does not
+  /// depend on this flag.
+  bool enable_parallel_execution = false;
+  /// Worker threads in the execution pool (0 = hardware_concurrency).
+  /// Only consulted when enable_parallel_execution is set.
+  size_t num_threads = 0;
+  /// Tables with fewer rows than this keep their serial scans even under
+  /// enable_parallel_execution (fan-out overhead dominates tiny inputs).
+  /// Tests set 0 to force parallel plans on small fixtures.
+  size_t parallel_scan_min_rows = 256;
 
   // ------------------------------------------------------------- durability
 
@@ -80,16 +103,141 @@ struct StorageStats {
 
 class Database;
 
+/// The database-wide reader–writer statement latch. Read-only statements
+/// (Query/QueryP/Explain/Prepare) hold it shared, so any number of client
+/// threads read concurrently; every mutation (Execute/ExecuteP, Insert,
+/// DDL, Checkpoint, Close) holds it exclusively, and Begin() keeps the
+/// exclusive hold until Commit/Rollback so explicit transactions exclude
+/// all readers for their whole lifetime (the WAL path stays single-writer;
+/// snapshot reads are a ROADMAP follow-on).
+///
+/// Exclusive ownership is reentrant per thread — the engine's auto-commit
+/// wrappers and the stores' TxnScope nest statement calls inside an open
+/// transaction — and a thread holding the latch exclusively passes straight
+/// through shared acquisitions (reads inside its own transaction).
+///
+/// Writer-preferring: once a writer is waiting, new shared acquisitions
+/// queue behind it. std::shared_mutex makes no such promise (glibc's
+/// rwlock prefers readers), and a read-heavy workload re-acquiring the
+/// latch in a loop can then starve writers indefinitely — observed as a
+/// stuck commit under TSan on a single-core host.
+class StatementLatch {
+ public:
+  void LockShared() {
+    if (OwnedByThisThread()) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    reader_cv_.wait(lock, [this] {
+      return !writer_active_ && writers_waiting_ == 0;
+    });
+    ++active_readers_;
+  }
+  void UnlockShared() {
+    if (OwnedByThisThread()) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--active_readers_ == 0 && writers_waiting_ > 0) {
+      lock.unlock();
+      writer_cv_.notify_one();
+    }
+  }
+  void LockExclusive() {
+    if (OwnedByThisThread()) {
+      ++depth_;
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    ++writers_waiting_;
+    writer_cv_.wait(lock, [this] {
+      return !writer_active_ && active_readers_ == 0;
+    });
+    --writers_waiting_;
+    writer_active_ = true;
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    depth_ = 1;
+  }
+  void UnlockExclusive() {
+    if (--depth_ > 0) return;
+    bool writers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      owner_.store(std::thread::id(), std::memory_order_relaxed);
+      writer_active_ = false;
+      writers = writers_waiting_ > 0;
+    }
+    // Hand off to the next writer if one is queued, else release the
+    // whole reader herd.
+    if (writers) {
+      writer_cv_.notify_one();
+    } else {
+      reader_cv_.notify_all();
+    }
+  }
+
+ private:
+  bool OwnedByThisThread() const {
+    return owner_.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+
+  std::mutex mu_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  size_t active_readers_ = 0;
+  size_t writers_waiting_ = 0;
+  bool writer_active_ = false;
+  /// The thread holding the latch exclusively (default id = none). Written
+  /// only by that thread while it holds `mu_`.
+  std::atomic<std::thread::id> owner_{};
+  size_t depth_ = 0;  // exclusive reentrancy depth; touched only by owner
+};
+
+/// RAII shared acquisition of the statement latch.
+class SharedStatementGuard {
+ public:
+  explicit SharedStatementGuard(StatementLatch* latch) : latch_(latch) {
+    latch_->LockShared();
+  }
+  ~SharedStatementGuard() { latch_->UnlockShared(); }
+  SharedStatementGuard(const SharedStatementGuard&) = delete;
+  SharedStatementGuard& operator=(const SharedStatementGuard&) = delete;
+
+ private:
+  StatementLatch* latch_;
+};
+
+/// RAII exclusive acquisition of the statement latch (reentrant).
+class ExclusiveStatementGuard {
+ public:
+  explicit ExclusiveStatementGuard(StatementLatch* latch) : latch_(latch) {
+    latch_->LockExclusive();
+  }
+  ~ExclusiveStatementGuard() { latch_->UnlockExclusive(); }
+  ExclusiveStatementGuard(const ExclusiveStatementGuard&) = delete;
+  ExclusiveStatementGuard& operator=(const ExclusiveStatementGuard&) = delete;
+
+ private:
+  StatementLatch* latch_;
+};
+
 /// A compiled statement held by the Database's plan cache (opaque outside
-/// database.cc). SELECTs keep their physical operator tree; DML keeps the
-/// parsed AST. Both carry the shared parameter buffer their ParamExprs read.
+/// database.cc). Operator trees are stateful, so one cached SQL text owns a
+/// pool of compiled plan instances; each execution checks one out, and a
+/// fresh instance is compiled when every existing one is busy on another
+/// thread. The entry also carries the persistent parameter bindings shared
+/// by every PreparedStatement handle on the text.
 struct CachedPlan;
+/// One executable compilation of a cached SQL text (opaque, see CachedPlan).
+struct PlanInstance;
 
 /// A reusable statement handle: parse and plan once, then Bind fresh values
 /// and re-execute. Obtained from Database::Prepare. Copyable (copies share
 /// the underlying compiled plan and its parameter bindings — two handles on
 /// the same SQL text rebind each other, so bind-then-execute without
 /// interleaving other handles of the same text).
+///
+/// Handles are not thread-safe objects: bindings are shared per SQL text,
+/// so concurrent Bind/Query through handles on the same text race. For
+/// concurrent parameterized reads use Database::QueryP, which carries its
+/// parameters per call.
 ///
 /// If the catalog changes (CREATE/DROP TABLE or INDEX) between calls, the
 /// handle transparently re-prepares itself from its SQL text, preserving
@@ -129,7 +277,16 @@ class PreparedStatement {
 };
 
 /// The embedded relational engine: catalog + storage + SQL execution.
-/// Single-threaded; statements are parsed, planned and executed eagerly.
+/// Statements are parsed, planned and executed eagerly.
+///
+/// Thread-safe under a reader–writer discipline (see StatementLatch and
+/// docs/INTERNALS.md §9): any number of threads may run read-only
+/// statements (Query/QueryP/Explain) concurrently against one Database;
+/// mutations and transactions take the statement latch exclusively and
+/// therefore serialize against everything else. With
+/// DatabaseOptions::enable_parallel_execution the planner additionally
+/// splits single large scans and structural joins across an internal
+/// thread pool (intra-query parallelism).
 class Database {
  public:
   static Result<std::unique_ptr<Database>> Open(
@@ -188,13 +345,25 @@ class Database {
 
   /// Executes a SELECT and materializes the result. Served from the plan
   /// cache when the same SQL text was seen before. Statements containing
-  /// '?' parameters are rejected — use Prepare().
+  /// '?' parameters are rejected — use QueryP() or Prepare(). Safe to call
+  /// from many threads at once (shared statement latch).
   Result<ResultSet> Query(std::string_view sql);
+
+  /// One-shot parameterized SELECT: binds `params` to the '?' markers and
+  /// executes, all within a single call. Unlike PreparedStatement handles,
+  /// the bindings live in the per-call plan instance, so concurrent QueryP
+  /// calls on the same SQL text never observe each other's parameters —
+  /// this is the thread-safe path the XPath driver uses.
+  Result<ResultSet> QueryP(std::string_view sql, Row params);
 
   /// Executes any statement; returns the number of affected rows
   /// (0 for DDL, result-row count for SELECT). Cache/parameter behavior as
-  /// for Query().
+  /// for Query(). Takes the statement latch exclusively (the statement may
+  /// mutate).
   Result<int64_t> Execute(std::string_view sql);
+
+  /// One-shot parameterized Execute (see QueryP for binding semantics).
+  Result<int64_t> ExecuteP(std::string_view sql, Row params);
 
   /// Compiles `sql` (which may contain '?' parameter markers) into a
   /// reusable handle, served from the plan cache on repeat texts.
@@ -209,6 +378,12 @@ class Database {
   ExecStats* stats() { return &stats_; }
   const DatabaseOptions& options() const { return options_; }
   BufferPool* buffer_pool() { return pool_.get(); }
+  /// The intra-query execution pool, or null when parallel execution is
+  /// disabled (the planner then never emits parallel operators).
+  ThreadPool* thread_pool() const { return exec_pool_.get(); }
+  /// The database-wide statement latch (tests use it to assert the
+  /// reader/writer discipline; normal clients never touch it).
+  StatementLatch* statement_latch() { return &latch_; }
   /// The write-ahead log, or null (memory-resident / WAL disabled).
   WriteAheadLog* wal() const { return wal_.get(); }
   StorageStats GetStorageStats() const;
@@ -217,13 +392,17 @@ class Database {
   /// cached plans from older generations are never executed.
   uint64_t catalog_generation() const { return catalog_generation_; }
   /// Entries currently held by the plan cache.
-  size_t plan_cache_size() const { return plan_cache_.size(); }
+  size_t plan_cache_size() const {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    return plan_cache_.size();
+  }
 
  private:
   friend class PreparedStatement;
 
-  explicit Database(std::unique_ptr<BufferPool> pool)
-      : pool_(std::move(pool)) {}
+  // Defined in database.cc: ThreadPool is incomplete here, so both the
+  // constructor and destructor must be out of line.
+  explicit Database(std::unique_ptr<BufferPool> pool);
 
   /// Writes the catalog (table + index definitions, heap metadata) into
   /// the reserved catalog page.
@@ -241,12 +420,26 @@ class Database {
 
   /// Looks up `sql` in the plan cache; on miss, parses + plans and (for
   /// cacheable statement kinds) inserts the entry, evicting the least
-  /// recently used one past capacity.
+  /// recently used one past capacity. Thread-safe (plan-cache mutex).
   Result<std::shared_ptr<CachedPlan>> GetOrBuildPlan(std::string_view sql);
-  /// Runs a compiled entry with its current parameter bindings, wrapping
-  /// DML in an auto-commit transaction when none is open.
-  Result<int64_t> ExecuteEntry(CachedPlan* entry);
-  Result<int64_t> ExecuteEntryInner(CachedPlan* entry);
+  /// Parses + plans one executable instance of `sql` (kind/param_count are
+  /// optional out-params for the first compilation of an entry).
+  Result<std::unique_ptr<PlanInstance>> CompileInstance(const std::string& sql,
+                                                        StmtKind* kind,
+                                                        size_t* param_count);
+  /// Checks a non-busy instance out of the entry (compiling a fresh one
+  /// when every instance is executing on another thread). The caller
+  /// returns it by clearing its busy flag under the entry's mutex
+  /// (InstanceLease in database.cc).
+  Result<PlanInstance*> AcquireInstance(CachedPlan* entry);
+  /// Shared implementations of Query/QueryP and Execute/ExecuteP; callers
+  /// hold the statement latch. Null `params` = reject parameterized SQL.
+  Result<ResultSet> QueryLocked(std::string_view sql, Row* params);
+  Result<int64_t> ExecuteLocked(std::string_view sql, Row* params);
+  /// Runs a compiled instance, wrapping DML in an auto-commit transaction
+  /// when none is open.
+  Result<int64_t> ExecuteEntry(CachedPlan* entry, PlanInstance* inst);
+  Result<int64_t> ExecuteEntryInner(CachedPlan* entry, PlanInstance* inst);
   /// Drops all cached plans, bumps the catalog generation and marks the
   /// catalog page for inclusion in the next commit (called by every DDL
   /// mutation and by Rollback, which rebuilds the indexes plans point at).
@@ -263,7 +456,16 @@ class Database {
   /// Per-table heap bookkeeping captured at Begin, restored by Rollback.
   std::map<std::string, HeapTable::Metadata> heap_snapshot_;
 
+  /// Readers shared / writers exclusive; Begin holds exclusive until
+  /// Commit/Rollback. Acquired before any other engine lock.
+  mutable StatementLatch latch_;
+  /// Intra-query workers, created at Open when enable_parallel_execution.
+  std::unique_ptr<ThreadPool> exec_pool_;
+
   // Plan cache: SQL text -> compiled entry, LRU-ordered (front = hottest).
+  // `plan_cache_mu_` guards the map and the LRU list; per-entry instance
+  // state is guarded by each CachedPlan's own mutex.
+  mutable std::mutex plan_cache_mu_;
   std::unordered_map<std::string, std::shared_ptr<CachedPlan>> plan_cache_;
   std::list<std::string> lru_;
   size_t plan_cache_capacity_ = 128;

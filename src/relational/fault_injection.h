@@ -16,7 +16,10 @@ namespace oxml {
 /// tests arm the plan to fire at the Nth counted I/O; once a crash-class
 /// fault fires, every subsequent operation fails with a "simulated crash"
 /// IOError, modelling a killed process whose files can no longer change.
-/// Single-threaded, like the rest of the engine.
+/// Not latched: durable I/O only happens under the database's exclusive
+/// statement latch (writers and transactions serialize; concurrent readers
+/// never write pages or the WAL), so the counters here see one thread at a
+/// time. Crash tests additionally run single-threaded by construction.
 struct FaultPlan {
   enum class Mode : uint8_t {
     kNone = 0,    ///< count I/Os but never fire

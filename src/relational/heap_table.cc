@@ -222,6 +222,24 @@ Result<Rid> HeapTable::Update(const Rid& rid, const Row& row) {
 HeapTable::Iterator::Iterator(const HeapTable* table, uint32_t page_id)
     : table_(table), page_id_(page_id) {}
 
+HeapTable::Iterator::Iterator(const HeapTable* table, uint32_t page_id,
+                              uint64_t max_pages)
+    : table_(table), page_id_(page_id), pages_left_(max_pages) {
+  if (max_pages == 0) page_id_ = kInvalidPageId;
+}
+
+Result<std::vector<uint32_t>> HeapTable::PageChain() const {
+  std::vector<uint32_t> chain;
+  chain.reserve(page_chain_length_);
+  uint32_t id = first_page_;
+  while (id != kInvalidPageId) {
+    chain.push_back(id);
+    OXML_ASSIGN_OR_RETURN(PageHandle page, pool_->FetchPage(id));
+    id = SlottedPage(page.data()).next_page();
+  }
+  return chain;
+}
+
 Result<bool> HeapTable::Iterator::Next(Rid* rid, Row* row) {
   while (page_id_ != kInvalidPageId) {
     std::string cell;
@@ -248,7 +266,7 @@ Result<bool> HeapTable::Iterator::Next(Rid* rid, Row* row) {
       *rid = Rid{page_id_, found_slot};
       return true;
     }
-    page_id_ = next_page;
+    page_id_ = (--pages_left_ == 0) ? kInvalidPageId : next_page;
     next_slot_ = 0;
   }
   return false;

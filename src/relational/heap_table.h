@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/relational/buffer_pool.h"
@@ -75,10 +76,14 @@ class HeapTable {
   /// Approximate on-page bytes used by live rows (excludes page overhead).
   uint64_t data_bytes() const { return data_bytes_; }
 
-  /// Forward scan over all live rows in page-chain order.
+  /// Forward scan over all live rows in page-chain order. With `max_pages`
+  /// the scan covers at most that many pages starting at `page_id`, so a
+  /// partitioned scan over [chain[i], chain[i+k]) sees every row exactly
+  /// once (see PageChain).
   class Iterator {
    public:
     Iterator(const HeapTable* table, uint32_t page_id);
+    Iterator(const HeapTable* table, uint32_t page_id, uint64_t max_pages);
     /// Advances to the next live row; returns false at end-of-heap.
     /// On true, `rid` and `row` are filled.
     Result<bool> Next(Rid* rid, Row* row);
@@ -87,9 +92,14 @@ class HeapTable {
     const HeapTable* table_;
     uint32_t page_id_;
     uint16_t next_slot_ = 0;
+    uint64_t pages_left_ = UINT64_MAX;
   };
 
   Iterator Scan() const { return Iterator(this, first_page_); }
+
+  /// The page ids of the heap chain in scan order (one buffer-pool fetch
+  /// per page). ParallelScanOp slices this into per-thread partitions.
+  Result<std::vector<uint32_t>> PageChain() const;
 
  private:
   /// Builds the tagged cell for `row`, writing overflow pages if needed.

@@ -5,6 +5,8 @@
 
 #include "src/relational/database.h"
 #include "src/relational/key_codec.h"
+#include "src/relational/parallel_ops.h"
+#include "src/relational/thread_pool.h"
 
 namespace oxml {
 
@@ -314,26 +316,47 @@ Schema QualifiedSchema(const TableInfo& table, const std::string& alias) {
   return out;
 }
 
+/// True when the planner should emit parallel operators for this table:
+/// the feature is on, a pool exists, and the table is big enough that
+/// fan-out overhead pays for itself.
+bool WantParallelScan(Database* db, const TableInfo& table) {
+  return db->options().enable_parallel_execution &&
+         db->thread_pool() != nullptr &&
+         table.heap()->row_count() >=
+             db->options().parallel_scan_min_rows;
+}
+
 /// Plans the access to one base table given the conjuncts that reference
 /// only this table (already bound to `qualified`). Consumed conjuncts are
 /// dropped; the rest become a Filter on top of the scan.
-Result<OperatorPtr> PlanTableAccess(TableInfo* table, Schema qualified,
-                                    std::vector<ExprPtr> conjuncts,
-                                    ExecStats* stats) {
+Result<OperatorPtr> PlanTableAccess(Database* db, TableInfo* table,
+                                    Schema qualified,
+                                    std::vector<ExprPtr> conjuncts) {
+  ExecStats* stats = db->stats();
   std::vector<Expr*> raw;
   raw.reserve(conjuncts.size());
   for (auto& c : conjuncts) raw.push_back(c.get());
   AccessPath path = ChooseAccessPath(*table, raw);
+  bool parallel = WantParallelScan(db, *table);
 
   OperatorPtr scan;
   if (path.index != nullptr && path.dynamic.has_value()) {
+    // Dynamic bounds resolve only at Open(); the selective probes they
+    // serve would not benefit from splitting — stay serial.
     scan = std::make_unique<IndexScanOp>(table, path.index,
                                          std::move(qualified),
                                          std::move(*path.dynamic), stats);
+  } else if (path.index != nullptr && parallel) {
+    scan = std::make_unique<ParallelScanOp>(
+        table, path.index, std::move(qualified), std::move(path.lower),
+        std::move(path.upper), path.eq_prefix, db->thread_pool(), stats);
   } else if (path.index != nullptr) {
     scan = std::make_unique<IndexScanOp>(
         table, path.index, std::move(qualified), std::move(path.lower),
         std::move(path.upper), path.eq_prefix, stats);
+  } else if (parallel) {
+    scan = std::make_unique<ParallelScanOp>(table, std::move(qualified),
+                                            db->thread_pool(), stats);
   } else {
     scan = std::make_unique<SeqScanOp>(table, std::move(qualified), stats);
   }
@@ -500,8 +523,7 @@ Result<OperatorPtr> PlanSelect(Database* db, SelectStmt* stmt) {
   {
     std::vector<ExprPtr> mine = claim_for(qualified[0]);
     OXML_ASSIGN_OR_RETURN(
-        plan, PlanTableAccess(tables[0], qualified[0], std::move(mine),
-                              db->stats()));
+        plan, PlanTableAccess(db, tables[0], qualified[0], std::move(mine)));
   }
   Schema combined = qualified[0];
 
@@ -527,8 +549,8 @@ Result<OperatorPtr> PlanSelect(Database* db, SelectStmt* stmt) {
 
       OXML_ASSIGN_OR_RETURN(
           OperatorPtr inner,
-          PlanTableAccess(tables[i], qualified[i], std::move(inner_conjuncts),
-                          db->stats()));
+          PlanTableAccess(db, tables[i], qualified[i],
+                          std::move(inner_conjuncts)));
       OXML_RETURN_NOT_OK(anc_start->Bind(plan->schema()));
       OXML_RETURN_NOT_OK(anc_end->Bind(plan->schema()));
       OXML_RETURN_NOT_OK(desc_start->Bind(inner->schema()));
@@ -543,10 +565,18 @@ Result<OperatorPtr> PlanSelect(Database* db, SelectStmt* stmt) {
       inner = EnsureSortedOn(std::move(inner), desc_col->name(),
                              desc_col->index(), db->stats());
 
-      plan = std::make_unique<StructuralJoinOp>(
-          std::move(plan), std::move(inner), std::move(anc_start),
-          std::move(anc_end), std::move(desc_start), ij.lower_strict,
-          ij.upper_inclusive, db->stats());
+      if (db->options().enable_parallel_execution &&
+          db->thread_pool() != nullptr) {
+        plan = std::make_unique<ParallelStructuralJoinOp>(
+            std::move(plan), std::move(inner), std::move(anc_start),
+            std::move(anc_end), std::move(desc_start), ij.lower_strict,
+            ij.upper_inclusive, db->thread_pool(), db->stats());
+      } else {
+        plan = std::make_unique<StructuralJoinOp>(
+            std::move(plan), std::move(inner), std::move(anc_start),
+            std::move(anc_end), std::move(desc_start), ij.lower_strict,
+            ij.upper_inclusive, db->stats());
+      }
       combined.Append(qualified[i]);
 
       // Leftover conjuncts (e.g. the Dewey child-axis depth check) attach
@@ -630,8 +660,8 @@ Result<OperatorPtr> PlanSelect(Database* db, SelectStmt* stmt) {
       } else {
         OXML_ASSIGN_OR_RETURN(
             OperatorPtr inner,
-            PlanTableAccess(tables[i], qualified[i],
-                            std::move(inner_conjuncts), db->stats()));
+            PlanTableAccess(db, tables[i], qualified[i],
+                            std::move(inner_conjuncts)));
         std::vector<ExprPtr> lk, rk;
         lk.push_back(std::move(outer_key));
         rk.push_back(std::move(inner_key));
@@ -663,8 +693,8 @@ Result<OperatorPtr> PlanSelect(Database* db, SelectStmt* stmt) {
     } else {
       OXML_ASSIGN_OR_RETURN(
           OperatorPtr inner,
-          PlanTableAccess(tables[i], qualified[i], std::move(inner_conjuncts),
-                          db->stats()));
+          PlanTableAccess(db, tables[i], qualified[i],
+                          std::move(inner_conjuncts)));
       plan = std::make_unique<NestedLoopJoinOp>(
           std::move(plan), std::move(inner), nullptr, db->stats());
       combined.Append(qualified[i]);

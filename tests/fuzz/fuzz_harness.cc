@@ -4,11 +4,14 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "src/common/random.h"
 #include "src/common/strings.h"
@@ -592,6 +595,45 @@ std::optional<std::string> CompareResults(
   return std::nullopt;
 }
 
+/// Verifies one parsed query against every store, in driver mode and —
+/// where the subset allows it — as one translated SQL statement. Safe to
+/// call from several threads at once: queries and subtree reconstruction
+/// are read-only statements under the database's shared latch, and the
+/// oracle's answers are precomputed by the caller.
+std::optional<FuzzFailure> VerifyQuery(
+    StoreInstance* stores, const FuzzOp& op, size_t op_index,
+    const XPathQuery& parsed, const std::vector<std::string>& expected) {
+  for (int e = 0; e < 3; ++e) {
+    StoreInstance& s = stores[e];
+    auto fail = [&](const std::string& msg) {
+      return FuzzFailure{op_index, s.name, op.ToString() + ": " + msg};
+    };
+    auto actual = EvaluateXPath(s.store.get(), parsed);
+    if (!actual.ok()) {
+      return fail("driver error: " + actual.status().ToString());
+    }
+    if (auto msg =
+            CompareResults(s.store.get(), expected, *actual, "driver")) {
+      return fail(*msg);
+    }
+    // Whole-path SQL translation, where the subset allows it.
+    auto translated = TranslateXPathToSql(*s.store, parsed);
+    if (translated.ok()) {
+      auto via = EvaluateXPathViaSql(s.store.get(), parsed);
+      if (!via.ok()) {
+        return fail("translated error: " + via.status().ToString());
+      }
+      if (auto msg =
+              CompareResults(s.store.get(), expected, *via, "translated")) {
+        return fail(*msg);
+      }
+    } else if (!translated.status().IsNotImplemented()) {
+      return fail("translate: " + translated.status().ToString());
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::optional<FuzzFailure> RunCase(FuzzCase* c) {
@@ -639,44 +681,72 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
     const FuzzOp& op = c->ops[i];
 
     if (op.kind == FuzzOp::Kind::kQuery) {
-      auto parsed = ParseXPath(op.xpath);
-      if (!parsed.ok()) {
-        ++c->skipped_ops;
-        continue;
-      }
-      std::vector<OracleNode> oracle_nodes = oracle.Evaluate(*parsed);
-      std::vector<std::string> expected;
-      expected.reserve(oracle_nodes.size());
-      for (const OracleNode& n : oracle_nodes) {
-        expected.push_back(oracle.Signature(n));
-      }
-      for (StoreInstance& s : stores) {
-        auto fail = [&](const std::string& msg) {
-          return FuzzFailure{i, s.name, op.ToString() + ": " + msg};
-        };
-        auto actual = EvaluateXPath(s.store.get(), *parsed);
-        if (!actual.ok()) {
-          return fail("driver error: " + actual.status().ToString());
+      // Gather the maximal run of consecutive queries and precompute the
+      // oracle's answers serially (the oracle is not latched).
+      struct QueryTask {
+        size_t op_index;
+        XPathQuery parsed;
+        std::vector<std::string> expected;
+      };
+      std::vector<QueryTask> batch;
+      size_t j = i;
+      for (; j < c->ops.size() && c->ops[j].kind == FuzzOp::Kind::kQuery;
+           ++j) {
+        auto parsed = ParseXPath(c->ops[j].xpath);
+        if (!parsed.ok()) {
+          ++c->skipped_ops;
+          continue;
         }
-        if (auto msg = CompareResults(s.store.get(), expected, *actual,
-                                      "driver")) {
-          return fail(*msg);
+        QueryTask t;
+        t.op_index = j;
+        t.parsed = std::move(parsed).value();
+        std::vector<OracleNode> oracle_nodes = oracle.Evaluate(t.parsed);
+        t.expected.reserve(oracle_nodes.size());
+        for (const OracleNode& n : oracle_nodes) {
+          t.expected.push_back(oracle.Signature(n));
         }
-        // Whole-path SQL translation, where the subset allows it.
-        auto translated = TranslateXPathToSql(*s.store, *parsed);
-        if (translated.ok()) {
-          auto via = EvaluateXPathViaSql(s.store.get(), *parsed);
-          if (!via.ok()) {
-            return fail("translated error: " + via.status().ToString());
-          }
-          if (auto msg = CompareResults(s.store.get(), expected, *via,
-                                        "translated")) {
-            return fail(*msg);
-          }
-        } else if (!translated.status().IsNotImplemented()) {
-          return fail("translate: " + translated.status().ToString());
-        }
+        batch.push_back(std::move(t));
       }
+
+      std::optional<FuzzFailure> qfail;
+      size_t nthreads = std::min(c->query_threads, batch.size());
+      if (nthreads <= 1) {
+        for (const QueryTask& t : batch) {
+          qfail = VerifyQuery(stores, c->ops[t.op_index], t.op_index,
+                              t.parsed, t.expected);
+          if (qfail.has_value()) break;
+        }
+      } else {
+        // Concurrent-reader mode: N client threads drain the batch.
+        // Mutations never overlap the fan-out, so every query sees the
+        // same document state as a serial replay would; any divergence is
+        // a latching/plan-sharing bug. The earliest-op failure is the one
+        // reported, keeping repro files deterministic.
+        std::atomic<size_t> next{0};
+        std::mutex fail_mu;
+        std::vector<std::thread> workers;
+        workers.reserve(nthreads);
+        for (size_t t = 0; t < nthreads; ++t) {
+          workers.emplace_back([&]() {
+            for (size_t k = next.fetch_add(1); k < batch.size();
+                 k = next.fetch_add(1)) {
+              const QueryTask& task = batch[k];
+              auto f = VerifyQuery(stores, c->ops[task.op_index],
+                                   task.op_index, task.parsed,
+                                   task.expected);
+              if (f.has_value()) {
+                std::lock_guard<std::mutex> lock(fail_mu);
+                if (!qfail.has_value() || f->op_index < qfail->op_index) {
+                  qfail = std::move(f);
+                }
+              }
+            }
+          });
+        }
+        for (std::thread& w : workers) w.join();
+      }
+      if (qfail.has_value()) return qfail;
+      i = j - 1;  // the loop's ++i lands on the first non-query op
       continue;
     }
 
@@ -885,6 +955,9 @@ std::string SerializeCase(const FuzzCase& c) {
            " " + c.toggles[e].ToString() + "\n";
   }
   if (c.durable) out += "durable\n";
+  if (c.query_threads > 1) {
+    out += "threads " + std::to_string(c.query_threads) + "\n";
+  }
   for (const FuzzOp& op : c.ops) out += op.ToString() + "\n";
   out += "end\n";
   return out;
@@ -1019,6 +1092,11 @@ Result<FuzzCase> ParseCase(std::string_view text) {
     } else if (tok[0] == "durable") {
       if (tok.size() != 1) return Status::ParseError("bad durable line");
       c.durable = true;
+    } else if (tok[0] == "threads") {
+      if (tok.size() != 2) return Status::ParseError("bad threads line");
+      c.query_threads =
+          static_cast<size_t>(std::stoull(tok[1]));
+      if (c.query_threads == 0) c.query_threads = 1;
     } else if (tok[0] == "op") {
       if (tok.size() < 2) return Status::ParseError("bad op line");
       OXML_ASSIGN_OR_RETURN(FuzzOp op, ParseOp(tok));

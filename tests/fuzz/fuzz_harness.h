@@ -76,6 +76,13 @@ struct FuzzCase {
   /// contain kCrashRecover steps — each one kills and recovers all three
   /// databases, checking that every committed mutation survived.
   bool durable = false;
+  /// Concurrent-reader mode (the fuzzer's --threads flag): runs of
+  /// consecutive kQuery ops are verified by this many client threads at
+  /// once instead of one after another. Mutations always stay serial, so
+  /// every query sees the same document state as a serial replay; >1
+  /// checks that concurrent readers under the database's shared statement
+  /// latch still match the DOM oracle exactly.
+  size_t query_threads = 1;
   std::vector<FuzzOp> ops;
   size_t skipped_ops = 0;  // filled by RunCase: ops inapplicable on replay
 };

@@ -5,10 +5,14 @@
 //
 // Usage:
 //   oxml_fuzz [--seed_start=N] [--seed_count=N] [--ops=N] [--repro_dir=DIR]
-//             [--durable=0|1]
+//             [--durable=0|1] [--threads=N]
 //
 // --durable forces every case on or off the file-backed/WAL path (the
 // default lets the generator pick ~25% durable cases).
+// --threads runs every batch of consecutive read-only query ops across N
+// client threads (concurrent readers under the shared statement latch)
+// instead of serially; divergence from the DOM oracle is then a
+// concurrency bug. Mutations always stay serial.
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +45,7 @@ int main(int argc, char** argv) {
   long long seed_count = 25;
   long long ops = 100;
   long long durable = -1;  // -1 = generator's choice
+  long long threads = 1;
   std::string repro_dir = ".";
   for (int i = 1; i < argc; ++i) {
     long long* unused = nullptr;
@@ -49,6 +54,7 @@ int main(int argc, char** argv) {
         ParseFlag(argv[i], "--seed_count", &seed_count) ||
         ParseFlag(argv[i], "--ops", &ops) ||
         ParseFlag(argv[i], "--durable", &durable) ||
+        ParseFlag(argv[i], "--threads", &threads) ||
         ParseFlag(argv[i], "--repro_dir", &repro_dir)) {
       continue;
     }
@@ -63,6 +69,7 @@ int main(int argc, char** argv) {
         oxml::fuzz::GenerateCase(static_cast<uint64_t>(s),
                                  static_cast<size_t>(ops));
     if (durable >= 0) c.durable = durable != 0;
+    if (threads > 1) c.query_threads = static_cast<size_t>(threads);
     auto failure = oxml::fuzz::RunCase(&c);
     total_ops += c.ops.size();
     total_skipped += c.skipped_ops;
