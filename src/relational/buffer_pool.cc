@@ -256,17 +256,23 @@ Result<PageHandle> BufferPool::FetchPage(uint32_t page_id) {
     // stable across rehashes (unordered_map) and eviction only erases
     // unpinned frames under the exclusive latch, so the returned data
     // pointer stays valid for the life of the pin.
+    //
+    // Disabled while a transaction is open: undo capture mutates the
+    // unsynchronized undo_ map, and the txn owner's own parallel-scan
+    // workers (which never take the statement latch) reach here
+    // concurrently, so every transactional fetch must serialize through
+    // the exclusive path below. in_txn_ only flips under the exclusive
+    // table latch, making this shared-latched read race-free.
     std::shared_lock<std::shared_mutex> lock(table_mu_);
-    auto it = frames_.find(page_id);
-    if (it != frames_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      Frame& f = it->second;
-      // Undo capture only runs inside a transaction, which the statement
-      // latch makes single-threaded; concurrent readers see in_txn_ false.
-      CaptureUndo(page_id, f);
-      f.pin_count.fetch_add(1, std::memory_order_relaxed);
-      LruRemove(&f);
-      return PageHandle(this, page_id, f.data.get());
+    if (!in_txn_) {
+      auto it = frames_.find(page_id);
+      if (it != frames_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        Frame& f = it->second;
+        f.pin_count.fetch_add(1, std::memory_order_relaxed);
+        LruRemove(&f);
+        return PageHandle(this, page_id, f.data.get());
+      }
     }
   }
   std::unique_lock<std::shared_mutex> lock(table_mu_);

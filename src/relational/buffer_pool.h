@@ -118,11 +118,13 @@ class PageHandle {
 /// FetchPage/Unpin concurrently. The page table is guarded by a
 /// reader–writer latch whose shared mode covers the hit fast path (lookup
 /// plus an atomic pin-count bump); misses, NewPage, eviction, FlushAll and
-/// the transaction entry points take it exclusively. LRU bookkeeping lives
-/// under its own small mutex and is skipped entirely for unbounded pools
-/// (capacity 0). Transactions and every other mutation are additionally
-/// serialized by the Database-level statement latch, so txn state
-/// (undo map, dirty flags) is only ever touched single-threaded.
+/// the transaction entry points take it exclusively. While a transaction
+/// is open every fetch takes the exclusive path — undo capture mutates the
+/// unsynchronized undo map, and the txn owner's parallel-scan workers call
+/// FetchPage concurrently without holding the statement latch. LRU
+/// bookkeeping lives under its own small mutex and is skipped entirely for
+/// unbounded pools (capacity 0). Transactions and every other mutation are
+/// additionally serialized by the Database-level statement latch.
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames; 0 means unbounded

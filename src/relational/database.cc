@@ -159,6 +159,9 @@ Status Database::Close() {
     // An abandoned open transaction is discarded, exactly as a crash
     // would discard it.
     st = Rollback();
+    // A failed rollback already crashed the database out (buffered state
+    // discarded, WAL detached): checkpointing it would flush garbage.
+    if (closed_) return st;
   }
   Status cp = Checkpoint();
   if (st.ok()) st = cp;
@@ -416,20 +419,39 @@ Status Database::Rollback() {
   if (!pool_->InTxn()) {
     return Status::InvalidArgument("no transaction is open");
   }
-  OXML_RETURN_NOT_OK(pool_->RollbackTxn());
-  latch_.UnlockExclusive();  // drop Begin's hold: the transaction is over
+  Status undo = pool_->RollbackTxn();
+  // The transaction is over either way: even a failed undo must drop
+  // Begin's exclusive hold, or every other thread blocks on the statement
+  // latch forever while the caller only sees an error Status.
+  latch_.UnlockExclusive();
+  if (!undo.ok()) {
+    // The pool may hold a mix of restored and unrestored pages; nothing in
+    // memory can be trusted. Fail the database the way a crash would:
+    // discard buffered state, keep the WAL on disk (it still holds the
+    // committed history for the next open), and refuse further work.
+    pool_->set_discard_on_destroy(true);
+    pool_->SetWal(nullptr);
+    wal_.reset();
+    closed_ = true;
+    heap_snapshot_.clear();
+    InvalidatePlans();
+    return undo;
+  }
+  Status rebuilt = Status::OK();
   for (const auto& [name, meta] : heap_snapshot_) {
     TableInfo* t = GetTable(name);
     if (t == nullptr) continue;  // unreachable: DDL is barred inside txns
     t->heap()->RestoreMetadata(meta);
     // The in-memory B+trees have no pre-images; recompute them from the
-    // restored heaps, the same way Open does.
-    OXML_RETURN_NOT_OK(t->RebuildIndexes());
+    // restored heaps, the same way Open does. Keep going on failure so
+    // every table is restored and the stale plans below still die.
+    Status r = t->RebuildIndexes();
+    if (rebuilt.ok()) rebuilt = r;
   }
   heap_snapshot_.clear();
   // Rebuilding invalidated every TableIndex* captured by cached plans.
   InvalidatePlans();
-  return Status::OK();
+  return rebuilt;
 }
 
 Status Database::CreateTable(const std::string& name, Schema schema) {

@@ -114,7 +114,12 @@ class Database;
 /// Exclusive ownership is reentrant per thread — the engine's auto-commit
 /// wrappers and the stores' TxnScope nest statement calls inside an open
 /// transaction — and a thread holding the latch exclusively passes straight
-/// through shared acquisitions (reads inside its own transaction).
+/// through shared acquisitions (reads inside its own transaction). Shared
+/// ownership is also reentrant per thread (tracked thread_locally): writer
+/// preference would otherwise self-deadlock a thread that re-acquires
+/// shared while a writer queues behind its outstanding shared hold.
+/// Lock-order inversion (shared then exclusive on the same thread) remains
+/// a deadlock, as with any reader–writer lock.
 ///
 /// Writer-preferring: once a writer is waiting, new shared acquisitions
 /// queue behind it. std::shared_mutex makes no such promise (glibc's
@@ -125,14 +130,30 @@ class StatementLatch {
  public:
   void LockShared() {
     if (OwnedByThisThread()) return;
+    size_t& depth = SharedDepthMap()[this];
+    if (depth > 0) {
+      // Nested shared acquisition: this thread was already admitted, so it
+      // must pass through even when a writer is queued — blocking here
+      // would deadlock it against the writer waiting on its own hold.
+      ++depth;
+      return;
+    }
     std::unique_lock<std::mutex> lock(mu_);
     reader_cv_.wait(lock, [this] {
       return !writer_active_ && writers_waiting_ == 0;
     });
     ++active_readers_;
+    depth = 1;
   }
   void UnlockShared() {
     if (OwnedByThisThread()) return;
+    auto& depths = SharedDepthMap();
+    auto it = depths.find(this);
+    if (it != depths.end() && it->second > 1) {
+      --it->second;
+      return;
+    }
+    if (it != depths.end()) depths.erase(it);
     std::unique_lock<std::mutex> lock(mu_);
     if (--active_readers_ == 0 && writers_waiting_ > 0) {
       lock.unlock();
@@ -176,6 +197,13 @@ class StatementLatch {
   bool OwnedByThisThread() const {
     return owner_.load(std::memory_order_relaxed) ==
            std::this_thread::get_id();
+  }
+
+  /// This thread's shared-hold depth per latch instance. Entries are erased
+  /// on final release, so the map only holds latches the thread is inside.
+  static std::unordered_map<const StatementLatch*, size_t>& SharedDepthMap() {
+    static thread_local std::unordered_map<const StatementLatch*, size_t> map;
+    return map;
   }
 
   std::mutex mu_;

@@ -102,6 +102,61 @@ TEST(StatementLatchTest, ExclusiveIsReentrantAndAbsorbsShared) {
   EXPECT_TRUE(acquired.load());
 }
 
+// Shared acquisition is reentrant per thread: a queued writer must not
+// deadlock a thread re-acquiring shared against its own outstanding hold
+// (writer preference blocks *new* readers, not admitted ones).
+TEST(StatementLatchTest, SharedIsReentrantUnderWriterPressure) {
+  StatementLatch latch;
+  latch.LockShared();
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    latch.LockExclusive();
+    writer_done.store(true);
+    latch.UnlockExclusive();
+  });
+  // Give the writer time to queue; without reentrancy the nested shared
+  // acquisition below then deadlocks rather than merely racing past.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  latch.LockShared();
+  latch.UnlockShared();
+  EXPECT_FALSE(writer_done.load());  // writer still excluded by outer hold
+  latch.UnlockShared();
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+}
+
+// The undo-capture race distilled: with a transaction open, threads
+// fetching resident pages concurrently (the txn owner's parallel-scan
+// workers do exactly this) must not touch the unsynchronized undo map —
+// every transactional fetch takes the exclusive page-table path. Without
+// that, TSan flags concurrent undo-map access here deterministically.
+TEST(BufferPoolTxnTest, ConcurrentFetchesInsideTxnAreRaceFree) {
+  BufferPool pool(std::make_unique<MemoryBackend>());
+  constexpr uint32_t kPages = 16;
+  for (uint32_t i = 0; i < kPages; ++i) {
+    auto p = pool.NewPage();
+    ASSERT_TRUE(p.ok()) << p.status();
+  }
+  ASSERT_TRUE(pool.BeginTxn().ok());
+  constexpr int kThreads = 4;
+  std::atomic<int> ready{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (uint32_t i = 0; i < 200; ++i) {
+        auto p = pool.FetchPage((static_cast<uint32_t>(t) + i) % kPages);
+        if (!p.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(pool.RollbackTxn().ok());
+}
+
 // ------------------------------------------------------- reader-level tests
 
 struct LoadedStore {
@@ -314,6 +369,43 @@ TEST_P(ParallelDifferentialTest, ParallelPlansMatchSerialByteForByte) {
   EXPECT_GT(par.db->stats()->threads_used, 1u);
   EXPECT_EQ(ser.db->stats()->morsels, 0u);
   EXPECT_EQ(ser.db->stats()->threads_used, 0u);
+}
+
+// Regression: a SELECT inside an open transaction can plan as a parallel
+// scan whose pool workers call BufferPool::FetchPage concurrently while the
+// undo log is live. Fetches inside a transaction must take the exclusive
+// page-table path — the shared fast path would race on the undo map (UB
+// flagged by TSan; this test is part of the TSan CI workload).
+TEST_P(ParallelDifferentialTest, ParallelReadsInsideOpenTransaction) {
+  OrderEncoding enc = GetParam();
+  LoadedStore ls = LoadNews(enc, /*parallel_exec=*/true);
+  auto baseline = EvaluateXPath(ls.store.get(), "//para");
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  std::vector<std::string> expect = Identities(enc, *baseline);
+  ASSERT_TRUE(ls.db->Execute("CREATE TABLE scratch (a INT)").ok());
+
+  ASSERT_TRUE(ls.db->Begin().ok());
+  // Dirty some pages so the undo log has entries while the readers run.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        ls.db->ExecuteP("INSERT INTO scratch VALUES (?)", {Value::Int(i)})
+            .ok());
+  }
+  uint64_t before = ls.db->stats()->morsels;
+  auto r = EvaluateXPath(ls.store.get(), "//para");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(Identities(enc, *r), expect);
+  auto c = ls.db->Query("SELECT COUNT(*) FROM nodes");
+  ASSERT_TRUE(c.ok()) << c.status();
+  EXPECT_GT(ls.db->stats()->morsels, before);  // the reads really fanned out
+  ASSERT_TRUE(ls.db->Rollback().ok());
+
+  auto sc = ls.db->Query("SELECT COUNT(*) FROM scratch");
+  ASSERT_TRUE(sc.ok()) << sc.status();
+  EXPECT_EQ(sc->rows[0][0].AsInt(), 0);
+  auto after = EvaluateXPath(ls.store.get(), "//para");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(Identities(enc, *after), expect);
 }
 
 // Intra-query parallelism composed with inter-query concurrency: several
