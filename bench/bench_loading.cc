@@ -50,12 +50,60 @@ void BM_Load(benchmark::State& state) {
   state.SetLabel(OrderEncodingToString(enc));
 }
 
+// Experiment E17 — parallel bulk-load scaling (see EXPERIMENTS.md).
+//
+// Loads the same document through the parallel pipeline (partition →
+// multi-threaded shred into sorted runs → k-way merge → bulk-built heap
+// and indexes) at increasing worker counts. Arg 2 is the load thread
+// count; 0 means the serial single-transaction path for a same-binary
+// baseline. Counters surface the pipeline's fan-out (load_threads,
+// runs_merged, rows_shredded) and the AppendBatch tail-page fetch
+// savings, so the scaling story is auditable even on single-core CI
+// where wall-clock speedup is not observable.
+void BM_LoadParallel(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  const XmlDocument& doc = DocOfSize(SmokeCapped(state.range(1), 2000));
+  const int64_t threads = state.range(2);
+
+  DatabaseOptions db_opts;
+  db_opts.enable_parallel_load = threads > 0;
+  db_opts.num_load_threads = static_cast<size_t>(threads);
+  // Small runs keep the k-way merge in play at every dataset size.
+  db_opts.load_run_bytes = 256 * 1024;
+
+  ExecStats exec;
+  uint64_t saved_fetches = 0;
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    StoreFixture f = MakeStore(enc, db_opts);
+    OXML_BENCH_CHECK(f.store->LoadDocument(doc).ok());
+    exec = *f.db->stats();
+    rows = f.db->GetStorageStats().heap_rows;
+    saved_fetches = f.db->buffer_pool()->saved_fetch_count();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows) * state.iterations());
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["load_threads"] =
+      static_cast<double>(exec.load_threads_used);
+  state.counters["rows_shredded"] = static_cast<double>(exec.rows_shredded);
+  state.counters["runs_merged"] = static_cast<double>(exec.runs_merged);
+  state.counters["saved_fetches"] = static_cast<double>(saved_fetches);
+  state.SetLabel(std::string(OrderEncodingToString(enc)) +
+                 (threads > 0 ? "/parallel" : "/serial"));
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace oxml
 
 BENCHMARK(oxml::bench::BM_Load)
     ->ArgsProduct({{0, 1, 2}, {2000, 10000, 30000}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+BENCHMARK(oxml::bench::BM_LoadParallel)
+    ->ArgsProduct({{0, 1, 2}, {30000}, {0, 1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(3);
 

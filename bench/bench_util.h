@@ -79,9 +79,11 @@ struct StoreFixture {
   std::unique_ptr<OrderedXmlStore> store;
 };
 
-inline StoreFixture MakeStore(OrderEncoding encoding, int64_t gap = 32) {
+inline StoreFixture MakeStore(OrderEncoding encoding,
+                              const DatabaseOptions& db_opts,
+                              int64_t gap = 32) {
   StoreFixture f;
-  auto dbr = Database::Open();
+  auto dbr = Database::Open(db_opts);
   OXML_BENCH_CHECK(dbr.ok());
   f.db = std::move(dbr).value();
   StoreOptions opts;
@@ -90,6 +92,10 @@ inline StoreFixture MakeStore(OrderEncoding encoding, int64_t gap = 32) {
   OXML_BENCH_CHECK(sr.ok());
   f.store = std::move(sr).value();
   return f;
+}
+
+inline StoreFixture MakeStore(OrderEncoding encoding, int64_t gap = 32) {
+  return MakeStore(encoding, DatabaseOptions{}, gap);
 }
 
 inline StoreFixture MakeLoadedStore(OrderEncoding encoding,

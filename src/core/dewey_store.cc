@@ -99,6 +99,33 @@ Status DeweyStore::DoLoadDocument(const XmlDocument& doc) {
   return BulkInsert(rows, nullptr);
 }
 
+Status DeweyStore::EmitUnitRows(const ShredUnit& u, std::vector<Row>* rows) {
+  // The partitioner carried this node's full Dewey key down the descent;
+  // everything below just extends it exactly like the serial shredder.
+  OXML_ASSIGN_OR_RETURN(DeweyKey key, DeweyKey::Decode(u.dewey_path));
+  if (u.whole_subtree) {
+    ShredInto(*u.node, key, rows);
+    return Status::OK();
+  }
+  // Header unit: element + attribute rows only.
+  rows->push_back(Row{Value::Blob(key.Encode()),
+                      Value::Int(static_cast<int64_t>(key.depth())),
+                      Value::Int(static_cast<int64_t>(u.node->kind())),
+                      Value::Text(u.node->name()),
+                      Value::Text(u.node->value())});
+  int64_t comp = 0;
+  for (const XmlAttribute& attr : u.node->attributes()) {
+    comp += options_.gap;
+    DeweyKey akey = key.Child(comp);
+    rows->push_back(
+        Row{Value::Blob(akey.Encode()),
+            Value::Int(static_cast<int64_t>(akey.depth())),
+            Value::Int(static_cast<int64_t>(XmlNodeKind::kAttribute)),
+            Value::Text(attr.name), Value::Text(attr.value)});
+  }
+  return Status::OK();
+}
+
 Result<std::vector<StoredNode>> DeweyStore::Select(const std::string& where,
                                                    Row params,
                                                    const std::string& order) {

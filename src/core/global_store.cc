@@ -102,6 +102,43 @@ Status GlobalStore::DoLoadDocument(const XmlDocument& doc) {
   return BulkInsert(rows, nullptr);
 }
 
+Status GlobalStore::EmitUnitRows(const ShredUnit& u, std::vector<Row>* rows) {
+  const int64_t step = options_.gap;
+  // The serial DFS bumps the counter before each row, so the k-th row of
+  // the full stream (0-based) gets ord = step * (k + 1); the parent's ord
+  // follows the same formula applied to its row offset.
+  const int64_t pord =
+      u.parent_row_offset < 0 ? 0 : step * (u.parent_row_offset + 1);
+  if (u.whole_subtree) {
+    // Replay the serial shredder with the counter pre-positioned at the
+    // unit's first row; every ord/eord inside comes out identical.
+    int64_t counter = step * static_cast<int64_t>(u.row_offset);
+    ShredInto(*u.node, pord, u.depth, step, &counter, rows, nullptr);
+    return Status::OK();
+  }
+  // Header unit: the element row plus its attributes; the children arrive
+  // as later units. eord spans the whole subtree even though its rows are
+  // emitted elsewhere — subtree_rows makes it computable here.
+  const int64_t ord = step * (static_cast<int64_t>(u.row_offset) + 1);
+  const int64_t eord =
+      step * static_cast<int64_t>(u.row_offset + u.subtree_rows);
+  rows->push_back(Row{Value::Int(ord), Value::Int(eord), Value::Int(pord),
+                      Value::Int(u.depth),
+                      Value::Int(static_cast<int64_t>(u.node->kind())),
+                      Value::Text(u.node->name()),
+                      Value::Text(u.node->value())});
+  int64_t c = ord;
+  for (const XmlAttribute& attr : u.node->attributes()) {
+    c += step;
+    rows->push_back(
+        Row{Value::Int(c), Value::Int(c), Value::Int(ord),
+            Value::Int(u.depth + 1),
+            Value::Int(static_cast<int64_t>(XmlNodeKind::kAttribute)),
+            Value::Text(attr.name), Value::Text(attr.value)});
+  }
+  return Status::OK();
+}
+
 Result<std::vector<StoredNode>> GlobalStore::Select(const std::string& where,
                                                     Row params,
                                                     const std::string& order) {

@@ -111,6 +111,40 @@ Status LocalStore::DoLoadDocument(const XmlDocument& doc) {
   return BulkInsert(rows, nullptr);
 }
 
+Status LocalStore::EmitUnitRows(const ShredUnit& u, std::vector<Row>* rows) {
+  const int64_t gap = options_.gap;
+  // The serial shredder hands out ids in DFS row order, so the k-th row of
+  // the full stream gets id = next_id_ + k. The allocator itself is left
+  // untouched until OnParallelLoadComplete — workers only read the base.
+  const int64_t base = next_id_;
+  const int64_t pid =
+      u.parent_row_offset < 0 ? 0 : base + u.parent_row_offset;
+  if (u.whole_subtree) {
+    int64_t next = base + static_cast<int64_t>(u.row_offset);
+    ShredLocal(*u.node, pid, u.sibling_comp, u.depth, gap, &next, rows);
+    return Status::OK();
+  }
+  // Header unit: element + attribute rows; children arrive as later units
+  // with their own row offsets.
+  const int64_t id = base + static_cast<int64_t>(u.row_offset);
+  rows->push_back(Row{Value::Int(id), Value::Int(pid),
+                      Value::Int(u.sibling_comp), Value::Int(u.depth),
+                      Value::Int(static_cast<int64_t>(u.node->kind())),
+                      Value::Text(u.node->name()),
+                      Value::Text(u.node->value())});
+  int64_t next = id + 1;
+  int64_t child_sord = 0;
+  for (const XmlAttribute& attr : u.node->attributes()) {
+    child_sord += gap;
+    rows->push_back(
+        Row{Value::Int(next++), Value::Int(id), Value::Int(child_sord),
+            Value::Int(u.depth + 1),
+            Value::Int(static_cast<int64_t>(XmlNodeKind::kAttribute)),
+            Value::Text(attr.name), Value::Text(attr.value)});
+  }
+  return Status::OK();
+}
+
 Result<std::vector<StoredNode>> LocalStore::Select(const std::string& where,
                                                    Row params,
                                                    const std::string& order) {

@@ -8,6 +8,7 @@
 
 #include "src/common/result.h"
 #include "src/core/order_encoding.h"
+#include "src/core/parallel_shred.h"
 #include "src/relational/database.h"
 #include "src/xml/xml_node.h"
 
@@ -77,6 +78,15 @@ class OrderedXmlStore {
   /// Shreds `doc` into the node table (document must be loaded into an
   /// empty store). Runs as one transaction: a crash mid-load leaves the
   /// store empty, never partially shredded.
+  ///
+  /// With DatabaseOptions::enable_parallel_load the document is cut into
+  /// disjoint subtrees (PartitionDocument), shredded into per-worker
+  /// sorted runs on the database's load pool, k-way merged, and installed
+  /// through the bulk path (Database::BulkLoadRows). Order keys are
+  /// assigned deterministically from the partition pre-pass, so the
+  /// resulting table is byte-identical to a serial load; only the shred
+  /// phase runs outside the exclusive statement latch (concurrent readers
+  /// of other tables proceed while the document is being shredded).
   Status LoadDocument(const XmlDocument& doc);
 
   /// Rebuilds the complete document from the relations.
@@ -214,6 +224,25 @@ class OrderedXmlStore {
                                               const XmlNode& subtree) = 0;
   virtual Result<UpdateStats> DoDeleteSubtree(const StoredNode& node) = 0;
 
+  // ------------------------------------------------------- parallel loading
+
+  /// Shreds one partition into encoded rows (document order within the
+  /// unit), assigning exactly the order keys the serial shredder would
+  /// have. Must not mutate store state: ParallelShredMerge calls it from
+  /// several threads at once on distinct units.
+  virtual Status EmitUnitRows(const ShredUnit& unit,
+                              std::vector<Row>* rows) = 0;
+
+  /// How this encoding's first column orders for the k-way merge.
+  virtual LoadKeyKind LoadKey() const = 0;
+
+  /// Called once after a successful parallel load with the number of rows
+  /// installed; stores with allocator state advance it here (the Local
+  /// encoding's id counter).
+  virtual void OnParallelLoadComplete(uint64_t rows_loaded) {
+    (void)rows_loaded;
+  }
+
   /// Runs a SELECT, counting it into `stats` when provided.
   Result<ResultSet> Sql(const std::string& sql, UpdateStats* stats = nullptr);
 
@@ -229,6 +258,13 @@ class OrderedXmlStore {
   Result<int64_t> DmlP(const std::string& sql, Row params,
                        UpdateStats* stats = nullptr);
 
+ private:
+  /// The enable_parallel_load body of LoadDocument: partition + parallel
+  /// shred + merge (no statement latch), then bulk install in one
+  /// transaction.
+  Status ParallelLoadDocument(const XmlDocument& doc);
+
+ protected:
   Database* db_;
   OrderEncoding encoding_;
   StoreOptions options_;

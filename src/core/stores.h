@@ -76,6 +76,8 @@ class GlobalStore : public StoreBase {
                                       InsertPosition pos,
                                       const XmlNode& subtree) override;
   Result<UpdateStats> DoDeleteSubtree(const StoredNode& node) override;
+  Status EmitUnitRows(const ShredUnit& unit, std::vector<Row>* rows) override;
+  LoadKeyKind LoadKey() const override { return LoadKeyKind::kInt; }
 
  private:
   /// `where` may contain '?' markers bound from `params`; the generated
@@ -141,6 +143,13 @@ class LocalStore : public StoreBase {
                                       InsertPosition pos,
                                       const XmlNode& subtree) override;
   Result<UpdateStats> DoDeleteSubtree(const StoredNode& node) override;
+  Status EmitUnitRows(const ShredUnit& unit, std::vector<Row>* rows) override;
+  LoadKeyKind LoadKey() const override { return LoadKeyKind::kInt; }
+  /// Ids were assigned as next_id_ + row_offset during the parallel shred
+  /// without touching the allocator; advance it now that the rows are in.
+  void OnParallelLoadComplete(uint64_t rows_loaded) override {
+    next_id_ += static_cast<int64_t>(rows_loaded);
+  }
 
  private:
   Result<std::vector<StoredNode>> Select(const std::string& where,
@@ -204,6 +213,8 @@ class DeweyStore : public StoreBase {
                                       InsertPosition pos,
                                       const XmlNode& subtree) override;
   Result<UpdateStats> DoDeleteSubtree(const StoredNode& node) override;
+  Status EmitUnitRows(const ShredUnit& unit, std::vector<Row>* rows) override;
+  LoadKeyKind LoadKey() const override { return LoadKeyKind::kBlob; }
 
  private:
   Result<std::vector<StoredNode>> Select(const std::string& where,

@@ -177,6 +177,208 @@ void BPlusTree::Insert(std::string_view key, const Rid& rid) {
   }
 }
 
+Status BPlusTree::BulkBuild(std::vector<Entry>&& entries) {
+  if (size_ != 0 || !root_->is_leaf ||
+      !static_cast<Leaf*>(root_)->keys.empty()) {
+    return Status::InvalidArgument("BulkBuild requires an empty tree");
+  }
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (CompareEntry(entries[i - 1].first, entries[i - 1].second,
+                     entries[i].first, entries[i].second) >= 0) {
+      return Status::InvalidArgument(
+          "BulkBuild requires strictly sorted (key, rid) entries");
+    }
+  }
+  if (entries.empty()) return Status::OK();
+
+  // Pack leaves at ~3/4 fill so post-load inserts have headroom. Entries
+  // are spread evenly across ceil(n / fill) leaves, which keeps every leaf
+  // at >= fill/2 entries (no underfull tail leaf).
+  constexpr size_t kFill = kNodeCapacity * 3 / 4;
+  const size_t n = entries.size();
+  size_t key_bytes = 0;
+  const size_t num_leaves = (n + kFill - 1) / kFill;
+  const size_t base = n / num_leaves;
+  const size_t extra = n % num_leaves;
+
+  // Each level is built as (node, first entry of its subtree); the first
+  // entries of nodes 1.. become the parent's separators.
+  struct Item {
+    Node* node;
+    const std::string* first_key;
+    const Rid* first_rid;
+  };
+  std::vector<Item> level;
+  level.reserve(num_leaves);
+  Leaf* prev = nullptr;
+  size_t next_entry = 0;
+  for (size_t i = 0; i < num_leaves; ++i) {
+    auto* leaf = new Leaf();
+    const size_t take = base + (i < extra ? 1 : 0);
+    leaf->keys.reserve(take);
+    leaf->rids.reserve(take);
+    for (size_t j = 0; j < take; ++j) {
+      key_bytes += entries[next_entry].first.size();
+      leaf->keys.push_back(std::move(entries[next_entry].first));
+      leaf->rids.push_back(entries[next_entry].second);
+      ++next_entry;
+    }
+    if (prev != nullptr) prev->next = leaf;
+    prev = leaf;
+    level.push_back(Item{leaf, &leaf->keys.front(), &leaf->rids.front()});
+  }
+  assert(next_entry == n);
+
+  // Stack internal levels until a single root remains; same even spread,
+  // aiming for ~3/4 of the max fanout per internal node.
+  constexpr size_t kFanout = (kNodeCapacity + 1) * 3 / 4;
+  size_t levels = 1;
+  while (level.size() > 1) {
+    const size_t num_nodes = (level.size() + kFanout - 1) / kFanout;
+    const size_t nbase = level.size() / num_nodes;
+    const size_t nextra = level.size() % num_nodes;
+    std::vector<Item> up;
+    up.reserve(num_nodes);
+    size_t child = 0;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      auto* in = new Internal();
+      const size_t take = nbase + (i < nextra ? 1 : 0);
+      in->children.reserve(take);
+      for (size_t j = 0; j < take; ++j) {
+        const Item& it = level[child++];
+        if (j > 0) {
+          // Separator = first entry of the right sibling's subtree, so
+          // ChildIndex's "composite < separator goes left" matches the
+          // actual partition exactly.
+          in->keys.push_back(*it.first_key);
+          in->seprids.push_back(*it.first_rid);
+        }
+        in->children.push_back(it.node);
+      }
+      // The subtree's first entry is its leftmost child's first entry.
+      up.push_back(Item{in, level[child - take].first_key,
+                        level[child - take].first_rid});
+    }
+    level = std::move(up);
+    ++levels;
+  }
+
+  FreeNode(root_);  // the initial empty leaf
+  root_ = level.front().node;
+  size_ = n;
+  height_ = levels;
+  key_bytes_ = key_bytes;
+  return Status::OK();
+}
+
+namespace {
+
+/// Shared cursor for the CheckStructure() walk.
+struct AuditState {
+  const BPlusTree::Leaf* prev_leaf = nullptr;
+  const std::string* last_key = nullptr;
+  const Rid* last_rid = nullptr;
+  size_t entries = 0;
+  size_t bytes = 0;
+  bool saw_leaf = false;
+  BPlusTree::StructureInfo info;
+};
+
+/// Depth-first audit. `lo`/`hi` are the separator bounds inherited from
+/// ancestors (null = unbounded); entries must be in [lo, hi).
+Status AuditNode(const BPlusTree::Node* node, size_t depth,
+                 const std::string* lo_key, const Rid* lo_rid,
+                 const std::string* hi_key, const Rid* hi_rid,
+                 AuditState* st) {
+  if (node->is_leaf) {
+    const auto* leaf = static_cast<const BPlusTree::Leaf*>(node);
+    if (!st->saw_leaf) {
+      st->info.depth = depth;
+      st->info.min_leaf_entries = leaf->keys.size();
+      st->info.max_leaf_entries = leaf->keys.size();
+      st->saw_leaf = true;
+    } else {
+      if (depth != st->info.depth) {
+        return Status::Internal("leaves at differing depths");
+      }
+      st->info.min_leaf_entries =
+          std::min(st->info.min_leaf_entries, leaf->keys.size());
+      st->info.max_leaf_entries =
+          std::max(st->info.max_leaf_entries, leaf->keys.size());
+    }
+    if (st->prev_leaf != nullptr && st->prev_leaf->next != leaf) {
+      return Status::Internal("leaf chain does not match tree order");
+    }
+    st->prev_leaf = leaf;
+    ++st->info.leaves;
+    if (leaf->keys.size() != leaf->rids.size()) {
+      return Status::Internal("leaf keys/rids length mismatch");
+    }
+    if (leaf->keys.size() > BPlusTree::kNodeCapacity) {
+      return Status::Internal("leaf over capacity");
+    }
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      const std::string& k = leaf->keys[i];
+      const Rid& r = leaf->rids[i];
+      if (st->last_key != nullptr &&
+          CompareEntry(*st->last_key, *st->last_rid, k, r) >= 0) {
+        return Status::Internal("entries not strictly increasing");
+      }
+      if (lo_key != nullptr && CompareEntry(k, r, *lo_key, *lo_rid) < 0) {
+        return Status::Internal("entry below ancestor separator");
+      }
+      if (hi_key != nullptr && CompareEntry(k, r, *hi_key, *hi_rid) >= 0) {
+        return Status::Internal("entry not below ancestor separator");
+      }
+      st->last_key = &k;
+      st->last_rid = &r;
+      ++st->entries;
+      st->bytes += k.size();
+    }
+    return Status::OK();
+  }
+  const auto* in = static_cast<const BPlusTree::Internal*>(node);
+  if (in->keys.empty() || in->seprids.size() != in->keys.size() ||
+      in->children.size() != in->keys.size() + 1) {
+    return Status::Internal("internal node shape invalid");
+  }
+  if (in->keys.size() > BPlusTree::kNodeCapacity) {
+    return Status::Internal("internal node over capacity");
+  }
+  for (size_t i = 0; i <= in->keys.size(); ++i) {
+    const std::string* clo_key = i == 0 ? lo_key : &in->keys[i - 1];
+    const Rid* clo_rid = i == 0 ? lo_rid : &in->seprids[i - 1];
+    const std::string* chi_key = i == in->keys.size() ? hi_key : &in->keys[i];
+    const Rid* chi_rid = i == in->keys.size() ? hi_rid : &in->seprids[i];
+    if (clo_key != nullptr && chi_key != nullptr &&
+        CompareEntry(*clo_key, *clo_rid, *chi_key, *chi_rid) >= 0) {
+      return Status::Internal("separators not strictly increasing");
+    }
+    OXML_RETURN_NOT_OK(
+        AuditNode(in->children[i], depth + 1, clo_key, clo_rid, chi_key,
+                  chi_rid, st));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BPlusTree::StructureInfo> BPlusTree::CheckStructure() const {
+  AuditState st;
+  OXML_RETURN_NOT_OK(AuditNode(root_, 1, nullptr, nullptr, nullptr, nullptr,
+                               &st));
+  if (st.prev_leaf != nullptr && st.prev_leaf->next != nullptr) {
+    return Status::Internal("leaf chain extends past last tree leaf");
+  }
+  if (st.entries != size_) {
+    return Status::Internal("size() does not match stored entries");
+  }
+  if (st.bytes != key_bytes_) {
+    return Status::Internal("key_bytes() does not match stored keys");
+  }
+  return st.info;
+}
+
 bool BPlusTree::Erase(std::string_view key, const Rid& rid) {
   Node* node = root_;
   while (!node->is_leaf) {

@@ -5,8 +5,10 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "src/common/result.h"
 #include "src/relational/page.h"
 
 namespace oxml {
@@ -30,6 +32,33 @@ class BPlusTree {
 
   /// Inserts (key, rid). Duplicates of the same (key, rid) pair are ignored.
   void Insert(std::string_view key, const Rid& rid);
+
+  /// One (key, rid) entry handed to BulkBuild.
+  using Entry = std::pair<std::string, Rid>;
+
+  /// Bottom-up bulk construction: packs `entries` into leaves at ~3/4 fill
+  /// (so post-load inserts have headroom before splitting) and stacks
+  /// internal levels over them, instead of repeated Insert descents.
+  /// Requires an empty tree and `entries` sorted by (key, rid) with no
+  /// exact duplicates; returns InvalidArgument/FailedPrecondition
+  /// otherwise, leaving the tree empty and usable. The entries vector is
+  /// consumed (keys are moved into the leaves).
+  Status BulkBuild(std::vector<Entry>&& entries);
+
+  /// Aggregate facts gathered by CheckStructure().
+  struct StructureInfo {
+    size_t leaves = 0;             ///< non-empty leaves visited
+    size_t min_leaf_entries = 0;   ///< smallest leaf occupancy
+    size_t max_leaf_entries = 0;   ///< largest leaf occupancy
+    size_t depth = 0;              ///< uniform leaf depth (1 = root is leaf)
+  };
+
+  /// Full structural audit: (key, rid) entries strictly increasing across
+  /// the whole tree, every entry within its parent separator bounds, all
+  /// leaves at the same depth, leaf chain consistent with the tree walk,
+  /// and size()/key_bytes() matching the actual contents. Used by tests
+  /// to validate both Insert-built and BulkBuild-built trees.
+  Result<StructureInfo> CheckStructure() const;
 
   /// Removes the exact (key, rid) entry. Returns true if it was present.
   bool Erase(std::string_view key, const Rid& rid);

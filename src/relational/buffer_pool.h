@@ -179,6 +179,17 @@ class BufferPool {
     return misses_.load(std::memory_order_relaxed);
   }
 
+  /// Credits `n` FetchPage calls that a batch operation avoided by holding
+  /// a pinned handle across rows (e.g. HeapTable::AppendBatch caching the
+  /// tail page). Pure accounting; lets stats distinguish "cheap because
+  /// cached" from "cheap because skipped".
+  void NoteSavedFetches(uint64_t n) {
+    saved_fetches_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t saved_fetch_count() const {
+    return saved_fetches_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class PageHandle;
 
@@ -226,6 +237,7 @@ class BufferPool {
   std::list<uint32_t> lru_;  // front = most recently used
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> saved_fetches_{0};
 
   WriteAheadLog* wal_ = nullptr;
   bool in_txn_ = false;

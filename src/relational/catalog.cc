@@ -1,5 +1,9 @@
 #include "src/relational/catalog.h"
 
+#include <algorithm>
+
+#include "src/relational/thread_pool.h"
+
 namespace oxml {
 
 Result<TableIndex*> TableInfo::CreateIndex(std::string index_name,
@@ -72,6 +76,62 @@ Result<Rid> TableInfo::InsertRow(const Row& row, ExecStats* stats) {
   }
   if (stats != nullptr) ++stats->rows_inserted;
   return rid;
+}
+
+Status TableInfo::BulkLoadRows(const std::vector<Row>& rows,
+                               ThreadPool* pool, ExecStats* stats) {
+  if (heap_->row_count() != 0) {
+    return Status::InvalidArgument("BulkLoadRows requires an empty table " +
+                                   name_);
+  }
+  for (const Row& row : rows) {
+    if (row.size() != schema_.size()) {
+      return Status::InvalidArgument(
+          "row width mismatch for table " + name_ + ": got " +
+          std::to_string(row.size()) + ", want " +
+          std::to_string(schema_.size()));
+    }
+  }
+
+  // Heap first: one tail-extension pass assigns every Rid.
+  std::vector<Rid> rids;
+  OXML_RETURN_NOT_OK(heap_->AppendBatch(rows, &rids));
+
+  // Then each index is built bottom-up from its sorted (key, rid) entries.
+  // Index builds are independent of each other, so fan them out when the
+  // load pool is available and there is more than one index.
+  auto build_index = [&](size_t i) -> Status {
+    TableIndex* idx = indexes_[i].get();
+    std::vector<BPlusTree::Entry> entries;
+    entries.reserve(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      entries.emplace_back(idx->KeyFor(rows[r]), rids[r]);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const BPlusTree::Entry& a, const BPlusTree::Entry& b) {
+                int c = a.first.compare(b.first);
+                if (c != 0) return c < 0;
+                return a.second < b.second;
+              });
+    if (idx->unique) {
+      for (size_t e = 1; e < entries.size(); ++e) {
+        if (entries[e].first == entries[e - 1].first) {
+          return Status::Aborted(
+              "unique constraint violated on index " + idx->name);
+        }
+      }
+    }
+    return idx->tree.BulkBuild(std::move(entries));
+  };
+  if (pool != nullptr && indexes_.size() > 1) {
+    OXML_RETURN_NOT_OK(pool->ParallelFor(indexes_.size(), build_index));
+  } else {
+    for (size_t i = 0; i < indexes_.size(); ++i) {
+      OXML_RETURN_NOT_OK(build_index(i));
+    }
+  }
+  if (stats != nullptr) stats->rows_inserted += rows.size();
+  return Status::OK();
 }
 
 Status TableInfo::DeleteRow(const Rid& rid, ExecStats* stats) {

@@ -97,6 +97,15 @@ struct ExecStats {
   StatCounter morsels = 0;
   StatCounter parallel_joins = 0;
 
+  // Parallel bulk load (see DatabaseOptions::enable_parallel_load):
+  // `rows_shredded` counts rows produced by the partition/shred phase,
+  // `runs_merged` counts the per-worker sorted runs fed to the k-way
+  // merge, and `load_threads_used` is the high-water worker count that
+  // shredded at least one partition during a load.
+  StatCounter rows_shredded = 0;
+  StatCounter runs_merged = 0;
+  StatCounter load_threads_used = 0;
+
   /// Fraction of statement compilations avoided by the plan cache.
   double PlanCacheHitRate() const {
     uint64_t total = plan_cache_hits + plan_cache_misses;
@@ -158,6 +167,18 @@ class TableInfo {
 
   /// Inserts a row, maintaining all indexes; enforces unique constraints.
   Result<Rid> InsertRow(const Row& row, ExecStats* stats);
+
+  /// Appends `rows` through the bulk path: one HeapTable::AppendBatch for
+  /// the heap, then each index is built bottom-up (sort the (key, rid)
+  /// entries, BPlusTree::BulkBuild) instead of one Insert per row — with
+  /// the per-index builds fanned out over `pool` when one is supplied.
+  /// Requires an empty table (bulk index construction needs empty trees);
+  /// callers loading into a non-empty table must fall back to InsertRow.
+  /// Enforces unique constraints (duplicate key => Aborted). On failure the
+  /// table may hold partial state; the caller's transaction rollback
+  /// restores the heap pages and rebuilds the indexes.
+  Status BulkLoadRows(const std::vector<Row>& rows, class ThreadPool* pool,
+                      ExecStats* stats);
 
   /// Deletes the row at `rid`, maintaining indexes.
   Status DeleteRow(const Rid& rid, ExecStats* stats);

@@ -115,6 +115,9 @@ Result<std::unique_ptr<Database>> Database::Open(
   if (options.enable_parallel_execution) {
     db->exec_pool_ = std::make_unique<ThreadPool>(options.num_threads);
   }
+  if (options.enable_parallel_load) {
+    db->load_pool_ = std::make_unique<ThreadPool>(options.num_load_threads);
+  }
   db->wal_ = std::move(wal);
   db->pool_->SetWal(db->wal_.get());
   if (options.open_existing && have_pages) {
@@ -564,6 +567,42 @@ Result<Rid> Database::Insert(const std::string& table, const Row& row) {
     return c;
   }
   return r;
+}
+
+Result<int64_t> Database::BulkLoadRows(const std::string& table,
+                                       const std::vector<Row>& rows) {
+  ExclusiveStatementGuard guard(&latch_);
+  TableInfo* t = GetTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  auto load = [&]() -> Status {
+    if (t->heap()->row_count() != 0) {
+      // Bulk index construction needs empty trees; keep correctness on
+      // non-empty tables by degrading to the per-row path.
+      for (const Row& row : rows) {
+        OXML_RETURN_NOT_OK(t->InsertRow(row, &stats_).status());
+      }
+      return Status::OK();
+    }
+    return t->BulkLoadRows(rows, load_pool_.get(), &stats_);
+  };
+  if (pool_->InTxn()) {
+    OXML_RETURN_NOT_OK(load());
+    return static_cast<int64_t>(rows.size());
+  }
+  // Auto-commit: the whole batch is one transaction, so the WAL receives
+  // every dirtied page image followed by a single commit record.
+  OXML_RETURN_NOT_OK(Begin());
+  Status st = load();
+  if (!st.ok()) {
+    (void)Rollback();
+    return st;
+  }
+  Status c = Commit();
+  if (!c.ok()) {
+    (void)Rollback();
+    return c;
+  }
+  return static_cast<int64_t>(rows.size());
 }
 
 void Database::InvalidatePlans() {

@@ -70,6 +70,24 @@ struct DatabaseOptions {
   /// Tests set 0 to force parallel plans on small fixtures.
   size_t parallel_scan_min_rows = 256;
 
+  // -------------------------------------------------------- parallel loading
+
+  /// Let OrderedXmlStore::LoadDocument shred documents in parallel: the
+  /// parsed tree is partitioned into disjoint subtrees, each partition is
+  /// shredded on a load-pool worker into per-worker sorted runs (order keys
+  /// assigned deterministically from a pre-pass), and the runs are k-way
+  /// merged and installed through the bulk path (HeapTable::AppendBatch +
+  /// BPlusTree::BulkBuild). Output is byte-identical to the serial path.
+  /// Off by default for the same reason as enable_parallel_execution.
+  bool enable_parallel_load = false;
+  /// Worker threads in the load pool (0 = hardware_concurrency). Only
+  /// consulted when enable_parallel_load is set.
+  size_t num_load_threads = 0;
+  /// Approximate size at which a worker seals its current sorted run and
+  /// starts a new one. Smaller values exercise the k-way merge harder;
+  /// mostly a testing knob.
+  size_t load_run_bytes = 1u << 20;
+
   // ------------------------------------------------------------- durability
 
   /// Write-ahead logging for file-backed databases (ignored when memory-
@@ -369,6 +387,14 @@ class Database {
   /// Direct row insertion (bypasses SQL, used by the bulk shredder).
   Result<Rid> Insert(const std::string& table, const Row& row);
 
+  /// Appends `rows` to `table` through the bulk path (tail-extended heap +
+  /// bottom-up index builds, see TableInfo::BulkLoadRows), auto-committed
+  /// unless a transaction is open. Falls back to per-row InsertRow when the
+  /// table is non-empty (bulk index construction needs empty trees).
+  /// Returns the number of rows loaded.
+  Result<int64_t> BulkLoadRows(const std::string& table,
+                               const std::vector<Row>& rows);
+
   // ---------------------------------------------------------------- SQL API
 
   /// Executes a SELECT and materializes the result. Served from the plan
@@ -409,6 +435,9 @@ class Database {
   /// The intra-query execution pool, or null when parallel execution is
   /// disabled (the planner then never emits parallel operators).
   ThreadPool* thread_pool() const { return exec_pool_.get(); }
+  /// The bulk-load pool, or null when parallel loading is disabled (the
+  /// stores then shred serially).
+  ThreadPool* load_pool() const { return load_pool_.get(); }
   /// The database-wide statement latch (tests use it to assert the
   /// reader/writer discipline; normal clients never touch it).
   StatementLatch* statement_latch() { return &latch_; }
@@ -489,6 +518,8 @@ class Database {
   mutable StatementLatch latch_;
   /// Intra-query workers, created at Open when enable_parallel_execution.
   std::unique_ptr<ThreadPool> exec_pool_;
+  /// Bulk-load workers, created at Open when enable_parallel_load.
+  std::unique_ptr<ThreadPool> load_pool_;
 
   // Plan cache: SQL text -> compiled entry, LRU-ordered (front = hottest).
   // `plan_cache_mu_` guards the map and the LRU list; per-entry instance

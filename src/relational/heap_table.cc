@@ -147,6 +147,43 @@ Result<Rid> HeapTable::Insert(const Row& row) {
   return Rid{page.page_id(), *slot};
 }
 
+Status HeapTable::AppendBatch(const std::vector<Row>& rows,
+                              std::vector<Rid>* rids) {
+  rids->clear();
+  if (rows.empty()) return Status::OK();
+  rids->reserve(rows.size());
+  // One tail fetch for the whole batch; per-row Insert would fetch it once
+  // per row. MakeCell may itself fetch/allocate overflow pages while the
+  // tail stays pinned, which is safe (pins only exempt frames from
+  // eviction).
+  OXML_ASSIGN_OR_RETURN(PageHandle page, pool_->FetchPage(last_page_));
+  for (const Row& row : rows) {
+    OXML_ASSIGN_OR_RETURN(std::string cell, MakeCell(row));
+    SlottedPage sp(page.data());
+    Result<uint16_t> slot = sp.Insert(cell);
+    if (!slot.ok()) {
+      if (!slot.status().IsOutOfRange()) return slot.status();
+      // Tail page is full: extend the chain and keep the fresh page as the
+      // cached tail.
+      OXML_ASSIGN_OR_RETURN(PageHandle fresh, pool_->NewPage());
+      SlottedPage::Initialize(fresh.data());
+      sp.set_next_page(fresh.page_id());
+      page.MarkDirty();
+      last_page_ = fresh.page_id();
+      ++page_chain_length_;
+      page = std::move(fresh);
+      slot = SlottedPage(page.data()).Insert(cell);
+      if (!slot.ok()) return slot.status();
+    }
+    page.MarkDirty();
+    ++row_count_;
+    data_bytes_ += LogicalSize(cell);
+    rids->push_back(Rid{page.page_id(), *slot});
+  }
+  pool_->NoteSavedFetches(rows.size() - 1);
+  return Status::OK();
+}
+
 Result<Row> HeapTable::Get(const Rid& rid) const {
   std::string cell;
   {

@@ -63,6 +63,14 @@ class HeapTable {
   }
 
   Result<Rid> Insert(const Row& row);
+
+  /// Appends every row in order to the tail of the page chain, filling one
+  /// Rid per row. Unlike repeated Insert — which re-fetches the tail page
+  /// from the buffer pool for every row — the pinned tail handle is cached
+  /// across the whole batch, and the avoided fetches are credited to
+  /// BufferPool::saved_fetch_count(). Used by the bulk-load path.
+  Status AppendBatch(const std::vector<Row>& rows, std::vector<Rid>* rids);
+
   Result<Row> Get(const Rid& rid) const;
   Status Delete(const Rid& rid);
 

@@ -231,6 +231,8 @@ std::string FuzzOp::ToString() const {
              Quote(text);
     case Kind::kCrashRecover:
       return "op crashrecover";
+    case Kind::kBulkReload:
+      return "op bulkreload";
   }
   return "op ?";
 }
@@ -408,6 +410,12 @@ FuzzCase GenerateCase(uint64_t seed, size_t num_ops) {
   // recovery and the no-steal buffer pool see the same op distribution the
   // memory-resident path does.
   c.durable = rng.Chance(0.25);
+  // A third of all cases load through the parallel bulk pipeline, with a
+  // worker count drawn wide enough to cover both the degenerate 1-thread
+  // fan-out and real contention.
+  if (rng.Chance(0.33)) {
+    c.load_threads = static_cast<size_t>(rng.Uniform(1, 4));
+  }
 
   XmlGeneratorOptions gopts;
   gopts.seed = c.doc.seed;
@@ -430,6 +438,11 @@ FuzzCase GenerateCase(uint64_t seed, size_t num_ops) {
     }
     if (c.durable && r < 0.50) {  // ~5% of a durable case's ops
       op.kind = FuzzOp::Kind::kCrashRecover;
+      c.ops.push_back(std::move(op));
+      continue;
+    }
+    if (r >= 0.50 && r < 0.53) {  // ~3%: reload through the parallel path
+      op.kind = FuzzOp::Kind::kBulkReload;
       c.ops.push_back(std::move(op));
       continue;
     }
@@ -657,6 +670,12 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
       return FuzzFailure{0, stores[e].name, msg};
     };
     stores[e].dbopts = c->toggles[e].ToDatabaseOptions();
+    if (c->load_threads > 0) {
+      stores[e].dbopts.enable_parallel_load = true;
+      stores[e].dbopts.num_load_threads = c->load_threads;
+      // Tiny runs force multi-run merges even on the fuzzer's small docs.
+      stores[e].dbopts.load_run_bytes = 1024;
+    }
     if (c->durable) {
       stores[e].dbopts.file_path = FuzzTempPath(stores[e].name);
       cleanup.paths.push_back(stores[e].dbopts.file_path);
@@ -798,6 +817,66 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
       continue;
     }
 
+    if (op.kind == FuzzOp::Kind::kBulkReload) {
+      // Reload the oracle's current document through the parallel
+      // bulk-load pipeline into a fresh database, verify the reload, and
+      // swap it in for the rest of the op stream. This exercises the
+      // partition/shred/merge path against documents shaped by arbitrary
+      // prior mutations, not just generator output. The tree is cloned
+      // rather than serialized+reparsed: mutations can leave adjacent
+      // text-node siblings, which a reparse would merge, silently
+      // desynchronizing the store's tree shape from the oracle's.
+      std::string oracle_doc = oracle.Serialize();
+      XmlDocument snapshot;
+      snapshot.root()->AppendChild(oracle.root_element()->Clone());
+      for (StoreInstance& s : stores) {
+        auto fail = [&](const std::string& msg) {
+          return FuzzFailure{i, s.name, op.ToString() + ": " + msg};
+        };
+        DatabaseOptions ropts = s.dbopts;
+        ropts.enable_parallel_load = true;
+        if (ropts.num_load_threads == 0) ropts.num_load_threads = 2;
+        ropts.load_run_bytes = 1024;
+        ropts.open_existing = false;
+        if (c->durable) {
+          ropts.file_path = FuzzTempPath(s.name);
+          cleanup.paths.push_back(ropts.file_path);
+        }
+        auto db = Database::Open(ropts);
+        if (!db.ok()) return fail("open: " + db.status().ToString());
+        StoreOptions sopts;
+        sopts.gap = c->doc.gap;
+        auto store =
+            OrderedXmlStore::Create(db->get(), s.encoding, sopts);
+        if (!store.ok()) {
+          return fail("create: " + store.status().ToString());
+        }
+        Status load = (*store)->LoadDocument(snapshot);
+        if (!load.ok()) return fail("parallel load: " + load.ToString());
+        Status valid = (*store)->Validate();
+        if (!valid.ok()) {
+          return fail("invariant violation after parallel load: " +
+                      valid.ToString());
+        }
+        auto rec = (*store)->ReconstructDocument();
+        if (!rec.ok()) {
+          return fail("reconstruction after parallel load: " +
+                      rec.status().ToString());
+        }
+        std::string got = WriteXml(**rec);
+        if (got != oracle_doc) {
+          return fail("parallel-loaded document diverged from oracle: " +
+                      DiffContext(oracle_doc, got));
+        }
+        // The reload becomes the live store; drop the old database after
+        // the new one is fully verified.
+        s.store = std::move(store).value();
+        s.db = std::move(db).value();
+        s.dbopts = ropts;
+      }
+      continue;
+    }
+
     // Mutation: check applicability and apply on the oracle first (path
     // resolution is against the pre-op tree on every side).
     bool applied = false;
@@ -841,6 +920,7 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
       }
       case FuzzOp::Kind::kQuery:
       case FuzzOp::Kind::kCrashRecover:
+      case FuzzOp::Kind::kBulkReload:
         break;
     }
     if (!applied) {
@@ -886,6 +966,7 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
           break;
         case FuzzOp::Kind::kQuery:
         case FuzzOp::Kind::kCrashRecover:
+        case FuzzOp::Kind::kBulkReload:
           break;
       }
       if (!applied_status.ok()) {
@@ -958,6 +1039,9 @@ std::string SerializeCase(const FuzzCase& c) {
   if (c.query_threads > 1) {
     out += "threads " + std::to_string(c.query_threads) + "\n";
   }
+  if (c.load_threads > 0) {
+    out += "load_threads " + std::to_string(c.load_threads) + "\n";
+  }
   for (const FuzzOp& op : c.ops) out += op.ToString() + "\n";
   out += "end\n";
   return out;
@@ -1024,6 +1108,9 @@ Result<FuzzOp> ParseOp(const std::vector<std::string>& tok) {
   } else if (kind == "crashrecover") {
     OXML_RETURN_NOT_OK(need(2));
     op.kind = FuzzOp::Kind::kCrashRecover;
+  } else if (kind == "bulkreload") {
+    OXML_RETURN_NOT_OK(need(2));
+    op.kind = FuzzOp::Kind::kBulkReload;
   } else {
     return Status::ParseError("unknown op kind: " + kind);
   }
@@ -1097,6 +1184,11 @@ Result<FuzzCase> ParseCase(std::string_view text) {
       c.query_threads =
           static_cast<size_t>(std::stoull(tok[1]));
       if (c.query_threads == 0) c.query_threads = 1;
+    } else if (tok[0] == "load_threads") {
+      if (tok.size() != 2) {
+        return Status::ParseError("bad load_threads line");
+      }
+      c.load_threads = static_cast<size_t>(std::stoull(tok[1]));
     } else if (tok[0] == "op") {
       if (tok.size() < 2) return Status::ParseError("bad op line");
       OXML_ASSIGN_OR_RETURN(FuzzOp op, ParseOp(tok));

@@ -51,6 +51,12 @@ struct FuzzOp {
     kCrashRecover,  // durable cases only: kill every store's database
                     // mid-run, reopen it, replay the WAL and re-verify the
                     // full document against the oracle
+    kBulkReload,  // serialize the oracle's current document and reload it
+                  // into a fresh database through the parallel bulk-load
+                  // pipeline (partition → threaded shred → k-way merge →
+                  // bulk-built indexes); the reloaded store must pass
+                  // Validate() and reconstruct byte-equal to the oracle,
+                  // then replaces the running store for subsequent ops
   };
 
   Kind kind = Kind::kQuery;
@@ -83,6 +89,11 @@ struct FuzzCase {
   /// checks that concurrent readers under the database's shared statement
   /// latch still match the DOM oracle exactly.
   size_t query_threads = 1;
+  /// When > 0, every database runs with enable_parallel_load and this many
+  /// load workers, so the initial document load and every kBulkReload go
+  /// through the parallel shred/merge/bulk-build pipeline instead of the
+  /// serial per-row path. Serialized as the `load_threads N` directive.
+  size_t load_threads = 0;
   std::vector<FuzzOp> ops;
   size_t skipped_ops = 0;  // filled by RunCase: ops inapplicable on replay
 };

@@ -5,7 +5,7 @@
 //
 // Usage:
 //   oxml_fuzz [--seed_start=N] [--seed_count=N] [--ops=N] [--repro_dir=DIR]
-//             [--durable=0|1] [--threads=N]
+//             [--durable=0|1] [--threads=N] [--load_threads=N]
 //
 // --durable forces every case on or off the file-backed/WAL path (the
 // default lets the generator pick ~25% durable cases).
@@ -13,6 +13,8 @@
 // client threads (concurrent readers under the shared statement latch)
 // instead of serially; divergence from the DOM oracle is then a
 // concurrency bug. Mutations always stay serial.
+// --load_threads forces every case through the parallel bulk-load pipeline
+// with N shred workers (the generator otherwise picks ~33% of cases).
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   long long ops = 100;
   long long durable = -1;  // -1 = generator's choice
   long long threads = 1;
+  long long load_threads = -1;  // -1 = generator's choice
   std::string repro_dir = ".";
   for (int i = 1; i < argc; ++i) {
     long long* unused = nullptr;
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
         ParseFlag(argv[i], "--ops", &ops) ||
         ParseFlag(argv[i], "--durable", &durable) ||
         ParseFlag(argv[i], "--threads", &threads) ||
+        ParseFlag(argv[i], "--load_threads", &load_threads) ||
         ParseFlag(argv[i], "--repro_dir", &repro_dir)) {
       continue;
     }
@@ -70,6 +74,7 @@ int main(int argc, char** argv) {
                                  static_cast<size_t>(ops));
     if (durable >= 0) c.durable = durable != 0;
     if (threads > 1) c.query_threads = static_cast<size_t>(threads);
+    if (load_threads >= 0) c.load_threads = static_cast<size_t>(load_threads);
     auto failure = oxml::fuzz::RunCase(&c);
     total_ops += c.ops.size();
     total_skipped += c.skipped_ops;
