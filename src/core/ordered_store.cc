@@ -224,10 +224,6 @@ Status OrderedXmlStore::ParallelLoadDocument(const XmlDocument& doc) {
             return EmitUnitRows(u, out);
           },
           LoadKey(), pool, db_->options().load_run_bytes, &runs, &threads));
-  ExecStats* stats = db_->stats();
-  stats->rows_shredded += rows.size();
-  stats->runs_merged += runs;
-  stats->load_threads_used.UpdateMax(threads);
 
   // Install phase: one transaction through the bulk path (tail-extended
   // heap + bottom-up index builds); the WAL gets every dirtied page image
@@ -236,6 +232,14 @@ Status OrderedXmlStore::ParallelLoadDocument(const XmlDocument& doc) {
   OXML_RETURN_NOT_OK(txn.begin_status());
   OXML_RETURN_NOT_OK(db_->BulkLoadRows(table_name(), rows).status());
   OXML_RETURN_NOT_OK(txn.Commit());
+
+  // Load counters publish only after the install transaction commits: a
+  // failed or rolled-back install loads nothing, and stats claiming
+  // otherwise would misreport every fault-injected run.
+  ExecStats* stats = db_->stats();
+  stats->rows_shredded += rows.size();
+  stats->runs_merged += runs;
+  stats->load_threads_used.UpdateMax(threads);
   OnParallelLoadComplete(rows.size());
   return Status::OK();
 }

@@ -114,15 +114,48 @@ Status FileBackend::Sync() {
   return Status::OK();
 }
 
+// --------------------------------------------------------------- snapshots
+
+namespace {
+/// The snapshot the current thread reads under (null = current state).
+/// Plain thread_local, manipulated only by the scopes below.
+thread_local const ReadSnapshot* tl_read_snapshot = nullptr;
+}  // namespace
+
+const ReadSnapshot* CurrentReadSnapshot() { return tl_read_snapshot; }
+
+ScopedReadSnapshot::ScopedReadSnapshot(uint64_t lsn)
+    : prev_(tl_read_snapshot), active_(true) {
+  snap_.lsn = lsn;
+  tl_read_snapshot = &snap_;
+}
+
+ScopedReadSnapshot::~ScopedReadSnapshot() {
+  if (active_) tl_read_snapshot = prev_;
+}
+
+SnapshotTaskScope::SnapshotTaskScope(const ReadSnapshot* snap)
+    : prev_(tl_read_snapshot) {
+  tl_read_snapshot = snap;
+}
+
+SnapshotTaskScope::~SnapshotTaskScope() { tl_read_snapshot = prev_; }
+
 // ------------------------------------------------------------- page handle
 
 PageHandle::PageHandle(BufferPool* pool, uint32_t page_id, char* data)
     : pool_(pool), page_id_(page_id), data_(data) {}
 
+PageHandle::PageHandle(std::shared_ptr<char[]> image, uint32_t page_id)
+    : page_id_(page_id), data_(image.get()), owned_(std::move(image)) {}
+
 PageHandle::~PageHandle() { Release(); }
 
 PageHandle::PageHandle(PageHandle&& other) noexcept
-    : pool_(other.pool_), page_id_(other.page_id_), data_(other.data_) {
+    : pool_(other.pool_),
+      page_id_(other.page_id_),
+      data_(other.data_),
+      owned_(std::move(other.owned_)) {
   other.pool_ = nullptr;
   other.data_ = nullptr;
 }
@@ -133,6 +166,7 @@ PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
     pool_ = other.pool_;
     page_id_ = other.page_id_;
     data_ = other.data_;
+    owned_ = std::move(other.owned_);
     other.pool_ = nullptr;
     other.data_ = nullptr;
   }
@@ -222,10 +256,58 @@ Status BufferPool::EnsureCapacity() {
 void BufferPool::CaptureUndo(uint32_t page_id, const Frame& frame) {
   if (!in_txn_ || undo_.count(page_id) > 0) return;
   TxnUndo u;
-  u.before = std::make_unique<char[]>(kPageSize);
+  u.before = std::shared_ptr<char[]>(new char[kPageSize]);
   std::memcpy(u.before.get(), frame.data.get(), kPageSize);
   u.was_dirty = frame.dirty;
+  if (mvcc_enabled_) {
+    // Publish the pre-image as a committed page version, sharing the undo
+    // buffer. Its base LSN is the newest committed LSN — the state this
+    // transaction started from, which is also <= the snapshot LSN of every
+    // reader statement that can overlap it (commits are serialized, so the
+    // counter cannot advance while this transaction is open).
+    std::lock_guard<std::mutex> vlock(versions_mu_);
+    auto& chain = versions_[page_id];
+    chain.push_back(
+        {u.before, last_commit_lsn_.load(std::memory_order_relaxed)});
+    versions_published_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t len = chain.size();
+    uint64_t prev = version_chain_max_.load(std::memory_order_relaxed);
+    while (prev < len && !version_chain_max_.compare_exchange_weak(
+                             prev, len, std::memory_order_relaxed)) {
+    }
+  }
   undo_.emplace(page_id, std::move(u));
+}
+
+Result<PageHandle> BufferPool::ServeVersion(uint32_t page_id,
+                                            uint64_t snap_lsn) {
+  std::shared_ptr<char[]> image;
+  {
+    std::lock_guard<std::mutex> vlock(versions_mu_);
+    auto it = versions_.find(page_id);
+    if (it != versions_.end()) {
+      // Newest version not newer than the snapshot. Chains are in
+      // publication (= LSN) order, so scan from the back.
+      for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+        if (rit->base_lsn <= snap_lsn) {
+          image = rit->image;
+          break;
+        }
+      }
+    }
+  }
+  if (image == nullptr) {
+    // Unreachable for pages the committed state references: every txn-dirty
+    // frame with committed history has a published pre-image whose base LSN
+    // is the snapshot every overlapping reader holds. Only a page born
+    // inside the open transaction lacks one, and committed structures never
+    // point at it — surfacing an error beats serving uncommitted bytes.
+    return Status::Internal("page " + std::to_string(page_id) +
+                            " has no version visible at snapshot LSN " +
+                            std::to_string(snap_lsn));
+  }
+  snapshot_reads_.fetch_add(1, std::memory_order_relaxed);
+  return PageHandle(std::move(image), page_id);
 }
 
 Result<PageHandle> BufferPool::NewPage() {
@@ -250,6 +332,7 @@ Result<PageHandle> BufferPool::NewPage() {
 }
 
 Result<PageHandle> BufferPool::FetchPage(uint32_t page_id) {
+  const ReadSnapshot* snap = mvcc_enabled_ ? CurrentReadSnapshot() : nullptr;
   {
     // Fast path: a resident page is pinned under the shared latch, so any
     // number of readers fault-free pages in parallel. Frame addresses are
@@ -257,12 +340,19 @@ Result<PageHandle> BufferPool::FetchPage(uint32_t page_id) {
     // unpinned frames under the exclusive latch, so the returned data
     // pointer stays valid for the life of the pin.
     //
-    // Disabled while a transaction is open: undo capture mutates the
-    // unsynchronized undo_ map, and the txn owner's own parallel-scan
+    // Disabled for the owner of an open transaction: undo capture mutates
+    // the unsynchronized undo_ map, and the txn owner's own parallel-scan
     // workers (which never take the statement latch) reach here
     // concurrently, so every transactional fetch must serialize through
     // the exclusive path below. in_txn_ only flips under the exclusive
     // table latch, making this shared-latched read race-free.
+    //
+    // Snapshot readers (tl snapshot set; only foreign threads carry one
+    // while a transaction is open) stay on the shared path: a resident
+    // frame the transaction has NOT dirtied still holds committed bytes —
+    // the statement latch keeps writer statements out while reader
+    // statements run, so txn_dirty cannot flip underneath us — and a
+    // txn-dirty frame is served from the published version chain instead.
     std::shared_lock<std::shared_mutex> lock(table_mu_);
     if (!in_txn_) {
       auto it = frames_.find(page_id);
@@ -273,15 +363,31 @@ Result<PageHandle> BufferPool::FetchPage(uint32_t page_id) {
         LruRemove(&f);
         return PageHandle(this, page_id, f.data.get());
       }
+    } else if (snap != nullptr) {
+      auto it = frames_.find(page_id);
+      if (it != frames_.end()) {
+        Frame& f = it->second;
+        if (f.txn_dirty) return ServeVersion(page_id, snap->lsn);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        f.pin_count.fetch_add(1, std::memory_order_relaxed);
+        LruRemove(&f);
+        return PageHandle(this, page_id, f.data.get());
+      }
+      // Non-resident: no-steal keeps txn-dirty frames resident, so the
+      // backend copy is committed state. Fault it in below — without
+      // capturing undo, which belongs to the transaction owner alone.
     }
   }
   std::unique_lock<std::shared_mutex> lock(table_mu_);
   // Another thread may have faulted the page in while we upgraded.
   auto it = frames_.find(page_id);
   if (it != frames_.end()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
     Frame& f = it->second;
-    CaptureUndo(page_id, f);
+    if (snap != nullptr && in_txn_ && f.txn_dirty) {
+      return ServeVersion(page_id, snap->lsn);
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (snap == nullptr) CaptureUndo(page_id, f);
     f.pin_count.fetch_add(1, std::memory_order_relaxed);
     LruRemove(&f);
     return PageHandle(this, page_id, f.data.get());
@@ -294,7 +400,7 @@ Result<PageHandle> BufferPool::FetchPage(uint32_t page_id) {
   frame.data = std::move(data);
   frame.page_id = page_id;
   frame.pin_count.store(1, std::memory_order_relaxed);
-  CaptureUndo(page_id, frame);
+  if (snap == nullptr) CaptureUndo(page_id, frame);
   return PageHandle(this, page_id, frame.data.get());
 }
 
@@ -350,11 +456,18 @@ Status BufferPool::CommitTxn() {
     return Status::InvalidArgument("no transaction is open");
   }
   if (txn_dirty_count_ == 0) {
-    // Read-only transaction: nothing to log, nothing to make durable.
+    // Read-only transaction: nothing to log, nothing to make durable, and
+    // the commit LSN does not advance (the committed state is unchanged).
     in_txn_ = false;
     undo_.clear();
+    RetireVersions();
     return Status::OK();
   }
+  // The LSN this commit installs. Commits are serialized by the statement
+  // latch, so a simple increment of the newest committed LSN is monotone;
+  // it is only published after the commit record succeeds, so a failed
+  // commit leaves the snapshot clock untouched.
+  uint64_t commit_lsn = last_commit_lsn_.load(std::memory_order_relaxed) + 1;
   if (wal_ != nullptr) {
     // Log images in page order so replay and crash tests are deterministic.
     std::vector<uint32_t> ids;
@@ -369,15 +482,26 @@ Status BufferPool::CommitTxn() {
     // The commit record makes the transaction real. On failure the txn is
     // left open so the caller can roll back — recovery will ignore the
     // orphaned images above.
-    OXML_RETURN_NOT_OK(wal_->Commit());
+    OXML_RETURN_NOT_OK(wal_->Commit(commit_lsn));
   }
   for (auto& [id, frame] : frames_) {
     frame.txn_dirty = false;
   }
+  last_commit_lsn_.store(commit_lsn, std::memory_order_release);
   in_txn_ = false;
   txn_dirty_count_ = 0;
   undo_.clear();
+  RetireVersions();
   return Status::OK();
+}
+
+void BufferPool::RetireVersions() {
+  // Drop the transaction's published versions. Safe without waiting for
+  // readers: commit/rollback run under the exclusive statement latch, so no
+  // reader statement is in flight, and any version-backed handle that
+  // somehow outlives its statement keeps its buffer alive via shared_ptr.
+  std::lock_guard<std::mutex> vlock(versions_mu_);
+  versions_.clear();
 }
 
 Status BufferPool::RollbackTxn() {
@@ -410,6 +534,7 @@ Status BufferPool::RollbackTxn() {
   in_txn_ = false;
   txn_dirty_count_ = 0;
   undo_.clear();
+  RetireVersions();
   return Status::OK();
 }
 

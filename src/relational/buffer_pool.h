@@ -72,12 +72,69 @@ class FileBackend : public StorageBackend {
 
 class BufferPool;
 
+/// A reader's MVCC snapshot: queries executed under it observe the state as
+/// of commit LSN `lsn` — the newest committed version of every page, never
+/// bytes dirtied by a still-open transaction. Established per statement by
+/// the Database layer and consulted by BufferPool::FetchPage through a
+/// thread-local (see CurrentReadSnapshot), so deep call chains — heap
+/// iterators, B+tree probes, parallel-scan workers — inherit it without
+/// plumbing a parameter through every signature.
+struct ReadSnapshot {
+  uint64_t lsn = 0;
+};
+
+/// The snapshot the calling thread reads under, or nullptr when it reads
+/// current state (no open transaction, or the thread IS the transaction
+/// owner and must see its own uncommitted writes).
+const ReadSnapshot* CurrentReadSnapshot();
+
+/// Statement-scoped snapshot activation (reader side). Restores the
+/// previous thread-local on destruction so nested statements compose.
+class ScopedReadSnapshot {
+ public:
+  /// Inactive scope: leaves the thread-local untouched.
+  ScopedReadSnapshot() = default;
+  /// Activates a snapshot at `lsn` for this thread until destruction.
+  explicit ScopedReadSnapshot(uint64_t lsn);
+  ~ScopedReadSnapshot();
+
+  ScopedReadSnapshot(const ScopedReadSnapshot&) = delete;
+  ScopedReadSnapshot& operator=(const ScopedReadSnapshot&) = delete;
+
+ private:
+  ReadSnapshot snap_;
+  const ReadSnapshot* prev_ = nullptr;
+  bool active_ = false;
+};
+
+/// Propagates a statement's snapshot (possibly null) onto a worker thread
+/// for the duration of one parallel task. ThreadPool workers are shared
+/// across statements, so each task re-installs the coordinating statement's
+/// snapshot and restores the worker's previous value on exit.
+class SnapshotTaskScope {
+ public:
+  explicit SnapshotTaskScope(const ReadSnapshot* snap);
+  ~SnapshotTaskScope();
+
+  SnapshotTaskScope(const SnapshotTaskScope&) = delete;
+  SnapshotTaskScope& operator=(const SnapshotTaskScope&) = delete;
+
+ private:
+  const ReadSnapshot* prev_ = nullptr;
+};
+
 /// RAII pin on a buffered page. While a PageHandle is alive the frame will
 /// not be evicted. Call MarkDirty() after mutating data().
+///
+/// A handle may instead be backed by an immutable published page *version*
+/// (snapshot reads): it then owns a share of the version's buffer rather
+/// than a pin, and MarkDirty is a no-op — version images are never written.
 class PageHandle {
  public:
   PageHandle() = default;
   PageHandle(BufferPool* pool, uint32_t page_id, char* data);
+  /// Version-backed handle: keeps `image` alive for the handle's lifetime.
+  PageHandle(std::shared_ptr<char[]> image, uint32_t page_id);
   ~PageHandle();
 
   PageHandle(PageHandle&& other) noexcept;
@@ -85,7 +142,7 @@ class PageHandle {
   PageHandle(const PageHandle&) = delete;
   PageHandle& operator=(const PageHandle&) = delete;
 
-  bool valid() const { return pool_ != nullptr; }
+  bool valid() const { return data_ != nullptr; }
   uint32_t page_id() const { return page_id_; }
   char* data() const { return data_; }
   void MarkDirty();
@@ -95,6 +152,7 @@ class PageHandle {
   BufferPool* pool_ = nullptr;
   uint32_t page_id_ = kInvalidPageId;
   char* data_ = nullptr;
+  std::shared_ptr<char[]> owned_;  // set for version-backed handles
 };
 
 /// A pin-counted LRU buffer pool over a StorageBackend, with single-level
@@ -119,12 +177,27 @@ class PageHandle {
 /// reader–writer latch whose shared mode covers the hit fast path (lookup
 /// plus an atomic pin-count bump); misses, NewPage, eviction, FlushAll and
 /// the transaction entry points take it exclusively. While a transaction
-/// is open every fetch takes the exclusive path — undo capture mutates the
-/// unsynchronized undo map, and the txn owner's parallel-scan workers call
-/// FetchPage concurrently without holding the statement latch. LRU
-/// bookkeeping lives under its own small mutex and is skipped entirely for
-/// unbounded pools (capacity 0). Transactions and every other mutation are
-/// additionally serialized by the Database-level statement latch.
+/// is open the txn owner's fetches take the exclusive path — undo capture
+/// mutates the unsynchronized undo map, and the owner's parallel-scan
+/// workers call FetchPage concurrently without holding the statement
+/// latch. LRU bookkeeping lives under its own small mutex and is skipped
+/// entirely for unbounded pools (capacity 0). Transactions and every other
+/// mutation are additionally serialized by the Database-level statement
+/// latch.
+///
+/// MVCC snapshot reads (INTERNALS.md §11): every pre-image the undo log
+/// captures is simultaneously *published* as an immutable page version
+/// stamped with the commit LSN it belongs to (the newest committed LSN at
+/// capture time — i.e. the state the open transaction started from). A
+/// thread carrying a ReadSnapshot (set by the Database layer for reader
+/// statements that overlap a foreign open transaction) is served, for
+/// txn-dirty frames, the newest published version with base LSN <= its
+/// snapshot LSN instead of the frame's uncommitted bytes; clean resident
+/// frames and backend faults already hold committed state and are served
+/// directly. Version buffers are shared with the undo log (one copy per
+/// page per transaction) and retired wholesale when the transaction
+/// commits or rolls back — outstanding version-backed handles keep their
+/// buffer alive independently via shared_ptr.
 class BufferPool {
  public:
   /// `capacity` is the number of resident frames; 0 means unbounded
@@ -170,6 +243,45 @@ class BufferPool {
   /// (used to simulate a crash in tests).
   void set_discard_on_destroy(bool v) { discard_on_destroy_ = v; }
 
+  // --------------------------------------------------------- MVCC snapshots
+
+  /// Gates version publication and snapshot-serving FetchPage. On by
+  /// default; Database::Open turns it off when DatabaseOptions::enable_mvcc
+  /// is false (readers then rely on the exclusive statement latch alone).
+  void set_mvcc_enabled(bool v) { mvcc_enabled_ = v; }
+  bool mvcc_enabled() const { return mvcc_enabled_; }
+
+  /// Reseeds the commit-LSN counter from WAL recovery, so LSNs assigned
+  /// after a reopen stay monotone across the crash.
+  void SeedCommitLsn(uint64_t lsn) {
+    last_commit_lsn_.store(lsn, std::memory_order_release);
+  }
+  /// The LSN of the newest committed transaction — the snapshot a reader
+  /// statement starting now should run under.
+  uint64_t last_commit_lsn() const {
+    return last_commit_lsn_.load(std::memory_order_acquire);
+  }
+
+  uint64_t snapshot_read_count() const {
+    return snapshot_reads_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative page versions published (one per page per transaction).
+  uint64_t versions_published_count() const {
+    return versions_published_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of any single page's version-chain length. With one
+  /// transaction open at a time this is 1 whenever MVCC is exercised.
+  uint64_t version_chain_max() const {
+    return version_chain_max_.load(std::memory_order_relaxed);
+  }
+  /// Versions currently retained for the open transaction (0 when idle).
+  uint64_t versions_retained() const {
+    std::lock_guard<std::mutex> lock(versions_mu_);
+    uint64_t n = 0;
+    for (const auto& [id, chain] : versions_) n += chain.size();
+    return n;
+  }
+
   uint32_t page_count() const {
     std::shared_lock<std::shared_mutex> lock(table_mu_);
     return backend_->page_count();
@@ -204,14 +316,30 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  /// Rollback state for one page touched inside the open transaction.
+  /// Rollback state for one page touched inside the open transaction. The
+  /// pre-image buffer is shared with the published version chain (MVCC), so
+  /// capture costs one copy regardless of how many readers snapshot it.
   struct TxnUndo {
-    std::unique_ptr<char[]> before;  // null for pages born in this txn
+    std::shared_ptr<char[]> before;  // null for pages born in this txn
     bool was_dirty = false;
     bool is_new = false;
   };
 
+  /// One published committed image of a page. `base_lsn` is the commit LSN
+  /// whose state the image belongs to; a reader with snapshot LSN S is
+  /// served the newest version with base_lsn <= S.
+  struct PageVersion {
+    std::shared_ptr<char[]> image;
+    uint64_t base_lsn = 0;
+  };
+
   void Unpin(uint32_t page_id, bool dirty);
+  /// Serves `page_id` from the published version chains for a reader whose
+  /// snapshot is `snap_lsn`. Caller holds `table_mu_` (either mode).
+  Result<PageHandle> ServeVersion(uint32_t page_id, uint64_t snap_lsn);
+  /// Drops all published versions (transaction end). Caller holds
+  /// `table_mu_` exclusively.
+  void RetireVersions();
   /// Evicts one unpinned, non-txn-dirty frame if at capacity. Grows past
   /// capacity when only txn-dirty frames remain; errors if all are pinned.
   /// Caller must hold `table_mu_` exclusively.
@@ -244,6 +372,17 @@ class BufferPool {
   size_t txn_dirty_count_ = 0;
   std::unordered_map<uint32_t, TxnUndo> undo_;
   bool discard_on_destroy_ = false;
+
+  // MVCC state. `versions_` is touched by snapshot readers under the shared
+  // table latch, so it has its own mutex (always acquired after table_mu_,
+  // never the other way around).
+  bool mvcc_enabled_ = true;
+  mutable std::mutex versions_mu_;
+  std::unordered_map<uint32_t, std::vector<PageVersion>> versions_;
+  std::atomic<uint64_t> last_commit_lsn_{0};
+  std::atomic<uint64_t> snapshot_reads_{0};
+  std::atomic<uint64_t> versions_published_{0};
+  std::atomic<uint64_t> version_chain_max_{0};
 };
 
 }  // namespace oxml

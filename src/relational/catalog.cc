@@ -72,7 +72,7 @@ Result<Rid> TableInfo::InsertRow(const Row& row, ExecStats* stats) {
   }
   OXML_ASSIGN_OR_RETURN(Rid rid, heap_->Insert(row));
   for (const auto& idx : indexes_) {
-    idx->tree.Insert(idx->KeyFor(row), rid);
+    idx->Insert(idx->KeyFor(row), rid);
   }
   if (stats != nullptr) ++stats->rows_inserted;
   return rid;
@@ -121,7 +121,7 @@ Status TableInfo::BulkLoadRows(const std::vector<Row>& rows,
         }
       }
     }
-    return idx->tree.BulkBuild(std::move(entries));
+    return idx->BulkBuild(std::move(entries));
   };
   if (pool != nullptr && indexes_.size() > 1) {
     OXML_RETURN_NOT_OK(pool->ParallelFor(indexes_.size(), build_index));
@@ -137,7 +137,7 @@ Status TableInfo::BulkLoadRows(const std::vector<Row>& rows,
 Status TableInfo::DeleteRow(const Rid& rid, ExecStats* stats) {
   OXML_ASSIGN_OR_RETURN(Row row, heap_->Get(rid));
   for (const auto& idx : indexes_) {
-    idx->tree.Erase(idx->KeyFor(row), rid);
+    idx->Erase(idx->KeyFor(row), rid);
   }
   OXML_RETURN_NOT_OK(heap_->Delete(rid));
   if (stats != nullptr) ++stats->rows_deleted;
@@ -167,8 +167,8 @@ Result<Rid> TableInfo::UpdateRow(const Rid& rid, const Row& new_row,
     std::string old_key = idx->KeyFor(old_row);
     std::string new_key = idx->KeyFor(new_row);
     if (old_key == new_key && new_rid == rid) continue;
-    idx->tree.Erase(old_key, rid);
-    idx->tree.Insert(new_key, new_rid);
+    idx->Erase(old_key, rid);
+    idx->Insert(new_key, new_rid);
   }
   if (stats != nullptr) ++stats->rows_updated;
   return new_rid;

@@ -4,7 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
@@ -106,6 +109,16 @@ struct ExecStats {
   StatCounter runs_merged = 0;
   StatCounter load_threads_used = 0;
 
+  // MVCC snapshot reads (see DatabaseOptions::enable_mvcc):
+  // `snapshot_reads` counts page fetches served from a published version
+  // instead of the live frame, `versions_retained` is the cumulative count
+  // of page versions published by copy-on-write capture, and
+  // `version_chain_max` is the high-water length of any single page's
+  // version chain (1 under the current one-writer design).
+  StatCounter snapshot_reads = 0;
+  StatCounter versions_retained = 0;
+  StatCounter version_chain_max = 0;
+
   /// Fraction of statement compilations avoided by the plan cache.
   double PlanCacheHitRate() const {
     uint64_t total = plan_cache_hits + plan_cache_misses;
@@ -117,12 +130,101 @@ struct ExecStats {
   void Reset() { *this = ExecStats(); }
 };
 
+/// What an open transaction changed in one memory-resident B+tree, kept so
+/// snapshot readers can reconstruct the committed view (the heap has page
+/// versions for this; the trees mutate in place and need a logical delta).
+/// The committed view of the index is (tree \ inserted) ∪ erased — both
+/// sets are ordered by (key, rid), the tree's own total order.
+struct IndexTxnDelta {
+  using Entry = std::pair<std::string, Rid>;
+  std::set<Entry> inserted;  ///< added by the open txn: hidden from readers
+  std::set<Entry> erased;    ///< removed by the open txn: re-surfaced
+  /// The tree was bulk-built inside the open transaction (empty before it):
+  /// the committed view is empty regardless of tree contents.
+  bool whole_tree_new = false;
+};
+
+/// An ordered cursor over one index that readers use instead of a raw
+/// BPlusTree::Iterator. In current-state mode it is a passthrough; in
+/// snapshot mode (an open transaction's delta + a thread-local
+/// ReadSnapshot) it merges the tree's entries — minus the transaction's
+/// inserts — with the transaction's erased entries, yielding the committed
+/// view in exact (key, rid) order.
+class IndexCursor {
+ public:
+  IndexCursor() = default;
+  /// Current-state passthrough.
+  explicit IndexCursor(BPlusTree::Iterator it) : it_(it) {}
+  /// Snapshot merge view. `extra` iterates the delta's erased entries from
+  /// the cursor's start position.
+  IndexCursor(BPlusTree::Iterator it, const IndexTxnDelta* delta,
+              std::set<IndexTxnDelta::Entry>::const_iterator extra,
+              std::set<IndexTxnDelta::Entry>::const_iterator extra_end)
+      : it_(it), delta_(delta), extra_(extra), extra_end_(extra_end) {
+    SkipHidden();
+  }
+
+  bool valid() const { return TreeSideValid() || extra_ != extra_end_; }
+  const std::string& key() const {
+    return ExtraIsCurrent() ? extra_->first : it_.key();
+  }
+  const Rid& rid() const {
+    return ExtraIsCurrent() ? extra_->second : it_.rid();
+  }
+  void Next() {
+    if (ExtraIsCurrent()) {
+      ++extra_;
+    } else {
+      it_.Next();
+      SkipHidden();
+    }
+  }
+
+ private:
+  bool TreeSideValid() const {
+    return it_.valid() && !(delta_ != nullptr && delta_->whole_tree_new);
+  }
+  /// True when the erased-set side holds the smaller (key, rid) entry.
+  bool ExtraIsCurrent() const {
+    if (extra_ == extra_end_) return false;
+    if (!TreeSideValid()) return true;
+    const IndexTxnDelta::Entry& e = *extra_;
+    int c = e.first.compare(it_.key());
+    if (c != 0) return c < 0;
+    return e.second < it_.rid();
+  }
+  /// Advances the tree side past entries the open transaction inserted.
+  void SkipHidden() {
+    if (delta_ == nullptr) return;
+    while (it_.valid() &&
+           delta_->inserted.count({it_.key(), it_.rid()}) > 0) {
+      it_.Next();
+    }
+  }
+
+  BPlusTree::Iterator it_;
+  const IndexTxnDelta* delta_ = nullptr;
+  std::set<IndexTxnDelta::Entry>::const_iterator extra_;
+  std::set<IndexTxnDelta::Entry>::const_iterator extra_end_;
+};
+
 /// A secondary (or primary, when `unique`) index over a table.
+///
+/// All mutations flow through the Insert/Erase/BulkBuild wrappers so that,
+/// while a transaction is open under MVCC, the logical delta needed by
+/// snapshot readers is maintained alongside the in-place tree (see
+/// IndexTxnDelta). Readers open cursors via ScanFrom/ScanBegin, which pick
+/// snapshot or current-state mode off the thread-local ReadSnapshot.
 struct TableIndex {
   std::string name;
   std::vector<int> column_indices;  // positions in the table schema
   bool unique = false;
   BPlusTree tree;
+  /// Non-null while an MVCC transaction is open (set by Database::Begin on
+  /// every index, cleared at commit/rollback). Only the transaction owner
+  /// mutates it; readers access it read-only under the shared statement
+  /// latch, which the owner's mutating statements exclude.
+  std::unique_ptr<IndexTxnDelta> txn_delta;
 
   /// Encoded key of `row` for this index.
   std::string KeyFor(const Row& row) const {
@@ -130,6 +232,67 @@ struct TableIndex {
     vals.reserve(column_indices.size());
     for (int c : column_indices) vals.push_back(row[c]);
     return EncodeKey(vals);
+  }
+
+  void BeginTxnTracking() { txn_delta = std::make_unique<IndexTxnDelta>(); }
+  void EndTxnTracking() { txn_delta.reset(); }
+
+  /// Inserts into the tree, recording the delta when tracking. Re-inserting
+  /// an entry the same transaction erased cancels instead of accumulating
+  /// ((key, rid) pairs are unique, so the entry is back to committed state).
+  void Insert(std::string_view key, const Rid& rid) {
+    tree.Insert(key, rid);
+    if (txn_delta != nullptr) {
+      IndexTxnDelta::Entry e{std::string(key), rid};
+      if (txn_delta->erased.erase(e) == 0) {
+        txn_delta->inserted.insert(std::move(e));
+      }
+    }
+  }
+
+  /// Erases from the tree, recording the delta when tracking (only when the
+  /// entry was actually present). Erasing an entry inserted by the same
+  /// transaction cancels.
+  bool Erase(std::string_view key, const Rid& rid) {
+    bool present = tree.Erase(key, rid);
+    if (present && txn_delta != nullptr) {
+      IndexTxnDelta::Entry e{std::string(key), rid};
+      if (txn_delta->inserted.erase(e) == 0) {
+        txn_delta->erased.insert(std::move(e));
+      }
+    }
+    return present;
+  }
+
+  /// Bulk-builds the (empty) tree; when tracking, the committed view stays
+  /// empty — the whole tree belongs to the open transaction.
+  Status BulkBuild(std::vector<BPlusTree::Entry>&& entries) {
+    Status st = tree.BulkBuild(std::move(entries));
+    if (st.ok() && txn_delta != nullptr) txn_delta->whole_tree_new = true;
+    return st;
+  }
+
+  /// Ordered cursor at the first visible entry with key >= `lower`.
+  IndexCursor ScanFrom(std::string_view lower) const {
+    if (!SnapshotMode()) return IndexCursor(tree.LowerBound(lower));
+    return IndexCursor(
+        tree.LowerBound(lower), txn_delta.get(),
+        txn_delta->erased.lower_bound({std::string(lower), Rid{0, 0}}),
+        txn_delta->erased.end());
+  }
+
+  /// Ordered cursor at the smallest visible entry.
+  IndexCursor ScanBegin() const {
+    if (!SnapshotMode()) return IndexCursor(tree.Begin());
+    return IndexCursor(tree.Begin(), txn_delta.get(),
+                       txn_delta->erased.begin(), txn_delta->erased.end());
+  }
+
+ private:
+  /// Snapshot mode: a transaction is being tracked and the calling thread
+  /// reads under a snapshot (i.e. it is not the transaction owner).
+  bool SnapshotMode() const {
+    return txn_delta != nullptr && CurrentReadSnapshot() != nullptr;
   }
 };
 

@@ -63,10 +63,33 @@ class InstanceLease {
 
 }  // namespace
 
+WriteStatementGuard::WriteStatementGuard(Database* db) : db_(db) {
+  for (;;) {
+    db_->latch_.LockExclusive();
+    if (!db_->txn_open_.load(std::memory_order_acquire) ||
+        db_->txn_owner_.load(std::memory_order_relaxed) ==
+            std::this_thread::get_id()) {
+      return;
+    }
+    // A foreign thread's transaction is open: running this mutation now
+    // would splice it into work the owner may yet roll back. Drop the
+    // latch before waiting — holding it would deadlock the owner, whose
+    // Commit/Rollback needs exclusivity to end the transaction.
+    db_->latch_.UnlockExclusive();
+    std::unique_lock<std::mutex> lock(db_->txn_mu_);
+    db_->txn_cv_.wait(lock, [this] {
+      return !db_->txn_open_.load(std::memory_order_acquire);
+    });
+  }
+}
+
+WriteStatementGuard::~WriteStatementGuard() { db_->latch_.UnlockExclusive(); }
+
 Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
   std::unique_ptr<StorageBackend> backend;
   std::unique_ptr<WriteAheadLog> wal;
+  uint64_t recovered_commit_lsn = 0;
   if (!options.file_path.empty()) {
     OXML_ASSIGN_OR_RETURN(
         std::unique_ptr<FileBackend> fb,
@@ -92,6 +115,9 @@ Result<std::unique_ptr<Database>> Database::Open(
           OXML_RETURN_NOT_OK(backend->WritePage(page_id, image.data()));
         }
         if (!rec.pages.empty()) OXML_RETURN_NOT_OK(backend->Sync());
+        // Re-seed the snapshot clock past every durable commit so LSNs
+        // stay monotone across reopen (pre-LSN logs recover as 0).
+        recovered_commit_lsn = rec.last_commit_lsn;
       }
       WalOptions wopts;
       wopts.sync_on_commit = options.wal_sync_on_commit;
@@ -109,6 +135,8 @@ Result<std::unique_ptr<Database>> Database::Open(
   bool have_pages = backend->page_count() > 0;
   auto pool = std::make_unique<BufferPool>(std::move(backend),
                                            options.buffer_capacity);
+  pool->set_mvcc_enabled(options.enable_mvcc);
+  pool->SeedCommitLsn(recovered_commit_lsn);
   auto db = std::unique_ptr<Database>(new Database(std::move(pool)));
   db->options_ = options;
   db->plan_cache_capacity_ = options.plan_cache_capacity;
@@ -160,8 +188,10 @@ Status Database::Close() {
   Status st = Status::OK();
   if (pool_->InTxn()) {
     // An abandoned open transaction is discarded, exactly as a crash
-    // would discard it.
-    st = Rollback();
+    // would discard it. RollbackInner skips the ownership pre-checks:
+    // the thread destroying the database may not be the one that opened
+    // the transaction it is abandoning.
+    st = RollbackInner();
     // A failed rollback already crashed the database out (buffered state
     // discarded, WAL detached): checkpointing it would flush garbage.
     if (closed_) return st;
@@ -183,6 +213,14 @@ void Database::SimulateCrashForTesting() {
   pool_->SetWal(nullptr);
   wal_.reset();
   closed_ = true;
+  // Release any writer gate-waiting on an open transaction: the crash
+  // killed it, and they would otherwise wait forever.
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    txn_open_.store(false, std::memory_order_release);
+    txn_owner_.store(std::thread::id(), std::memory_order_relaxed);
+  }
+  txn_cv_.notify_all();
 }
 
 namespace {
@@ -354,7 +392,7 @@ Status Database::LoadCatalog() {
 }
 
 Status Database::Checkpoint() {
-  ExclusiveStatementGuard guard(&latch_);
+  WriteStatementGuard guard(this);
   if (closed_) return Status::InvalidArgument("database is closed");
   if (pool_->InTxn()) {
     return Status::InvalidArgument("cannot checkpoint inside a transaction");
@@ -374,25 +412,91 @@ Status Database::Checkpoint() {
 
 // ------------------------------------------------------------ transactions
 
-bool Database::InTransaction() const { return pool_->InTxn(); }
+bool Database::InTransaction() const {
+  return txn_open_.load(std::memory_order_acquire);
+}
+
+void Database::EndTxnBookkeeping() {
+  heap_snapshot_.clear();
+  for (const auto& [name, table] : tables_) {
+    for (const auto& idx : table->indexes()) idx->EndTxnTracking();
+  }
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    txn_open_.store(false, std::memory_order_release);
+    txn_owner_.store(std::thread::id(), std::memory_order_relaxed);
+  }
+  txn_cv_.notify_all();
+}
+
+void Database::SyncMvccStats() {
+  stats_.snapshot_reads = pool_->snapshot_read_count();
+  stats_.versions_retained = pool_->versions_retained();
+  stats_.version_chain_max = pool_->version_chain_max();
+}
+
+void Database::MaybeBeginSnapshot(
+    std::optional<ScopedReadSnapshot>* snap) const {
+  if (!options_.enable_mvcc) return;
+  if (!txn_open_.load(std::memory_order_acquire)) return;
+  if (txn_owner_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    return;  // the owner reads its own uncommitted state directly
+  }
+  // txn_open_ cannot flip while this reader holds the shared latch — both
+  // Begin and the Commit/Rollback install points hold it exclusively — so
+  // the armed snapshot stays meaningful for the whole statement.
+  snap->emplace(pool_->last_commit_lsn());
+}
 
 Status Database::Begin() {
-  ExclusiveStatementGuard guard(&latch_);
+  // Gate, don't fail, when another thread's transaction is open: the
+  // pre-MVCC exclusive-hold discipline made a second Begin wait its turn,
+  // and callers (TxnScope all over the stores) rely on that.
+  WriteStatementGuard guard(this);
   if (closed_) return Status::InvalidArgument("database is closed");
   OXML_RETURN_NOT_OK(pool_->BeginTxn());  // rejects nesting
   heap_snapshot_.clear();
   for (const auto& [name, table] : tables_) {
     heap_snapshot_[name] = table->heap()->SnapshotMetadata();
   }
-  // Writers exclude readers for the whole transaction: the exclusive hold
-  // taken here outlives the guard and is dropped by the Commit or Rollback
-  // that closes the transaction. Reentrancy keeps the owning thread's own
-  // statements (and nested guards) flowing.
-  latch_.LockExclusive();
+  if (options_.enable_mvcc) {
+    // Arm the per-index transaction deltas that let overlapping snapshot
+    // readers reconstruct the committed view of each B+tree (the trees
+    // themselves are memory-resident and mutate in place).
+    for (const auto& [name, table] : tables_) {
+      for (const auto& idx : table->indexes()) idx->BeginTxnTracking();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    txn_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    txn_open_.store(true, std::memory_order_release);
+  }
+  if (!options_.enable_mvcc) {
+    // Pre-MVCC discipline: writers exclude readers for the whole
+    // transaction. The exclusive hold taken here outlives the guard and is
+    // dropped by the Commit or Rollback that closes the transaction.
+    latch_.LockExclusive();
+  }
   return Status::OK();
 }
 
 Status Database::Commit() {
+  // Ownership pre-checks run before taking the latch: with MVCC off the
+  // owner holds it exclusively for the transaction's lifetime, and a
+  // non-owner acquiring it here would deadlock instead of erroring.
+  if (!txn_open_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("no transaction is open");
+  }
+  if (txn_owner_.load(std::memory_order_relaxed) !=
+      std::this_thread::get_id()) {
+    return Status::InvalidArgument(
+        "transaction is owned by another thread");
+  }
+  // The commit install point: exclusivity drains concurrent snapshot
+  // readers, so flipping the committed state (pages + index deltas) is
+  // atomic with respect to every statement.
   ExclusiveStatementGuard guard(&latch_);
   if (!pool_->InTxn()) {
     return Status::InvalidArgument("no transaction is open");
@@ -403,11 +507,13 @@ Status Database::Commit() {
     OXML_RETURN_NOT_OK(SaveCatalog());
   }
   // On failure the transaction stays open for the caller to roll back (and
-  // Begin's exclusive hold stays in place with it).
+  // with MVCC off, Begin's exclusive hold stays in place with it).
   OXML_RETURN_NOT_OK(pool_->CommitTxn());
   catalog_dirty_ = false;
-  heap_snapshot_.clear();
-  latch_.UnlockExclusive();  // drop Begin's hold: the transaction is over
+  EndTxnBookkeeping();
+  if (!options_.enable_mvcc) {
+    latch_.UnlockExclusive();  // drop Begin's hold: the transaction is over
+  }
   if (wal_ != nullptr && options_.wal_checkpoint_threshold_bytes > 0 &&
       wal_->size_bytes() > options_.wal_checkpoint_threshold_bytes) {
     // The commit above is already durable; a failed auto-checkpoint only
@@ -418,15 +524,30 @@ Status Database::Commit() {
 }
 
 Status Database::Rollback() {
+  // Same pre-check order as Commit (see there). A transaction that is
+  // already over — including one torn down by a failed Commit's crash-out
+  // path — makes Rollback a safe error, never a second undo pass.
+  if (!txn_open_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("no transaction is open");
+  }
+  if (txn_owner_.load(std::memory_order_relaxed) !=
+      std::this_thread::get_id()) {
+    return Status::InvalidArgument(
+        "transaction is owned by another thread");
+  }
   ExclusiveStatementGuard guard(&latch_);
+  return RollbackInner();
+}
+
+Status Database::RollbackInner() {
   if (!pool_->InTxn()) {
     return Status::InvalidArgument("no transaction is open");
   }
   Status undo = pool_->RollbackTxn();
   // The transaction is over either way: even a failed undo must drop
-  // Begin's exclusive hold, or every other thread blocks on the statement
-  // latch forever while the caller only sees an error Status.
-  latch_.UnlockExclusive();
+  // Begin's exclusive hold (MVCC off), or every other thread blocks on the
+  // statement latch forever while the caller only sees an error Status.
+  if (!options_.enable_mvcc) latch_.UnlockExclusive();
   if (!undo.ok()) {
     // The pool may hold a mix of restored and unrestored pages; nothing in
     // memory can be trusted. Fail the database the way a crash would:
@@ -436,7 +557,7 @@ Status Database::Rollback() {
     pool_->SetWal(nullptr);
     wal_.reset();
     closed_ = true;
-    heap_snapshot_.clear();
+    EndTxnBookkeeping();
     InvalidatePlans();
     return undo;
   }
@@ -451,14 +572,14 @@ Status Database::Rollback() {
     Status r = t->RebuildIndexes();
     if (rebuilt.ok()) rebuilt = r;
   }
-  heap_snapshot_.clear();
+  EndTxnBookkeeping();
   // Rebuilding invalidated every TableIndex* captured by cached plans.
   InvalidatePlans();
   return rebuilt;
 }
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
-  ExclusiveStatementGuard guard(&latch_);
+  WriteStatementGuard guard(this);
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table " + name);
   }
@@ -484,7 +605,7 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
 }
 
 Status Database::DropTable(const std::string& name) {
-  ExclusiveStatementGuard guard(&latch_);
+  WriteStatementGuard guard(this);
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   if (pool_->InTxn()) {
@@ -509,7 +630,7 @@ Status Database::CreateIndex(const std::string& index_name,
                              const std::string& table,
                              const std::vector<std::string>& columns,
                              bool unique) {
-  ExclusiveStatementGuard guard(&latch_);
+  WriteStatementGuard guard(this);
   TableInfo* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
   if (pool_->InTxn()) {
@@ -550,7 +671,7 @@ TableInfo* Database::GetTable(const std::string& name) const {
 }
 
 Result<Rid> Database::Insert(const std::string& table, const Row& row) {
-  ExclusiveStatementGuard guard(&latch_);
+  WriteStatementGuard guard(this);
   TableInfo* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
   if (pool_->InTxn()) return t->InsertRow(row, &stats_);
@@ -571,7 +692,7 @@ Result<Rid> Database::Insert(const std::string& table, const Row& row) {
 
 Result<int64_t> Database::BulkLoadRows(const std::string& table,
                                        const std::vector<Row>& rows) {
-  ExclusiveStatementGuard guard(&latch_);
+  WriteStatementGuard guard(this);
   TableInfo* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
   auto load = [&]() -> Status {
@@ -809,16 +930,21 @@ Result<ResultSet> Database::QueryLocked(std::string_view sql, Row* params) {
           inst->plan.get(),
           entry->last_row_count.load(std::memory_order_relaxed)));
   entry->last_row_count.store(rs.rows.size(), std::memory_order_relaxed);
+  SyncMvccStats();
   return rs;
 }
 
 Result<ResultSet> Database::Query(std::string_view sql) {
   SharedStatementGuard guard(&latch_);
+  std::optional<ScopedReadSnapshot> snap;
+  MaybeBeginSnapshot(&snap);
   return QueryLocked(sql, nullptr);
 }
 
 Result<ResultSet> Database::QueryP(std::string_view sql, Row params) {
   SharedStatementGuard guard(&latch_);
+  std::optional<ScopedReadSnapshot> snap;
+  MaybeBeginSnapshot(&snap);
   return QueryLocked(sql, &params);
 }
 
@@ -857,12 +983,12 @@ Result<int64_t> Database::ExecuteLocked(std::string_view sql, Row* params) {
 }
 
 Result<int64_t> Database::Execute(std::string_view sql) {
-  ExclusiveStatementGuard guard(&latch_);
+  WriteStatementGuard guard(this);
   return ExecuteLocked(sql, nullptr);
 }
 
 Result<int64_t> Database::ExecuteP(std::string_view sql, Row params) {
-  ExclusiveStatementGuard guard(&latch_);
+  WriteStatementGuard guard(this);
   return ExecuteLocked(sql, &params);
 }
 
@@ -928,6 +1054,8 @@ Status PreparedStatement::Refresh() {
 Result<ResultSet> PreparedStatement::Query() {
   if (entry_ == nullptr) return Status::Internal("statement not prepared");
   SharedStatementGuard guard(db_->statement_latch());
+  std::optional<ScopedReadSnapshot> snap;
+  db_->MaybeBeginSnapshot(&snap);
   OXML_RETURN_NOT_OK(Refresh());
   if (entry_->kind != StmtKind::kSelect) {
     return Status::InvalidArgument("Query() requires a SELECT statement");
@@ -943,12 +1071,13 @@ Result<ResultSet> PreparedStatement::Query() {
           inst->plan.get(),
           entry_->last_row_count.load(std::memory_order_relaxed)));
   entry_->last_row_count.store(rs.rows.size(), std::memory_order_relaxed);
+  db_->SyncMvccStats();
   return rs;
 }
 
 Result<int64_t> PreparedStatement::Execute() {
   if (entry_ == nullptr) return Status::Internal("statement not prepared");
-  ExclusiveStatementGuard guard(db_->statement_latch());
+  WriteStatementGuard guard(db_);
   OXML_RETURN_NOT_OK(Refresh());
   ++db_->stats_.statements;
   OXML_ASSIGN_OR_RETURN(PlanInstance * inst,
@@ -962,7 +1091,7 @@ Result<int64_t> PreparedStatement::ExecuteBatch(
     const std::vector<Row>& rows) {
   if (rows.empty()) return 0;
   if (entry_ == nullptr) return Status::Internal("statement not prepared");
-  ExclusiveStatementGuard guard(db_->statement_latch());
+  WriteStatementGuard guard(db_);
   OXML_RETURN_NOT_OK(Refresh());
   bool dml = entry_->kind == StmtKind::kInsert ||
              entry_->kind == StmtKind::kUpdate ||
@@ -1116,9 +1245,9 @@ Result<std::vector<Rid>> Database::CollectRids(TableInfo* table,
 
   if (path.index != nullptr) {
     ++stats_.index_probes;
-    BPlusTree::Iterator it = path.lower.has_value()
-                                 ? path.index->tree.LowerBound(*path.lower)
-                                 : path.index->tree.Begin();
+    IndexCursor it = path.lower.has_value()
+                         ? path.index->ScanFrom(*path.lower)
+                         : path.index->ScanBegin();
     while (it.valid()) {
       if (path.upper.has_value() && it.key() >= *path.upper) break;
       OXML_ASSIGN_OR_RETURN(Row row, table->heap()->Get(it.rid()));

@@ -2,8 +2,11 @@
 #define OXML_RELATIONAL_DATABASE_H_
 
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
+#include <cstdio>
 #include <list>
+#include <optional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -88,6 +91,19 @@ struct DatabaseOptions {
   /// mostly a testing knob.
   size_t load_run_bytes = 1u << 20;
 
+  // --------------------------------------------------------------- MVCC
+
+  /// Snapshot reads: readers never block behind an open write transaction.
+  /// Begin() stops holding the statement latch exclusively for the
+  /// transaction's lifetime; instead, writers take exclusivity per mutating
+  /// statement (and for the commit install point), and reader statements
+  /// that overlap an open foreign transaction acquire a snapshot LSN and
+  /// are served committed page versions / index deltas (INTERNALS.md §11).
+  /// Off restores the pre-MVCC discipline: Begin holds the latch
+  /// exclusively until Commit/Rollback, so a long transaction blocks every
+  /// reader.
+  bool enable_mvcc = true;
+
   // ------------------------------------------------------------- durability
 
   /// Write-ahead logging for file-backed databases (ignored when memory-
@@ -124,10 +140,13 @@ class Database;
 /// The database-wide reader–writer statement latch. Read-only statements
 /// (Query/QueryP/Explain/Prepare) hold it shared, so any number of client
 /// threads read concurrently; every mutation (Execute/ExecuteP, Insert,
-/// DDL, Checkpoint, Close) holds it exclusively, and Begin() keeps the
-/// exclusive hold until Commit/Rollback so explicit transactions exclude
-/// all readers for their whole lifetime (the WAL path stays single-writer;
-/// snapshot reads are a ROADMAP follow-on).
+/// DDL, Checkpoint, Close) holds it exclusively. With
+/// DatabaseOptions::enable_mvcc (the default) an explicit transaction
+/// holds exclusivity only per mutating statement and for the commit
+/// install point — overlapping reader statements proceed under the shared
+/// latch against an MVCC snapshot (INTERNALS.md §11). With MVCC off,
+/// Begin() keeps the exclusive hold until Commit/Rollback, so explicit
+/// transactions exclude all readers for their whole lifetime.
 ///
 /// Exclusive ownership is reentrant per thread — the engine's auto-commit
 /// wrappers and the stores' TxnScope nest statement calls inside an open
@@ -194,6 +213,17 @@ class StatementLatch {
     depth_ = 1;
   }
   void UnlockExclusive() {
+    if (!OwnedByThisThread()) {
+      // Unlocking a latch this thread does not hold would corrupt depth_
+      // (owned by another thread) or underflow it (nobody holds it),
+      // silently breaking exclusion for every later statement. Loud in
+      // debug builds; in release, refuse and leave the latch state intact.
+      assert(false && "StatementLatch::UnlockExclusive: not the owner");
+      std::fprintf(stderr,
+                   "StatementLatch::UnlockExclusive ignored: calling thread "
+                   "does not hold the latch exclusively\n");
+      return;
+    }
     if (--depth_ > 0) return;
     bool writers;
     {
@@ -262,6 +292,24 @@ class ExclusiveStatementGuard {
 
  private:
   StatementLatch* latch_;
+};
+
+/// RAII exclusive acquisition for a mutating statement. Under MVCC an open
+/// transaction no longer holds the statement latch for its lifetime, so
+/// exclusivity alone does not keep a foreign thread's mutation out of a
+/// transaction it does not own; this guard additionally waits (holding no
+/// latch while it does) until either no transaction is open or the calling
+/// thread owns the open one. Equivalent to ExclusiveStatementGuard when
+/// MVCC is off, since then the owner thread holds the latch throughout.
+class WriteStatementGuard {
+ public:
+  explicit WriteStatementGuard(Database* db);
+  ~WriteStatementGuard();
+  WriteStatementGuard(const WriteStatementGuard&) = delete;
+  WriteStatementGuard& operator=(const WriteStatementGuard&) = delete;
+
+ private:
+  Database* db_;
 };
 
 /// A compiled statement held by the Database's plan cache (opaque outside
@@ -456,6 +504,7 @@ class Database {
 
  private:
   friend class PreparedStatement;
+  friend class WriteStatementGuard;
 
   // Defined in database.cc: ThreadPool is incomplete here, so both the
   // constructor and destructor must be out of line.
@@ -502,6 +551,22 @@ class Database {
   /// mutation and by Rollback, which rebuilds the indexes plans point at).
   void InvalidatePlans();
 
+  /// Rollback body without the ownership pre-checks; shared by the public
+  /// Rollback, Close() (which rolls back an abandoned transaction from
+  /// whatever thread destroys the database) and the commit-failure path.
+  Status RollbackInner();
+  /// Clears transaction bookkeeping (heap snapshot, per-index txn deltas,
+  /// owner/open flags) and wakes writers gate-waiting in
+  /// WriteStatementGuard. Called on every Commit/Rollback exit.
+  void EndTxnBookkeeping();
+  /// Copies the buffer pool's MVCC counters into stats_ (call sites hold
+  /// the statement latch at least shared).
+  void SyncMvccStats();
+  /// Arms `snap` with the current commit LSN when this reader statement
+  /// overlaps a foreign thread's open transaction under MVCC; otherwise
+  /// leaves it disengaged and the statement reads current state.
+  void MaybeBeginSnapshot(std::optional<ScopedReadSnapshot>* snap) const;
+
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<WriteAheadLog> wal_;
   DatabaseOptions options_;
@@ -513,9 +578,20 @@ class Database {
   /// Per-table heap bookkeeping captured at Begin, restored by Rollback.
   std::map<std::string, HeapTable::Metadata> heap_snapshot_;
 
-  /// Readers shared / writers exclusive; Begin holds exclusive until
-  /// Commit/Rollback. Acquired before any other engine lock.
+  /// Readers shared / writers exclusive. Acquired before any other engine
+  /// lock. With MVCC off, Begin holds exclusive until Commit/Rollback;
+  /// with MVCC on (default) exclusivity is per mutating statement.
   mutable StatementLatch latch_;
+  /// True between a successful Begin and the end of Commit/Rollback.
+  /// Written under txn_mu_ (so WriteStatementGuard can wait on txn_cv_),
+  /// read lock-free by InTransaction and the ownership pre-checks.
+  std::atomic<bool> txn_open_{false};
+  /// Thread that issued Begin (default id = none). Mutations from other
+  /// threads gate-wait in WriteStatementGuard until the transaction ends.
+  std::atomic<std::thread::id> txn_owner_{};
+  /// Guards txn_open_ transitions; pairs with txn_cv_ for the write gate.
+  std::mutex txn_mu_;
+  std::condition_variable txn_cv_;
   /// Intra-query workers, created at Open when enable_parallel_execution.
   std::unique_ptr<ThreadPool> exec_pool_;
   /// Bulk-load workers, created at Open when enable_parallel_load.
@@ -561,11 +637,17 @@ class TxnScope {
   bool owns() const { return owns_; }
 
   /// Commits if this scope owns the transaction; rolls back on failure.
+  /// A failed Commit leaves the transaction open (Database contract), so
+  /// the rollback normally runs — but if the failure already tore the
+  /// transaction down (e.g. the WAL burned the txn id and a fault-injected
+  /// rollback then crashed the database out), InTransaction() is false and
+  /// a second Rollback would be a spurious InvalidArgument on a closed
+  /// engine; skip it.
   Status Commit() {
     if (!owns_ || done_) return Status::OK();
     done_ = true;
     Status st = db_->Commit();
-    if (!st.ok()) (void)db_->Rollback();
+    if (!st.ok() && db_->InTransaction()) (void)db_->Rollback();
     return st;
   }
 

@@ -191,8 +191,7 @@ Status IndexScanOp::Open() {
     }
   }
   if (stats_ != nullptr) ++stats_->index_probes;
-  it_ = lower_.has_value() ? index_->tree.LowerBound(*lower_)
-                           : index_->tree.Begin();
+  it_ = lower_.has_value() ? index_->ScanFrom(*lower_) : index_->ScanBegin();
   return Status::OK();
 }
 
@@ -488,7 +487,7 @@ Result<bool> IndexNestedLoopJoinOp::Next(Row* row) {
       if (!key.has_value()) continue;  // NULL key never joins
       probe_key_ = std::move(*key);
       if (stats_ != nullptr) ++stats_->index_probes;
-      it_ = index_->tree.LowerBound(probe_key_);
+      it_ = index_->ScanFrom(probe_key_);
       have_outer_ = true;
     }
     // The probe key covers a prefix of the index columns; matching entries

@@ -142,7 +142,7 @@ class IndexScanOp : public Operator {
   std::optional<std::string> upper_;
   std::optional<DynamicIndexBounds> dynamic_;
   ExecStats* stats_;
-  BPlusTree::Iterator it_;
+  IndexCursor it_;
 };
 
 class FilterOp : public Operator {
@@ -359,7 +359,7 @@ class IndexNestedLoopJoinOp : public Operator {
   ExecStats* stats_;
   Row outer_row_;
   bool have_outer_ = false;
-  BPlusTree::Iterator it_;
+  IndexCursor it_;
   std::string probe_key_;
 };
 

@@ -61,7 +61,11 @@ Status ParallelScanOp::OpenHeap() {
     stats_->morsels += shards;
     stats_->threads_used.UpdateMax(std::min(pool_->size() + 1, shards));
   }
-  return pool_->ParallelFor(shards, [&](size_t i) -> Status {
+  // Pool workers carry no thread-local ReadSnapshot of their own; hand
+  // them the statement's so every shard reads the same committed view.
+  const ReadSnapshot* snap = CurrentReadSnapshot();
+  return pool_->ParallelFor(shards, [&, snap](size_t i) -> Status {
+    SnapshotTaskScope scope(snap);
     size_t begin = i * chain.size() / shards;
     size_t end = (i + 1) * chain.size() / shards;
     HeapTable::Iterator it(table_->heap(), chain[begin], end - begin);
@@ -81,6 +85,9 @@ Status ParallelScanOp::OpenIndex() {
   if (stats_ != nullptr) ++stats_->index_probes;
   const BPlusTree& tree = index_->tree;
   // Candidate separators over the whole tree, narrowed to (lower, upper).
+  // Separators drawn from the live tree stay valid cut points for a
+  // snapshot view too: the shard ranges are disjoint and cover
+  // [lower, upper) no matter which keys the separators name.
   std::vector<std::string> seps = tree.SplitKeys(TargetShards(pool_));
   std::vector<std::optional<std::string>> bounds;
   bounds.push_back(lower_);
@@ -96,10 +103,11 @@ Status ParallelScanOp::OpenIndex() {
     stats_->morsels += shards;
     stats_->threads_used.UpdateMax(std::min(pool_->size() + 1, shards));
   }
-  return pool_->ParallelFor(shards, [&](size_t i) -> Status {
-    BPlusTree::Iterator it = bounds[i].has_value()
-                                 ? tree.LowerBound(*bounds[i])
-                                 : tree.Begin();
+  const ReadSnapshot* snap = CurrentReadSnapshot();
+  return pool_->ParallelFor(shards, [&, snap](size_t i) -> Status {
+    SnapshotTaskScope scope(snap);
+    IndexCursor it = bounds[i].has_value() ? index_->ScanFrom(*bounds[i])
+                                           : index_->ScanBegin();
     const std::optional<std::string>& stop = bounds[i + 1];
     while (it.valid() && !(stop.has_value() && it.key() >= *stop)) {
       OXML_ASSIGN_OR_RETURN(Row row, table_->heap()->Get(it.rid()));

@@ -168,12 +168,15 @@ Status WriteAheadLog::AppendPageImage(uint32_t page_id, const char* data) {
   return Status::OK();
 }
 
-Status WriteAheadLog::Commit() {
+Status WriteAheadLog::Commit(uint64_t commit_lsn) {
   // The txn id advances even when the commit fails: a retried or rolled-back
   // transaction must not let its orphaned page images be adopted by a later
   // commit record (replay matches images to commits by txn id).
   uint64_t txn = next_txn_id_++;
-  OXML_RETURN_NOT_OK(AppendRecord(RecordType::kCommit, txn, 0, nullptr, 0));
+  char lsn_payload[8];
+  PutU64(commit_lsn, lsn_payload);
+  OXML_RETURN_NOT_OK(AppendRecord(RecordType::kCommit, txn, 0, lsn_payload,
+                                  sizeof(lsn_payload)));
   ++commits_;
   ++unsynced_commits_;
   if (options_.sync_on_commit &&
@@ -274,7 +277,8 @@ Result<WalRecovery> WriteAheadLog::Recover(const std::string& path) {
     uint32_t payload_len = GetU32(data.data() + pos + 13);
     bool shape_ok =
         (type == RecordType::kPageImage && payload_len == kPageSize) ||
-        (type == RecordType::kCommit && payload_len == 0);
+        (type == RecordType::kCommit &&
+         (payload_len == 0 || payload_len == 8));
     if (!shape_ok ||
         pos + kRecordHeader + payload_len + kRecordTrailer > data.size()) {
       out.tail_damaged = true;
@@ -301,6 +305,10 @@ Result<WalRecovery> WriteAheadLog::Recover(const std::string& path) {
       }
       pending.clear();
       ++out.committed_txns;
+      if (payload_len == 8) {
+        out.last_commit_lsn = std::max(
+            out.last_commit_lsn, GetU64(data.data() + pos + kRecordHeader));
+      }
     }
     pos += kRecordHeader + payload_len + kRecordTrailer;
   }

@@ -37,6 +37,8 @@ struct WalRecovery {
   uint64_t replayed_images = 0;   ///< page-image records inside committed txns
   uint64_t discarded_records = 0; ///< records after the last commit (torn or
                                   ///< uncommitted tail)
+  uint64_t last_commit_lsn = 0;   ///< highest commit LSN among durable commit
+                                  ///< records (0 for pre-LSN logs)
   bool tail_damaged = false;      ///< scan stopped at a torn/corrupt record
 };
 
@@ -60,8 +62,9 @@ class WriteAheadLog {
 
   enum class RecordType : uint8_t {
     kPageImage = 1,  ///< payload = kPageSize bytes, the page's full image
-    kCommit = 2,     ///< payload empty; everything since the previous commit
-                     ///< belongs to txn_id
+    kCommit = 2,     ///< payload = 8-byte commit LSN (or empty in pre-LSN
+                     ///< logs); everything since the previous commit belongs
+                     ///< to txn_id
   };
 
   /// Opens (creating or validating) the log at `path`. An existing log is
@@ -82,7 +85,10 @@ class WriteAheadLog {
   /// Appends the commit record and makes the transaction durable per the
   /// sync policy. Returns only after the commit is on its way to disk
   /// (fully fsynced when sync_on_commit && the group-commit quota is met).
-  Status Commit();
+  /// `commit_lsn` is the buffer pool's monotone snapshot LSN for this
+  /// commit; it rides in the record payload so recovery can reseed the
+  /// counter past every durable commit (0 = caller doesn't track LSNs).
+  Status Commit(uint64_t commit_lsn = 0);
 
   /// Forces an fsync of everything appended so far (flushes the group-
   /// commit window).

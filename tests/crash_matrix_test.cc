@@ -286,6 +286,88 @@ TEST_P(CrashMatrixTest, TransientEioRollsBackAndTheStoreStaysUsable) {
   }
 }
 
+// An explicit transaction whose Commit fails mid-I/O must stay open so the
+// caller can roll back; the rollback restores the pre-transaction state,
+// a second rollback is a plain error (never a second undo pass), and the
+// store stays valid and usable. Sweeps an EIO over every write-class I/O
+// of the commit itself.
+TEST_P(CrashMatrixTest, CommitFailsThenRollbackRestoresPreTxnState) {
+  CrashFixture fx = Setup("cfail");
+
+  // Counting pass: bracket the I/O window of the explicit Commit. The
+  // mutation itself performs no write-class I/O (no-steal: pages dirty in
+  // memory, the WAL is written at commit), but the bracket stays correct
+  // even if allocation ever writes through.
+  fx.RestoreBaseline();
+  uint64_t before_commit = 0;
+  uint64_t after_commit = 0;
+  {
+    auto plan = std::make_shared<FaultPlan>();
+    plan->Arm(0, FaultPlan::Mode::kNone);
+    auto dbr = Database::Open(fx.OpenOptions(plan));
+    ASSERT_TRUE(dbr.ok()) << dbr.status();
+    auto sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+    ASSERT_TRUE((*dbr)->Begin().ok());
+    ASSERT_TRUE(
+        InsertSection(sr->get(), 1, InsertPosition::kBefore, "cf").ok());
+    before_commit = plan->io_count;
+    ASSERT_TRUE((*dbr)->Commit().ok());
+    after_commit = plan->io_count;
+    (*dbr)->SimulateCrashForTesting();
+  }
+  ASSERT_GT(after_commit, before_commit) << "commit performed no I/O";
+
+  for (uint64_t k = before_commit + 1; k <= after_commit; ++k) {
+    fx.RestoreBaseline();
+    auto plan = std::make_shared<FaultPlan>();
+    plan->Arm(k, FaultPlan::Mode::kEIO);
+    auto dbr = Database::Open(fx.OpenOptions(plan));
+    ASSERT_TRUE(dbr.ok()) << dbr.status();
+    auto sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+    auto pre = Snapshot(sr->get());
+    ASSERT_TRUE(pre.ok()) << pre.status();
+
+    ASSERT_TRUE((*dbr)->Begin().ok());
+    ASSERT_TRUE(
+        InsertSection(sr->get(), 1, InsertPosition::kBefore, "cf").ok());
+    Status c = (*dbr)->Commit();
+    ASSERT_FALSE(c.ok()) << "EIO at I/O " << k << " did not fail Commit";
+    EXPECT_EQ(plan->faults_fired, 1u);
+    EXPECT_TRUE((*dbr)->InTransaction())
+        << "EIO at I/O " << k << ": failed Commit closed the transaction";
+
+    Status rb = (*dbr)->Rollback();
+    EXPECT_TRUE(rb.ok()) << "EIO at I/O " << k << ": " << rb;
+    Status again = (*dbr)->Rollback();
+    EXPECT_FALSE(again.ok()) << "EIO at I/O " << k
+                             << ": double Rollback must be an error";
+
+    auto post = Snapshot(sr->get());
+    ASSERT_TRUE(post.ok()) << "EIO at I/O " << k << ": " << post.status();
+    EXPECT_EQ(*post, *pre) << "EIO at I/O " << k;
+    Status valid = (*sr)->Validate();
+    EXPECT_TRUE(valid.ok()) << "EIO at I/O " << k << ": " << valid;
+
+    // The one-shot fault has fired, so retrying the same mutation commits;
+    // the failed attempt must be invisible after a clean reopen.
+    Status retry = InsertSection(sr->get(), 1, InsertPosition::kBefore, "cf");
+    ASSERT_TRUE(retry.ok()) << "EIO at I/O " << k << ": " << retry;
+    auto committed = Snapshot(sr->get());
+    ASSERT_TRUE(committed.ok());
+    ASSERT_TRUE((*dbr)->Close().ok());
+
+    dbr = Database::Open(fx.OpenOptions(nullptr));
+    ASSERT_TRUE(dbr.ok()) << dbr.status();
+    sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+    auto reopened = Snapshot(sr->get());
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(*reopened, *committed) << "EIO at I/O " << k;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllEncodings, CrashMatrixTest,
                          ::testing::Values(OrderEncoding::kGlobal,
                                            OrderEncoding::kLocal,
@@ -293,6 +375,73 @@ INSTANTIATE_TEST_SUITE_P(AllEncodings, CrashMatrixTest,
                          [](const auto& info) {
                            return OrderEncodingToString(info.param);
                          });
+
+// Regression: ParallelLoadDocument publishes rows_shredded / runs_merged /
+// load_threads_used only after the install transaction commits. A load
+// whose install fails (any write-class I/O, EIO) must leave every load
+// counter untouched; the retry then loads and publishes normally.
+TEST(ParallelLoadFaultTest, LoadStatsPublishOnlyAfterInstallCommit) {
+  NewsGeneratorOptions gen;
+  gen.seed = 7;
+  gen.sections = 6;
+  gen.paragraphs_per_section = 4;
+  auto doc = GenerateNewsXml(gen);
+
+  auto open_options = [](const std::string& path,
+                         std::shared_ptr<FaultPlan> plan) {
+    DatabaseOptions o;
+    o.file_path = path;
+    o.wal_checkpoint_threshold_bytes = 0;  // deterministic I/O schedule
+    o.enable_parallel_load = true;
+    o.fault_plan = std::move(plan);
+    return o;
+  };
+
+  // Counting pass: bracket the write-class I/Os of the load itself.
+  std::string path = TempPath("pload_stats");
+  uint64_t before_load = 0;
+  uint64_t after_load = 0;
+  {
+    auto plan = std::make_shared<FaultPlan>();
+    plan->Arm(0, FaultPlan::Mode::kNone);
+    auto dbr = Database::Open(open_options(path, plan));
+    ASSERT_TRUE(dbr.ok()) << dbr.status();
+    auto sr = OrderedXmlStore::Create(dbr->get(), OrderEncoding::kGlobal,
+                                      StoreOptions{});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+    before_load = plan->io_count;
+    ASSERT_TRUE((*sr)->LoadDocument(*doc).ok());
+    after_load = plan->io_count;
+    EXPECT_GT((*dbr)->stats()->rows_shredded, 0u);
+    (*dbr)->SimulateCrashForTesting();
+  }
+  ASSERT_GT(after_load, before_load) << "load performed no I/O";
+
+  for (uint64_t k : {before_load + 1, after_load}) {
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".wal");
+    auto plan = std::make_shared<FaultPlan>();
+    plan->Arm(k, FaultPlan::Mode::kEIO);
+    auto dbr = Database::Open(open_options(path, plan));
+    ASSERT_TRUE(dbr.ok()) << dbr.status();
+    auto sr = OrderedXmlStore::Create(dbr->get(), OrderEncoding::kGlobal,
+                                      StoreOptions{});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+
+    auto load = (*sr)->LoadDocument(*doc);
+    ASSERT_FALSE(load.ok()) << "EIO at I/O " << k << " did not fail the load";
+    EXPECT_EQ(plan->faults_fired, 1u);
+    ExecStats* stats = (*dbr)->stats();
+    EXPECT_EQ(stats->rows_shredded, 0u) << "EIO at I/O " << k;
+    EXPECT_EQ(stats->runs_merged, 0u) << "EIO at I/O " << k;
+    EXPECT_EQ(stats->load_threads_used, 0u) << "EIO at I/O " << k;
+
+    // One-shot fault spent: the retry loads and publishes the counters.
+    ASSERT_TRUE((*sr)->LoadDocument(*doc).ok()) << "EIO at I/O " << k;
+    EXPECT_GT(stats->rows_shredded, 0u) << "EIO at I/O " << k;
+    (*dbr)->SimulateCrashForTesting();
+  }
+}
 
 }  // namespace
 }  // namespace oxml

@@ -233,6 +233,8 @@ std::string FuzzOp::ToString() const {
       return "op crashrecover";
     case Kind::kBulkReload:
       return "op bulkreload";
+    case Kind::kSnapshotRead:
+      return "op snapshotread " + PathToString(path) + " " + Quote(xpath);
   }
   return "op ?";
 }
@@ -450,7 +452,20 @@ FuzzCase GenerateCase(uint64_t seed, size_t num_ops) {
     std::vector<XmlNode*> all;
     CollectTree(oracle.root_element(), &all);
 
-    if (r < 0.65) {  // insert
+    if (r < 0.56) {  // snapshot read: query under an open foreign txn
+      std::vector<XmlNode*> cands;
+      for (XmlNode* n : all) {
+        if (!IsRootElement(n)) cands.push_back(n);
+      }
+      if (cands.empty()) continue;
+      XmlNode* target =
+          cands[rng.Uniform(0, static_cast<int64_t>(cands.size()) - 1)];
+      op.kind = FuzzOp::Kind::kSnapshotRead;
+      op.path = oracle.PathOf(target);
+      op.xpath = GenQuery(&rng, c.doc);
+      // The oracle is NOT mutated: the uncommitted delete rolls back.
+      c.ops.push_back(std::move(op));
+    } else if (r < 0.65) {  // insert
       XmlNode* ref = all[rng.Uniform(0, static_cast<int64_t>(all.size()) - 1)];
       InsertPosition pos;
       if (!PickInsertPos(&rng, ref, &pos)) continue;
@@ -877,6 +892,79 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
       continue;
     }
 
+    if (op.kind == FuzzOp::Kind::kSnapshotRead) {
+      // MVCC check: each store's database opens a transaction and deletes
+      // the subtree at op.path without committing, then a second thread
+      // evaluates op.xpath. Joining the reader while the transaction is
+      // still open proves it never blocked; its results must match the
+      // oracle's committed state exactly. The transaction then rolls
+      // back, so the document is unchanged for subsequent ops.
+      auto parsed = ParseXPath(op.xpath);
+      XmlNode* target = oracle.ResolvePath(op.path);
+      if (!parsed.ok() || target == nullptr || IsRootElement(target)) {
+        ++c->skipped_ops;
+        continue;
+      }
+      std::vector<OracleNode> oracle_nodes = oracle.Evaluate(*parsed);
+      std::vector<std::string> expected;
+      expected.reserve(oracle_nodes.size());
+      for (const OracleNode& n : oracle_nodes) {
+        expected.push_back(oracle.Signature(n));
+      }
+      std::string oracle_doc = oracle.Serialize();
+      for (StoreInstance& s : stores) {
+        auto fail = [&](const std::string& msg) {
+          return FuzzFailure{i, s.name, op.ToString() + ": " + msg};
+        };
+        auto ref = s.store->NodeAtPath(op.path);
+        if (!ref.ok()) {
+          return fail("store could not resolve a path the oracle resolved: " +
+                      ref.status().ToString());
+        }
+        Status begin = s.db->Begin();
+        if (!begin.ok()) return fail("begin: " + begin.ToString());
+        Status del = s.store->DeleteSubtree(*ref).status();  // rides the txn
+        if (!del.ok()) {
+          (void)s.db->Rollback();
+          return fail("uncommitted delete rejected: " + del.ToString());
+        }
+        std::string reader_err;
+        std::optional<std::string> mismatch;
+        std::thread reader([&] {
+          auto actual = EvaluateXPath(s.store.get(), *parsed);
+          if (!actual.ok()) {
+            reader_err = actual.status().ToString();
+            return;
+          }
+          mismatch =
+              CompareResults(s.store.get(), expected, *actual, "snapshot");
+        });
+        reader.join();  // completes while the transaction is still open
+        Status rb = s.db->Rollback();
+        if (!rb.ok()) return fail("rollback: " + rb.ToString());
+        if (!reader_err.empty()) {
+          return fail("snapshot read error: " + reader_err);
+        }
+        if (mismatch.has_value()) return fail(*mismatch);
+        Status valid = s.store->Validate();
+        if (!valid.ok()) {
+          return fail("invariant violation after rollback: " +
+                      valid.ToString());
+        }
+        auto rec = s.store->ReconstructDocument();
+        if (!rec.ok()) {
+          return fail("reconstruction after rollback: " +
+                      rec.status().ToString());
+        }
+        std::string got = WriteXml(**rec);
+        if (got != oracle_doc) {
+          return fail("document diverged after rollback: " +
+                      DiffContext(oracle_doc, got));
+        }
+      }
+      continue;
+    }
+
     // Mutation: check applicability and apply on the oracle first (path
     // resolution is against the pre-op tree on every side).
     bool applied = false;
@@ -921,6 +1009,7 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
       case FuzzOp::Kind::kQuery:
       case FuzzOp::Kind::kCrashRecover:
       case FuzzOp::Kind::kBulkReload:
+      case FuzzOp::Kind::kSnapshotRead:
         break;
     }
     if (!applied) {
@@ -967,6 +1056,7 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
         case FuzzOp::Kind::kQuery:
         case FuzzOp::Kind::kCrashRecover:
         case FuzzOp::Kind::kBulkReload:
+        case FuzzOp::Kind::kSnapshotRead:
           break;
       }
       if (!applied_status.ok()) {
@@ -1111,6 +1201,11 @@ Result<FuzzOp> ParseOp(const std::vector<std::string>& tok) {
   } else if (kind == "bulkreload") {
     OXML_RETURN_NOT_OK(need(2));
     op.kind = FuzzOp::Kind::kBulkReload;
+  } else if (kind == "snapshotread") {
+    OXML_RETURN_NOT_OK(need(4));
+    op.kind = FuzzOp::Kind::kSnapshotRead;
+    OXML_ASSIGN_OR_RETURN(op.path, PathFromString(tok[2]));
+    op.xpath = tok[3];
   } else {
     return Status::ParseError("unknown op kind: " + kind);
   }

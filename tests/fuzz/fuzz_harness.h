@@ -57,6 +57,12 @@ struct FuzzOp {
                   // bulk-built indexes); the reloaded store must pass
                   // Validate() and reconstruct byte-equal to the oracle,
                   // then replaces the running store for subsequent ops
+    kSnapshotRead,  // MVCC check: open a transaction, delete the subtree
+                    // at `path` WITHOUT committing, then evaluate `xpath`
+                    // from a second thread. The reader must complete while
+                    // the transaction is open and must see exactly the
+                    // committed (= oracle) result; the transaction then
+                    // rolls back, leaving the document unchanged
   };
 
   Kind kind = Kind::kQuery;
