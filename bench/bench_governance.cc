@@ -1,0 +1,130 @@
+// Experiment E19 — the price of resource governance (EXPERIMENTS.md §E19).
+//
+// Two questions: (1) what do the cooperative cancellation/deadline checks
+// cost on the ordered-query workload when no limit ever trips — the paper's
+// QR queries run identically, so the governed/ungoverned pair isolates the
+// per-row check overhead (target: < 2%); (2) what latency does the bounded
+// transient-I/O retry loop add as the injected failure burst grows — the
+// "retry ladder" makes the exponential backoff schedule visible.
+
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "bench/bench_util.h"
+#include "src/relational/fault_injection.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+int Sections() { return static_cast<int>(SmokeScaled(150, 60)); }
+int Paragraphs() { return static_cast<int>(SmokeScaled(20, 4)); }
+
+// The QR queries whose operators poll the control token hardest: full tag
+// scan, ordered descendant scan, value filter, and a sibling range.
+const char* kQrQueries[] = {
+    "//para",
+    "/nitf/body//para",
+    "//para[@class = 'lead']",
+    "//section[@id = 's10']/following-sibling::section",
+};
+
+StoreFixture& FixtureFor(OrderEncoding enc, bool governed) {
+  static auto* fixtures =
+      new std::map<std::pair<OrderEncoding, bool>, StoreFixture>();
+  auto key = std::make_pair(enc, governed);
+  auto it = fixtures->find(key);
+  if (it == fixtures->end()) {
+    DatabaseOptions opts;
+    if (governed) {
+      // Generous limits that never trip: every statement runs with a live
+      // deadline and budget, so each operator row pays the real check.
+      opts.default_statement_timeout_ms = 600'000;
+      opts.statement_memory_budget_bytes = 4ull << 30;
+      opts.total_memory_budget_bytes = 8ull << 30;
+    }
+    auto doc = NewsDoc(Sections(), Paragraphs());
+    StoreFixture f = MakeStore(enc, opts);
+    OXML_BENCH_CHECK(f.store->LoadDocument(*doc).ok());
+    it = fixtures->emplace(key, std::move(f)).first;
+  }
+  return it->second;
+}
+
+// Args: {encoding, governed}. Compare governed=1 against governed=0 per
+// encoding: the ratio is the cancellation-check overhead on QR.
+void BM_QrWorkload(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  bool governed = state.range(1) != 0;
+  StoreFixture& f = FixtureFor(enc, governed);
+
+  size_t results = 0;
+  for (auto _ : state) {
+    for (const char* q : kQrQueries) {
+      auto r = EvaluateXPath(f.store.get(), q);
+      OXML_BENCH_OK(r);
+      results += r->size();
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  OXML_BENCH_CHECK(f.db->stats()->statements_timed_out == 0);
+  OXML_BENCH_CHECK(f.db->stats()->mem_budget_rejections == 0);
+  state.SetLabel(std::string(OrderEncodingToString(enc)) +
+                 (governed ? "/governed" : "/ungoverned"));
+}
+
+// Arg: K = number of consecutive injected transient failures on the next
+// write-class I/O. Each iteration arms the burst and commits one insert;
+// the latency steps trace the bounded exponential backoff (64us << n).
+void BM_TransientRetryLadder(benchmark::State& state) {
+  uint64_t burst = static_cast<uint64_t>(state.range(0));
+  std::string path = "/tmp/oxml_bench_gov_" + std::to_string(::getpid()) +
+                     "_" + std::to_string(burst) + ".db";
+  auto plan = std::make_shared<FaultPlan>();
+  plan->Arm(0, FaultPlan::Mode::kNone);
+  DatabaseOptions opts;
+  opts.file_path = path;
+  opts.fault_plan = plan;
+  auto dbr = Database::Open(opts);
+  OXML_BENCH_CHECK(dbr.ok());
+  auto& db = *dbr;
+  OXML_BENCH_OK(db->Execute("CREATE TABLE ledger (id INT, note TEXT)"));
+
+  int64_t id = 0;
+  for (auto _ : state) {
+    if (burst > 0) {
+      plan->ArmTransient(1, burst);
+    } else {
+      plan->Arm(0, FaultPlan::Mode::kNone);
+    }
+    auto r = db->Execute("INSERT INTO ledger VALUES (" +
+                         std::to_string(id++) + ", 'entry')");
+    OXML_BENCH_OK(r);
+  }
+  state.counters["io_retries"] =
+      static_cast<double>(db->stats()->io_retries);
+  OXML_BENCH_CHECK(db->Close().ok());
+  std::remove(path.c_str());
+  std::remove((path + ".wal").c_str());
+  state.SetLabel("burst=" + std::to_string(burst));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+BENCHMARK(oxml::bench::BM_QrWorkload)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(oxml::bench::BM_TransientRetryLadder)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMicrosecond);
+
+OXML_BENCH_MAIN();

@@ -21,6 +21,9 @@ enum class StatusCode : uint8_t {
   kNotImplemented = 7,   ///< feature intentionally outside the subset
   kIOError = 8,          ///< file-backed pager I/O failure
   kAborted = 9,          ///< operation gave up (e.g. constraint violation)
+  kDeadlineExceeded = 10,  ///< statement ran past its deadline
+  kCancelled = 11,         ///< statement cancelled from another thread
+  kResourceExhausted = 12,  ///< memory budget (or similar quota) exceeded
 };
 
 /// Returns a short human-readable name ("OK", "ParseError", ...).
@@ -68,6 +71,15 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +98,13 @@ class Status {
   }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/core/dewey.h"
+#include "src/relational/query_control.h"
 #include "src/relational/thread_pool.h"
 
 namespace oxml {
@@ -125,9 +126,14 @@ Result<std::vector<Row>> ParallelShredMerge(
     size_t bytes = 0;
     bool claimed = false;
     std::vector<Row> unit_rows;
+    // Buffered runs are statement memory: charge them so a bulk load under
+    // a budget fails with kResourceExhausted instead of thrashing.
+    BudgetCharger budget;
     while (true) {
       size_t u = next_unit.fetch_add(1, std::memory_order_relaxed);
       if (u >= units.size()) break;
+      // Unit boundaries are the load pipeline's cancellation points.
+      OXML_RETURN_NOT_OK(CheckCurrentControl());
       if (!claimed) {
         claimed = true;
         workers_used.fetch_add(1, std::memory_order_relaxed);
@@ -135,7 +141,9 @@ Result<std::vector<Row>> ParallelShredMerge(
       unit_rows.clear();
       OXML_RETURN_NOT_OK(emit(units[u], &unit_rows));
       for (Row& r : unit_rows) {
-        bytes += ApproxRowBytes(r);
+        size_t row_bytes = ApproxRowBytes(r);
+        bytes += row_bytes;
+        OXML_RETURN_NOT_OK(budget.Add(row_bytes));
         run.push_back(std::move(r));
       }
       if (bytes >= run_bytes && !run.empty()) {

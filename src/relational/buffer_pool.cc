@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "src/relational/wal.h"
@@ -13,6 +15,19 @@
 namespace oxml {
 
 // ---------------------------------------------------------------- backends
+
+void IoRetryPolicy::Backoff(int attempt) {
+  int64_t us = 64LL << (attempt < 5 ? attempt : 5);  // 64us .. 2ms
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+bool FileBackend::NoteRetry(int* attempt) {
+  if (retries_ != nullptr) retries_->fetch_add(1, std::memory_order_relaxed);
+  if (*attempt + 1 >= IoRetryPolicy::kMaxAttempts) return false;
+  IoRetryPolicy::Backoff(*attempt);
+  ++*attempt;
+  return true;
+}
 
 Result<uint32_t> MemoryBackend::AllocatePage() {
   auto page = std::make_unique<char[]>(kPageSize);
@@ -69,12 +84,14 @@ Result<uint32_t> FileBackend::AllocatePage() {
 
 Status FileBackend::ReadPage(uint32_t id, char* buf) {
   size_t done = 0;
+  int attempt = 0;
   while (done < kPageSize) {
     ssize_t n = ::pread(fd_, buf + done, kPageSize - done,
                         static_cast<off_t>(id) * kPageSize +
                             static_cast<off_t>(done));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN && NoteRetry(&attempt)) continue;
       return Status::IOError("pread(" + path_ + ", page " +
                              std::to_string(id) +
                              "): " + std::strerror(errno));
@@ -91,12 +108,14 @@ Status FileBackend::ReadPage(uint32_t id, char* buf) {
 
 Status FileBackend::WritePage(uint32_t id, const char* buf) {
   size_t done = 0;
+  int attempt = 0;
   while (done < kPageSize) {
     ssize_t n = ::pwrite(fd_, buf + done, kPageSize - done,
                          static_cast<off_t>(id) * kPageSize +
                              static_cast<off_t>(done));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN && NoteRetry(&attempt)) continue;
       return Status::IOError("pwrite(" + path_ + ", page " +
                              std::to_string(id) +
                              "): " + std::strerror(errno));
@@ -107,8 +126,10 @@ Status FileBackend::WritePage(uint32_t id, const char* buf) {
 }
 
 Status FileBackend::Sync() {
+  int attempt = 0;
   while (::fsync(fd_) != 0) {
     if (errno == EINTR) continue;
+    if (errno == EAGAIN && NoteRetry(&attempt)) continue;
     return Status::IOError("fsync(" + path_ + "): " + std::strerror(errno));
   }
   return Status::OK();

@@ -48,6 +48,21 @@ class MemoryBackend : public StorageBackend {
 
 /// Stores pages in a file via pread/pwrite (a disk-resident configuration).
 /// All transfers retry on EINTR and loop on short reads/writes.
+/// Shared counter for transient-I/O retries, surfaced as
+/// ExecStats::io_retries. shared_ptr because the pool's backend (owned via
+/// the BufferPool) can outlive the Database's ExecStats during teardown.
+using IoRetryCounter = std::shared_ptr<std::atomic<uint64_t>>;
+
+/// The bounded retry-with-backoff policy shared by every durable-I/O layer
+/// (FileBackend for real EINTR/EAGAIN, FaultInjectingBackend and the WAL
+/// for injected transient faults): up to kMaxAttempts tries with an
+/// exponentially growing sleep in between.
+struct IoRetryPolicy {
+  static constexpr int kMaxAttempts = 6;
+  /// Sleeps ~64us << attempt (capped at ~2ms). attempt is 0-based.
+  static void Backoff(int attempt);
+};
+
 class FileBackend : public StorageBackend {
  public:
   /// Opens the file. With `truncate` (the default) any existing content is
@@ -63,11 +78,22 @@ class FileBackend : public StorageBackend {
   Status Sync() override;
   uint32_t page_count() const override { return page_count_; }
 
+  /// Attaches the ExecStats retry counter (see IoRetryCounter). Optional;
+  /// retries happen (and are merely uncounted) without it.
+  void set_retry_counter(IoRetryCounter retries) {
+    retries_ = std::move(retries);
+  }
+
  private:
   FileBackend(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  /// Notes one transient-error retry and decides whether to keep going.
+  bool NoteRetry(int* attempt);
+
   int fd_;
   std::string path_;
   uint32_t page_count_ = 0;
+  IoRetryCounter retries_;
 };
 
 class BufferPool;

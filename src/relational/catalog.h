@@ -119,6 +119,18 @@ struct ExecStats {
   StatCounter versions_retained = 0;
   StatCounter version_chain_max = 0;
 
+  // Resource governance (see DatabaseOptions::default_statement_timeout_ms,
+  // statement_memory_budget_bytes): per-statement outcomes counted by the
+  // statement governor when a limit trips, plus transient-I/O retries the
+  // storage backend absorbed (EAGAIN / injected transient faults) and
+  // auto-checkpoints that failed and were deferred to the next threshold
+  // crossing.
+  StatCounter statements_timed_out = 0;
+  StatCounter statements_cancelled = 0;
+  StatCounter mem_budget_rejections = 0;
+  StatCounter io_retries = 0;
+  StatCounter checkpoints_failed = 0;
+
   /// Fraction of statement compilations avoided by the plan cache.
   double PlanCacheHitRate() const {
     uint64_t total = plan_cache_hits + plan_cache_misses;

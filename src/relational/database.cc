@@ -63,6 +63,69 @@ class InstanceLease {
 
 }  // namespace
 
+/// RAII statement governor: builds the QueryControl for one top-level
+/// statement from the database defaults plus per-call overrides, registers
+/// it for Database::Cancel, and installs it in the thread-local slot the
+/// executor polls. Constructed before the statement latch is taken, so the
+/// deadline clock covers time spent queued behind writers (the wait itself
+/// is not interruptible — cancellation is cooperative and fires at the
+/// first check point after admission, see docs/INTERNALS.md §12).
+///
+/// A statement nested inside another on the same thread (auto-commit
+/// wrappers, ExecuteBatch's inner Execute calls, store TxnScopes) inherits
+/// the enclosing control: the governor then owns nothing and counts
+/// nothing, so each top-level statement is registered and tallied once.
+class StatementGovernor {
+ public:
+  StatementGovernor(Database* db, const StatementOptions& opts) : db_(db) {
+    if (CurrentQueryControl() != nullptr) return;  // nested: inherit
+    control_ = std::make_shared<QueryControl>();
+    int64_t timeout_ms =
+        opts.timeout_ms >= 0
+            ? opts.timeout_ms
+            : static_cast<int64_t>(db_->options_.default_statement_timeout_ms);
+    if (timeout_ms > 0) {
+      control_->SetDeadline(std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(timeout_ms));
+    }
+    control_->SetMemoryLimits(db_->options_.statement_memory_budget_bytes,
+                              &db_->global_budget_);
+    uint64_t id =
+        db_->statement_id_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+    control_->set_statement_id(id);
+    if (opts.statement_id != nullptr) *opts.statement_id = id;
+    {
+      std::lock_guard<std::mutex> lock(db_->inflight_mu_);
+      db_->inflight_[id] = control_;
+    }
+    scope_.emplace(control_.get());
+  }
+
+  ~StatementGovernor() {
+    if (control_ == nullptr) return;
+    scope_.reset();
+    std::lock_guard<std::mutex> lock(db_->inflight_mu_);
+    db_->inflight_.erase(control_->statement_id());
+  }
+
+  StatementGovernor(const StatementGovernor&) = delete;
+  StatementGovernor& operator=(const StatementGovernor&) = delete;
+
+  /// Tallies the statement's final status into ExecStats (owning governors
+  /// only, so one trip counts once however deeply the failure surfaced).
+  void NoteOutcome(const Status& st) {
+    if (control_ == nullptr || st.ok()) return;
+    if (st.IsDeadlineExceeded()) ++db_->stats_.statements_timed_out;
+    if (st.IsCancelled()) ++db_->stats_.statements_cancelled;
+    if (st.IsResourceExhausted()) ++db_->stats_.mem_budget_rejections;
+  }
+
+ private:
+  Database* db_;
+  std::shared_ptr<QueryControl> control_;
+  std::optional<ScopedQueryControl> scope_;
+};
+
 WriteStatementGuard::WriteStatementGuard(Database* db) : db_(db) {
   for (;;) {
     db_->latch_.LockExclusive();
@@ -90,15 +153,22 @@ Result<std::unique_ptr<Database>> Database::Open(
   std::unique_ptr<StorageBackend> backend;
   std::unique_ptr<WriteAheadLog> wal;
   uint64_t recovered_commit_lsn = 0;
+  // One retry tally shared by every layer that absorbs transient I/O
+  // faults (file backend, fault-injecting wrapper, WAL); surfaced as
+  // ExecStats::io_retries.
+  auto io_retries = std::make_shared<std::atomic<uint64_t>>(0);
   if (!options.file_path.empty()) {
     OXML_ASSIGN_OR_RETURN(
         std::unique_ptr<FileBackend> fb,
         FileBackend::Open(options.file_path,
                           /*truncate=*/!options.open_existing));
+    fb->set_retry_counter(io_retries);
     backend = std::move(fb);
     if (options.fault_plan != nullptr) {
-      backend = std::make_unique<FaultInjectingBackend>(std::move(backend),
-                                                        options.fault_plan);
+      auto faulty = std::make_unique<FaultInjectingBackend>(
+          std::move(backend), options.fault_plan);
+      faulty->set_retry_counter(io_retries);
+      backend = std::move(faulty);
     }
     if (options.enable_wal) {
       const std::string wal_path = options.file_path + ".wal";
@@ -109,6 +179,9 @@ Result<std::unique_ptr<Database>> Database::Open(
         OXML_ASSIGN_OR_RETURN(WalRecovery rec,
                               WriteAheadLog::Recover(wal_path));
         for (const auto& [page_id, image] : rec.pages) {
+          // An embedder bounding recovery time (ScopedQueryControl around
+          // Open) is honored here too, between page applications.
+          OXML_RETURN_NOT_OK(CheckCurrentControl());
           while (backend->page_count() <= page_id) {
             OXML_RETURN_NOT_OK(backend->AllocatePage().status());
           }
@@ -124,6 +197,7 @@ Result<std::unique_ptr<Database>> Database::Open(
       wopts.group_commit_every = options.wal_group_commit_every;
       OXML_ASSIGN_OR_RETURN(
           wal, WriteAheadLog::Open(wal_path, wopts, options.fault_plan));
+      wal->set_retry_counter(io_retries);
       // The data file is now current (fresh database, or recovery just made
       // it so — and fsynced it above); start from an empty log. Replay is
       // idempotent, so a crash before this truncation merely replays again.
@@ -140,6 +214,8 @@ Result<std::unique_ptr<Database>> Database::Open(
   auto db = std::unique_ptr<Database>(new Database(std::move(pool)));
   db->options_ = options;
   db->plan_cache_capacity_ = options.plan_cache_capacity;
+  db->io_retries_ = io_retries;
+  db->global_budget_.cap = options.total_memory_budget_bytes;
   if (options.enable_parallel_execution) {
     db->exec_pool_ = std::make_unique<ThreadPool>(options.num_threads);
   }
@@ -518,7 +594,18 @@ Status Database::Commit() {
       wal_->size_bytes() > options_.wal_checkpoint_threshold_bytes) {
     // The commit above is already durable; a failed auto-checkpoint only
     // leaves the log longer than intended, so it must not fail the commit.
-    (void)Checkpoint();
+    // The log keeps growing past the threshold, so the very next commit
+    // re-enters this branch and retries — no separate retry state needed.
+    // (A failed FlushAll cannot corrupt: committed page images stay in the
+    // WAL until a successful Reset, and replay is idempotent.)
+    Status cp = Checkpoint();
+    if (!cp.ok()) {
+      ++stats_.checkpoints_failed;
+      std::fprintf(stderr,
+                   "oxml: auto-checkpoint failed (will retry at next "
+                   "threshold crossing): %s\n",
+                   cp.ToString().c_str());
+    }
   }
   return Status::OK();
 }
@@ -692,38 +779,48 @@ Result<Rid> Database::Insert(const std::string& table, const Row& row) {
 
 Result<int64_t> Database::BulkLoadRows(const std::string& table,
                                        const std::vector<Row>& rows) {
+  // The bulk load is one governed statement, so the parallel shred/build
+  // pipeline's per-unit checks and run-buffer charges have a control to
+  // hit (a load started inside an outer statement inherits its control).
+  StatementGovernor governor(this, StatementOptions{});
   WriteStatementGuard guard(this);
-  TableInfo* t = GetTable(table);
-  if (t == nullptr) return Status::NotFound("no such table: " + table);
-  auto load = [&]() -> Status {
-    if (t->heap()->row_count() != 0) {
-      // Bulk index construction needs empty trees; keep correctness on
-      // non-empty tables by degrading to the per-row path.
-      for (const Row& row : rows) {
-        OXML_RETURN_NOT_OK(t->InsertRow(row, &stats_).status());
+  auto run = [&]() -> Result<int64_t> {
+    TableInfo* t = GetTable(table);
+    if (t == nullptr) return Status::NotFound("no such table: " + table);
+    auto load = [&]() -> Status {
+      if (t->heap()->row_count() != 0) {
+        // Bulk index construction needs empty trees; keep correctness on
+        // non-empty tables by degrading to the per-row path.
+        for (const Row& row : rows) {
+          OXML_RETURN_NOT_OK(CheckCurrentControl());
+          OXML_RETURN_NOT_OK(t->InsertRow(row, &stats_).status());
+        }
+        return Status::OK();
       }
-      return Status::OK();
+      return t->BulkLoadRows(rows, load_pool_.get(), &stats_);
+    };
+    if (pool_->InTxn()) {
+      OXML_RETURN_NOT_OK(load());
+      return static_cast<int64_t>(rows.size());
     }
-    return t->BulkLoadRows(rows, load_pool_.get(), &stats_);
-  };
-  if (pool_->InTxn()) {
-    OXML_RETURN_NOT_OK(load());
+    // Auto-commit: the whole batch is one transaction, so the WAL receives
+    // every dirtied page image followed by a single commit record.
+    OXML_RETURN_NOT_OK(Begin());
+    Status st = load();
+    if (!st.ok()) {
+      (void)Rollback();
+      return st;
+    }
+    Status c = Commit();
+    if (!c.ok()) {
+      (void)Rollback();
+      return c;
+    }
     return static_cast<int64_t>(rows.size());
-  }
-  // Auto-commit: the whole batch is one transaction, so the WAL receives
-  // every dirtied page image followed by a single commit record.
-  OXML_RETURN_NOT_OK(Begin());
-  Status st = load();
-  if (!st.ok()) {
-    (void)Rollback();
-    return st;
-  }
-  Status c = Commit();
-  if (!c.ok()) {
-    (void)Rollback();
-    return c;
-  }
-  return static_cast<int64_t>(rows.size());
+  };
+  Result<int64_t> r = run();
+  governor.NoteOutcome(r.status());
+  return r;
 }
 
 void Database::InvalidatePlans() {
@@ -934,18 +1031,45 @@ Result<ResultSet> Database::QueryLocked(std::string_view sql, Row* params) {
   return rs;
 }
 
-Result<ResultSet> Database::Query(std::string_view sql) {
+Result<ResultSet> Database::Query(std::string_view sql,
+                                  const StatementOptions& sopts) {
+  // Governor before the latch: the deadline clock covers queueing time.
+  StatementGovernor governor(this, sopts);
   SharedStatementGuard guard(&latch_);
   std::optional<ScopedReadSnapshot> snap;
   MaybeBeginSnapshot(&snap);
-  return QueryLocked(sql, nullptr);
+  Result<ResultSet> r = QueryLocked(sql, nullptr);
+  governor.NoteOutcome(r.status());
+  return r;
 }
 
-Result<ResultSet> Database::QueryP(std::string_view sql, Row params) {
+Result<ResultSet> Database::QueryP(std::string_view sql, Row params,
+                                   const StatementOptions& sopts) {
+  StatementGovernor governor(this, sopts);
   SharedStatementGuard guard(&latch_);
   std::optional<ScopedReadSnapshot> snap;
   MaybeBeginSnapshot(&snap);
-  return QueryLocked(sql, &params);
+  Result<ResultSet> r = QueryLocked(sql, &params);
+  governor.NoteOutcome(r.status());
+  return r;
+}
+
+Status Database::Cancel(uint64_t statement_id) {
+  // Copy the shared_ptr out under the registry lock, then flip the flag
+  // outside it: the statement may finish (and unregister) concurrently,
+  // and the control must stay alive for this call either way.
+  std::shared_ptr<QueryControl> ctl;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(statement_id);
+    if (it == inflight_.end()) {
+      return Status::NotFound("no in-flight statement with id " +
+                              std::to_string(statement_id));
+    }
+    ctl = it->second;
+  }
+  ctl->Cancel();
+  return Status::OK();
 }
 
 Result<std::string> Database::Explain(std::string_view sql) {
@@ -982,14 +1106,22 @@ Result<int64_t> Database::ExecuteLocked(std::string_view sql, Row* params) {
   return ExecuteEntry(entry.get(), inst);
 }
 
-Result<int64_t> Database::Execute(std::string_view sql) {
+Result<int64_t> Database::Execute(std::string_view sql,
+                                  const StatementOptions& sopts) {
+  StatementGovernor governor(this, sopts);
   WriteStatementGuard guard(this);
-  return ExecuteLocked(sql, nullptr);
+  Result<int64_t> r = ExecuteLocked(sql, nullptr);
+  governor.NoteOutcome(r.status());
+  return r;
 }
 
-Result<int64_t> Database::ExecuteP(std::string_view sql, Row params) {
+Result<int64_t> Database::ExecuteP(std::string_view sql, Row params,
+                                   const StatementOptions& sopts) {
+  StatementGovernor governor(this, sopts);
   WriteStatementGuard guard(this);
-  return ExecuteLocked(sql, &params);
+  Result<int64_t> r = ExecuteLocked(sql, &params);
+  governor.NoteOutcome(r.status());
+  return r;
 }
 
 Result<PreparedStatement> Database::Prepare(std::string_view sql) {
@@ -1051,46 +1183,62 @@ Status PreparedStatement::Refresh() {
   return Status::OK();
 }
 
-Result<ResultSet> PreparedStatement::Query() {
+Result<ResultSet> PreparedStatement::Query(const StatementOptions& sopts) {
   if (entry_ == nullptr) return Status::Internal("statement not prepared");
+  StatementGovernor governor(db_, sopts);
   SharedStatementGuard guard(db_->statement_latch());
   std::optional<ScopedReadSnapshot> snap;
   db_->MaybeBeginSnapshot(&snap);
-  OXML_RETURN_NOT_OK(Refresh());
-  if (entry_->kind != StmtKind::kSelect) {
-    return Status::InvalidArgument("Query() requires a SELECT statement");
-  }
-  ++db_->stats_.statements;
-  OXML_ASSIGN_OR_RETURN(PlanInstance * inst,
-                        db_->AcquireInstance(entry_.get()));
-  InstanceLease lease(entry_.get(), inst);
-  *inst->params = *entry_->bindings;
-  OXML_ASSIGN_OR_RETURN(
-      ResultSet rs,
-      ExecuteToResultSet(
-          inst->plan.get(),
-          entry_->last_row_count.load(std::memory_order_relaxed)));
-  entry_->last_row_count.store(rs.rows.size(), std::memory_order_relaxed);
-  db_->SyncMvccStats();
-  return rs;
+  auto run = [&]() -> Result<ResultSet> {
+    OXML_RETURN_NOT_OK(Refresh());
+    if (entry_->kind != StmtKind::kSelect) {
+      return Status::InvalidArgument("Query() requires a SELECT statement");
+    }
+    ++db_->stats_.statements;
+    OXML_ASSIGN_OR_RETURN(PlanInstance * inst,
+                          db_->AcquireInstance(entry_.get()));
+    InstanceLease lease(entry_.get(), inst);
+    *inst->params = *entry_->bindings;
+    OXML_ASSIGN_OR_RETURN(
+        ResultSet rs,
+        ExecuteToResultSet(
+            inst->plan.get(),
+            entry_->last_row_count.load(std::memory_order_relaxed)));
+    entry_->last_row_count.store(rs.rows.size(), std::memory_order_relaxed);
+    db_->SyncMvccStats();
+    return rs;
+  };
+  Result<ResultSet> r = run();
+  governor.NoteOutcome(r.status());
+  return r;
 }
 
-Result<int64_t> PreparedStatement::Execute() {
+Result<int64_t> PreparedStatement::Execute(const StatementOptions& sopts) {
   if (entry_ == nullptr) return Status::Internal("statement not prepared");
+  StatementGovernor governor(db_, sopts);
   WriteStatementGuard guard(db_);
-  OXML_RETURN_NOT_OK(Refresh());
-  ++db_->stats_.statements;
-  OXML_ASSIGN_OR_RETURN(PlanInstance * inst,
-                        db_->AcquireInstance(entry_.get()));
-  InstanceLease lease(entry_.get(), inst);
-  *inst->params = *entry_->bindings;
-  return db_->ExecuteEntry(entry_.get(), inst);
+  auto run = [&]() -> Result<int64_t> {
+    OXML_RETURN_NOT_OK(Refresh());
+    ++db_->stats_.statements;
+    OXML_ASSIGN_OR_RETURN(PlanInstance * inst,
+                          db_->AcquireInstance(entry_.get()));
+    InstanceLease lease(entry_.get(), inst);
+    *inst->params = *entry_->bindings;
+    return db_->ExecuteEntry(entry_.get(), inst);
+  };
+  Result<int64_t> r = run();
+  governor.NoteOutcome(r.status());
+  return r;
 }
 
 Result<int64_t> PreparedStatement::ExecuteBatch(
     const std::vector<Row>& rows) {
   if (rows.empty()) return 0;
   if (entry_ == nullptr) return Status::Internal("statement not prepared");
+  // One governor for the whole batch (the inner Execute calls inherit it),
+  // so a deadline or Cancel spans all N executions and the wrapping
+  // transaction rolls the partial batch back.
+  StatementGovernor governor(db_, StatementOptions{});
   WriteStatementGuard guard(db_);
   OXML_RETURN_NOT_OK(Refresh());
   bool dml = entry_->kind == StmtKind::kInsert ||
@@ -1106,6 +1254,7 @@ Result<int64_t> PreparedStatement::ExecuteBatch(
     Result<int64_t> n = st.ok() ? Execute() : Result<int64_t>(st);
     if (!n.ok()) {
       if (wrap) (void)db_->Rollback();
+      governor.NoteOutcome(n.status());
       return n.status();
     }
     total += *n;
@@ -1114,6 +1263,7 @@ Result<int64_t> PreparedStatement::ExecuteBatch(
     Status c = db_->Commit();
     if (!c.ok()) {
       (void)db_->Rollback();
+      governor.NoteOutcome(c);
       return c;
     }
   }
@@ -1176,6 +1326,7 @@ Result<int64_t> Database::ExecuteInsert(InsertStmt* stmt) {
   int64_t inserted = 0;
   Row empty;
   for (auto& exprs : stmt->rows) {
+    OXML_RETURN_NOT_OK(CheckCurrentControl());
     if (exprs.size() != positions.size()) {
       return Status::InvalidArgument("VALUES arity mismatch");
     }
@@ -1249,6 +1400,7 @@ Result<std::vector<Rid>> Database::CollectRids(TableInfo* table,
                          ? path.index->ScanFrom(*path.lower)
                          : path.index->ScanBegin();
     while (it.valid()) {
+      OXML_RETURN_NOT_OK(CheckCurrentControl());
       if (path.upper.has_value() && it.key() >= *path.upper) break;
       OXML_ASSIGN_OR_RETURN(Row row, table->heap()->Get(it.rid()));
       ++stats_.rows_scanned;
@@ -1261,6 +1413,7 @@ Result<std::vector<Rid>> Database::CollectRids(TableInfo* table,
     Rid rid;
     Row row;
     while (true) {
+      OXML_RETURN_NOT_OK(CheckCurrentControl());
       OXML_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &row));
       if (!has) break;
       ++stats_.rows_scanned;

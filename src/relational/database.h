@@ -20,6 +20,7 @@
 #include "src/relational/buffer_pool.h"
 #include "src/relational/catalog.h"
 #include "src/relational/executor.h"
+#include "src/relational/query_control.h"
 #include "src/relational/sql_ast.h"
 #include "src/relational/wal.h"
 
@@ -123,6 +124,37 @@ struct DatabaseOptions {
   /// When set, every data-file and WAL I/O consults this fault schedule
   /// (crash-point testing). Production opens leave it null.
   std::shared_ptr<FaultPlan> fault_plan;
+
+  // ------------------------------------------------------------- governance
+
+  /// Deadline applied to every statement that does not override it via
+  /// StatementOptions (0 = none). The clock starts when the statement call
+  /// enters the engine — before the statement latch — so time spent queued
+  /// behind a writer counts against the deadline. Enforcement is
+  /// cooperative: the statement fails with kDeadlineExceeded at its next
+  /// check point (operator Next(), morsel claim, shred unit, WAL-replay
+  /// record), never mid-page; see docs/INTERNALS.md §12.
+  uint64_t default_statement_timeout_ms = 0;
+  /// Per-statement cap on memory materialized by allocating operators
+  /// (sorts, hash/merge/nested-loop join builds, parallel-scan partitions,
+  /// shred runs, result sets), estimated and charged in batches. A
+  /// statement over its cap fails with kResourceExhausted; 0 = unlimited.
+  size_t statement_memory_budget_bytes = 0;
+  /// Database-wide cap shared by all concurrent statements' charges
+  /// (0 = unlimited). Statements failing this cap also get
+  /// kResourceExhausted; their reservation is fully returned.
+  size_t total_memory_budget_bytes = 0;
+};
+
+/// Per-call overrides for one statement (Query/QueryP/Execute/ExecuteP and
+/// the PreparedStatement equivalents).
+struct StatementOptions {
+  /// -1 = inherit DatabaseOptions::default_statement_timeout_ms;
+  /// 0 = no deadline for this statement; > 0 = deadline in milliseconds.
+  int64_t timeout_ms = -1;
+  /// When non-null, receives the statement id assigned to this call before
+  /// execution begins, for use with Database::Cancel from another thread.
+  uint64_t* statement_id = nullptr;
 };
 
 /// Aggregate storage numbers (per database), used by the loading/storage
@@ -350,11 +382,12 @@ class PreparedStatement {
   /// Binds all parameters at once; `values.size()` must equal param_count().
   Status BindAll(Row values);
 
-  /// Executes a prepared SELECT with the current bindings.
-  Result<ResultSet> Query();
+  /// Executes a prepared SELECT with the current bindings. `sopts` carries
+  /// the per-call governance overrides (deadline, cancel handle).
+  Result<ResultSet> Query(const StatementOptions& sopts = {});
   /// Executes any prepared statement; returns affected-row count
   /// (result-row count for SELECT, 0 for DDL).
-  Result<int64_t> Execute();
+  Result<int64_t> Execute(const StatementOptions& sopts = {});
   /// Binds and executes once per row: one parse + plan for N executions.
   /// Returns the summed affected-row count. An empty batch is a no-op.
   Result<int64_t> ExecuteBatch(const std::vector<Row>& rows);
@@ -448,24 +481,37 @@ class Database {
   /// Executes a SELECT and materializes the result. Served from the plan
   /// cache when the same SQL text was seen before. Statements containing
   /// '?' parameters are rejected — use QueryP() or Prepare(). Safe to call
-  /// from many threads at once (shared statement latch).
-  Result<ResultSet> Query(std::string_view sql);
+  /// from many threads at once (shared statement latch). `sopts` carries
+  /// per-call governance overrides (deadline, cancel handle).
+  Result<ResultSet> Query(std::string_view sql,
+                          const StatementOptions& sopts = {});
 
   /// One-shot parameterized SELECT: binds `params` to the '?' markers and
   /// executes, all within a single call. Unlike PreparedStatement handles,
   /// the bindings live in the per-call plan instance, so concurrent QueryP
   /// calls on the same SQL text never observe each other's parameters —
   /// this is the thread-safe path the XPath driver uses.
-  Result<ResultSet> QueryP(std::string_view sql, Row params);
+  Result<ResultSet> QueryP(std::string_view sql, Row params,
+                           const StatementOptions& sopts = {});
 
   /// Executes any statement; returns the number of affected rows
   /// (0 for DDL, result-row count for SELECT). Cache/parameter behavior as
   /// for Query(). Takes the statement latch exclusively (the statement may
   /// mutate).
-  Result<int64_t> Execute(std::string_view sql);
+  Result<int64_t> Execute(std::string_view sql,
+                          const StatementOptions& sopts = {});
 
   /// One-shot parameterized Execute (see QueryP for binding semantics).
-  Result<int64_t> ExecuteP(std::string_view sql, Row params);
+  Result<int64_t> ExecuteP(std::string_view sql, Row params,
+                           const StatementOptions& sopts = {});
+
+  /// Requests cooperative cancellation of an in-flight statement (the id
+  /// from StatementOptions::statement_id, observed on any thread). The
+  /// target aborts with kCancelled at its next check point; a mutating
+  /// statement rolls back through the normal undo path. NotFound when no
+  /// statement with that id is in flight — cancellation raced completion,
+  /// which callers should treat as benign.
+  Status Cancel(uint64_t statement_id);
 
   /// Compiles `sql` (which may contain '?' parameter markers) into a
   /// reusable handle, served from the plan cache on repeat texts.
@@ -477,8 +523,24 @@ class Database {
 
   // ------------------------------------------------------------- accounting
 
-  ExecStats* stats() { return &stats_; }
+  ExecStats* stats() {
+    // The retry tally lives with the storage backends (which outlive the
+    // stats struct during destruction); fold it in on read.
+    if (io_retries_ != nullptr) {
+      stats_.io_retries = io_retries_->load(std::memory_order_relaxed);
+    }
+    return &stats_;
+  }
   const DatabaseOptions& options() const { return options_; }
+  /// The id the next statement will be assigned (ids are dense and start
+  /// at 1). A canceller that snapshots this before racing a peer's
+  /// statements can sweep Cancel over the window it observed.
+  uint64_t next_statement_id() const {
+    return statement_id_counter_.load(std::memory_order_relaxed) + 1;
+  }
+  /// The database-wide memory budget (see
+  /// DatabaseOptions::total_memory_budget_bytes); exposed for tests.
+  MemoryBudget* global_memory_budget() { return &global_budget_; }
   BufferPool* buffer_pool() { return pool_.get(); }
   /// The intra-query execution pool, or null when parallel execution is
   /// disabled (the planner then never emits parallel operators).
@@ -505,6 +567,7 @@ class Database {
  private:
   friend class PreparedStatement;
   friend class WriteStatementGuard;
+  friend class StatementGovernor;
 
   // Defined in database.cc: ThreadPool is incomplete here, so both the
   // constructor and destructor must be out of line.
@@ -596,6 +659,16 @@ class Database {
   std::unique_ptr<ThreadPool> exec_pool_;
   /// Bulk-load workers, created at Open when enable_parallel_load.
   std::unique_ptr<ThreadPool> load_pool_;
+
+  // Statement governance (docs/INTERNALS.md §12). The registry maps the
+  // ids handed out through StatementOptions::statement_id to the live
+  // controls so Cancel() can reach a statement from any thread; entries
+  // exist exactly while the owning statement executes.
+  MemoryBudget global_budget_;
+  IoRetryCounter io_retries_;
+  std::atomic<uint64_t> statement_id_counter_{0};
+  mutable std::mutex inflight_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<QueryControl>> inflight_;
 
   // Plan cache: SQL text -> compiled entry, LRU-ordered (front = hottest).
   // `plan_cache_mu_` guards the map and the LRU list; per-entry instance

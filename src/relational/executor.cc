@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/relational/key_codec.h"
+#include "src/relational/query_control.h"
 
 namespace oxml {
 
@@ -121,6 +122,9 @@ Status SeqScanOp::Open() {
 }
 
 Result<bool> SeqScanOp::Next(Row* row) {
+  // Every pipeline bottoms out in a scan, so the leaf check point gives
+  // all Next() chains deadline/cancel coverage (amortized, see Check()).
+  OXML_RETURN_NOT_OK(CheckCurrentControl());
   Rid rid;
   OXML_ASSIGN_OR_RETURN(bool has, it_->Next(&rid, row));
   if (has && stats_ != nullptr) ++stats_->rows_scanned;
@@ -196,6 +200,7 @@ Status IndexScanOp::Open() {
 }
 
 Result<bool> IndexScanOp::Next(Row* row) {
+  OXML_RETURN_NOT_OK(CheckCurrentControl());
   if (!it_.valid()) return false;
   if (upper_.has_value() && it_.key() >= *upper_) return false;
   OXML_ASSIGN_OR_RETURN(*row, table_->heap()->Get(it_.rid()));
@@ -309,10 +314,12 @@ Status NestedLoopJoinOp::Open() {
   OXML_RETURN_NOT_OK(left_->Open());
   OXML_RETURN_NOT_OK(right_->Open());
   right_rows_.clear();
+  BudgetCharger budget;
   Row row;
   while (true) {
     OXML_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
     if (!has) break;
+    OXML_RETURN_NOT_OK(budget.AddRow(row));
     right_rows_.push_back(std::move(row));
   }
   right_->Close();
@@ -395,13 +402,17 @@ Status HashJoinOp::Open() {
   OXML_RETURN_NOT_OK(left_->Open());
   OXML_RETURN_NOT_OK(right_->Open());
   hash_.clear();
+  BudgetCharger budget;
   Row row;
   while (true) {
     OXML_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
     if (!has) break;
     OXML_ASSIGN_OR_RETURN(std::optional<std::string> key,
                           EvalKey(right_keys_, row));
-    if (key.has_value()) hash_.emplace(std::move(*key), std::move(row));
+    if (key.has_value()) {
+      OXML_RETURN_NOT_OK(budget.Add(EstimateRowBytes(row) + key->size()));
+      hash_.emplace(std::move(*key), std::move(row));
+    }
   }
   right_->Close();
   have_left_ = false;
@@ -544,6 +555,7 @@ Status MergeJoinOp::Open() {
   OXML_RETURN_NOT_OK(left_->Open());
   OXML_RETURN_NOT_OK(right_->Open());
   right_rows_.clear();
+  BudgetCharger budget;
   Row row;
   while (true) {
     OXML_ASSIGN_OR_RETURN(bool has, right_->Next(&row));
@@ -555,6 +567,8 @@ Status MergeJoinOp::Open() {
       if (v.is_null()) kr.has_null = true;  // NULL keys never join
       kr.keys.push_back(std::move(v));
     }
+    OXML_RETURN_NOT_OK(
+        budget.Add(EstimateRowBytes(row) + EstimateRowBytes(kr.keys)));
     kr.row = std::move(row);
     right_rows_.push_back(std::move(kr));
   }
@@ -783,10 +797,12 @@ Status SortOp::Open() {
   OXML_RETURN_NOT_OK(child_->Open());
   rows_.clear();
   pos_ = 0;
+  BudgetCharger budget;
   Row row;
   while (true) {
     OXML_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
     if (!has) break;
+    OXML_RETURN_NOT_OK(budget.AddRow(row));
     rows_.push_back(std::move(row));
   }
   child_->Close();
@@ -1100,10 +1116,29 @@ Result<ResultSet> ExecuteToResultSet(Operator* root, size_t size_hint) {
   rs.schema = root->schema();
   if (size_hint > 0) rs.rows.reserve(size_hint);
   OXML_RETURN_NOT_OK(root->Open());
+  BudgetCharger budget;
   Row row;
   while (true) {
-    OXML_ASSIGN_OR_RETURN(bool has, root->Next(&row));
-    if (!has) break;
+    // Per-row governance: deadline/cancel at the root Next() boundary and
+    // memory accounting for the materialized result set. Close on the way
+    // out so plan-cached operator instances drop their buffered state
+    // instead of carrying it until their next execution.
+    Status ctl = CheckCurrentControl();
+    if (!ctl.ok()) {
+      root->Close();
+      return ctl;
+    }
+    Result<bool> has = root->Next(&row);
+    if (!has.ok()) {
+      root->Close();
+      return has.status();
+    }
+    if (!*has) break;
+    Status charged = budget.AddRow(row);
+    if (!charged.ok()) {
+      root->Close();
+      return charged;
+    }
     rs.rows.push_back(std::move(row));
   }
   root->Close();

@@ -4,10 +4,27 @@
 
 namespace oxml {
 
+FaultPlan::Decision DecideWriteWithRetry(FaultPlan* plan,
+                                         const IoRetryCounter& retries) {
+  for (int attempt = 0;; ++attempt) {
+    FaultPlan::Decision d = plan->BeforeWrite();
+    if (d != FaultPlan::Decision::kFailTransient) return d;
+    if (retries != nullptr) {
+      retries->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (attempt + 1 >= IoRetryPolicy::kMaxAttempts) return d;
+    IoRetryPolicy::Backoff(attempt);
+  }
+}
+
+FaultPlan::Decision FaultInjectingBackend::DecideWrite() {
+  return DecideWriteWithRetry(plan_.get(), retries_);
+}
+
 Result<uint32_t> FaultInjectingBackend::AllocatePage() {
   // Allocation extends the file with a zeroed page; a torn allocation still
   // leaves zeros behind, so only the fail/crash outcomes are distinct.
-  switch (plan_->BeforeWrite()) {
+  switch (DecideWrite()) {
     case FaultPlan::Decision::kProceed:
       return inner_->AllocatePage();
     case FaultPlan::Decision::kTear: {
@@ -15,6 +32,11 @@ Result<uint32_t> FaultInjectingBackend::AllocatePage() {
       (void)id;
       return FaultPlan::SimulatedError("torn write during page allocation");
     }
+    case FaultPlan::Decision::kFailEnospc:
+      return FaultPlan::SimulatedEnospc("page allocation");
+    case FaultPlan::Decision::kFailTransient:
+      return FaultPlan::SimulatedError(
+          "page allocation failed (transient, retries exhausted)");
     case FaultPlan::Decision::kFail:
       break;
   }
@@ -29,7 +51,7 @@ Status FaultInjectingBackend::ReadPage(uint32_t id, char* buf) {
 }
 
 Status FaultInjectingBackend::WritePage(uint32_t id, const char* buf) {
-  switch (plan_->BeforeWrite()) {
+  switch (DecideWrite()) {
     case FaultPlan::Decision::kProceed:
       return inner_->WritePage(id, buf);
     case FaultPlan::Decision::kTear: {
@@ -43,6 +65,11 @@ Status FaultInjectingBackend::WritePage(uint32_t id, const char* buf) {
       OXML_RETURN_NOT_OK(inner_->WritePage(id, torn));
       return FaultPlan::SimulatedError("torn page write");
     }
+    case FaultPlan::Decision::kFailEnospc:
+      return FaultPlan::SimulatedEnospc("page write");
+    case FaultPlan::Decision::kFailTransient:
+      return FaultPlan::SimulatedError(
+          "page write failed (transient, retries exhausted)");
     case FaultPlan::Decision::kFail:
       break;
   }
@@ -50,9 +77,11 @@ Status FaultInjectingBackend::WritePage(uint32_t id, const char* buf) {
 }
 
 Status FaultInjectingBackend::Sync() {
-  switch (plan_->BeforeSync()) {
+  switch (DecideWrite()) {
     case FaultPlan::Decision::kProceed:
       return inner_->Sync();
+    case FaultPlan::Decision::kFailEnospc:
+      return FaultPlan::SimulatedEnospc("sync");
     default:
       break;
   }

@@ -27,6 +27,12 @@ struct FaultPlan {
     kTornPage,    ///< the Nth write persists only its first half, then crash
     kEIO,         ///< the Nth I/O fails with EIO once; later I/Os proceed
     kShortWrite,  ///< the Nth write persists half and fails once; no crash
+    kTransient,   ///< write-class I/Os nth .. nth+K-1 fail with a retryable
+                  ///< error, then succeed (K = transient_failures); models
+                  ///< EAGAIN-style blips that a bounded retry loop absorbs
+    kEnospc,      ///< every write-class I/O from the nth on fails with
+                  ///< ENOSPC until the plan is re-armed ("space returns");
+                  ///< reads keep working — the disk is full, not broken
   };
 
   /// What the instrumented operation should do, as decided by BeforeWrite /
@@ -36,6 +42,10 @@ struct FaultPlan {
     kFail,      ///< do nothing; return an IOError
     kTear,      ///< persist only the first `kTearBytes` of the buffer, then
                 ///< return an IOError
+    kFailTransient,  ///< do nothing; retryable — the caller may back off and
+                     ///< consult the plan again (each retry is counted)
+    kFailEnospc,     ///< do nothing; return an ENOSPC-flavoured IOError that
+                     ///< is NOT retryable (space does not return on its own)
   };
 
   static constexpr size_t kTearBytes = 4096;  // half a page
@@ -50,6 +60,13 @@ struct FaultPlan {
     crashed = false;
   }
 
+  /// Arms a transient fault: write-class I/Os nth .. nth+k-1 fail with
+  /// Decision::kFailTransient, then I/Os succeed again.
+  void ArmTransient(uint64_t nth, uint64_t k) {
+    Arm(nth, Mode::kTransient);
+    transient_failures = k;
+  }
+
   /// Counts a write-class I/O (page write, WAL append) and decides its fate.
   Decision BeforeWrite() { return Step(/*is_write=*/true); }
   /// Counts a sync (fsync of data file or WAL).
@@ -62,9 +79,17 @@ struct FaultPlan {
     return Status::IOError(std::string("fault injection: ") + what);
   }
 
+  /// The injected disk-full error. Message mirrors strerror(ENOSPC) so
+  /// logs read like the real thing.
+  static Status SimulatedEnospc(const char* what) {
+    return Status::IOError(std::string("fault injection: ") + what +
+                           ": No space left on device");
+  }
+
   uint64_t io_count = 0;      ///< write-class I/Os seen since Arm()
   uint64_t trigger = 0;       ///< 1-based index of the faulted I/O (0 = off)
   uint64_t faults_fired = 0;  ///< number of injected faults so far
+  uint64_t transient_failures = 2;  ///< K for Mode::kTransient
   Mode mode = Mode::kNone;
   bool crashed = false;       ///< post-crash: every I/O fails
 
@@ -72,9 +97,22 @@ struct FaultPlan {
   Decision Step(bool is_write) {
     if (crashed) return Decision::kFail;
     ++io_count;
-    if (trigger == 0 || io_count != trigger || mode == Mode::kNone) {
-      return Decision::kProceed;
+    if (trigger == 0 || mode == Mode::kNone) return Decision::kProceed;
+    // Transient and disk-full faults cover a range of I/Os; the classic
+    // crash-class faults fire on exactly the trigger.
+    if (mode == Mode::kTransient) {
+      if (io_count < trigger || io_count >= trigger + transient_failures) {
+        return Decision::kProceed;
+      }
+      ++faults_fired;
+      return Decision::kFailTransient;
     }
+    if (mode == Mode::kEnospc) {
+      if (io_count < trigger) return Decision::kProceed;
+      ++faults_fired;
+      return Decision::kFailEnospc;
+    }
+    if (io_count != trigger) return Decision::kProceed;
     ++faults_fired;
     switch (mode) {
       case Mode::kCrash:
@@ -88,11 +126,21 @@ struct FaultPlan {
       case Mode::kShortWrite:
         return is_write ? Decision::kTear : Decision::kFail;
       case Mode::kNone:
+      case Mode::kTransient:
+      case Mode::kEnospc:
         break;
     }
     return Decision::kProceed;
   }
 };
+
+/// Consults `plan` for a write-class I/O, absorbing Decision::kFailTransient
+/// with the bounded IoRetryPolicy backoff (each retry re-consults the plan
+/// and bumps `retries` when attached). Returns the first non-transient
+/// decision, or kFailTransient once the retry budget is exhausted. Shared
+/// by FaultInjectingBackend and the WAL.
+FaultPlan::Decision DecideWriteWithRetry(FaultPlan* plan,
+                                         const IoRetryCounter& retries);
 
 /// A StorageBackend decorator that routes every page operation through a
 /// FaultPlan. Wraps the real backend of a file-backed database in tests;
@@ -109,9 +157,21 @@ class FaultInjectingBackend : public StorageBackend {
   Status Sync() override;
   uint32_t page_count() const override { return inner_->page_count(); }
 
+  /// Attaches the ExecStats retry counter (injected-transient retries
+  /// performed here are counted like real EAGAIN retries).
+  void set_retry_counter(IoRetryCounter retries) {
+    retries_ = std::move(retries);
+  }
+
  private:
+  /// Consults the plan for a write-class I/O, absorbing transient faults
+  /// with the bounded backoff policy. Returns the final decision (never
+  /// kFailTransient unless the retry budget is exhausted).
+  FaultPlan::Decision DecideWrite();
+
   std::unique_ptr<StorageBackend> inner_;
   std::shared_ptr<FaultPlan> plan_;
+  IoRetryCounter retries_;
 };
 
 }  // namespace oxml

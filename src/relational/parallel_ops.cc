@@ -4,6 +4,7 @@
 
 #include "src/relational/btree.h"
 #include "src/relational/heap_table.h"
+#include "src/relational/query_control.h"
 
 namespace oxml {
 
@@ -66,14 +67,19 @@ Status ParallelScanOp::OpenHeap() {
   const ReadSnapshot* snap = CurrentReadSnapshot();
   return pool_->ParallelFor(shards, [&, snap](size_t i) -> Status {
     SnapshotTaskScope scope(snap);
+    // ParallelFor re-installed the statement's QueryControl on this worker;
+    // poll it per row and charge the partition buffer against its budget.
+    BudgetCharger budget;
     size_t begin = i * chain.size() / shards;
     size_t end = (i + 1) * chain.size() / shards;
     HeapTable::Iterator it(table_->heap(), chain[begin], end - begin);
     Rid rid;
     Row row;
     while (true) {
+      OXML_RETURN_NOT_OK(CheckCurrentControl());
       OXML_ASSIGN_OR_RETURN(bool has, it.Next(&rid, &row));
       if (!has) break;
+      OXML_RETURN_NOT_OK(budget.AddRow(row));
       partitions_[i].push_back(std::move(row));
       if (stats_ != nullptr) ++stats_->rows_scanned;
     }
@@ -106,11 +112,14 @@ Status ParallelScanOp::OpenIndex() {
   const ReadSnapshot* snap = CurrentReadSnapshot();
   return pool_->ParallelFor(shards, [&, snap](size_t i) -> Status {
     SnapshotTaskScope scope(snap);
+    BudgetCharger budget;
     IndexCursor it = bounds[i].has_value() ? index_->ScanFrom(*bounds[i])
                                            : index_->ScanBegin();
     const std::optional<std::string>& stop = bounds[i + 1];
     while (it.valid() && !(stop.has_value() && it.key() >= *stop)) {
+      OXML_RETURN_NOT_OK(CheckCurrentControl());
       OXML_ASSIGN_OR_RETURN(Row row, table_->heap()->Get(it.rid()));
+      OXML_RETURN_NOT_OK(budget.AddRow(row));
       partitions_[i].push_back(std::move(row));
       if (stats_ != nullptr) ++stats_->rows_scanned;
       it.Next();
@@ -179,7 +188,7 @@ bool ParallelStructuralJoinOp::Contains(const Entry& e,
   return upper_inclusive_ ? hi <= 0 : hi < 0;
 }
 
-void ParallelStructuralJoinOp::JoinPartition(
+Status ParallelStructuralJoinOp::JoinPartition(
     const std::vector<Entry>& ancs, size_t anc_begin, size_t anc_end,
     const std::vector<Entry>& descs, size_t desc_begin, size_t desc_end,
     std::vector<Row>* out) const {
@@ -187,9 +196,11 @@ void ParallelStructuralJoinOp::JoinPartition(
   // push ancestors whose start precedes the descendant's, pop expired
   // intervals, emit surviving stack entries bottom-to-top with the same
   // emit-time Contains() re-check (so arbitrary overlap stays correct).
+  BudgetCharger budget;
   size_t next = anc_begin;
   std::vector<const Entry*> stack;
   for (size_t d = desc_begin; d < desc_end; ++d) {
+    OXML_RETURN_NOT_OK(CheckCurrentControl());
     const Value& start = descs[d].start;
     while (next < anc_end) {
       int c = ancs[next].start.Compare(start);
@@ -211,9 +222,11 @@ void ParallelStructuralJoinOp::JoinPartition(
       joined.reserve(e->row.size() + descs[d].row.size());
       joined.insert(joined.end(), e->row.begin(), e->row.end());
       joined.insert(joined.end(), descs[d].row.begin(), descs[d].row.end());
+      OXML_RETURN_NOT_OK(budget.AddRow(joined));
       out->push_back(std::move(joined));
     }
   }
+  return Status::OK();
 }
 
 Status ParallelStructuralJoinOp::Open() {
@@ -228,6 +241,7 @@ Status ParallelStructuralJoinOp::Open() {
   // Drain both inputs, evaluating interval columns once per row. Rows with
   // NULL starts are dropped here — the serial operator likewise never
   // pushes (ancestors) or matches (descendants) them.
+  BudgetCharger budget;
   std::vector<Entry> ancs;
   OXML_RETURN_NOT_OK(anc_->Open());
   {
@@ -239,6 +253,7 @@ Status ParallelStructuralJoinOp::Open() {
       OXML_ASSIGN_OR_RETURN(e.start, anc_start_->Eval(row));
       if (e.start.is_null()) continue;
       OXML_ASSIGN_OR_RETURN(e.end, anc_end_->Eval(row));
+      OXML_RETURN_NOT_OK(budget.AddRow(row));
       e.row = std::move(row);
       ancs.push_back(std::move(e));
     }
@@ -253,6 +268,7 @@ Status ParallelStructuralJoinOp::Open() {
       Entry e;
       OXML_ASSIGN_OR_RETURN(e.start, desc_start_->Eval(row));
       if (e.start.is_null()) continue;
+      OXML_RETURN_NOT_OK(budget.AddRow(row));
       e.row = std::move(row);
       descs.push_back(std::move(e));
     }
@@ -343,9 +359,8 @@ Status ParallelStructuralJoinOp::Open() {
     stats_->threads_used.UpdateMax(std::min(pool_->size() + 1, shards));
   }
   return pool_->ParallelFor(shards, [&](size_t i) -> Status {
-    JoinPartition(ancs, parts[i].anc_begin, parts[i].anc_end, descs,
-                  parts[i].desc_begin, parts[i].desc_end, &out_[i]);
-    return Status::OK();
+    return JoinPartition(ancs, parts[i].anc_begin, parts[i].anc_end, descs,
+                         parts[i].desc_begin, parts[i].desc_end, &out_[i]);
   });
 }
 

@@ -88,11 +88,12 @@ class ParallelStructuralJoinOp : public Operator {
   };
 
   bool Contains(const Entry& e, const Value& start) const;
-  /// Serial stack join over one independent group.
-  void JoinPartition(const std::vector<Entry>& ancs, size_t anc_begin,
-                     size_t anc_end, const std::vector<Entry>& descs,
-                     size_t desc_begin, size_t desc_end,
-                     std::vector<Row>* out) const;
+  /// Serial stack join over one independent group. Polls the statement's
+  /// QueryControl per descendant and charges emitted rows to its budget.
+  Status JoinPartition(const std::vector<Entry>& ancs, size_t anc_begin,
+                       size_t anc_end, const std::vector<Entry>& descs,
+                       size_t desc_begin, size_t desc_end,
+                       std::vector<Row>* out) const;
 
   OperatorPtr anc_;
   OperatorPtr desc_;

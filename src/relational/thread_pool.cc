@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "src/relational/query_control.h"
+
 namespace oxml {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -43,6 +45,11 @@ Status ThreadPool::ParallelFor(size_t shards,
   if (shards == 0) return Status::OK();
   if (shards == 1) return fn(0);
 
+  // The statement's governance token rides into every worker (morsel
+  // boundaries are cancellation check points), exactly like the MVCC read
+  // snapshot that the shard lambdas re-install themselves.
+  QueryControl* ctl = CurrentQueryControl();
+
   // Shared fan-out state. Helpers that never got scheduled before the
   // caller drained every shard exit immediately (next >= shards), so the
   // completion wait below cannot miss them.
@@ -55,14 +62,19 @@ Status ThreadPool::ParallelFor(size_t shards,
   };
   auto state = std::make_shared<FanOut>();
 
-  auto drain = [state, shards, &fn] {
+  auto drain = [state, shards, &fn, ctl] {
+    QueryControlTaskScope control_scope(ctl);
     size_t i;
     while ((i = state->next.fetch_add(1, std::memory_order_relaxed)) <
            shards) {
-      Status st = fn(i);
+      Status st = ctl != nullptr ? ctl->Check() : Status::OK();
+      if (st.ok()) st = fn(i);
       if (!st.ok()) {
         std::lock_guard<std::mutex> lock(state->mu);
         if (state->first_error.ok()) state->first_error = std::move(st);
+        // A cancelled/expired statement stops claiming shards; peers see
+        // the same control and wind down at their next claim.
+        if (st.IsCancelled() || st.IsDeadlineExceeded()) break;
       }
     }
   };

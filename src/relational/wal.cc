@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/relational/fault_injection.h"
+#include "src/relational/query_control.h"
 
 namespace oxml {
 
@@ -140,7 +141,7 @@ Status WriteAheadLog::AppendRecord(RecordType type, uint64_t txn_id,
          rec.data() + kRecordHeader + payload_len);
 
   if (fault_ != nullptr) {
-    switch (fault_->BeforeWrite()) {
+    switch (DecideWriteWithRetry(fault_.get(), retries_)) {
       case FaultPlan::Decision::kProceed:
         break;
       case FaultPlan::Decision::kTear: {
@@ -153,6 +154,15 @@ Status WriteAheadLog::AppendRecord(RecordType type, uint64_t txn_id,
         size_bytes_ = saved;
         return FaultPlan::SimulatedError("torn WAL append");
       }
+      case FaultPlan::Decision::kFailEnospc:
+        // Disk full: nothing is written and size_bytes_ stays put, so the
+        // log tail remains well-formed. The failure aborts only the current
+        // transaction; once space returns, the next append simply lands at
+        // the same offset.
+        return FaultPlan::SimulatedEnospc("WAL append");
+      case FaultPlan::Decision::kFailTransient:
+        return FaultPlan::SimulatedError(
+            "WAL append failed (transient, retries exhausted)");
       case FaultPlan::Decision::kFail:
         return FaultPlan::SimulatedError("WAL append failed");
     }
@@ -187,9 +197,15 @@ Status WriteAheadLog::Commit(uint64_t commit_lsn) {
 }
 
 Status WriteAheadLog::Sync() {
-  if (fault_ != nullptr &&
-      fault_->BeforeSync() != FaultPlan::Decision::kProceed) {
-    return FaultPlan::SimulatedError("WAL fsync failed");
+  if (fault_ != nullptr) {
+    switch (DecideWriteWithRetry(fault_.get(), retries_)) {
+      case FaultPlan::Decision::kProceed:
+        break;
+      case FaultPlan::Decision::kFailEnospc:
+        return FaultPlan::SimulatedEnospc("WAL fsync");
+      default:
+        return FaultPlan::SimulatedError("WAL fsync failed");
+    }
   }
   while (::fsync(fd_) != 0) {
     if (errno == EINTR) continue;
@@ -201,9 +217,15 @@ Status WriteAheadLog::Sync() {
 }
 
 Status WriteAheadLog::Reset() {
-  if (fault_ != nullptr &&
-      fault_->BeforeWrite() != FaultPlan::Decision::kProceed) {
-    return FaultPlan::SimulatedError("WAL truncation failed");
+  if (fault_ != nullptr) {
+    switch (DecideWriteWithRetry(fault_.get(), retries_)) {
+      case FaultPlan::Decision::kProceed:
+        break;
+      case FaultPlan::Decision::kFailEnospc:
+        return FaultPlan::SimulatedEnospc("WAL truncation");
+      default:
+        return FaultPlan::SimulatedError("WAL truncation failed");
+    }
   }
   while (::ftruncate(fd_, static_cast<off_t>(kHeaderSize)) != 0) {
     if (errno == EINTR) continue;
@@ -266,6 +288,9 @@ Result<WalRecovery> WriteAheadLog::Recover(const std::string& path) {
   std::vector<Pending> pending;
   size_t pos = kHeaderSize;
   while (true) {
+    // Honor a caller-installed control per record, so an embedder can bound
+    // recovery time (ScopedQueryControl around Database::Open).
+    OXML_RETURN_NOT_OK(CheckCurrentControl());
     if (pos + kRecordHeader + kRecordTrailer > data.size()) {
       // Short tail (possibly zero bytes): clean end of log.
       out.tail_damaged = pos != data.size();

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "src/common/result.h"
+#include "src/relational/buffer_pool.h"
 #include "src/relational/page.h"
 
 namespace oxml {
@@ -113,6 +114,12 @@ class WriteAheadLog {
   uint64_t syncs() const { return syncs_; }
   const std::string& path() const { return path_; }
 
+  /// Attaches the ExecStats retry counter: injected-transient log I/O
+  /// failures absorbed by the bounded backoff loop are counted here.
+  void set_retry_counter(IoRetryCounter retries) {
+    retries_ = std::move(retries);
+  }
+
  private:
   WriteAheadLog(int fd, std::string path, WalOptions options,
                 std::shared_ptr<FaultPlan> fault)
@@ -130,6 +137,7 @@ class WriteAheadLog {
   std::string path_;
   WalOptions options_;
   std::shared_ptr<FaultPlan> fault_;
+  IoRetryCounter retries_;
 
   uint64_t next_txn_id_ = 1;
   uint64_t size_bytes_ = 0;  // current file size including header

@@ -368,6 +368,238 @@ TEST_P(CrashMatrixTest, CommitFailsThenRollbackRestoresPreTxnState) {
   }
 }
 
+// Transient write faults (EAGAIN-style blips) swept over every write-class
+// I/O must be invisible to the workload: the bounded retry loop absorbs
+// them, every op commits, the final document matches the unfaulted run, and
+// the retries surface in ExecStats::io_retries.
+TEST_P(CrashMatrixTest, TransientFaultsAreAbsorbedByRetry) {
+  CrashFixture fx = Setup("transient");
+  ASSERT_GT(fx.workload_ios, 0u);
+  for (uint64_t k = 1; k <= fx.workload_ios; ++k) {
+    fx.RestoreBaseline();
+    auto plan = std::make_shared<FaultPlan>();
+    plan->ArmTransient(k, 2);
+    // Open must absorb blips too: k can land inside recovery I/O.
+    auto dbr = Database::Open(fx.OpenOptions(plan));
+    ASSERT_TRUE(dbr.ok()) << "transient at I/O " << k << ": " << dbr.status();
+    auto sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+    for (const WorkloadOp& op : ScriptedWorkload()) {
+      Status st = op(sr->get());
+      EXPECT_TRUE(st.ok()) << "transient at I/O " << k << ": " << st;
+    }
+    EXPECT_EQ(plan->faults_fired, 2u) << "transient at I/O " << k;
+    EXPECT_GE((*dbr)->stats()->io_retries, 2u) << "transient at I/O " << k;
+    Status valid = (*sr)->Validate();
+    EXPECT_TRUE(valid.ok()) << "transient at I/O " << k << ": " << valid;
+    auto snap = Snapshot(sr->get());
+    ASSERT_TRUE(snap.ok()) << snap.status();
+    EXPECT_EQ(*snap, fx.expected.back()) << "transient at I/O " << k;
+    (*dbr)->SimulateCrashForTesting();
+  }
+}
+
+// A full disk (persistent ENOSPC on every write-class I/O from the k-th on)
+// fails cleanly at every injection point: affected transactions roll back
+// and error out, the successes form a prefix of the workload, the store
+// stays valid — and once space returns the database is fully writable
+// again, with the recovered state surviving a clean reopen.
+TEST_P(CrashMatrixTest, EnospcFailsCleanlyAndWritabilityReturns) {
+  CrashFixture fx = Setup("enospc");
+  ASSERT_GT(fx.workload_ios, 0u);
+  for (uint64_t k = 1; k <= fx.workload_ios; ++k) {
+    fx.RestoreBaseline();
+    auto plan = std::make_shared<FaultPlan>();
+    plan->Arm(k, FaultPlan::Mode::kEnospc);
+    auto dbr = Database::Open(fx.OpenOptions(plan));
+    if (!dbr.ok()) {
+      // The disk filled during Open itself. Space returns; the failed
+      // attempt must not have corrupted anything.
+      plan->Arm(0, FaultPlan::Mode::kNone);
+      dbr = Database::Open(fx.OpenOptions(plan));
+      ASSERT_TRUE(dbr.ok())
+          << "ENOSPC from I/O " << k << ": reopen after space returned: "
+          << dbr.status();
+      auto sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+      ASSERT_TRUE(sr.ok()) << sr.status();
+      EXPECT_TRUE((*sr)->Validate().ok()) << "ENOSPC from I/O " << k;
+      Status extra =
+          InsertSection(sr->get(), 0, InsertPosition::kAfter, "sp");
+      EXPECT_TRUE(extra.ok()) << "ENOSPC from I/O " << k << ": " << extra;
+      ASSERT_TRUE((*dbr)->Close().ok());
+      continue;
+    }
+    auto sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+    size_t completed = 0;
+    bool disk_full_seen = false;
+    for (const WorkloadOp& op : ScriptedWorkload()) {
+      Status st = op(sr->get());
+      if (st.ok()) {
+        // The disk stays full until re-armed, so successes must all
+        // precede the first failure.
+        EXPECT_FALSE(disk_full_seen)
+            << "ENOSPC from I/O " << k << ": op succeeded on a full disk";
+        ++completed;
+      } else {
+        if (!disk_full_seen) {
+          EXPECT_NE(st.ToString().find("No space left on device"),
+                    std::string::npos)
+              << "ENOSPC from I/O " << k << ": " << st;
+        }
+        disk_full_seen = true;
+      }
+    }
+    EXPECT_TRUE(disk_full_seen) << "ENOSPC from I/O " << k << " never fired";
+    // Failed transactions rolled back completely: the document is exactly
+    // the committed prefix, and the store is internally consistent.
+    Status valid = (*sr)->Validate();
+    EXPECT_TRUE(valid.ok()) << "ENOSPC from I/O " << k << ": " << valid;
+    ASSERT_LT(completed, fx.expected.size());
+    auto snap = Snapshot(sr->get());
+    ASSERT_TRUE(snap.ok()) << snap.status();
+    EXPECT_EQ(*snap, fx.expected[completed]) << "ENOSPC from I/O " << k;
+
+    // Space returns: the very next statement must succeed.
+    plan->Arm(0, FaultPlan::Mode::kNone);
+    Status extra = InsertSection(sr->get(), 0, InsertPosition::kAfter, "sp");
+    EXPECT_TRUE(extra.ok()) << "ENOSPC from I/O " << k << ": " << extra;
+    auto before = Snapshot(sr->get());
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE((*dbr)->Close().ok());
+
+    dbr = Database::Open(fx.OpenOptions(nullptr));
+    ASSERT_TRUE(dbr.ok()) << dbr.status();
+    sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok());
+    auto after = Snapshot(sr->get());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*after, *before) << "ENOSPC from I/O " << k;
+  }
+}
+
+// Regression: a failed auto-checkpoint must not fail the (already durable)
+// commit it rides on, must be retried at the next threshold crossing
+// instead of silently dropped, and must leave the WAL replayable the whole
+// time. Sweeps an EIO over every write-class I/O of a commit that crosses
+// the checkpoint threshold.
+TEST_P(CrashMatrixTest, FailedAutoCheckpointIsRetriedAtNextThreshold) {
+  std::string path = TempPath(std::string("ckpt_") +
+                              OrderEncodingToString(GetParam()));
+  NewsGeneratorOptions gen;
+  gen.seed = 42;
+  gen.sections = 3;
+  gen.paragraphs_per_section = 2;
+  auto doc = GenerateNewsXml(gen);
+  auto open_opts = [&](std::shared_ptr<FaultPlan> plan, bool existing) {
+    DatabaseOptions o;
+    o.file_path = path;
+    o.open_existing = existing;
+    o.wal_checkpoint_threshold_bytes = 1;  // every commit crosses it
+    o.fault_plan = std::move(plan);
+    return o;
+  };
+
+  {
+    auto dbr = Database::Open(open_opts(nullptr, false));
+    ASSERT_TRUE(dbr.ok()) << dbr.status();
+    auto sr = OrderedXmlStore::Create(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+    ASSERT_TRUE((*sr)->LoadDocument(*doc).ok());
+    ASSERT_TRUE((*dbr)->Close().ok());
+  }
+  std::string base_data = path + ".base";
+  std::string base_wal = path + ".wal.base";
+  CopyOver(path, base_data);
+  CopyOver(path + ".wal", base_wal);
+
+  // Counting pass: bracket the write-class I/Os of one committed op (the
+  // auto-checkpoint rides inside its commit) and record the expected
+  // documents after it and after a follow-up op.
+  uint64_t before_op = 0;
+  uint64_t after_op = 0;
+  std::string expect1;
+  std::string expect2;
+  {
+    auto plan = std::make_shared<FaultPlan>();
+    plan->Arm(0, FaultPlan::Mode::kNone);
+    auto dbr = Database::Open(open_opts(plan, true));
+    ASSERT_TRUE(dbr.ok()) << dbr.status();
+    auto sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+    before_op = plan->io_count;
+    ASSERT_TRUE(
+        InsertSection(sr->get(), 1, InsertPosition::kBefore, "c1").ok());
+    after_op = plan->io_count;
+    auto snap = Snapshot(sr->get());
+    ASSERT_TRUE(snap.ok());
+    expect1 = *snap;
+    ASSERT_TRUE(
+        InsertSection(sr->get(), 0, InsertPosition::kBefore, "c2").ok());
+    snap = Snapshot(sr->get());
+    ASSERT_TRUE(snap.ok());
+    expect2 = *snap;
+    (*dbr)->SimulateCrashForTesting();
+  }
+  ASSERT_GT(after_op, before_op) << "the op performed no I/O";
+
+  bool checkpoint_failure_exercised = false;
+  for (uint64_t k = before_op + 1; k <= after_op; ++k) {
+    CopyOver(base_data, path);
+    CopyOver(base_wal, path + ".wal");
+    auto plan = std::make_shared<FaultPlan>();
+    plan->Arm(k, FaultPlan::Mode::kEIO);
+    auto dbr = Database::Open(open_opts(plan, true));
+    ASSERT_TRUE(dbr.ok()) << "EIO at I/O " << k << ": " << dbr.status();
+    auto sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+
+    Status op1 = InsertSection(sr->get(), 1, InsertPosition::kBefore, "c1");
+    if (!op1.ok()) {
+      // The EIO landed in the commit itself, not the checkpoint — that
+      // path is CommitFailsThenRollbackRestoresPreTxnState's territory.
+      (*dbr)->SimulateCrashForTesting();
+      continue;
+    }
+    // The op succeeded, so the injected fault can only have hit the
+    // auto-checkpoint; the failure must be tallied, never swallowed.
+    ASSERT_EQ(plan->faults_fired, 1u) << "EIO at I/O " << k;
+    ExecStats* stats = (*dbr)->stats();
+    EXPECT_EQ(stats->checkpoints_failed, 1u) << "EIO at I/O " << k;
+    checkpoint_failure_exercised = true;
+    auto snap = Snapshot(sr->get());
+    ASSERT_TRUE(snap.ok());
+    EXPECT_EQ(*snap, expect1) << "EIO at I/O " << k;
+
+    // The WAL is still above the threshold, so the next commit re-enters
+    // the checkpoint branch; the fault is spent, so the retry succeeds
+    // and the failure tally does not grow.
+    Status op2 = InsertSection(sr->get(), 0, InsertPosition::kBefore, "c2");
+    ASSERT_TRUE(op2.ok()) << "EIO at I/O " << k << ": " << op2;
+    EXPECT_EQ(stats->checkpoints_failed, 1u)
+        << "EIO at I/O " << k << ": checkpoint retry failed";
+    snap = Snapshot(sr->get());
+    ASSERT_TRUE(snap.ok());
+    EXPECT_EQ(*snap, expect2) << "EIO at I/O " << k;
+
+    // The WAL stayed replayable through the failed checkpoint: a crash
+    // here must recover both commits.
+    (*dbr)->SimulateCrashForTesting();
+    dbr = Database::Open(open_opts(nullptr, true));
+    ASSERT_TRUE(dbr.ok()) << "EIO at I/O " << k
+                          << ": recovery failed: " << dbr.status();
+    sr = OrderedXmlStore::Attach(dbr->get(), GetParam(), {.gap = 2});
+    ASSERT_TRUE(sr.ok()) << sr.status();
+    EXPECT_TRUE((*sr)->Validate().ok()) << "EIO at I/O " << k;
+    snap = Snapshot(sr->get());
+    ASSERT_TRUE(snap.ok());
+    EXPECT_EQ(*snap, expect2) << "EIO at I/O " << k << ": after recovery";
+    (*dbr)->SimulateCrashForTesting();
+  }
+  EXPECT_TRUE(checkpoint_failure_exercised)
+      << "no I/O in the commit window hit the auto-checkpoint";
+}
+
 INSTANTIATE_TEST_SUITE_P(AllEncodings, CrashMatrixTest,
                          ::testing::Values(OrderEncoding::kGlobal,
                                            OrderEncoding::kLocal,

@@ -235,6 +235,8 @@ std::string FuzzOp::ToString() const {
       return "op bulkreload";
     case Kind::kSnapshotRead:
       return "op snapshotread " + PathToString(path) + " " + Quote(xpath);
+    case Kind::kCancel:
+      return "op cancel " + Quote(xpath);
   }
   return "op ?";
 }
@@ -418,6 +420,12 @@ FuzzCase GenerateCase(uint64_t seed, size_t num_ops) {
   if (rng.Chance(0.33)) {
     c.load_threads = static_cast<size_t>(rng.Uniform(1, 4));
   }
+  // A fifth of all cases run with a generous default deadline: never
+  // expected to trip, but every statement then exercises the
+  // deadline-check machinery (stride-sampled clock reads) end to end.
+  if (rng.Chance(0.2)) {
+    c.timeout_ms = 10000;
+  }
 
   XmlGeneratorOptions gopts;
   gopts.seed = c.doc.seed;
@@ -464,6 +472,10 @@ FuzzCase GenerateCase(uint64_t seed, size_t num_ops) {
       op.path = oracle.PathOf(target);
       op.xpath = GenQuery(&rng, c.doc);
       // The oracle is NOT mutated: the uncommitted delete rolls back.
+      c.ops.push_back(std::move(op));
+    } else if (r < 0.58) {  // cancellation race against an in-flight query
+      op.kind = FuzzOp::Kind::kCancel;
+      op.xpath = GenQuery(&rng, c.doc);
       c.ops.push_back(std::move(op));
     } else if (r < 0.65) {  // insert
       XmlNode* ref = all[rng.Uniform(0, static_cast<int64_t>(all.size()) - 1)];
@@ -636,8 +648,15 @@ std::optional<FuzzFailure> VerifyQuery(
     auto fail = [&](const std::string& msg) {
       return FuzzFailure{op_index, s.name, op.ToString() + ": " + msg};
     };
+    // A tripped deadline on a configured-timeout case is a legitimate
+    // governance outcome for a read-only statement: skip the comparison
+    // (the document is untouched) rather than reporting a divergence.
+    bool deadline_configured = s.dbopts.default_statement_timeout_ms > 0;
     auto actual = EvaluateXPath(s.store.get(), parsed);
     if (!actual.ok()) {
+      if (deadline_configured && actual.status().IsDeadlineExceeded()) {
+        continue;
+      }
       return fail("driver error: " + actual.status().ToString());
     }
     if (auto msg =
@@ -649,6 +668,9 @@ std::optional<FuzzFailure> VerifyQuery(
     if (translated.ok()) {
       auto via = EvaluateXPathViaSql(s.store.get(), parsed);
       if (!via.ok()) {
+        if (deadline_configured && via.status().IsDeadlineExceeded()) {
+          continue;
+        }
         return fail("translated error: " + via.status().ToString());
       }
       if (auto msg =
@@ -685,6 +707,7 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
       return FuzzFailure{0, stores[e].name, msg};
     };
     stores[e].dbopts = c->toggles[e].ToDatabaseOptions();
+    stores[e].dbopts.default_statement_timeout_ms = c->timeout_ms;
     if (c->load_threads > 0) {
       stores[e].dbopts.enable_parallel_load = true;
       stores[e].dbopts.num_load_threads = c->load_threads;
@@ -704,7 +727,12 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
     if (!store.ok()) return failure("create: " + store.status().ToString());
     stores[e].store = std::move(store).value();
     Status load = stores[e].store->LoadDocument(*doc);
-    if (!load.ok()) return failure("load: " + load.ToString());
+    if (!load.ok()) {
+      // A configured deadline tripping during the initial load is a
+      // governance outcome, not a divergence; the case just cannot run.
+      if (c->timeout_ms > 0 && load.IsDeadlineExceeded()) return std::nullopt;
+      return failure("load: " + load.ToString());
+    }
     Status valid = stores[e].store->Validate();
     if (!valid.ok()) {
       return failure("invariant violation after load: " + valid.ToString());
@@ -965,6 +993,74 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
       continue;
     }
 
+    if (op.kind == FuzzOp::Kind::kCancel) {
+      // Cancellation race: while this thread evaluates the query, a second
+      // thread sweeps Database::Cancel over the statement-id window the
+      // evaluation occupies (the driver issues several statements per
+      // query, so the sweep re-reads the window each pass). Whatever the
+      // interleaving, exactly two outcomes are legal — the complete,
+      // oracle-correct result, or kCancelled — and the database must stay
+      // fully usable either way.
+      auto parsed = ParseXPath(op.xpath);
+      if (!parsed.ok()) {
+        ++c->skipped_ops;
+        continue;
+      }
+      std::vector<OracleNode> oracle_nodes = oracle.Evaluate(*parsed);
+      std::vector<std::string> expected;
+      expected.reserve(oracle_nodes.size());
+      for (const OracleNode& n : oracle_nodes) {
+        expected.push_back(oracle.Signature(n));
+      }
+      for (StoreInstance& s : stores) {
+        auto fail = [&](const std::string& msg) {
+          return FuzzFailure{i, s.name, op.ToString() + ": " + msg};
+        };
+        std::atomic<bool> done{false};
+        uint64_t base = s.db->next_statement_id();
+        std::thread canceller([&] {
+          while (!done.load(std::memory_order_acquire)) {
+            uint64_t hi = s.db->next_statement_id();
+            for (uint64_t id = base; id <= hi; ++id) {
+              (void)s.db->Cancel(id);  // NotFound = raced completion; fine
+            }
+            std::this_thread::yield();
+          }
+        });
+        auto actual = EvaluateXPath(s.store.get(), *parsed);
+        done.store(true, std::memory_order_release);
+        canceller.join();
+        if (actual.ok()) {
+          // Won the race: the result must be complete and correct.
+          if (auto msg = CompareResults(s.store.get(), expected, *actual,
+                                        "cancel-race")) {
+            return fail(*msg);
+          }
+        } else if (!actual.status().IsCancelled() &&
+                   !(c->timeout_ms > 0 &&
+                     actual.status().IsDeadlineExceeded())) {
+          return fail("expected success or kCancelled, got: " +
+                      actual.status().ToString());
+        }
+        Status valid = s.store->Validate();
+        if (!valid.ok()) {
+          return fail("invariant violation after cancel race: " +
+                      valid.ToString());
+        }
+        // The database must serve the very next statement normally.
+        auto after = EvaluateXPath(s.store.get(), *parsed);
+        if (!after.ok()) {
+          return fail("statement after cancel race failed: " +
+                      after.status().ToString());
+        }
+        if (auto msg = CompareResults(s.store.get(), expected, *after,
+                                      "post-cancel")) {
+          return fail(*msg);
+        }
+      }
+      continue;
+    }
+
     // Mutation: check applicability and apply on the oracle first (path
     // resolution is against the pre-op tree on every side).
     bool applied = false;
@@ -1010,6 +1106,7 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
       case FuzzOp::Kind::kCrashRecover:
       case FuzzOp::Kind::kBulkReload:
       case FuzzOp::Kind::kSnapshotRead:
+      case FuzzOp::Kind::kCancel:
         break;
     }
     if (!applied) {
@@ -1057,7 +1154,21 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
         case FuzzOp::Kind::kCrashRecover:
         case FuzzOp::Kind::kBulkReload:
         case FuzzOp::Kind::kSnapshotRead:
+        case FuzzOp::Kind::kCancel:
           break;
+      }
+      if (c->timeout_ms > 0 && applied_status.IsDeadlineExceeded()) {
+        // The store rolled the mutation back but the oracle already
+        // applied it, so they can no longer be compared. A tripped
+        // deadline is a legitimate governance outcome, not a divergence:
+        // check the store is still internally consistent, then end the
+        // case early.
+        Status valid = s.store->Validate();
+        if (!valid.ok()) {
+          return fail("invariant violation after timed-out mutation: " +
+                      valid.ToString());
+        }
+        return std::nullopt;
       }
       if (!applied_status.ok()) {
         return fail("update rejected: " + applied_status.ToString());
@@ -1131,6 +1242,9 @@ std::string SerializeCase(const FuzzCase& c) {
   }
   if (c.load_threads > 0) {
     out += "load_threads " + std::to_string(c.load_threads) + "\n";
+  }
+  if (c.timeout_ms > 0) {
+    out += "timeout_ms " + std::to_string(c.timeout_ms) + "\n";
   }
   for (const FuzzOp& op : c.ops) out += op.ToString() + "\n";
   out += "end\n";
@@ -1206,6 +1320,10 @@ Result<FuzzOp> ParseOp(const std::vector<std::string>& tok) {
     op.kind = FuzzOp::Kind::kSnapshotRead;
     OXML_ASSIGN_OR_RETURN(op.path, PathFromString(tok[2]));
     op.xpath = tok[3];
+  } else if (kind == "cancel") {
+    OXML_RETURN_NOT_OK(need(3));
+    op.kind = FuzzOp::Kind::kCancel;
+    op.xpath = tok[2];
   } else {
     return Status::ParseError("unknown op kind: " + kind);
   }
@@ -1284,6 +1402,11 @@ Result<FuzzCase> ParseCase(std::string_view text) {
         return Status::ParseError("bad load_threads line");
       }
       c.load_threads = static_cast<size_t>(std::stoull(tok[1]));
+    } else if (tok[0] == "timeout_ms") {
+      if (tok.size() != 2) {
+        return Status::ParseError("bad timeout_ms line");
+      }
+      c.timeout_ms = static_cast<uint64_t>(std::stoull(tok[1]));
     } else if (tok[0] == "op") {
       if (tok.size() < 2) return Status::ParseError("bad op line");
       OXML_ASSIGN_OR_RETURN(FuzzOp op, ParseOp(tok));

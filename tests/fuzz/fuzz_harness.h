@@ -63,6 +63,12 @@ struct FuzzOp {
                     // the transaction is open and must see exactly the
                     // committed (= oracle) result; the transaction then
                     // rolls back, leaving the document unchanged
+    kCancel,  // governance check: evaluate `xpath` while a second thread
+              // sweeps Database::Cancel over the statement-id window the
+              // evaluation occupies. Whatever the interleaving, the
+              // outcome must be either the complete oracle-correct result
+              // or kCancelled; Validate() must pass and the next
+              // statement must succeed either way
   };
 
   Kind kind = Kind::kQuery;
@@ -100,6 +106,15 @@ struct FuzzCase {
   /// through the parallel shred/merge/bulk-build pipeline instead of the
   /// serial per-row path. Serialized as the `load_threads N` directive.
   size_t load_threads = 0;
+  /// When > 0, every database runs with this default statement deadline
+  /// (DatabaseOptions::default_statement_timeout_ms), exercising the
+  /// deadline-check machinery on every statement. A statement that
+  /// actually trips the deadline is tolerated, never a divergence: queries
+  /// are skipped, and a timed-out mutation (which the store rolls back
+  /// while the oracle applied it) ends the case early after a consistency
+  /// check. Serialized as the `timeout_ms N` repro directive — replays of
+  /// deadline-related failures set it small on purpose.
+  uint64_t timeout_ms = 0;
   std::vector<FuzzOp> ops;
   size_t skipped_ops = 0;  // filled by RunCase: ops inapplicable on replay
 };
