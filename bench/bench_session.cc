@@ -1,0 +1,224 @@
+// Experiment E20 — session & wire-protocol overhead. The QR-style query
+// workload from the embedded benchmarks, re-run through the OXWP server
+// stack (src/server/): loopback TCP, per-session admission control, the
+// worker pool, and result framing. Three questions:
+//
+//  * wire=0 vs wire=1: what the protocol costs per statement — the same
+//    XPath evaluated embedded (direct EvaluateXPath under the shared
+//    latch) and over a loopback connection (frame encode → poll loop →
+//    admission → worker → row batches back).
+//  * threads 1..8: how concurrent sessions scale when the server has
+//    enough admission slots — every thread owns one connection/session,
+//    so this measures the poll-loop + worker-pool path under fan-in.
+//  * BM_AdmissionThrash: more clients than slots on purpose (2 running /
+//    1 queued, 8 clients). Rejected statements surface as immediate
+//    kResourceExhausted, never a hang; the admitted/rejected/queued_peak
+//    counters attached to the report line show the actual split.
+//
+// Smoke mode shrinks the document; the server topology stays identical.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+
+namespace oxml {
+namespace bench {
+namespace {
+
+int Sections() { return static_cast<int>(SmokeScaled(40, 8)); }
+int Paragraphs() { return static_cast<int>(SmokeScaled(8, 4)); }
+
+/// One loaded store plus a running loopback server exposing it as "doc".
+struct ServerFixture {
+  StoreFixture f;
+  std::unique_ptr<server::OxmlServer> srv;
+};
+
+ServerFixture MakeServerFixture(OrderEncoding enc,
+                                const server::ServerOptions& sopts) {
+  ServerFixture sf;
+  sf.f = MakeLoadedStore(enc, *NewsDoc(Sections(), Paragraphs()));
+  sf.srv = std::make_unique<server::OxmlServer>(sf.f.db.get(), sopts);
+  OXML_BENCH_CHECK(sf.srv->Start().ok());
+  sf.srv->RegisterStore("doc", sf.f.store.get());
+  return sf;
+}
+
+/// Fixtures shared across benchmark threads, one per (encoding, key).
+ServerFixture& SharedServer(OrderEncoding enc, int key,
+                            const server::ServerOptions& sopts) {
+  static auto* fixtures = new std::map<int, ServerFixture>();
+  int k = (static_cast<int>(enc) << 4) | key;
+  auto it = fixtures->find(k);
+  if (it == fixtures->end()) {
+    it = fixtures->emplace(k, MakeServerFixture(enc, sopts)).first;
+  }
+  return it->second;
+}
+
+std::unique_ptr<server::OxmlClient> ConnectTo(const ServerFixture& sf) {
+  server::ClientOptions copts;
+  copts.port = sf.srv->port();
+  auto cl = server::OxmlClient::Connect(copts);
+  OXML_BENCH_CHECK(cl.ok());
+  return std::move(cl).value();
+}
+
+const char* kXPath = "//para";
+
+// Embedded-vs-wire on the same store: every iteration evaluates one XPath
+// scan. Each wire thread owns its own connection (= server session); the
+// embedded side calls straight into the evaluator. items_processed is the
+// aggregate statement count, so the report gives statements/second on both
+// sides of the protocol boundary.
+void BM_SessionQuery(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  bool wire = state.range(1) != 0;
+  server::ServerOptions sopts;
+  sopts.worker_threads = 8;
+  sopts.session.max_concurrent_statements = 16;
+  ServerFixture& sf = SharedServer(enc, /*key=*/0, sopts);
+
+  std::unique_ptr<server::OxmlClient> cl;
+  if (wire) cl = ConnectTo(sf);  // per-thread session, opened untimed
+
+  int64_t statements = 0;
+  for (auto _ : state) {
+    if (wire) {
+      auto r = cl->XPath("doc", kXPath);
+      OXML_BENCH_OK(r);
+      benchmark::DoNotOptimize(r->size());
+    } else {
+      auto r = EvaluateXPath(sf.f.store.get(), kXPath);
+      OXML_BENCH_OK(r);
+      benchmark::DoNotOptimize(r->size());
+    }
+    ++statements;
+  }
+  state.SetItemsProcessed(statements);
+
+  if (state.thread_index() == 0) {
+    ReportExecStats(state, sf.f.db.get());
+    state.SetLabel(std::string(OrderEncodingToString(enc)) +
+                   (wire ? "/wire" : "/embedded") + "/sessions_x" +
+                   std::to_string(state.threads()));
+  }
+}
+
+// Prepared statements over the wire: the kPrepare/kQueryPrepared path
+// (parse + plan once per session, bind-free re-execution) against one-shot
+// kQuery frames carrying the same SQL. The gap is what per-statement parse
+// and planning cost on the wire path.
+void BM_SessionPrepared(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  bool prepared = state.range(1) != 0;
+  server::ServerOptions sopts;
+  sopts.worker_threads = 8;
+  sopts.session.max_concurrent_statements = 16;
+  ServerFixture& sf = SharedServer(enc, /*key=*/1, sopts);
+
+  auto cl = ConnectTo(sf);
+  const std::string sql =
+      "SELECT COUNT(*) FROM nodes WHERE tag = 'para'";
+  server::ClientPrepared handle;
+  if (prepared) {
+    auto p = cl->Prepare(sql);
+    OXML_BENCH_OK(p);
+    handle = *p;
+  }
+
+  int64_t statements = 0;
+  for (auto _ : state) {
+    auto r = prepared ? cl->QueryPrepared(handle.stmt_id) : cl->Query(sql);
+    OXML_BENCH_OK(r);
+    benchmark::DoNotOptimize(r->rows.size());
+    ++statements;
+  }
+  state.SetItemsProcessed(statements);
+
+  if (state.thread_index() == 0) {
+    ReportExecStats(state, sf.f.db.get());
+    state.SetLabel(std::string(OrderEncodingToString(enc)) +
+                   (prepared ? "/prepared" : "/one_shot") + "/sessions_x" +
+                   std::to_string(state.threads()));
+  }
+}
+
+// Deliberate overload: 8 clients against 2 admission slots + 1 queue
+// entry. A rejected statement must come back as an immediate
+// kResourceExhausted (the client then just retries on the next
+// iteration); anything else — a hang, a different error — aborts the
+// bench. The counters show how the load actually split.
+void BM_AdmissionThrash(benchmark::State& state) {
+  OrderEncoding enc = EncodingFromIndex(state.range(0));
+  server::ServerOptions sopts;
+  sopts.worker_threads = 4;
+  sopts.session.max_concurrent_statements = 2;
+  sopts.session.max_queued_statements = 1;
+  ServerFixture& sf = SharedServer(enc, /*key=*/2, sopts);
+
+  auto cl = ConnectTo(sf);
+
+  int64_t ok = 0;
+  int64_t rejected = 0;
+  for (auto _ : state) {
+    auto r = cl->XPath("doc", kXPath);
+    if (r.ok()) {
+      benchmark::DoNotOptimize(r->size());
+      ++ok;
+    } else {
+      OXML_BENCH_CHECK(r.status().IsResourceExhausted());
+      ++rejected;
+    }
+  }
+  state.SetItemsProcessed(ok);
+
+  if (state.thread_index() == 0) {
+    const server::AdmissionStats& a =
+        sf.srv->session_manager()->admission_stats();
+    state.counters["admitted"] = static_cast<double>(a.admitted.load());
+    state.counters["rejected"] = static_cast<double>(a.rejected.load());
+    state.counters["queued_peak"] =
+        static_cast<double>(a.queued_peak.load());
+    state.SetLabel(std::string(OrderEncodingToString(enc)) +
+                   "/slots_2+1/clients_x" +
+                   std::to_string(state.threads()));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace oxml
+
+// Embedded baseline vs wire path, 1 and 4 concurrent sessions.
+BENCHMARK(oxml::bench::BM_SessionQuery)
+    ->ArgsProduct({{0, 1, 2}, {0, 1}})
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// One-shot vs prepared statements over the wire (Global encoding carries
+// the point; the statement is pure SQL, so encodings only change the data).
+BENCHMARK(oxml::bench::BM_SessionPrepared)
+    ->ArgsProduct({{0}, {0, 1}})
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Overload behaviour: 8 clients, 2 slots, 1 queue entry.
+BENCHMARK(oxml::bench::BM_AdmissionThrash)
+    ->Args({0})
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+OXML_BENCH_MAIN();

@@ -88,24 +88,20 @@ class StatementGovernor {
       control_->SetDeadline(std::chrono::steady_clock::now() +
                             std::chrono::milliseconds(timeout_ms));
     }
-    control_->SetMemoryLimits(db_->options_.statement_memory_budget_bytes,
-                              &db_->global_budget_);
-    uint64_t id =
-        db_->statement_id_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
-    control_->set_statement_id(id);
+    uint64_t budget =
+        opts.memory_budget_bytes >= 0
+            ? static_cast<uint64_t>(opts.memory_budget_bytes)
+            : db_->options_.statement_memory_budget_bytes;
+    control_->SetMemoryLimits(budget, &db_->global_budget_);
+    uint64_t id = db_->RegisterExternalControl(control_);
     if (opts.statement_id != nullptr) *opts.statement_id = id;
-    {
-      std::lock_guard<std::mutex> lock(db_->inflight_mu_);
-      db_->inflight_[id] = control_;
-    }
     scope_.emplace(control_.get());
   }
 
   ~StatementGovernor() {
     if (control_ == nullptr) return;
     scope_.reset();
-    std::lock_guard<std::mutex> lock(db_->inflight_mu_);
-    db_->inflight_.erase(control_->statement_id());
+    db_->UnregisterControl(control_->statement_id());
   }
 
   StatementGovernor(const StatementGovernor&) = delete;
@@ -126,27 +122,61 @@ class StatementGovernor {
   std::optional<ScopedQueryControl> scope_;
 };
 
+namespace {
+
+/// The session identity attributed to engine calls on this thread (0 =
+/// embedded API). Installed by ScopedSessionIdentity; consulted by the
+/// transaction-ownership checks so a session's transaction can be driven
+/// from any pool thread the server happens to schedule.
+thread_local uint64_t tls_session_id = 0;
+
+}  // namespace
+
+uint64_t CurrentSessionId() { return tls_session_id; }
+
+ScopedSessionIdentity::ScopedSessionIdentity(uint64_t session_id)
+    : prev_(tls_session_id) {
+  tls_session_id = session_id;
+}
+
+ScopedSessionIdentity::~ScopedSessionIdentity() { tls_session_id = prev_; }
+
+bool Database::CurrentThreadOwnsTxn() const {
+  if (!txn_open_.load(std::memory_order_acquire)) return false;
+  uint64_t session = txn_session_.load(std::memory_order_acquire);
+  if (session != 0) return CurrentSessionId() == session;
+  return txn_owner_.load(std::memory_order_relaxed) ==
+         std::this_thread::get_id();
+}
+
 WriteStatementGuard::WriteStatementGuard(Database* db) : db_(db) {
   for (;;) {
     db_->latch_.LockExclusive();
     if (!db_->txn_open_.load(std::memory_order_acquire) ||
-        db_->txn_owner_.load(std::memory_order_relaxed) ==
-            std::this_thread::get_id()) {
+        db_->CurrentThreadOwnsTxn()) {
       return;
     }
-    // A foreign thread's transaction is open: running this mutation now
+    // A foreign session's transaction is open: running this mutation now
     // would splice it into work the owner may yet roll back. Drop the
     // latch before waiting — holding it would deadlock the owner, whose
     // Commit/Rollback needs exclusivity to end the transaction.
     db_->latch_.UnlockExclusive();
     std::unique_lock<std::mutex> lock(db_->txn_mu_);
-    db_->txn_cv_.wait(lock, [this] {
-      return !db_->txn_open_.load(std::memory_order_acquire);
-    });
+    while (db_->txn_open_.load(std::memory_order_acquire)) {
+      // Poll the statement's governance token while gated: a server worker
+      // parked behind another session's transaction must honor its
+      // deadline and out-of-band cancellation, or a stalled owner would
+      // pin pool workers (and admission slots) indefinitely.
+      status_ = CheckCurrentControl();
+      if (!status_.ok()) return;
+      db_->txn_cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
   }
 }
 
-WriteStatementGuard::~WriteStatementGuard() { db_->latch_.UnlockExclusive(); }
+WriteStatementGuard::~WriteStatementGuard() {
+  if (status_.ok()) db_->latch_.UnlockExclusive();
+}
 
 Result<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
@@ -295,6 +325,7 @@ void Database::SimulateCrashForTesting() {
     std::lock_guard<std::mutex> lock(txn_mu_);
     txn_open_.store(false, std::memory_order_release);
     txn_owner_.store(std::thread::id(), std::memory_order_relaxed);
+    txn_session_.store(0, std::memory_order_release);
   }
   txn_cv_.notify_all();
 }
@@ -469,6 +500,7 @@ Status Database::LoadCatalog() {
 
 Status Database::Checkpoint() {
   WriteStatementGuard guard(this);
+  OXML_RETURN_NOT_OK(guard.status());
   if (closed_) return Status::InvalidArgument("database is closed");
   if (pool_->InTxn()) {
     return Status::InvalidArgument("cannot checkpoint inside a transaction");
@@ -501,6 +533,7 @@ void Database::EndTxnBookkeeping() {
     std::lock_guard<std::mutex> lock(txn_mu_);
     txn_open_.store(false, std::memory_order_release);
     txn_owner_.store(std::thread::id(), std::memory_order_relaxed);
+    txn_session_.store(0, std::memory_order_release);
   }
   txn_cv_.notify_all();
 }
@@ -515,8 +548,7 @@ void Database::MaybeBeginSnapshot(
     std::optional<ScopedReadSnapshot>* snap) const {
   if (!options_.enable_mvcc) return;
   if (!txn_open_.load(std::memory_order_acquire)) return;
-  if (txn_owner_.load(std::memory_order_relaxed) ==
-      std::this_thread::get_id()) {
+  if (CurrentThreadOwnsTxn()) {
     return;  // the owner reads its own uncommitted state directly
   }
   // txn_open_ cannot flip while this reader holds the shared latch — both
@@ -530,6 +562,7 @@ Status Database::Begin() {
   // pre-MVCC exclusive-hold discipline made a second Begin wait its turn,
   // and callers (TxnScope all over the stores) rely on that.
   WriteStatementGuard guard(this);
+  OXML_RETURN_NOT_OK(guard.status());
   if (closed_) return Status::InvalidArgument("database is closed");
   OXML_RETURN_NOT_OK(pool_->BeginTxn());  // rejects nesting
   heap_snapshot_.clear();
@@ -547,6 +580,11 @@ Status Database::Begin() {
   {
     std::lock_guard<std::mutex> lock(txn_mu_);
     txn_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+    // A Begin issued under a session identity binds the transaction to the
+    // session, not the thread: any pool thread carrying the same identity
+    // may run its statements and end it. 0 keeps the thread-bound
+    // (embedded) discipline.
+    txn_session_.store(CurrentSessionId(), std::memory_order_release);
     txn_open_.store(true, std::memory_order_release);
   }
   if (!options_.enable_mvcc) {
@@ -565,10 +603,9 @@ Status Database::Commit() {
   if (!txn_open_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("no transaction is open");
   }
-  if (txn_owner_.load(std::memory_order_relaxed) !=
-      std::this_thread::get_id()) {
+  if (!CurrentThreadOwnsTxn()) {
     return Status::InvalidArgument(
-        "transaction is owned by another thread");
+        "transaction is owned by another session or thread");
   }
   // The commit install point: exclusivity drains concurrent snapshot
   // readers, so flipping the committed state (pages + index deltas) is
@@ -617,10 +654,9 @@ Status Database::Rollback() {
   if (!txn_open_.load(std::memory_order_acquire)) {
     return Status::InvalidArgument("no transaction is open");
   }
-  if (txn_owner_.load(std::memory_order_relaxed) !=
-      std::this_thread::get_id()) {
+  if (!CurrentThreadOwnsTxn()) {
     return Status::InvalidArgument(
-        "transaction is owned by another thread");
+        "transaction is owned by another session or thread");
   }
   ExclusiveStatementGuard guard(&latch_);
   return RollbackInner();
@@ -667,6 +703,7 @@ Status Database::RollbackInner() {
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
   WriteStatementGuard guard(this);
+  OXML_RETURN_NOT_OK(guard.status());
   if (tables_.count(name) > 0) {
     return Status::AlreadyExists("table " + name);
   }
@@ -693,6 +730,7 @@ Status Database::CreateTable(const std::string& name, Schema schema) {
 
 Status Database::DropTable(const std::string& name) {
   WriteStatementGuard guard(this);
+  OXML_RETURN_NOT_OK(guard.status());
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("no such table: " + name);
   if (pool_->InTxn()) {
@@ -718,6 +756,7 @@ Status Database::CreateIndex(const std::string& index_name,
                              const std::vector<std::string>& columns,
                              bool unique) {
   WriteStatementGuard guard(this);
+  OXML_RETURN_NOT_OK(guard.status());
   TableInfo* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
   if (pool_->InTxn()) {
@@ -759,6 +798,7 @@ TableInfo* Database::GetTable(const std::string& name) const {
 
 Result<Rid> Database::Insert(const std::string& table, const Row& row) {
   WriteStatementGuard guard(this);
+  OXML_RETURN_NOT_OK(guard.status());
   TableInfo* t = GetTable(table);
   if (t == nullptr) return Status::NotFound("no such table: " + table);
   if (pool_->InTxn()) return t->InsertRow(row, &stats_);
@@ -784,6 +824,10 @@ Result<int64_t> Database::BulkLoadRows(const std::string& table,
   // hit (a load started inside an outer statement inherits its control).
   StatementGovernor governor(this, StatementOptions{});
   WriteStatementGuard guard(this);
+  if (!guard.status().ok()) {
+    governor.NoteOutcome(guard.status());
+    return guard.status();
+  }
   auto run = [&]() -> Result<int64_t> {
     TableInfo* t = GetTable(table);
     if (t == nullptr) return Status::NotFound("no such table: " + table);
@@ -1072,6 +1116,21 @@ Status Database::Cancel(uint64_t statement_id) {
   return Status::OK();
 }
 
+uint64_t Database::RegisterExternalControl(
+    std::shared_ptr<QueryControl> control) {
+  uint64_t id =
+      statement_id_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  control->set_statement_id(id);
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_[id] = std::move(control);
+  return id;
+}
+
+void Database::UnregisterControl(uint64_t statement_id) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  inflight_.erase(statement_id);
+}
+
 Result<std::string> Database::Explain(std::string_view sql) {
   SharedStatementGuard guard(&latch_);
   OXML_ASSIGN_OR_RETURN(ParsedStatement parsed, ParseSqlWithParams(sql));
@@ -1110,6 +1169,10 @@ Result<int64_t> Database::Execute(std::string_view sql,
                                   const StatementOptions& sopts) {
   StatementGovernor governor(this, sopts);
   WriteStatementGuard guard(this);
+  if (!guard.status().ok()) {
+    governor.NoteOutcome(guard.status());
+    return guard.status();
+  }
   Result<int64_t> r = ExecuteLocked(sql, nullptr);
   governor.NoteOutcome(r.status());
   return r;
@@ -1119,6 +1182,10 @@ Result<int64_t> Database::ExecuteP(std::string_view sql, Row params,
                                    const StatementOptions& sopts) {
   StatementGovernor governor(this, sopts);
   WriteStatementGuard guard(this);
+  if (!guard.status().ok()) {
+    governor.NoteOutcome(guard.status());
+    return guard.status();
+  }
   Result<int64_t> r = ExecuteLocked(sql, &params);
   governor.NoteOutcome(r.status());
   return r;
@@ -1217,6 +1284,10 @@ Result<int64_t> PreparedStatement::Execute(const StatementOptions& sopts) {
   if (entry_ == nullptr) return Status::Internal("statement not prepared");
   StatementGovernor governor(db_, sopts);
   WriteStatementGuard guard(db_);
+  if (!guard.status().ok()) {
+    governor.NoteOutcome(guard.status());
+    return guard.status();
+  }
   auto run = [&]() -> Result<int64_t> {
     OXML_RETURN_NOT_OK(Refresh());
     ++db_->stats_.statements;
@@ -1240,6 +1311,10 @@ Result<int64_t> PreparedStatement::ExecuteBatch(
   // transaction rolls the partial batch back.
   StatementGovernor governor(db_, StatementOptions{});
   WriteStatementGuard guard(db_);
+  if (!guard.status().ok()) {
+    governor.NoteOutcome(guard.status());
+    return guard.status();
+  }
   OXML_RETURN_NOT_OK(Refresh());
   bool dml = entry_->kind == StmtKind::kInsert ||
              entry_->kind == StmtKind::kUpdate ||

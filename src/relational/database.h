@@ -152,9 +152,34 @@ struct StatementOptions {
   /// -1 = inherit DatabaseOptions::default_statement_timeout_ms;
   /// 0 = no deadline for this statement; > 0 = deadline in milliseconds.
   int64_t timeout_ms = -1;
+  /// -1 = inherit DatabaseOptions::statement_memory_budget_bytes;
+  /// 0 = unlimited for this statement; > 0 = cap in bytes. The session
+  /// layer uses this to carry per-session budget defaults per call.
+  int64_t memory_budget_bytes = -1;
   /// When non-null, receives the statement id assigned to this call before
   /// execution begins, for use with Database::Cancel from another thread.
   uint64_t* statement_id = nullptr;
+};
+
+/// The session id attributed to engine calls made on the current thread
+/// (0 = none: the embedded API). Installed by ScopedSessionIdentity; the
+/// server wraps every engine call made on a session's behalf so that
+/// transaction ownership follows the session across pool threads.
+uint64_t CurrentSessionId();
+
+/// RAII installation of a session identity in the thread-local slot the
+/// transaction-ownership checks consult. Nesting restores the previous
+/// identity on destruction.
+class ScopedSessionIdentity {
+ public:
+  explicit ScopedSessionIdentity(uint64_t session_id);
+  ~ScopedSessionIdentity();
+
+  ScopedSessionIdentity(const ScopedSessionIdentity&) = delete;
+  ScopedSessionIdentity& operator=(const ScopedSessionIdentity&) = delete;
+
+ private:
+  uint64_t prev_;
 };
 
 /// Aggregate storage numbers (per database), used by the loading/storage
@@ -340,8 +365,15 @@ class WriteStatementGuard {
   WriteStatementGuard(const WriteStatementGuard&) = delete;
   WriteStatementGuard& operator=(const WriteStatementGuard&) = delete;
 
+  /// kOk when the latch was acquired. kCancelled / kDeadlineExceeded when
+  /// the calling statement's QueryControl tripped while gate-waiting on a
+  /// foreign session's open transaction — the guard then holds nothing and
+  /// the caller must return the status instead of mutating.
+  const Status& status() const { return status_; }
+
  private:
   Database* db_;
+  Status status_;
 };
 
 /// A compiled statement held by the Database's plan cache (opaque outside
@@ -449,6 +481,24 @@ class Database {
   Status Rollback();
   bool InTransaction() const;
 
+  /// Session id that issued Begin (0 = none, or the embedded thread-bound
+  /// API). Read by the session layer to decide whether a disconnecting
+  /// session owns the open transaction it is about to roll back.
+  uint64_t txn_session() const {
+    return txn_session_.load(std::memory_order_acquire);
+  }
+
+  /// Whether a transaction is currently open (any owner).
+  bool txn_open() const { return txn_open_.load(std::memory_order_acquire); }
+
+  /// True when the calling thread may Commit/Rollback the open transaction:
+  /// either the transaction was begun under a session identity and the
+  /// current thread carries that same identity (ScopedSessionIdentity), or
+  /// — the embedded fallback — the transaction is session-less and the
+  /// current thread is the one that called Begin. False when no transaction
+  /// is open.
+  bool CurrentThreadOwnsTxn() const;
+
   /// Abandons all buffered state exactly as a process kill would: nothing
   /// is flushed or checkpointed on destruction, and the WAL is left as-is
   /// for the next open to replay. The object is unusable afterwards except
@@ -512,6 +562,16 @@ class Database {
   /// statement with that id is in flight — cancellation raced completion,
   /// which callers should treat as benign.
   Status Cancel(uint64_t statement_id);
+
+  /// Registers an externally-built QueryControl in the in-flight registry
+  /// and returns the statement id assigned to it, making it reachable by
+  /// Cancel() exactly like a governor-built control. The session layer
+  /// installs such controls around whole statements (so deadline/budget
+  /// defaults and queue time are session-scoped); the nested governor then
+  /// inherits the control instead of registering a second one. Pair with
+  /// UnregisterControl once the statement finishes.
+  uint64_t RegisterExternalControl(std::shared_ptr<QueryControl> control);
+  void UnregisterControl(uint64_t statement_id);
 
   /// Compiles `sql` (which may contain '?' parameter markers) into a
   /// reusable handle, served from the plan cache on repeat texts.
@@ -652,6 +712,11 @@ class Database {
   /// Thread that issued Begin (default id = none). Mutations from other
   /// threads gate-wait in WriteStatementGuard until the transaction ends.
   std::atomic<std::thread::id> txn_owner_{};
+  /// Session identity (CurrentSessionId) at Begin; 0 for the embedded API.
+  /// When non-zero, ownership checks compare session ids instead of thread
+  /// ids, so a session's transaction survives being served by different
+  /// pool threads.
+  std::atomic<uint64_t> txn_session_{0};
   /// Guards txn_open_ transitions; pairs with txn_cv_ for the write gate.
   std::mutex txn_mu_;
   std::condition_variable txn_cv_;

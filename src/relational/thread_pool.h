@@ -40,6 +40,20 @@ class ThreadPool {
   /// non-OK status (remaining shards still run, their errors are dropped).
   Status ParallelFor(size_t shards, const std::function<Status(size_t)>& fn);
 
+  /// Enqueues one standalone task for any worker to run (fire-and-forget;
+  /// the caller arranges its own completion signalling). Used by the server
+  /// front end to execute protocol frames on pool workers. Tasks queued at
+  /// destruction time still run: the destructor drains the queue before
+  /// joining. Unlike ParallelFor, the calling thread never participates.
+  void Submit(std::function<void()> task);
+
+  /// Drains the queue and joins every worker; idempotent (the destructor
+  /// calls it). Lets an owner quiesce the pool while keeping the object —
+  /// and any pointers to it that draining tasks still dereference — alive,
+  /// then destroy it separately. A task submitted after Shutdown() returns
+  /// is never run.
+  void Shutdown();
+
  private:
   void WorkerLoop();
 

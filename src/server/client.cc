@@ -1,0 +1,355 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace oxml {
+namespace server {
+
+namespace {
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+Result<std::unique_ptr<OxmlClient>> OxmlClient::Connect(
+    const ClientOptions& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + options.host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("connect " + options.host + ":" +
+                      std::to_string(options.port));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options.recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options.recv_timeout_ms / 1000;
+    tv.tv_usec = (options.recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  std::unique_ptr<OxmlClient> client(new OxmlClient());
+  client->fd_ = fd;
+  client->fetch_batch_rows_ =
+      options.fetch_batch_rows == 0 ? 1024 : options.fetch_batch_rows;
+
+  WireWriter hello(FrameType::kHello);
+  hello.PutU32(kWireProtocolVersion);
+  hello.PutString(options.auth_token);
+  OXML_ASSIGN_OR_RETURN(Frame reply, client->RoundTrip(hello.Frame()));
+  if (reply.type != FrameType::kHelloOk) {
+    return Status::Internal(std::string("unexpected handshake reply: ") +
+                            FrameTypeToString(reply.type));
+  }
+  WireReader r(reply.body);
+  OXML_ASSIGN_OR_RETURN(client->session_id_, r.U64());
+  OXML_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kWireProtocolVersion) {
+    return Status::Internal("server speaks protocol version " +
+                            std::to_string(version));
+  }
+  return client;
+}
+
+OxmlClient::~OxmlClient() { Abort(); }
+
+void OxmlClient::Abort() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status OxmlClient::SendBytes(const std::string& bytes) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_ < 0) return Status::IOError("client is closed");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<Frame> OxmlClient::ReadFrame() {
+  while (true) {
+    Frame frame;
+    OXML_ASSIGN_OR_RETURN(bool got, ExtractFrame(&read_buf_, &frame));
+    if (got) return frame;
+    if (fd_ < 0) return Status::IOError("client is closed");
+    char buf[16384];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      read_buf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("timed out waiting for a server reply");
+    }
+    return Errno("recv");
+  }
+}
+
+Result<Frame> OxmlClient::RoundTrip(const std::string& frame) {
+  OXML_RETURN_NOT_OK(SendBytes(frame));
+  OXML_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+  if (reply.type == FrameType::kError) {
+    WireReader r(reply.body);
+    OXML_ASSIGN_OR_RETURN(uint64_t tag, r.U64());
+    (void)tag;
+    Status st;
+    OXML_RETURN_NOT_OK(r.GetStatus(&st));
+    if (st.ok()) return Status::Internal("error frame with OK status");
+    return st;
+  }
+  return reply;
+}
+
+Result<ResultSet> OxmlClient::FetchAll(uint64_t tag,
+                                       const Frame& header_frame) {
+  if (header_frame.type != FrameType::kResultHeader) {
+    return Status::Internal(std::string("expected ResultHeader, got ") +
+                            FrameTypeToString(header_frame.type));
+  }
+  OXML_ASSIGN_OR_RETURN(ResultHeader header,
+                        DecodeResultHeader(header_frame.body));
+  ResultSet rs;
+  rs.schema = header.schema;
+  if (!header.is_select) {
+    return Status::Internal("statement did not return rows");
+  }
+  rs.rows.reserve(static_cast<size_t>(header.affected));
+  bool done = header.affected == 0;
+  while (!done) {
+    WireWriter fetch(FrameType::kFetch);
+    fetch.PutU64(tag);
+    fetch.PutU32(fetch_batch_rows_);
+    OXML_ASSIGN_OR_RETURN(Frame reply, RoundTrip(fetch.Frame()));
+    if (reply.type != FrameType::kRowBatch) {
+      return Status::Internal(std::string("expected RowBatch, got ") +
+                              FrameTypeToString(reply.type));
+    }
+    uint64_t batch_tag = 0;
+    OXML_ASSIGN_OR_RETURN(done,
+                          DecodeRowBatch(reply.body, &batch_tag, &rs.rows));
+  }
+  return rs;
+}
+
+Result<ResultSet> OxmlClient::Query(const std::string& sql, Row params) {
+  uint64_t tag = NextTag();
+  last_tag_ = tag;
+  WireWriter w(FrameType::kQuery);
+  w.PutU64(tag);
+  w.PutString(sql);
+  w.PutRow(params);
+  OXML_ASSIGN_OR_RETURN(Frame reply, RoundTrip(w.Frame()));
+  return FetchAll(tag, reply);
+}
+
+Result<int64_t> OxmlClient::Execute(const std::string& sql, Row params) {
+  uint64_t tag = NextTag();
+  last_tag_ = tag;
+  WireWriter w(FrameType::kExecute);
+  w.PutU64(tag);
+  w.PutString(sql);
+  w.PutRow(params);
+  OXML_ASSIGN_OR_RETURN(Frame reply, RoundTrip(w.Frame()));
+  if (reply.type != FrameType::kResultHeader) {
+    return Status::Internal(std::string("expected ResultHeader, got ") +
+                            FrameTypeToString(reply.type));
+  }
+  OXML_ASSIGN_OR_RETURN(ResultHeader header, DecodeResultHeader(reply.body));
+  return header.affected;
+}
+
+Result<ClientPrepared> OxmlClient::Prepare(const std::string& sql) {
+  uint64_t tag = NextTag();
+  WireWriter w(FrameType::kPrepare);
+  w.PutU64(tag);
+  w.PutString(sql);
+  OXML_ASSIGN_OR_RETURN(Frame reply, RoundTrip(w.Frame()));
+  if (reply.type != FrameType::kPrepared) {
+    return Status::Internal(std::string("expected Prepared, got ") +
+                            FrameTypeToString(reply.type));
+  }
+  WireReader r(reply.body);
+  OXML_ASSIGN_OR_RETURN(uint64_t reply_tag, r.U64());
+  (void)reply_tag;
+  ClientPrepared out;
+  OXML_ASSIGN_OR_RETURN(out.stmt_id, r.U32());
+  OXML_ASSIGN_OR_RETURN(out.param_count, r.U32());
+  return out;
+}
+
+Status OxmlClient::Bind(uint32_t stmt_id, uint16_t first_index, Row values) {
+  uint64_t tag = NextTag();
+  WireWriter w(FrameType::kBind);
+  w.PutU64(tag);
+  w.PutU32(stmt_id);
+  w.PutU16(first_index);
+  w.PutRow(values);
+  OXML_ASSIGN_OR_RETURN(Frame reply, RoundTrip(w.Frame()));
+  if (reply.type != FrameType::kOk) {
+    return Status::Internal(std::string("expected Ok, got ") +
+                            FrameTypeToString(reply.type));
+  }
+  return Status::OK();
+}
+
+Result<ResultSet> OxmlClient::QueryPrepared(uint32_t stmt_id) {
+  uint64_t tag = NextTag();
+  last_tag_ = tag;
+  WireWriter w(FrameType::kExecuteStmt);
+  w.PutU64(tag);
+  w.PutU32(stmt_id);
+  w.PutU8(1);  // want_rows
+  OXML_ASSIGN_OR_RETURN(Frame reply, RoundTrip(w.Frame()));
+  return FetchAll(tag, reply);
+}
+
+Result<int64_t> OxmlClient::ExecutePrepared(uint32_t stmt_id) {
+  uint64_t tag = NextTag();
+  last_tag_ = tag;
+  WireWriter w(FrameType::kExecuteStmt);
+  w.PutU64(tag);
+  w.PutU32(stmt_id);
+  w.PutU8(0);  // affected count only
+  OXML_ASSIGN_OR_RETURN(Frame reply, RoundTrip(w.Frame()));
+  if (reply.type != FrameType::kResultHeader) {
+    return Status::Internal(std::string("expected ResultHeader, got ") +
+                            FrameTypeToString(reply.type));
+  }
+  OXML_ASSIGN_OR_RETURN(ResultHeader header, DecodeResultHeader(reply.body));
+  return header.affected;
+}
+
+Status OxmlClient::CloseStatement(uint32_t stmt_id) {
+  uint64_t tag = NextTag();
+  WireWriter w(FrameType::kCloseStmt);
+  w.PutU64(tag);
+  w.PutU32(stmt_id);
+  OXML_ASSIGN_OR_RETURN(Frame reply, RoundTrip(w.Frame()));
+  if (reply.type != FrameType::kOk) {
+    return Status::Internal(std::string("expected Ok, got ") +
+                            FrameTypeToString(reply.type));
+  }
+  return Status::OK();
+}
+
+namespace {
+Status ExpectOk(Result<Frame> reply) {
+  OXML_RETURN_NOT_OK(reply.status());
+  if (reply->type != FrameType::kOk) {
+    return Status::Internal(std::string("expected Ok, got ") +
+                            FrameTypeToString(reply->type));
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status OxmlClient::Begin() {
+  WireWriter w(FrameType::kBegin);
+  w.PutU64(NextTag());
+  return ExpectOk(RoundTrip(w.Frame()));
+}
+
+Status OxmlClient::Commit() {
+  WireWriter w(FrameType::kCommit);
+  w.PutU64(NextTag());
+  return ExpectOk(RoundTrip(w.Frame()));
+}
+
+Status OxmlClient::Rollback() {
+  WireWriter w(FrameType::kRollback);
+  w.PutU64(NextTag());
+  return ExpectOk(RoundTrip(w.Frame()));
+}
+
+Result<std::vector<std::string>> OxmlClient::XPath(const std::string& store,
+                                                   const std::string& xpath) {
+  uint64_t tag = NextTag();
+  last_tag_ = tag;
+  WireWriter w(FrameType::kXPath);
+  w.PutU64(tag);
+  w.PutString(store);
+  w.PutString(xpath);
+  OXML_ASSIGN_OR_RETURN(Frame reply, RoundTrip(w.Frame()));
+  OXML_ASSIGN_OR_RETURN(ResultSet rs, FetchAll(tag, reply));
+  std::vector<std::string> out;
+  out.reserve(rs.rows.size());
+  for (const Row& row : rs.rows) {
+    if (row.size() != 1 || row[0].type() != TypeId::kText) {
+      return Status::Internal("malformed XPath result row");
+    }
+    out.push_back(row[0].AsString());
+  }
+  return out;
+}
+
+Status OxmlClient::SetSessionOptions(int64_t timeout_ms,
+                                     int64_t memory_budget_bytes) {
+  WireWriter w(FrameType::kSessionOpts);
+  w.PutU64(NextTag());
+  w.PutI64(timeout_ms);
+  w.PutI64(memory_budget_bytes);
+  return ExpectOk(RoundTrip(w.Frame()));
+}
+
+Status OxmlClient::Ping() {
+  WireWriter w(FrameType::kPing);
+  w.PutU64(NextTag());
+  OXML_ASSIGN_OR_RETURN(Frame reply, RoundTrip(w.Frame()));
+  if (reply.type != FrameType::kPong) {
+    return Status::Internal(std::string("expected Pong, got ") +
+                            FrameTypeToString(reply.type));
+  }
+  return Status::OK();
+}
+
+Status OxmlClient::Cancel(uint64_t target_tag) {
+  WireWriter w(FrameType::kCancel);
+  w.PutU64(target_tag);
+  // No reply: the cancelled statement's own error frame is the signal,
+  // and it is read by the thread blocked in that statement call.
+  return SendBytes(w.Frame());
+}
+
+Status OxmlClient::Goodbye() {
+  if (fd_ < 0) return Status::OK();
+  WireWriter w(FrameType::kGoodbye);
+  w.PutU64(NextTag());
+  Status st = ExpectOk(RoundTrip(w.Frame()));
+  Abort();
+  return st;
+}
+
+}  // namespace server
+}  // namespace oxml

@@ -1,0 +1,121 @@
+#ifndef OXML_SERVER_CLIENT_H_
+#define OXML_SERVER_CLIENT_H_
+
+// Blocking OXWP v1 client (docs/INTERNALS.md §13). One connection = one
+// server session. All statement calls are synchronous round trips on the
+// calling thread; Cancel() is the one thread-safe entry point — it fires
+// the out-of-band kCancel frame from any thread while another thread is
+// blocked inside a statement call, which is how a client interrupts its
+// own running statement.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/relational/executor.h"
+#include "src/server/wire_protocol.h"
+
+namespace oxml {
+namespace server {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string auth_token;
+  /// SO_RCVTIMEO on the socket — a liveness backstop well above any
+  /// statement deadline, so a wedged server surfaces as kIOError instead
+  /// of a hung client.
+  int64_t recv_timeout_ms = 120000;
+  /// Rows requested per kFetch frame.
+  uint32_t fetch_batch_rows = 1024;
+};
+
+/// Prepared-statement handle as seen by the client.
+struct ClientPrepared {
+  uint32_t stmt_id = 0;
+  uint32_t param_count = 0;
+};
+
+class OxmlClient {
+ public:
+  /// Connects and completes the kHello handshake.
+  static Result<std::unique_ptr<OxmlClient>> Connect(
+      const ClientOptions& options);
+  ~OxmlClient();
+
+  OxmlClient(const OxmlClient&) = delete;
+  OxmlClient& operator=(const OxmlClient&) = delete;
+
+  uint64_t session_id() const { return session_id_; }
+  bool connected() const { return fd_ >= 0; }
+
+  // Statements (synchronous; rows are fetched to completion internally).
+  Result<ResultSet> Query(const std::string& sql, Row params = {});
+  Result<int64_t> Execute(const std::string& sql, Row params = {});
+
+  Result<ClientPrepared> Prepare(const std::string& sql);
+  Status Bind(uint32_t stmt_id, uint16_t first_index, Row values);
+  Result<ResultSet> QueryPrepared(uint32_t stmt_id);
+  Result<int64_t> ExecutePrepared(uint32_t stmt_id);
+  Status CloseStatement(uint32_t stmt_id);
+
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+
+  /// Evaluates `xpath` against the server-registered store `store`,
+  /// returning one oracle-style signature string per result node.
+  Result<std::vector<std::string>> XPath(const std::string& store,
+                                         const std::string& xpath);
+
+  /// Per-session statement defaults (kSessionOpts frame). -1 keeps the
+  /// server's default for that field.
+  Status SetSessionOptions(int64_t timeout_ms, int64_t memory_budget_bytes);
+
+  Status Ping();
+
+  /// Out-of-band cancel; safe to call from another thread while this
+  /// client is blocked in a statement call. `target_tag` 0 cancels
+  /// whatever the session has in flight. Fire-and-forget: the result is
+  /// the cancelled statement's own error reply.
+  Status Cancel(uint64_t target_tag = 0);
+
+  /// The tag of the most recently issued statement (to target Cancel at a
+  /// specific call from another thread).
+  uint64_t last_tag() const { return last_tag_; }
+
+  /// Orderly shutdown: kGoodbye round trip, then close.
+  Status Goodbye();
+
+  /// Hard drop without goodbye — simulates a client death mid-anything
+  /// (the disconnect-rollback tests use this).
+  void Abort();
+
+ private:
+  OxmlClient() = default;
+
+  Status SendBytes(const std::string& bytes);
+  /// Blocks until one complete frame arrives.
+  Result<Frame> ReadFrame();
+  /// Sends `frame` and reads the reply; a kError reply becomes its Status.
+  Result<Frame> RoundTrip(const std::string& frame);
+  /// Runs a select-shaped exchange: header + fetch loop into a ResultSet.
+  Result<ResultSet> FetchAll(uint64_t tag, const Frame& header_frame);
+  uint64_t NextTag() { return ++tag_counter_; }
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  uint64_t tag_counter_ = 0;
+  uint64_t last_tag_ = 0;
+  uint32_t fetch_batch_rows_ = 1024;
+  std::string read_buf_;
+  std::mutex send_mu_;  // Cancel() may race a statement thread's send
+};
+
+}  // namespace server
+}  // namespace oxml
+
+#endif  // OXML_SERVER_CLIENT_H_

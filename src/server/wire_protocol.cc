@@ -1,0 +1,286 @@
+#include "src/server/wire_protocol.h"
+
+#include <cstring>
+
+namespace oxml {
+namespace server {
+
+const char* FrameTypeToString(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "Hello";
+    case FrameType::kQuery: return "Query";
+    case FrameType::kExecute: return "Execute";
+    case FrameType::kPrepare: return "Prepare";
+    case FrameType::kBind: return "Bind";
+    case FrameType::kExecuteStmt: return "ExecuteStmt";
+    case FrameType::kFetch: return "Fetch";
+    case FrameType::kBegin: return "Begin";
+    case FrameType::kCommit: return "Commit";
+    case FrameType::kRollback: return "Rollback";
+    case FrameType::kCancel: return "Cancel";
+    case FrameType::kCloseStmt: return "CloseStmt";
+    case FrameType::kXPath: return "XPath";
+    case FrameType::kSessionOpts: return "SessionOpts";
+    case FrameType::kGoodbye: return "Goodbye";
+    case FrameType::kPing: return "Ping";
+    case FrameType::kHelloOk: return "HelloOk";
+    case FrameType::kOk: return "Ok";
+    case FrameType::kError: return "Error";
+    case FrameType::kPrepared: return "Prepared";
+    case FrameType::kResultHeader: return "ResultHeader";
+    case FrameType::kRowBatch: return "RowBatch";
+    case FrameType::kPong: return "Pong";
+  }
+  return "Unknown";
+}
+
+void WireWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void WireWriter::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kInt:
+      PutI64(v.AsInt());
+      break;
+    case TypeId::kDouble:
+      PutF64(v.AsDouble());
+      break;
+    case TypeId::kText:
+    case TypeId::kBlob:
+      PutString(v.AsString());
+      break;
+  }
+}
+
+void WireWriter::PutRow(const Row& row) {
+  PutU16(static_cast<uint16_t>(row.size()));
+  for (const Value& v : row) PutValue(v);
+}
+
+void WireWriter::PutStatus(const Status& st) {
+  PutU8(static_cast<uint8_t>(st.code()));
+  PutString(st.message());
+}
+
+std::string WireWriter::Frame() const {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + buf_.size());
+  uint32_t len = static_cast<uint32_t>(buf_.size());
+  out.append(reinterpret_cast<const char*>(&len), 4);
+  out.append(buf_);
+  return out;
+}
+
+Status WireReader::Truncated() const {
+  return Status::InvalidArgument("truncated wire frame");
+}
+
+Result<uint8_t> WireReader::U8() {
+  if (pos_ + 1 > size_) return Truncated();
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint16_t> WireReader::U16() {
+  if (pos_ + 2 > size_) return Truncated();
+  uint16_t v;
+  std::memcpy(&v, data_ + pos_, 2);
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> WireReader::U32() {
+  if (pos_ + 4 > size_) return Truncated();
+  uint32_t v;
+  std::memcpy(&v, data_ + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::U64() {
+  if (pos_ + 8 > size_) return Truncated();
+  uint64_t v;
+  std::memcpy(&v, data_ + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+Result<int64_t> WireReader::I64() {
+  OXML_ASSIGN_OR_RETURN(uint64_t v, U64());
+  int64_t out;
+  std::memcpy(&out, &v, 8);
+  return out;
+}
+
+Result<double> WireReader::F64() {
+  OXML_ASSIGN_OR_RETURN(uint64_t v, U64());
+  double out;
+  std::memcpy(&out, &v, 8);
+  return out;
+}
+
+Result<std::string> WireReader::String() {
+  OXML_ASSIGN_OR_RETURN(uint32_t len, U32());
+  if (pos_ + len > size_) return Truncated();
+  std::string out(data_ + pos_, len);
+  pos_ += len;
+  return out;
+}
+
+Result<Value> WireReader::GetValue() {
+  OXML_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (static_cast<TypeId>(tag)) {
+    case TypeId::kNull:
+      return Value::Null();
+    case TypeId::kInt: {
+      OXML_ASSIGN_OR_RETURN(int64_t v, I64());
+      return Value::Int(v);
+    }
+    case TypeId::kDouble: {
+      OXML_ASSIGN_OR_RETURN(double v, F64());
+      return Value::Double(v);
+    }
+    case TypeId::kText: {
+      OXML_ASSIGN_OR_RETURN(std::string s, String());
+      return Value::Text(std::move(s));
+    }
+    case TypeId::kBlob: {
+      OXML_ASSIGN_OR_RETURN(std::string s, String());
+      return Value::Blob(std::move(s));
+    }
+  }
+  return Status::InvalidArgument("unknown value type tag " +
+                                 std::to_string(tag));
+}
+
+Result<Row> WireReader::GetRow() {
+  OXML_ASSIGN_OR_RETURN(uint16_t n, U16());
+  Row row;
+  row.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    OXML_ASSIGN_OR_RETURN(Value v, GetValue());
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+Status WireReader::GetStatus(Status* out) {
+  OXML_ASSIGN_OR_RETURN(uint8_t code, U8());
+  OXML_ASSIGN_OR_RETURN(std::string msg, String());
+  if (code > static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
+    return Status::InvalidArgument("unknown status code " +
+                                   std::to_string(code));
+  }
+  *out = Status(static_cast<StatusCode>(code), std::move(msg));
+  return Status::OK();
+}
+
+Result<bool> ExtractFrame(std::string* buffer, Frame* out) {
+  if (buffer->size() < kFrameHeaderBytes) return false;
+  uint32_t len;
+  std::memcpy(&len, buffer->data(), 4);
+  if (len == 0) {
+    return Status::InvalidArgument("empty wire frame (no type byte)");
+  }
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument("wire frame of " + std::to_string(len) +
+                                   " bytes exceeds the " +
+                                   std::to_string(kMaxFrameBytes) +
+                                   "-byte cap");
+  }
+  if (buffer->size() < kFrameHeaderBytes + len) return false;
+  out->type = static_cast<FrameType>((*buffer)[kFrameHeaderBytes]);
+  out->body.assign(*buffer, kFrameHeaderBytes + 1, len - 1);
+  buffer->erase(0, kFrameHeaderBytes + len);
+  return true;
+}
+
+std::string EncodeResultHeader(uint64_t tag, int64_t affected, bool is_select,
+                               const Schema* schema) {
+  WireWriter w(FrameType::kResultHeader);
+  w.PutU64(tag);
+  w.PutI64(affected);
+  w.PutU8(is_select ? 1 : 0);
+  if (schema == nullptr) {
+    w.PutU16(0);
+  } else {
+    w.PutU16(static_cast<uint16_t>(schema->size()));
+    for (const Column& col : schema->columns()) {
+      w.PutString(col.name);
+      w.PutU8(static_cast<uint8_t>(col.type));
+    }
+  }
+  return w.Frame();
+}
+
+std::string EncodeRowBatch(uint64_t tag, const std::vector<Row>& rows,
+                           size_t* start, size_t max_rows) {
+  WireWriter w(FrameType::kRowBatch);
+  w.PutU64(tag);
+  // done + nrows are patched below; reserve their slots by writing after
+  // the loop into a second writer would complicate things, so count first.
+  size_t first = *start;
+  size_t n = 0;
+  // Leave generous headroom under the frame cap for the per-row overhead.
+  const size_t soft_cap = kMaxFrameBytes - (1u << 16);
+  WireWriter body(FrameType::kRowBatch);  // scratch for sizing only
+  for (size_t i = first; i < rows.size() && n < max_rows; ++i) {
+    body.PutRow(rows[i]);
+    if (n > 0 && body.size() > soft_cap) break;  // always ship >= 1 row
+    ++n;
+  }
+  bool done = first + n >= rows.size();
+  w.PutU8(done ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(n));
+  for (size_t i = first; i < first + n; ++i) w.PutRow(rows[i]);
+  *start = first + n;
+  return w.Frame();
+}
+
+Result<ResultHeader> DecodeResultHeader(std::string_view body) {
+  WireReader r(body);
+  ResultHeader out;
+  OXML_ASSIGN_OR_RETURN(out.tag, r.U64());
+  OXML_ASSIGN_OR_RETURN(out.affected, r.I64());
+  OXML_ASSIGN_OR_RETURN(uint8_t sel, r.U8());
+  out.is_select = sel != 0;
+  OXML_ASSIGN_OR_RETURN(uint16_t ncols, r.U16());
+  std::vector<Column> cols;
+  cols.reserve(ncols);
+  for (uint16_t i = 0; i < ncols; ++i) {
+    Column col;
+    OXML_ASSIGN_OR_RETURN(col.name, r.String());
+    OXML_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+    col.type = static_cast<TypeId>(type);
+    cols.push_back(std::move(col));
+  }
+  out.schema = Schema(std::move(cols));
+  return out;
+}
+
+Result<bool> DecodeRowBatch(std::string_view body, uint64_t* tag,
+                            std::vector<Row>* rows) {
+  WireReader r(body);
+  OXML_ASSIGN_OR_RETURN(*tag, r.U64());
+  OXML_ASSIGN_OR_RETURN(uint8_t done, r.U8());
+  OXML_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  for (uint32_t i = 0; i < n; ++i) {
+    OXML_ASSIGN_OR_RETURN(Row row, r.GetRow());
+    rows->push_back(std::move(row));
+  }
+  return done != 0;
+}
+
+std::string EncodeError(uint64_t tag, const Status& st) {
+  WireWriter w(FrameType::kError);
+  w.PutU64(tag);
+  w.PutStatus(st);
+  return w.Frame();
+}
+
+}  // namespace server
+}  // namespace oxml

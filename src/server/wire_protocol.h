@@ -1,0 +1,188 @@
+#ifndef OXML_SERVER_WIRE_PROTOCOL_H_
+#define OXML_SERVER_WIRE_PROTOCOL_H_
+
+// OXWP v1 — the ordered-XML wire protocol (docs/INTERNALS.md §13).
+//
+// Every message is one length-prefixed binary frame:
+//
+//   [u32 length][u8 type][payload ...]
+//
+// `length` counts the type byte plus the payload, little-endian, and is
+// capped at kMaxFrameBytes. All integers are little-endian fixed width;
+// strings are u32-length-prefixed byte runs; a Value is a one-byte TypeId
+// tag followed by its payload; a Row is a u16 count followed by that many
+// Values. Error frames carry the engine's Status verbatim (u8 StatusCode +
+// message), so a client sees exactly what the embedded API would return.
+//
+// Request frames carry a client-assigned u64 tag that the matching reply
+// echoes. The protocol is synchronous per connection — one statement in
+// flight at a time — except for kCancel, which the server handles on the
+// poll thread while a statement of the same session is executing (that is
+// the out-of-band cancellation path feeding Database::Cancel).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/relational/executor.h"
+#include "src/relational/value.h"
+
+namespace oxml {
+namespace server {
+
+/// Protocol version sent in kHello / kHelloOk.
+inline constexpr uint32_t kWireProtocolVersion = 1;
+
+/// Hard cap on one frame (type byte + payload). Oversized result batches
+/// must be split by the sender; an oversized incoming frame kills the
+/// connection (it cannot be skipped reliably).
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Frame header size on the wire: the u32 length prefix.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+enum class FrameType : uint8_t {
+  // client -> server
+  kHello = 0x01,        // u32 version, str auth_token (stub: any accepted)
+  kQuery = 0x02,        // u64 tag, str sql, row params — SELECT only
+  kExecute = 0x03,      // u64 tag, str sql, row params — any statement
+  kPrepare = 0x04,      // u64 tag, str sql
+  kBind = 0x05,         // u64 tag, u32 stmt_id, u16 first_index, row values
+  kExecuteStmt = 0x06,  // u64 tag, u32 stmt_id, u8 want_rows
+  kFetch = 0x07,        // u64 tag, u32 max_rows — next batch of open cursor
+  kBegin = 0x08,        // u64 tag
+  kCommit = 0x09,       // u64 tag
+  kRollback = 0x0A,     // u64 tag
+  kCancel = 0x0B,       // u64 target_tag (0 = whatever is in flight)
+  kCloseStmt = 0x0C,    // u64 tag, u32 stmt_id
+  kXPath = 0x0D,        // u64 tag, str store, str xpath
+  kSessionOpts = 0x0E,  // u64 tag, i64 timeout_ms, i64 memory_budget
+  kGoodbye = 0x0F,      // u64 tag — orderly close
+  kPing = 0x10,         // u64 tag
+
+  // server -> client
+  kHelloOk = 0x81,       // u64 session_id, u32 version
+  kOk = 0x82,            // u64 tag
+  kError = 0x83,         // u64 tag, u8 status_code, str message
+  kPrepared = 0x84,      // u64 tag, u32 stmt_id, u32 param_count
+  kResultHeader = 0x85,  // u64 tag, i64 affected, u8 is_select,
+                         // u16 ncols, ncols x (str name, u8 type)
+  kRowBatch = 0x86,      // u64 tag, u8 done, u32 nrows, nrows x row
+  kPong = 0x87,          // u64 tag
+};
+
+const char* FrameTypeToString(FrameType type);
+
+/// Serializer for one frame payload. Append primitives, then Frame() to
+/// get the length-prefixed wire bytes.
+class WireWriter {
+ public:
+  explicit WireWriter(FrameType type) { buf_.push_back(static_cast<char>(type)); }
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { AppendLe(&v, 2); }
+  void PutU32(uint32_t v) { AppendLe(&v, 4); }
+  void PutU64(uint64_t v) { AppendLe(&v, 8); }
+  void PutI64(int64_t v) { AppendLe(&v, 8); }
+  void PutF64(double v) { AppendLe(&v, 8); }
+  void PutString(std::string_view s);
+  void PutValue(const Value& v);
+  void PutRow(const Row& row);
+  void PutStatus(const Status& st);
+
+  /// The complete frame: u32 length prefix + type + payload.
+  std::string Frame() const;
+
+  /// Bytes the frame body holds so far (type byte included).
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void AppendLe(const void* p, size_t n) {
+    buf_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Cursor over one received frame body (type byte already consumed by
+/// ExtractFrame). Every getter bounds-checks and fails with
+/// kInvalidArgument on truncation, so a malformed client cannot run the
+/// server off the end of a buffer.
+class WireReader {
+ public:
+  WireReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(std::string_view body)
+      : data_(body.data()), size_(body.size()) {}
+
+  Result<uint8_t> U8();
+  Result<uint16_t> U16();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<double> F64();
+  Result<std::string> String();
+  Result<Value> GetValue();
+  Result<Row> GetRow();
+  /// Decodes a wire Status into `*out`; the return value reports decode
+  /// success (Result<Status> would be ill-formed — Status is the error
+  /// channel itself).
+  Status GetStatus(Status* out);
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  Status Truncated() const;
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// One frame split from the connection byte stream.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string body;  // payload without the type byte
+};
+
+/// Tries to split one complete frame off the front of `buffer`. Returns
+/// true and erases the consumed bytes when a frame was extracted, false
+/// when more bytes are needed. A frame longer than kMaxFrameBytes (or an
+/// empty one, which cannot carry a type byte) fails with kInvalidArgument;
+/// the connection is then unrecoverable and must be closed.
+Result<bool> ExtractFrame(std::string* buffer, Frame* out);
+
+// ---------------------------------------------------------- result frames
+
+/// Encodes the header frame for a statement result. For SELECT results the
+/// schema rides along and `affected` is the row count; for non-SELECT it
+/// is the affected-row count and the column list is empty.
+std::string EncodeResultHeader(uint64_t tag, int64_t affected, bool is_select,
+                               const Schema* schema);
+
+/// Splits `rows[start...]` into one kRowBatch frame holding at most
+/// `max_rows` rows (and staying under the frame cap); advances *start past
+/// the encoded rows and sets `done` when the last row went out.
+std::string EncodeRowBatch(uint64_t tag, const std::vector<Row>& rows,
+                           size_t* start, size_t max_rows);
+
+/// Decodes a kResultHeader body.
+struct ResultHeader {
+  uint64_t tag = 0;
+  int64_t affected = 0;
+  bool is_select = false;
+  Schema schema;
+};
+Result<ResultHeader> DecodeResultHeader(std::string_view body);
+
+/// Decodes a kRowBatch body, appending to `rows`.
+Result<bool> DecodeRowBatch(std::string_view body, uint64_t* tag,
+                            std::vector<Row>* rows);
+
+/// Encodes / decodes an error frame (u64 tag + Status).
+std::string EncodeError(uint64_t tag, const Status& st);
+
+}  // namespace server
+}  // namespace oxml
+
+#endif  // OXML_SERVER_WIRE_PROTOCOL_H_

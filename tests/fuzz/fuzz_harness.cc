@@ -18,6 +18,8 @@
 #include "src/core/sql_translator.h"
 #include "src/core/xpath.h"
 #include "src/core/xpath_eval.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 #include "src/xml/xml_generator.h"
 #include "src/xml/xml_parser.h"
 #include "src/xml/xml_writer.h"
@@ -684,6 +686,113 @@ std::optional<FuzzFailure> VerifyQuery(
   return std::nullopt;
 }
 
+/// Session mode (FuzzCase::sessions > 0): one loopback OxmlServer per
+/// store, each exposing the live store to the kXPath frame as "doc", plus
+/// a pool of OXWP protocol clients per server. Query batches are then also
+/// verified end to end over the wire — handshake, admission, statement
+/// dispatch, result framing — against the same precomputed oracle answers
+/// the embedded path uses. The servers borrow the stores' databases, so
+/// the fleet must be stopped before any op that tears a database down or
+/// replaces it (kCrashRecover, kBulkReload) and restarted on the new
+/// instances afterwards; RunCase declares the fleet after the stores so it
+/// also shuts down first on every early return.
+struct SessionFleet {
+  size_t n = 0;  // clients per server; 0 = session mode off
+  std::unique_ptr<server::OxmlServer> servers[3];
+  std::vector<std::unique_ptr<server::OxmlClient>> clients[3];
+
+  /// (Re)starts one server over each store's current database and connects
+  /// `n_clients` sessions to each. Returns an error message on failure.
+  std::optional<std::string> Start(StoreInstance* stores, size_t n_clients) {
+    Stop();
+    n = n_clients;
+    for (int e = 0; e < 3; ++e) {
+      server::ServerOptions sopts;
+      sopts.worker_threads = std::max<size_t>(2, std::min<size_t>(n, 8));
+      sopts.session.max_sessions = n + 1;
+      // Enough slots that n well-behaved clients never see an admission
+      // rejection — this mode hunts result divergences, not overflow.
+      sopts.session.max_concurrent_statements = n;
+      sopts.session.max_queued_statements = 2 * n;
+      auto srv = std::make_unique<server::OxmlServer>(stores[e].db.get(),
+                                                      sopts);
+      Status st = srv->Start();
+      if (!st.ok()) {
+        return std::string(stores[e].name) +
+               ": server start: " + st.ToString();
+      }
+      srv->RegisterStore("doc", stores[e].store.get());
+      servers[e] = std::move(srv);
+      for (size_t k = 0; k < n; ++k) {
+        server::ClientOptions copts;
+        copts.port = servers[e]->port();
+        auto cl = server::OxmlClient::Connect(copts);
+        if (!cl.ok()) {
+          return std::string(stores[e].name) +
+                 ": client connect: " + cl.status().ToString();
+        }
+        clients[e].push_back(std::move(cl).value());
+      }
+    }
+    return std::nullopt;
+  }
+
+  void Stop() {
+    for (int e = 0; e < 3; ++e) {
+      for (auto& c : clients[e]) {
+        if (c != nullptr) (void)c->Goodbye();
+      }
+      clients[e].clear();
+      if (servers[e] != nullptr) {
+        servers[e]->Stop();
+        servers[e].reset();
+      }
+    }
+    n = 0;
+  }
+
+  ~SessionFleet() { Stop(); }
+};
+
+/// The wire-level counterpart of VerifyQuery: evaluates the query through
+/// one protocol client per encoding. The kXPath frame returns the same
+/// signature strings the oracle precomputes, so comparison is direct.
+/// Thread-safe under the same contract as VerifyQuery as long as each
+/// concurrent caller uses a distinct `client_index`.
+std::optional<FuzzFailure> VerifyQueryOverWire(
+    SessionFleet* fleet, const StoreInstance* stores, size_t client_index,
+    const FuzzOp& op, size_t op_index,
+    const std::vector<std::string>& expected) {
+  for (int e = 0; e < 3; ++e) {
+    const StoreInstance& s = stores[e];
+    auto fail = [&](const std::string& msg) {
+      return FuzzFailure{op_index, s.name, op.ToString() + ": " + msg};
+    };
+    auto actual =
+        fleet->clients[e][client_index]->XPath("doc", op.xpath);
+    if (!actual.ok()) {
+      if (s.dbopts.default_statement_timeout_ms > 0 &&
+          actual.status().IsDeadlineExceeded()) {
+        continue;  // tripped deadline = governance outcome, as embedded
+      }
+      return fail("session query error: " + actual.status().ToString());
+    }
+    if (actual->size() != expected.size()) {
+      return fail("session: result count mismatch: oracle " +
+                  std::to_string(expected.size()) + ", session " +
+                  std::to_string(actual->size()));
+    }
+    for (size_t r = 0; r < expected.size(); ++r) {
+      if ((*actual)[r] != expected[r]) {
+        return fail("session: result " + std::to_string(r) +
+                    " mismatch: oracle " + Truncate(expected[r]) +
+                    " vs session " + Truncate((*actual)[r]));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::optional<FuzzFailure> RunCase(FuzzCase* c) {
@@ -739,6 +848,17 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
     }
   }
 
+  // Session mode: spin up the loopback servers + protocol clients. At
+  // least one client per query thread, so concurrent batch workers never
+  // share a (single-threaded) client.
+  SessionFleet fleet;
+  size_t fleet_size = std::max(c->sessions, c->query_threads);
+  if (c->sessions > 0) {
+    if (auto err = fleet.Start(stores, fleet_size)) {
+      return FuzzFailure{0, "", "session fleet start: " + *err};
+    }
+  }
+
   for (size_t i = 0; i < c->ops.size(); ++i) {
     const FuzzOp& op = c->ops[i];
 
@@ -773,9 +893,16 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
       std::optional<FuzzFailure> qfail;
       size_t nthreads = std::min(c->query_threads, batch.size());
       if (nthreads <= 1) {
-        for (const QueryTask& t : batch) {
+        for (size_t k = 0; k < batch.size(); ++k) {
+          const QueryTask& t = batch[k];
           qfail = VerifyQuery(stores, c->ops[t.op_index], t.op_index,
                               t.parsed, t.expected);
+          if (!qfail.has_value() && fleet.n > 0) {
+            // Round-robin over the clients so every session serves work.
+            qfail = VerifyQueryOverWire(&fleet, stores, k % fleet.n,
+                                        c->ops[t.op_index], t.op_index,
+                                        t.expected);
+          }
           if (qfail.has_value()) break;
         }
       } else {
@@ -789,13 +916,20 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
         std::vector<std::thread> workers;
         workers.reserve(nthreads);
         for (size_t t = 0; t < nthreads; ++t) {
-          workers.emplace_back([&]() {
+          workers.emplace_back([&, t]() {
             for (size_t k = next.fetch_add(1); k < batch.size();
                  k = next.fetch_add(1)) {
               const QueryTask& task = batch[k];
               auto f = VerifyQuery(stores, c->ops[task.op_index],
                                    task.op_index, task.parsed,
                                    task.expected);
+              if (!f.has_value() && fleet.n > 0) {
+                // Each worker owns client index t (clients are
+                // single-threaded; the fleet is sized >= nthreads).
+                f = VerifyQueryOverWire(&fleet, stores, t,
+                                        c->ops[task.op_index],
+                                        task.op_index, task.expected);
+              }
               if (f.has_value()) {
                 std::lock_guard<std::mutex> lock(fail_mu);
                 if (!qfail.has_value() || f->op_index < qfail->op_index) {
@@ -818,6 +952,9 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
         continue;
       }
       std::string oracle_doc = oracle.Serialize();
+      // The servers borrow the databases about to be crashed: disconnect
+      // every session and stop them first, restart on the reopened ones.
+      fleet.Stop();
       for (StoreInstance& s : stores) {
         auto fail = [&](const std::string& msg) {
           return FuzzFailure{i, s.name, op.ToString() + ": " + msg};
@@ -857,6 +994,12 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
                       DiffContext(oracle_doc, got));
         }
       }
+      if (c->sessions > 0) {
+        if (auto err = fleet.Start(stores, fleet_size)) {
+          return FuzzFailure{i, "",
+                             "session fleet restart after crash: " + *err};
+        }
+      }
       continue;
     }
 
@@ -872,6 +1015,9 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
       std::string oracle_doc = oracle.Serialize();
       XmlDocument snapshot;
       snapshot.root()->AppendChild(oracle.root_element()->Clone());
+      // The reload replaces each store's database out from under any
+      // running server: stop the fleet, restart it on the fresh stores.
+      fleet.Stop();
       for (StoreInstance& s : stores) {
         auto fail = [&](const std::string& msg) {
           return FuzzFailure{i, s.name, op.ToString() + ": " + msg};
@@ -916,6 +1062,12 @@ std::optional<FuzzFailure> RunCase(FuzzCase* c) {
         s.store = std::move(store).value();
         s.db = std::move(db).value();
         s.dbopts = ropts;
+      }
+      if (c->sessions > 0) {
+        if (auto err = fleet.Start(stores, fleet_size)) {
+          return FuzzFailure{i, "",
+                             "session fleet restart after reload: " + *err};
+        }
       }
       continue;
     }
@@ -1246,6 +1398,9 @@ std::string SerializeCase(const FuzzCase& c) {
   if (c.timeout_ms > 0) {
     out += "timeout_ms " + std::to_string(c.timeout_ms) + "\n";
   }
+  if (c.sessions > 0) {
+    out += "sessions " + std::to_string(c.sessions) + "\n";
+  }
   for (const FuzzOp& op : c.ops) out += op.ToString() + "\n";
   out += "end\n";
   return out;
@@ -1407,6 +1562,11 @@ Result<FuzzCase> ParseCase(std::string_view text) {
         return Status::ParseError("bad timeout_ms line");
       }
       c.timeout_ms = static_cast<uint64_t>(std::stoull(tok[1]));
+    } else if (tok[0] == "sessions") {
+      if (tok.size() != 2) {
+        return Status::ParseError("bad sessions line");
+      }
+      c.sessions = static_cast<size_t>(std::stoull(tok[1]));
     } else if (tok[0] == "op") {
       if (tok.size() < 2) return Status::ParseError("bad op line");
       OXML_ASSIGN_OR_RETURN(FuzzOp op, ParseOp(tok));

@@ -115,6 +115,13 @@ struct FuzzCase {
   /// check. Serialized as the `timeout_ms N` repro directive — replays of
   /// deadline-related failures set it small on purpose.
   uint64_t timeout_ms = 0;
+  /// When > 0, every query batch is additionally verified through this
+  /// many OXWP protocol clients against a loopback oxml_server per store
+  /// (the XPath frame's signatures vs the DOM oracle, which stays
+  /// unchanged). Servers are stopped across kCrashRecover and restarted on
+  /// the reopened databases, and re-pointed at the fresh store after
+  /// kBulkReload. Serialized as the `sessions N` repro directive.
+  size_t sessions = 0;
   std::vector<FuzzOp> ops;
   size_t skipped_ops = 0;  // filled by RunCase: ops inapplicable on replay
 };

@@ -6,6 +6,7 @@
 // Usage:
 //   oxml_fuzz [--seed_start=N] [--seed_count=N] [--ops=N] [--repro_dir=DIR]
 //             [--durable=0|1] [--threads=N] [--load_threads=N]
+//             [--sessions=N]
 //
 // --durable forces every case on or off the file-backed/WAL path (the
 // default lets the generator pick ~25% durable cases).
@@ -15,6 +16,9 @@
 // concurrency bug. Mutations always stay serial.
 // --load_threads forces every case through the parallel bulk-load pipeline
 // with N shred workers (the generator otherwise picks ~33% of cases).
+// --sessions additionally routes every query through N OXWP protocol
+// clients against a loopback oxml_server per encoding, checking the full
+// wire path (handshake, admission, result framing) against the oracle.
 
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +53,7 @@ int main(int argc, char** argv) {
   long long durable = -1;  // -1 = generator's choice
   long long threads = 1;
   long long load_threads = -1;  // -1 = generator's choice
+  long long sessions = 0;
   std::string repro_dir = ".";
   for (int i = 1; i < argc; ++i) {
     long long* unused = nullptr;
@@ -59,6 +64,7 @@ int main(int argc, char** argv) {
         ParseFlag(argv[i], "--durable", &durable) ||
         ParseFlag(argv[i], "--threads", &threads) ||
         ParseFlag(argv[i], "--load_threads", &load_threads) ||
+        ParseFlag(argv[i], "--sessions", &sessions) ||
         ParseFlag(argv[i], "--repro_dir", &repro_dir)) {
       continue;
     }
@@ -75,6 +81,7 @@ int main(int argc, char** argv) {
     if (durable >= 0) c.durable = durable != 0;
     if (threads > 1) c.query_threads = static_cast<size_t>(threads);
     if (load_threads >= 0) c.load_threads = static_cast<size_t>(load_threads);
+    if (sessions > 0) c.sessions = static_cast<size_t>(sessions);
     auto failure = oxml::fuzz::RunCase(&c);
     total_ops += c.ops.size();
     total_skipped += c.skipped_ops;

@@ -83,6 +83,28 @@ TEST(FuzzSmokeTest, CheckedInReprosReplayClean) {
   EXPECT_GT(count, 0u) << "no repro files found in " << dir;
 }
 
+TEST(FuzzSmokeTest, SessionModeRoutesQueriesThroughWireClients) {
+  // sessions N: every query batch is verified a second time through N OXWP
+  // protocol clients against a loopback server per encoding, so the whole
+  // wire path (handshake, admission, statement dispatch, result framing)
+  // is differential-tested against the same DOM oracle.
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    FuzzCase c = GenerateCase(seed, 25);
+    c.sessions = 3;
+    auto failure = RunCase(&c);
+    EXPECT_FALSE(failure.has_value())
+        << "seed " << seed << ": " << failure->Describe() << "\nrepro:\n"
+        << SerializeCase(c);
+  }
+  // The directive survives the repro round trip.
+  FuzzCase c = GenerateCase(3, 10);
+  c.sessions = 4;
+  auto parsed = ParseCase(SerializeCase(c));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->sessions, 4u);
+  EXPECT_EQ(SerializeCase(*parsed), SerializeCase(c));
+}
+
 TEST(FuzzSmokeTest, ShrinkerIsIdempotentOnPassingCases) {
   // ShrinkCase must never "shrink" a case that does not fail.
   FuzzCase c = GenerateCase(5, 20);

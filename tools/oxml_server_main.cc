@@ -1,0 +1,145 @@
+// oxml_server — serves one database over OXWP v1 (docs/INTERNALS.md §13).
+//
+//   oxml_server [--host H] [--port P] [--db FILE] [--open-existing]
+//               [--workers N] [--max-sessions N] [--max-concurrent N]
+//               [--max-queued N] [--idle-timeout-ms MS] [--auth TOKEN]
+//               [--load FILE.xml [--store NAME] [--encoding global|local|dewey]]
+//
+// With --db the database is file-backed (WAL on); otherwise it is
+// memory-resident. --load shreds an XML document into a store that the
+// protocol's XPath frame can query by name (default name "doc").
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/core/ordered_store.h"
+#include "src/server/server.h"
+#include "src/xml/xml_parser.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+bool ParseEncoding(const char* s, oxml::OrderEncoding* out) {
+  if (std::strcmp(s, "global") == 0) {
+    *out = oxml::OrderEncoding::kGlobal;
+  } else if (std::strcmp(s, "local") == 0) {
+    *out = oxml::OrderEncoding::kLocal;
+  } else if (std::strcmp(s, "dewey") == 0) {
+    *out = oxml::OrderEncoding::kDewey;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace oxml;
+  server::ServerOptions sopts;
+  DatabaseOptions dopts;
+  std::string load_file;
+  std::string store_name = "doc";
+  OrderEncoding encoding = OrderEncoding::kGlobal;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      sopts.host = next("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      sopts.port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (std::strcmp(argv[i], "--db") == 0) {
+      dopts.file_path = next("--db");
+    } else if (std::strcmp(argv[i], "--open-existing") == 0) {
+      dopts.open_existing = true;
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      sopts.worker_threads = static_cast<size_t>(std::atoi(next("--workers")));
+    } else if (std::strcmp(argv[i], "--max-sessions") == 0) {
+      sopts.session.max_sessions =
+          static_cast<size_t>(std::atoi(next("--max-sessions")));
+    } else if (std::strcmp(argv[i], "--max-concurrent") == 0) {
+      sopts.session.max_concurrent_statements =
+          static_cast<size_t>(std::atoi(next("--max-concurrent")));
+    } else if (std::strcmp(argv[i], "--max-queued") == 0) {
+      sopts.session.max_queued_statements =
+          static_cast<size_t>(std::atoi(next("--max-queued")));
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      sopts.session.idle_timeout_ms = std::atoll(next("--idle-timeout-ms"));
+    } else if (std::strcmp(argv[i], "--auth") == 0) {
+      sopts.auth_token = next("--auth");
+    } else if (std::strcmp(argv[i], "--load") == 0) {
+      load_file = next("--load");
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      store_name = next("--store");
+    } else if (std::strcmp(argv[i], "--encoding") == 0) {
+      if (!ParseEncoding(next("--encoding"), &encoding)) {
+        std::fprintf(stderr, "unknown encoding (global|local|dewey)\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto db = Database::Open(dopts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<OrderedXmlStore> store;
+  if (!load_file.empty()) {
+    auto doc = ParseXmlFile(load_file);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "parse %s: %s\n", load_file.c_str(),
+                   doc.status().ToString().c_str());
+      return 1;
+    }
+    StoreOptions store_opts;
+    store_opts.table_name = store_name;
+    auto created = OrderedXmlStore::Create(db->get(), encoding, store_opts);
+    if (!created.ok()) {
+      std::fprintf(stderr, "create store: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(*created);
+    Status st = store->LoadDocument(**doc);
+    if (!st.ok()) {
+      std::fprintf(stderr, "load: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  server::OxmlServer srv(db->get(), sopts);
+  if (store) srv.RegisterStore(store_name, store.get());
+  Status st = srv.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("oxml_server listening on %s:%u\n", srv.host().c_str(),
+              srv.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) ::usleep(100 * 1000);
+
+  srv.Stop();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// oxml_shell — interactive OXWP v1 client.
+//
+//   oxml_shell [--host H] --port P [--auth TOKEN]
+//
+// Lines are SQL by default (SELECT prints a table, anything else an
+// affected-row count). Meta commands start with a dot:
+//
+//   .begin / .commit / .rollback      transaction control
+//   .xpath STORE PATH                 evaluate XPath against a server store
+//   .timeout MS                       per-statement deadline for this session
+//   .ping                             liveness round trip
+//   .quit                             orderly goodbye
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/server/client.h"
+
+int main(int argc, char** argv) {
+  using namespace oxml;
+  server::ClientOptions copts;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      copts.host = next("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      copts.port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (std::strcmp(argv[i], "--auth") == 0) {
+      copts.auth_token = next("--auth");
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (copts.port == 0) {
+    std::fprintf(stderr, "usage: oxml_shell [--host H] --port P\n");
+    return 2;
+  }
+
+  auto client = server::OxmlClient::Connect(copts);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("connected: session %llu\n",
+              static_cast<unsigned long long>((*client)->session_id()));
+
+  std::string line;
+  while (std::printf("oxml> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '.') {
+      std::istringstream iss(line);
+      std::string cmd;
+      iss >> cmd;
+      Status st;
+      if (cmd == ".quit" || cmd == ".exit") {
+        st = (*client)->Goodbye();
+        if (!st.ok()) std::printf("%s\n", st.ToString().c_str());
+        break;
+      } else if (cmd == ".begin") {
+        st = (*client)->Begin();
+      } else if (cmd == ".commit") {
+        st = (*client)->Commit();
+      } else if (cmd == ".rollback") {
+        st = (*client)->Rollback();
+      } else if (cmd == ".ping") {
+        st = (*client)->Ping();
+      } else if (cmd == ".timeout") {
+        int64_t ms = -1;
+        iss >> ms;
+        st = (*client)->SetSessionOptions(ms, -1);
+      } else if (cmd == ".xpath") {
+        std::string store, xpath;
+        iss >> store;
+        std::getline(iss, xpath);
+        while (!xpath.empty() && xpath.front() == ' ') xpath.erase(0, 1);
+        auto sigs = (*client)->XPath(store, xpath);
+        if (!sigs.ok()) {
+          std::printf("%s\n", sigs.status().ToString().c_str());
+        } else {
+          for (const std::string& s : *sigs) std::printf("%s\n", s.c_str());
+          std::printf("(%zu nodes)\n", sigs->size());
+        }
+        continue;
+      } else {
+        std::printf("unknown command %s\n", cmd.c_str());
+        continue;
+      }
+      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+      continue;
+    }
+
+    // SQL. SELECTs go through the cursor path; everything else reports the
+    // affected-row count.
+    std::string head = line.substr(0, line.find_first_of(" \t"));
+    for (char& c : head) c = static_cast<char>(std::toupper(c));
+    if (head == "SELECT") {
+      auto rs = (*client)->Query(line);
+      if (!rs.ok()) {
+        std::printf("%s\n", rs.status().ToString().c_str());
+      } else {
+        std::printf("%s(%zu rows)\n", rs->ToString().c_str(),
+                    rs->rows.size());
+      }
+    } else {
+      auto affected = (*client)->Execute(line);
+      if (!affected.ok()) {
+        std::printf("%s\n", affected.status().ToString().c_str());
+      } else {
+        std::printf("ok, %lld rows\n",
+                    static_cast<long long>(*affected));
+      }
+    }
+  }
+  return 0;
+}
